@@ -1,0 +1,124 @@
+package basevictim_test
+
+import (
+	"strings"
+	"testing"
+
+	"basevictim"
+)
+
+func TestCompressorFacade(t *testing.T) {
+	for _, name := range []string{"bdi", "fpc", "cpack", "none"} {
+		c, err := basevictim.CompressorByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line := make([]byte, basevictim.LineSize)
+		enc, err := c.Compress(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decompress(enc)
+		if err != nil || len(dec) != basevictim.LineSize {
+			t.Fatalf("%s round trip failed: %v", name, err)
+		}
+	}
+	if _, err := basevictim.CompressorByName("zlib"); err == nil {
+		t.Fatal("unknown compressor accepted")
+	}
+	if got := basevictim.SegmentsFor(17); got != 5 {
+		t.Fatalf("SegmentsFor(17) = %d, want 5", got)
+	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	if n := len(basevictim.Traces()); n != 100 {
+		t.Fatalf("Traces() = %d, want 100", n)
+	}
+	if n := len(basevictim.SensitiveTraces()); n != 60 {
+		t.Fatalf("SensitiveTraces() = %d, want 60", n)
+	}
+	if n := len(basevictim.Mixes()); n != 20 {
+		t.Fatalf("Mixes() = %d, want 20", n)
+	}
+	if _, err := basevictim.TraceByName("mcf.p1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := basevictim.TraceByName("quake3.p1"); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}
+
+func TestNewCacheKinds(t *testing.T) {
+	cfg := basevictim.DefaultCacheConfig()
+	for _, kind := range []string{"uncompressed", "twotag", "twotag-mod", "basevictim", "vsc2x"} {
+		org, err := basevictim.NewCache(kind, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if r := org.Access(1, false, 8); r.Hit {
+			t.Fatalf("%s: hit on empty cache", kind)
+		}
+		org.Fill(1, 8, false)
+		if r := org.Access(1, false, 8); !r.Hit {
+			t.Fatalf("%s: miss after fill", kind)
+		}
+	}
+	if _, err := basevictim.NewCache("dcc", cfg); err == nil {
+		t.Fatal("unknown cache kind accepted")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := basevictim.Experiments()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	s := basevictim.NewSession(1)
+	tab, err := basevictim.RunExperiment(s, "area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.Format(), "8.5%") {
+		t.Fatal("area table missing the paper's 8.5% result")
+	}
+	if _, err := basevictim.RunExperiment(s, "fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestEndToEndGuarantee is the whole-repo integration test: a full
+// core+hierarchy+LLC+DRAM simulation of a cache-sensitive trace where
+// Base-Victim must not lose IPC or add DRAM reads.
+func TestEndToEndGuarantee(t *testing.T) {
+	tr, err := basevictim.TraceByName("omnetpp.p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := basevictim.Compare(tr, basevictim.BaseVictimConfig(), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.DRAMReadRatio() > 1.0 {
+		t.Fatalf("DRAM read ratio %.4f > 1: guarantee broken", pair.DRAMReadRatio())
+	}
+	if pair.IPCRatio() < 0.99 {
+		t.Fatalf("IPC ratio %.4f: Base-Victim lost significantly", pair.IPCRatio())
+	}
+}
+
+func TestRunMixFacade(t *testing.T) {
+	cfg := basevictim.BaseVictimConfig().WithSize(4<<20, 16, 0)
+	res, err := basevictim.RunMix(basevictim.Mixes()[2], cfg, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ipc := range res.PerIPC {
+		if ipc <= 0 {
+			t.Fatalf("thread %d IPC %.4f", i, ipc)
+		}
+	}
+	if _, err := basevictim.RunMix([4]string{"a", "b", "c", "d"}, cfg, 10); err == nil {
+		t.Fatal("bogus mix accepted")
+	}
+}

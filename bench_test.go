@@ -1,0 +1,110 @@
+// Benchmark harness: one testing.B benchmark per paper table/figure.
+// Each benchmark regenerates its experiment on a reduced budget so
+// `go test -bench=.` completes in minutes; scale with -ins via
+// cmd/figures for full-fidelity reruns (see EXPERIMENTS.md).
+package basevictim_test
+
+import (
+	"testing"
+
+	"basevictim"
+)
+
+// benchSession builds a small-budget session for benchmarks.
+func benchSession() *basevictim.Session {
+	s := basevictim.NewSession(30_000)
+	s.MaxTraces = 2
+	return s
+}
+
+// benchExperiment runs one experiment per iteration and reports the
+// row count so the work cannot be optimized away.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := benchSession()
+		tab, err := basevictim.RunExperiment(s, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I (workload census).
+func BenchmarkTableI(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig6TwoTag regenerates Figure 6 (naive two-tag vs baseline).
+func BenchmarkFig6TwoTag(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7TwoTagModified regenerates Figure 7 (modified two-tag).
+func BenchmarkFig7TwoTagModified(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8BaseVictim regenerates Figure 8 (Base-Victim line graph).
+func BenchmarkFig8BaseVictim(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9Categories regenerates Figure 9 (per-category vs 3MB).
+func BenchmarkFig9Categories(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Replacement regenerates Figure 10 (SRRIP/CHAR stacks).
+func BenchmarkFig10Replacement(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11Size regenerates Figure 11 (LLC size sweep).
+func BenchmarkFig11Size(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12AllTraces regenerates Figure 12 (all 100 traces).
+func BenchmarkFig12AllTraces(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13MultiProgram regenerates Figure 13 (4-thread mixes).
+func BenchmarkFig13MultiProgram(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14Energy regenerates Figure 14 (energy ratios).
+func BenchmarkFig14Energy(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkSensAssociativity regenerates the Section VI.B.1 study.
+func BenchmarkSensAssociativity(b *testing.B) { benchExperiment(b, "assoc") }
+
+// BenchmarkSensVictimPolicy regenerates the Section VI.B.4 study.
+func BenchmarkSensVictimPolicy(b *testing.B) { benchExperiment(b, "victimpolicy") }
+
+// BenchmarkAreaModel regenerates the Section IV.C arithmetic.
+func BenchmarkAreaModel(b *testing.B) { benchExperiment(b, "area") }
+
+// BenchmarkFunctionalCapacity regenerates the Section V capacity
+// comparison (VSC-2X vs Base-Victim).
+func BenchmarkFunctionalCapacity(b *testing.B) { benchExperiment(b, "capacity") }
+
+// BenchmarkTraffic regenerates the Section VI.D traffic accounting.
+func BenchmarkTraffic(b *testing.B) { benchExperiment(b, "traffic") }
+
+// BenchmarkAblationLatency regenerates the tag/decompression latency
+// ablation.
+func BenchmarkAblationLatency(b *testing.B) { benchExperiment(b, "ablation-latency") }
+
+// BenchmarkAblationCompressor regenerates the BDI/FPC/C-PACK swap.
+func BenchmarkAblationCompressor(b *testing.B) { benchExperiment(b, "ablation-compressor") }
+
+// BenchmarkInclusionModes regenerates the Section IV.B.3 comparison.
+func BenchmarkInclusionModes(b *testing.B) { benchExperiment(b, "inclusion") }
+
+// BenchmarkPrefetchInteraction regenerates the compression-prefetch
+// interaction study.
+func BenchmarkPrefetchInteraction(b *testing.B) { benchExperiment(b, "prefetch-interaction") }
+
+// BenchmarkSimulatorThroughput measures raw simulated instructions per
+// second on the default Base-Victim configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	tr, err := basevictim.TraceByName("soplex.p1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ins = 50_000
+	b.SetBytes(ins) // report "bytes" as instructions for MB/s ~ MIPS
+	for i := 0; i < b.N; i++ {
+		if _, err := basevictim.Run(tr, basevictim.BaseVictimConfig(), ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command bvsim runs one trace of the workload suite on one LLC
+// configuration and prints the detailed outcome, optionally next to
+// the uncompressed baseline.
+//
+// Usage:
+//
+//	bvsim -trace mcf.p1 -org basevictim -ins 1000000 -compare
+//	bvsim -replay mcf.p1.bvtr -values mcf.p1   # replay a trace file
+//	bvsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"basevictim"
+	"basevictim/internal/sim"
+	"basevictim/internal/trace"
+	"basevictim/internal/workload"
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "mcf.p1", "trace name from the suite (see -list)")
+		org       = flag.String("org", "basevictim", "LLC organization: uncompressed|twotag|twotag-mod|basevictim|vsc2x")
+		policy    = flag.String("policy", "nru", "baseline replacement policy: nru|lru|srrip|char")
+		victim    = flag.String("victim", "ecm", "victim-cache selector: ecm|random|lru|sizelru")
+		sizeMB    = flag.Int("size", 2, "LLC size in MB")
+		ways      = flag.Int("ways", 16, "LLC physical ways")
+		ins       = flag.Uint64("ins", 1_000_000, "instructions to simulate")
+		prefetch  = flag.Bool("prefetch", true, "enable prefetchers")
+		compare   = flag.Bool("compare", false, "also run the uncompressed baseline and print ratios")
+		list      = flag.Bool("list", false, "list available traces and exit")
+		replay    = flag.String("replay", "", "replay a .bvtr trace file instead of a suite trace")
+		values    = flag.String("values", "", "suite trace supplying the value model for -replay (default: -trace)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, t := range basevictim.Traces() {
+			tag := "insensitive"
+			if t.Sensitive {
+				tag = "sensitive"
+			}
+			fmt.Printf("%-16s %-12s %-11s footprint=%dMB\n", t.Name, t.Category, tag, t.TotalLines*64>>20)
+		}
+		return
+	}
+
+	cfg := basevictim.BaseVictimConfig()
+	cfg.Org = basevictim.OrgKind(*org)
+	cfg.Policy = *policy
+	cfg.VictimPolicy = *victim
+	cfg.LLCSizeBytes = *sizeMB << 20
+	cfg.Prefetch = *prefetch
+	cfg.LLCWays = *ways
+
+	if *replay != "" {
+		vname := *values
+		if vname == "" {
+			vname = *traceName
+		}
+		res, err := replayFile(*replay, vname, cfg, *ins)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+		return
+	}
+
+	tr, err := basevictim.TraceByName(*traceName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := basevictim.Run(tr, cfg, *ins)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res)
+
+	if *compare {
+		var base basevictim.Result
+		base, err = basevictim.Run(tr, cfg.Baseline(), *ins)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("-- uncompressed baseline --")
+		printResult(base)
+		pair := basevictim.Pair{Run: res, Base: base}
+		fmt.Printf("IPC ratio:        %.4f\n", pair.IPCRatio())
+		fmt.Printf("DRAM read ratio:  %.4f\n", pair.DRAMReadRatio())
+	}
+}
+
+// replayFile runs a recorded .bvtr trace through the simulator, using
+// the named suite trace's value model for compressed sizes.
+func replayFile(path, valuesTrace string, cfg basevictim.Config, ins uint64) (basevictim.Result, error) {
+	vt, ok := workload.ByName(workload.Suite(), valuesTrace)
+	if !ok {
+		return basevictim.Result{}, fmt.Errorf("unknown value-model trace %q", valuesTrace)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return basevictim.Result{}, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return basevictim.Result{}, err
+	}
+	cfg.Instructions = ins
+	res, err := sim.RunStream(r, vt.Values(), cfg)
+	if err != nil {
+		return basevictim.Result{}, err
+	}
+	if r.Err() != nil {
+		return basevictim.Result{}, r.Err()
+	}
+	res.Trace = path
+	return res, nil
+}
+
+func printResult(r basevictim.Result) {
+	fmt.Printf("trace=%s org=%s\n", r.Trace, r.Org)
+	fmt.Printf("  instructions: %d  cycles: %d  IPC: %.4f\n", r.Instructions, r.Cycles, r.IPC)
+	fmt.Printf("  LLC: accesses=%d hits=%d (base=%d victim=%d) misses=%d hitrate=%.3f\n",
+		r.LLC.Accesses, r.LLC.Hits, r.LLC.BaseHits, r.LLC.VictimHits, r.LLC.Misses, r.LLC.HitRate())
+	fmt.Printf("  LLC victim: inserts=%d insertFails=%d silentEvictions=%d dataMoves=%d\n",
+		r.LLC.VictimInserts, r.LLC.VictimInsertFail, r.LLC.SilentEvictions, r.LLC.DataMoves)
+	fmt.Printf("  DRAM: demandReads=%d reads=%d writes=%d\n", r.DemandDRAMReads, r.DRAMReads, r.DRAMWrites)
+	fmt.Printf("  capacity: logical=%d physical=%d (%.2fx)\n",
+		r.LLCLogicalLines, r.LLCPhysicalLines, float64(r.LLCLogicalLines)/float64(r.LLCPhysicalLines))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bvsim:", err)
+	os.Exit(1)
+}

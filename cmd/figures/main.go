@@ -1,0 +1,62 @@
+// Command figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	figures -exp all  -ins 1000000          # everything (slow)
+//	figures -exp fig8 -ins 400000 -v        # one figure with progress
+//	figures -exp list                       # list experiment ids
+//
+// Each experiment prints the per-trace series (for the line-graph
+// figures) and the headline aggregates the paper quotes, with the
+// paper's numbers in the notes for side-by-side comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"basevictim"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id, comma list, 'all' or 'list'")
+		ins     = flag.Uint64("ins", 400_000, "instructions per thread (paper: 200M)")
+		traces  = flag.Int("traces", 0, "cap traces/mixes per experiment (0 = all)")
+		verbose = flag.Bool("v", false, "print per-run progress to stderr")
+	)
+	flag.Parse()
+
+	if *exp == "list" {
+		for _, id := range basevictim.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	session := basevictim.NewSession(*ins)
+	session.MaxTraces = *traces
+	if *verbose {
+		session.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	ids := basevictim.Experiments()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := basevictim.RunExperiment(session, strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Format())
+		fmt.Printf("(%s in %.1fs)\n\n", tab.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,121 @@
+// Command tracegen materializes a synthetic workload phase into the
+// binary trace format, and inspects existing trace files.
+//
+// Usage:
+//
+//	tracegen -trace mcf.p1 -n 1000000 -o mcf.bvtr
+//	tracegen -dump mcf.bvtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"basevictim"
+	"basevictim/internal/trace"
+)
+
+func main() {
+	var (
+		name = flag.String("trace", "mcf.p1", "suite trace to materialize")
+		n    = flag.Uint64("n", 1_000_000, "number of operations")
+		out  = flag.String("o", "", "output file (default <trace>.bvtr)")
+		dump = flag.String("dump", "", "inspect an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		if err := inspect(*dump); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	tr, err := basevictim.TraceByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = tr.Name + ".bvtr"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+	gen := tr.Stream()
+	for i := uint64(0); i < *n; i++ {
+		op, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(op); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("wrote %d ops to %s (%d bytes, %.2f bytes/op)\n",
+		w.Count(), path, st.Size(), float64(st.Size())/float64(w.Count()))
+}
+
+func inspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var ops, loads, stores, deps uint64
+	minAddr, maxAddr := ^uint64(0), uint64(0)
+	for {
+		op, err := r.ReadOp()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		ops++
+		switch op.Kind {
+		case trace.Load:
+			loads++
+			if op.Dep {
+				deps++
+			}
+		case trace.Store:
+			stores++
+		}
+		if op.Kind != trace.Exec {
+			if op.Addr < minAddr {
+				minAddr = op.Addr
+			}
+			if op.Addr > maxAddr {
+				maxAddr = op.Addr
+			}
+		}
+	}
+	fmt.Printf("%s: %d ops (%d loads, %d stores, %d dependent loads)\n", path, ops, loads, stores, deps)
+	if loads+stores > 0 {
+		fmt.Printf("address range: [%#x, %#x] (%.1f MB footprint)\n",
+			minAddr, maxAddr, float64(maxAddr-minAddr)/(1<<20))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

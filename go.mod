@@ -1,0 +1,3 @@
+module basevictim
+
+go 1.22

@@ -1,0 +1,76 @@
+// Package area reproduces the area-overhead arithmetic of Section
+// IV.C: the opportunistic compressed cache adds one address tag and 9
+// metadata bits (two 4-bit size fields and a victim valid bit) per
+// original way, which is 40 bits over the baseline way's 39 bits of
+// tag+metadata plus 512 bits of data — a 7.3% array overhead — and the
+// BDI compression/decompression logic adds another 1.2%.
+package area
+
+// Params describes the cache whose overhead is computed.
+type Params struct {
+	SizeBytes    int
+	Ways         int
+	LineBytes    int
+	AddressBits  int // physical address width (paper: 48)
+	MetadataBits int // baseline per-way metadata (paper: 8)
+	// ExtraMetaBits is the added metadata per original way: two 4-bit
+	// size fields plus one victim valid bit in the paper.
+	ExtraMetaBits int
+	// LogicFraction is the compression/decompression logic area as a
+	// fraction of cache area (paper cites 1.2% from DCC).
+	LogicFraction float64
+}
+
+// PaperParams returns the 2 MB, 16-way configuration of Section IV.C.
+func PaperParams() Params {
+	return Params{
+		SizeBytes:     2 << 20,
+		Ways:          16,
+		LineBytes:     64,
+		AddressBits:   48,
+		MetadataBits:  8,
+		ExtraMetaBits: 9,
+		LogicFraction: 0.012,
+	}
+}
+
+// Result itemizes the computed overheads.
+type Result struct {
+	TagBits         int     // address tag bits per way
+	BaselineWayBits int     // tag + metadata + data bits per baseline way
+	ExtraBits       int     // added bits per original way
+	ArrayOverhead   float64 // extra bits / baseline way bits
+	TotalOverhead   float64 // array overhead + logic fraction
+}
+
+// log2 returns floor(log2(n)) for n > 0.
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Overhead computes the area overhead of the two-tag opportunistic
+// organization over the uncompressed baseline.
+func Overhead(p Params) Result {
+	offsetBits := log2(p.LineBytes)
+	sets := p.SizeBytes / (p.LineBytes * p.Ways)
+	indexBits := log2(sets)
+	tagBits := p.AddressBits - offsetBits - indexBits
+
+	dataBits := p.LineBytes * 8
+	baseline := tagBits + p.MetadataBits + dataBits
+	extra := tagBits + p.ExtraMetaBits
+
+	arr := float64(extra) / float64(baseline)
+	return Result{
+		TagBits:         tagBits,
+		BaselineWayBits: baseline,
+		ExtraBits:       extra,
+		ArrayOverhead:   arr,
+		TotalOverhead:   arr + p.LogicFraction,
+	}
+}

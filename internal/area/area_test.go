@@ -1,0 +1,49 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperNumbers reproduces Section IV.C exactly: a 48-bit address on
+// a 2MB 16-way cache gives a 31-bit tag (6 offset + 11 index bits), 40
+// extra bits over a 551-bit way = 7.26%, and 8.5% with codec logic.
+func TestPaperNumbers(t *testing.T) {
+	r := Overhead(PaperParams())
+	if r.TagBits != 31 {
+		t.Fatalf("tag bits = %d, want 31", r.TagBits)
+	}
+	if r.BaselineWayBits != 31+8+512 {
+		t.Fatalf("baseline way bits = %d, want 551", r.BaselineWayBits)
+	}
+	if r.ExtraBits != 40 {
+		t.Fatalf("extra bits = %d, want 40", r.ExtraBits)
+	}
+	if math.Abs(r.ArrayOverhead-0.0726) > 0.001 {
+		t.Fatalf("array overhead = %.4f, want ~0.0726", r.ArrayOverhead)
+	}
+	if math.Abs(r.TotalOverhead-0.0846) > 0.001 {
+		t.Fatalf("total overhead = %.4f, want ~0.085", r.TotalOverhead)
+	}
+}
+
+func TestLargerCacheHasSmallerTags(t *testing.T) {
+	p := PaperParams()
+	p.SizeBytes = 4 << 20 // one more index bit
+	r := Overhead(p)
+	if r.TagBits != 30 {
+		t.Fatalf("4MB tag bits = %d, want 30", r.TagBits)
+	}
+	if r.ArrayOverhead >= Overhead(PaperParams()).ArrayOverhead {
+		t.Fatal("larger cache should have slightly lower relative tag overhead")
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 64: 6, 2048: 11, 4096: 12}
+	for n, want := range cases {
+		if got := log2(n); got != want {
+			t.Errorf("log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package cache provides the generic set-associative cache model used
+// for the private L1 and L2 levels and for the uncompressed LLC
+// baseline. Compressed LLC organizations live in package ccache and
+// share this package's replacement policies.
+//
+// The model is a tag store: it tracks presence, dirtiness and reuse of
+// 64-byte lines but not their contents (contents are only needed for
+// compression decisions, which the LLC organizations obtain from the
+// workload's value model). Addresses are byte addresses; the cache
+// operates on line addresses internally.
+package cache
+
+import (
+	"fmt"
+
+	"basevictim/internal/policy"
+)
+
+// LineBytes is the line size used by every cache in the hierarchy.
+const LineBytes = 64
+
+// lineShift converts a byte address to a line address.
+const lineShift = 6
+
+// LineAddr converts a byte address to a line address.
+func LineAddr(addr uint64) uint64 { return addr >> lineShift }
+
+// Geometry describes a cache's shape.
+type Geometry struct {
+	SizeBytes int
+	Ways      int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (g Geometry) Sets() int { return g.SizeBytes / (LineBytes * g.Ways) }
+
+// Validate checks the geometry is realizable.
+func (g Geometry) Validate() error {
+	if g.SizeBytes <= 0 || g.Ways <= 0 {
+		return fmt.Errorf("cache: bad geometry %+v", g)
+	}
+	sets := g.Sets()
+	if sets == 0 || sets*g.Ways*LineBytes != g.SizeBytes {
+		return fmt.Errorf("cache: size %d not divisible into %d ways of %dB lines", g.SizeBytes, g.Ways, LineBytes)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Line is one tag-store entry.
+type Line struct {
+	Tag        uint64 // full line address; valid only if Valid
+	Valid      bool
+	Dirty      bool
+	Reused     bool // hit at least once since fill (drives CHAR hints)
+	Prefetched bool // filled by a prefetch and not yet demanded
+}
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	Addr   uint64 // line address
+	Dirty  bool
+	Reused bool
+	Valid  bool // false if the fill used an empty way
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64
+	Fills       uint64
+	Evictions   uint64
+	Writebacks  uint64 // dirty evictions
+	Invalidates uint64
+}
+
+// MissRate returns misses/accesses, or 0 for an idle cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative tag store with a pluggable replacement
+// policy.
+type Cache struct {
+	geom  Geometry
+	sets  int
+	lines []Line // [set*ways + way]
+	pol   policy.Policy
+	Stats Stats
+}
+
+// New builds a cache with the given geometry and replacement policy
+// factory.
+func New(geom Geometry, newPolicy policy.Factory) (*Cache, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	sets := geom.Sets()
+	return &Cache{
+		geom:  geom,
+		sets:  sets,
+		lines: make([]Line, sets*geom.Ways),
+		pol:   newPolicy(sets, geom.Ways),
+	}, nil
+}
+
+// MustNew is New but panics on error; for tests and fixed configs.
+func MustNew(geom Geometry, newPolicy policy.Factory) *Cache {
+	c, err := New(geom, newPolicy)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Geometry returns the cache's shape.
+func (c *Cache) Geometry() Geometry { return c.geom }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Policy exposes the replacement policy (for hint delivery).
+func (c *Cache) Policy() policy.Policy { return c.pol }
+
+// SetIndex returns the set for a line address.
+func (c *Cache) SetIndex(lineAddr uint64) int { return int(lineAddr & uint64(c.sets-1)) }
+
+func (c *Cache) line(set, way int) *Line { return &c.lines[set*c.geom.Ways+way] }
+
+// Probe reports whether the line is present, without touching
+// replacement state or statistics. Used for inclusion checks and
+// prefetch filtering.
+func (c *Cache) Probe(lineAddr uint64) (way int, hit bool) {
+	set := c.SetIndex(lineAddr)
+	for w := 0; w < c.geom.Ways; w++ {
+		if l := c.line(set, w); l.Valid && l.Tag == lineAddr {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Access performs a demand read or write lookup. On a hit the
+// replacement state is updated and a write marks the line dirty. The
+// caller handles the miss path (fetch + Fill).
+func (c *Cache) Access(lineAddr uint64, write bool) bool {
+	c.Stats.Accesses++
+	set := c.SetIndex(lineAddr)
+	if way, hit := c.Probe(lineAddr); hit {
+		c.Stats.Hits++
+		l := c.line(set, way)
+		l.Reused = true
+		l.Prefetched = false
+		if write {
+			l.Dirty = true
+		}
+		c.pol.OnHit(set, way)
+		return true
+	}
+	c.Stats.Misses++
+	if mo, ok := c.pol.(policy.MissObserver); ok {
+		mo.OnMiss(set)
+	}
+	return false
+}
+
+// Fill installs a line, evicting if necessary, and returns the
+// eviction. Invalid ways are used before the policy is consulted.
+// dirty marks the new line dirty (e.g. a writeback allocation);
+// prefetched marks it as brought in by a prefetcher.
+func (c *Cache) Fill(lineAddr uint64, dirty, prefetched bool) Eviction {
+	c.Stats.Fills++
+	set := c.SetIndex(lineAddr)
+	// Refill over an existing copy just updates flags (can happen when
+	// a prefetch races a demand fill in the simplified timing model).
+	if way, hit := c.Probe(lineAddr); hit {
+		l := c.line(set, way)
+		if dirty {
+			l.Dirty = true
+		}
+		c.pol.OnFill(set, way)
+		return Eviction{}
+	}
+	way := -1
+	for w := 0; w < c.geom.Ways; w++ {
+		if !c.line(set, w).Valid {
+			way = w
+			break
+		}
+	}
+	var ev Eviction
+	if way < 0 {
+		way = c.pol.Victim(set)
+		old := c.line(set, way)
+		ev = Eviction{Addr: old.Tag, Dirty: old.Dirty, Reused: old.Reused, Valid: true}
+		c.Stats.Evictions++
+		if old.Dirty {
+			c.Stats.Writebacks++
+		}
+	}
+	*c.line(set, way) = Line{Tag: lineAddr, Valid: true, Dirty: dirty, Prefetched: prefetched}
+	c.pol.OnFill(set, way)
+	return ev
+}
+
+// Writeback marks the line dirty if present, without touching
+// statistics or replacement state. It models a dirty eviction arriving
+// from the level above; inclusion normally guarantees presence.
+func (c *Cache) Writeback(lineAddr uint64) bool {
+	way, hit := c.Probe(lineAddr)
+	if !hit {
+		return false
+	}
+	l := c.line(c.SetIndex(lineAddr), way)
+	l.Dirty = true
+	// A writeback proves the level above used the line; that liveness
+	// feeds the L2 eviction hints.
+	l.Reused = true
+	return true
+}
+
+// Invalidate removes the line if present (back-invalidation from an
+// inclusive outer level). It returns whether the line was present and
+// whether it was dirty (the dirty data must be forwarded outward).
+func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
+	set := c.SetIndex(lineAddr)
+	way, hit := c.Probe(lineAddr)
+	if !hit {
+		return false, false
+	}
+	l := c.line(set, way)
+	dirty = l.Dirty
+	*l = Line{}
+	c.Stats.Invalidates++
+	c.pol.OnInvalidate(set, way)
+	return true, dirty
+}
+
+// LineState returns a copy of the tag-store entry holding lineAddr.
+func (c *Cache) LineState(lineAddr uint64) (Line, bool) {
+	if way, hit := c.Probe(lineAddr); hit {
+		return *c.line(c.SetIndex(lineAddr), way), true
+	}
+	return Line{}, false
+}
+
+// Occupancy returns the number of valid lines (for tests and capacity
+// studies).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachValid visits every valid line; used by inclusion checks.
+func (c *Cache) ForEachValid(fn func(lineAddr uint64, dirty bool)) {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(c.lines[i].Tag, c.lines[i].Dirty)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"basevictim/internal/policy"
+)
+
+func small() *Cache {
+	return MustNew(Geometry{SizeBytes: 4 * 1024, Ways: 4}, policy.NewLRU) // 16 sets
+}
+
+func TestGeometry(t *testing.T) {
+	g := Geometry{SizeBytes: 2 << 20, Ways: 16}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Sets(); got != 2048 {
+		t.Fatalf("2MB/16w sets = %d, want 2048", got)
+	}
+	bad := []Geometry{
+		{SizeBytes: 0, Ways: 4},
+		{SizeBytes: 4096, Ways: 0},
+		{SizeBytes: 4096 + 64, Ways: 4},  // not divisible
+		{SizeBytes: 3 * 64 * 4, Ways: 4}, // 3 sets, not power of two
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("geometry %+v validated", g)
+		}
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(Geometry{SizeBytes: 100, Ways: 3}, policy.NewLRU); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0) != 0 || LineAddr(63) != 0 || LineAddr(64) != 1 || LineAddr(129) != 2 {
+		t.Fatal("LineAddr mapping wrong")
+	}
+}
+
+func TestAccessMissThenHit(t *testing.T) {
+	c := small()
+	if c.Access(100, false) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Fill(100, false, false)
+	if !c.Access(100, false) {
+		t.Fatal("miss after fill")
+	}
+	if c.Stats.Accesses != 2 || c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats %+v", c.Stats)
+	}
+}
+
+func TestWriteSetsDirty(t *testing.T) {
+	c := small()
+	c.Fill(7, false, false)
+	c.Access(7, true)
+	l, ok := c.LineState(7)
+	if !ok || !l.Dirty {
+		t.Fatal("write hit did not mark dirty")
+	}
+}
+
+func TestFillEvictsLRUAndReportsWriteback(t *testing.T) {
+	c := small() // 16 sets, 4 ways
+	// Five lines in set 0: line addresses 0,16,32,48,64.
+	for i := uint64(0); i < 4; i++ {
+		c.Fill(i*16, false, false)
+	}
+	c.Access(0, true) // make line 0 MRU and dirty
+	ev := c.Fill(4*16, false, false)
+	if !ev.Valid {
+		t.Fatal("expected an eviction")
+	}
+	if ev.Addr != 16 {
+		t.Fatalf("evicted %d, want LRU line 16", ev.Addr)
+	}
+	if ev.Dirty {
+		t.Fatal("clean line reported dirty")
+	}
+	// Now evict until the dirty line goes.
+	var sawDirty bool
+	for i := uint64(5); i < 9; i++ {
+		if ev := c.Fill(i*16, false, false); ev.Valid && ev.Addr == 0 {
+			sawDirty = ev.Dirty
+		}
+	}
+	if !sawDirty {
+		t.Fatal("dirty line never evicted dirty")
+	}
+	if c.Stats.Writebacks == 0 {
+		t.Fatal("writeback not counted")
+	}
+}
+
+func TestFillPrefersInvalidWays(t *testing.T) {
+	c := small()
+	c.Fill(0, false, false)
+	c.Fill(16, false, false)
+	if ev := c.Fill(32, false, false); ev.Valid {
+		t.Fatal("eviction despite free ways")
+	}
+	if c.Occupancy() != 3 {
+		t.Fatalf("occupancy = %d, want 3", c.Occupancy())
+	}
+}
+
+func TestRefillExistingLineKeepsOccupancy(t *testing.T) {
+	c := small()
+	c.Fill(5, false, false)
+	c.Fill(5, true, false)
+	if c.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d, want 1", c.Occupancy())
+	}
+	if l, _ := c.LineState(5); !l.Dirty {
+		t.Fatal("refill with dirty did not mark dirty")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Fill(9, false, false)
+	c.Access(9, true)
+	present, dirty := c.Invalidate(9)
+	if !present || !dirty {
+		t.Fatalf("invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if _, hit := c.Probe(9); hit {
+		t.Fatal("line still present after invalidate")
+	}
+	present, _ = c.Invalidate(9)
+	if present {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestReusedFlag(t *testing.T) {
+	c := small()
+	c.Fill(3, false, false)
+	if l, _ := c.LineState(3); l.Reused {
+		t.Fatal("fresh line marked reused")
+	}
+	c.Access(3, false)
+	if l, _ := c.LineState(3); !l.Reused {
+		t.Fatal("hit did not mark reused")
+	}
+}
+
+func TestPrefetchedFlagClearsOnDemand(t *testing.T) {
+	c := small()
+	c.Fill(3, false, true)
+	if l, _ := c.LineState(3); !l.Prefetched {
+		t.Fatal("prefetch fill not marked")
+	}
+	c.Access(3, false)
+	if l, _ := c.LineState(3); l.Prefetched {
+		t.Fatal("demand hit did not clear prefetched")
+	}
+}
+
+// TestOccupancyNeverExceedsCapacity is a property test: any access
+// sequence keeps the tag store consistent.
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := MustNew(Geometry{SizeBytes: 2 * 1024, Ways: 2}, policy.NewNRU)
+		for i := 0; i < 500; i++ {
+			addr := uint64(r.Intn(256)) * LineBytes
+			la := LineAddr(addr)
+			switch r.Intn(4) {
+			case 0, 1:
+				if !c.Access(la, r.Intn(2) == 0) {
+					c.Fill(la, false, false)
+				}
+			case 2:
+				c.Fill(la, r.Intn(2) == 0, false)
+			case 3:
+				c.Invalidate(la)
+			}
+			if c.Occupancy() > c.Sets()*c.Geometry().Ways {
+				return false
+			}
+		}
+		// A probe for every line it claims valid must hit.
+		ok := true
+		c.ForEachValid(func(lineAddr uint64, dirty bool) {
+			if _, hit := c.Probe(lineAddr); !hit {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatal("idle miss rate not 0")
+	}
+	s.Accesses, s.Misses = 4, 1
+	if got := s.MissRate(); got != 0.25 {
+		t.Fatalf("miss rate = %v, want 0.25", got)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := MustNew(Geometry{SizeBytes: 2 << 20, Ways: 16}, policy.NewNRU)
+	r := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		la := addrs[i%len(addrs)]
+		if !c.Access(la, false) {
+			c.Fill(la, false, false)
+		}
+	}
+}

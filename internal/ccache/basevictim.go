@@ -1,0 +1,387 @@
+package ccache
+
+import "basevictim/internal/policy"
+
+// BaseVictim is the paper's opportunistic compression architecture
+// (Section IV). Each physical way holds up to two logical lines: the
+// base line, managed strictly by the baseline replacement policy so the
+// Baseline Cache always mirrors an uncompressed cache, and a victim
+// line — a block the Baseline Cache evicted that is kept around only
+// because it compresses well enough to share the way.
+//
+// In the inclusive configuration (the paper's default) victim lines
+// are always clean: a baseline victim is written back (if dirty) and
+// back-invalidated from the inner caches before it parks in the Victim
+// Cache, so victim evictions are silent and every fill performs at most
+// one writeback.
+//
+// Invariants (checked by tests):
+//   - the Baseline Cache state equals an uncompressed cache running the
+//     same access stream under the same policy;
+//   - hit rate >= the uncompressed cache's, access for access;
+//   - base.segs + victim.segs <= WaySegments in every way;
+//   - inclusive mode: no victim line is dirty.
+type BaseVictim struct {
+	cfg    Config
+	sets   int
+	base   []tag // [set*ways+way]
+	victim []tag
+	pol    policy.Policy
+	sel    policy.VictimSelector
+	stats  Stats
+	res    Result
+	cands  []policy.Candidate // scratch for victim insertion
+}
+
+// NewBaseVictim builds the Base-Victim organization.
+func NewBaseVictim(cfg Config) (*BaseVictim, error) {
+	sets, err := cfg.sets()
+	if err != nil {
+		return nil, err
+	}
+	sel := cfg.Victim
+	if sel == nil {
+		sel = func(sets, ways int) policy.VictimSelector { return policy.NewECMVictim() }
+	}
+	return &BaseVictim{
+		cfg:    cfg,
+		sets:   sets,
+		base:   make([]tag, sets*cfg.Ways),
+		victim: make([]tag, sets*cfg.Ways),
+		pol:    cfg.Policy(sets, cfg.Ways),
+		sel:    sel(sets, cfg.Ways),
+		cands:  make([]policy.Candidate, 0, cfg.Ways),
+	}, nil
+}
+
+// Name implements Org.
+func (c *BaseVictim) Name() string { return "basevictim" }
+
+// Sets implements Org.
+func (c *BaseVictim) Sets() int { return c.sets }
+
+// Ways implements Org.
+func (c *BaseVictim) Ways() int { return c.cfg.Ways }
+
+// Stats implements Org.
+func (c *BaseVictim) Stats() *Stats { return &c.stats }
+
+// Policy exposes the baseline replacement policy for hint delivery.
+func (c *BaseVictim) Policy() policy.Policy { return c.pol }
+
+func (c *BaseVictim) set(lineAddr uint64) int { return int(lineAddr & uint64(c.sets-1)) }
+
+func (c *BaseVictim) baseAt(set, way int) *tag   { return &c.base[set*c.cfg.Ways+way] }
+func (c *BaseVictim) victimAt(set, way int) *tag { return &c.victim[set*c.cfg.Ways+way] }
+
+func (c *BaseVictim) findBase(lineAddr uint64) (way int, ok bool) {
+	set := c.set(lineAddr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if t := c.baseAt(set, w); t.valid && t.addr == lineAddr {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+func (c *BaseVictim) findVictim(lineAddr uint64) (way int, ok bool) {
+	set := c.set(lineAddr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if t := c.victimAt(set, w); t.valid && t.addr == lineAddr {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Contains implements Org.
+func (c *BaseVictim) Contains(lineAddr uint64) bool {
+	if _, ok := c.findBase(lineAddr); ok {
+		return true
+	}
+	_, ok := c.findVictim(lineAddr)
+	return ok
+}
+
+// LogicalLines implements Org.
+func (c *BaseVictim) LogicalLines() int {
+	n := 0
+	for i := range c.base {
+		if c.base[i].valid {
+			n++
+		}
+		if c.victim[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// VictimOccupancy returns the number of resident victim lines.
+func (c *BaseVictim) VictimOccupancy() int {
+	n := 0
+	for i := range c.victim {
+		if c.victim[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Access implements Org. Reads that hit the Victim Cache are promoted
+// into the Baseline Cache exactly as if they had been fetched from
+// memory, so the Baseline Cache keeps mirroring the uncompressed cache.
+func (c *BaseVictim) Access(lineAddr uint64, write bool, segs int) *Result {
+	c.res.reset()
+	c.stats.Accesses++
+	set := c.set(lineAddr)
+
+	if way, ok := c.findBase(lineAddr); ok {
+		c.stats.Hits++
+		c.stats.BaseHits++
+		c.res.Hit = true
+		t := c.baseAt(set, way)
+		if needsDecompression(t.segs) {
+			c.res.Decompress = true
+			c.stats.Decompressions++
+		}
+		c.pol.OnHit(set, way)
+		if write {
+			c.baseWrite(set, way, segs)
+		}
+		return &c.res
+	}
+
+	// The access misses the Baseline Cache: the mirrored uncompressed
+	// cache misses here, so its policy sees a miss regardless of
+	// whether the Victim Cache saves us a memory trip.
+	if mo, ok := c.pol.(policy.MissObserver); ok {
+		mo.OnMiss(set)
+	}
+
+	if vway, ok := c.findVictim(lineAddr); ok {
+		if write && c.cfg.Inclusive {
+			// Inclusive victim lines are clean and absent from the
+			// inner caches, so the L2 cannot write one back
+			// (Section IV.B.3).
+			panic("ccache: write hit on inclusive Victim Cache line")
+		}
+		c.stats.Hits++
+		c.stats.VictimHits++
+		c.res.Hit = true
+		c.res.VictimHit = true
+		vt := c.victimAt(set, vway)
+		if needsDecompression(vt.segs) {
+			c.res.Decompress = true
+			c.stats.Decompressions++
+		}
+		c.sel.OnHit(set, vway)
+		promoted := *vt
+		vt.valid = false
+		c.sel.OnInvalidate(set, vway)
+		if write {
+			promoted.dirty = true
+			promoted.segs = clampSegs(segs)
+		}
+		// Promotion moves data between physically distinct ways.
+		c.res.DataMoves++
+		c.stats.DataMoves++
+		c.installBase(set, promoted)
+		return &c.res
+	}
+
+	c.stats.Misses++
+	return &c.res
+}
+
+// baseWrite applies a dirty writeback to a resident base line: the
+// line's compressed size changes, and the victim partner is silently
+// dropped if the pair no longer fits (Section IV.B.5).
+func (c *BaseVictim) baseWrite(set, way, segs int) {
+	t := c.baseAt(set, way)
+	t.dirty = true
+	t.segs = clampSegs(segs)
+	v := c.victimAt(set, way)
+	if v.valid && t.segs+v.segs > WaySegments {
+		c.silentEvict(set, way)
+	}
+	if c.victimAt(set, way).valid {
+		c.res.PartnerWrite = true
+		c.stats.PartnerWrites++
+	}
+}
+
+// silentEvict drops the victim line in way. In inclusive mode this is
+// free: the line is clean and absent above. In non-inclusive mode a
+// dirty victim is written back first.
+func (c *BaseVictim) silentEvict(set, way int) {
+	v := c.victimAt(set, way)
+	if v.dirty {
+		c.res.Writebacks = append(c.res.Writebacks, v.addr)
+		c.stats.Writebacks++
+	} else {
+		c.stats.SilentEvictions++
+	}
+	c.stats.Evictions++
+	c.res.Evicted = append(c.res.Evicted, v.addr)
+	v.valid = false
+	c.sel.OnInvalidate(set, way)
+}
+
+// Fill implements Org: install a line fetched from memory.
+func (c *BaseVictim) Fill(lineAddr uint64, segs int, dirty bool) *Result {
+	c.res.reset()
+	c.stats.Fills++
+	c.installBase(c.set(lineAddr), tag{addr: lineAddr, valid: true, dirty: dirty, segs: clampSegs(segs)})
+	return &c.res
+}
+
+// installBase places a line into the Baseline Cache, evicting the
+// baseline victim into the Victim Cache when it fits, exactly as
+// Sections IV.B.1 and IV.B.2 describe. It appends events to c.res.
+func (c *BaseVictim) installBase(set int, incoming tag) {
+	// Prefer an invalid base way (cold sets), like the uncompressed
+	// baseline would.
+	way := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.baseAt(set, w).valid {
+			way = w
+			break
+		}
+	}
+	var displaced tag
+	if way < 0 {
+		way = c.pol.Victim(set)
+		displaced = *c.baseAt(set, way)
+	}
+
+	if displaced.valid && c.cfg.Inclusive {
+		// Step 2: make the baseline victim clean. Back-invalidate the
+		// inner caches and write dirty data back to memory. In the
+		// non-inclusive variant (Section IV.B.3) the victim keeps its
+		// dirty state instead.
+		c.res.BackInvals = append(c.res.BackInvals, displaced.addr)
+		c.stats.BackInvals++
+		if displaced.dirty {
+			c.res.Writebacks = append(c.res.Writebacks, displaced.addr)
+			c.stats.Writebacks++
+			displaced.dirty = false
+		}
+	}
+
+	// Step 3: the way's current victim partner survives only if it
+	// still fits beside the incoming line.
+	if v := c.victimAt(set, way); v.valid && incoming.segs+v.segs > WaySegments {
+		c.stats.PartnerEvictions++
+		c.silentEvict(set, way)
+	}
+
+	// Step 4: install the incoming line.
+	*c.baseAt(set, way) = incoming
+	c.pol.OnFill(set, way)
+	if c.victimAt(set, way).valid {
+		c.res.PartnerWrite = true
+		c.stats.PartnerWrites++
+	}
+
+	// Steps 5-6: opportunistically park the displaced line in the
+	// Victim Cache.
+	if displaced.valid {
+		c.insertVictim(set, displaced)
+	}
+}
+
+// insertVictim tries to place a (clean) baseline victim into any way
+// with enough free segments, using the configured victim selector.
+func (c *BaseVictim) insertVictim(set int, line tag) {
+	c.cands = c.cands[:0]
+	for w := 0; w < c.cfg.Ways; w++ {
+		b := c.baseAt(set, w)
+		baseSegs := 0
+		if b.valid {
+			baseSegs = b.segs
+		}
+		if baseSegs+line.segs > WaySegments {
+			continue
+		}
+		c.cands = append(c.cands, policy.Candidate{
+			Way:         w,
+			PartnerSegs: baseSegs,
+			Occupied:    c.victimAt(set, w).valid,
+		})
+	}
+	if len(c.cands) == 0 {
+		c.stats.VictimInsertFail++
+		c.stats.Evictions++
+		c.res.Evicted = append(c.res.Evicted, line.addr)
+		if line.dirty {
+			// Only possible in the non-inclusive variant, where the
+			// displaced line was not cleaned on the way out.
+			c.res.Writebacks = append(c.res.Writebacks, line.addr)
+			c.stats.Writebacks++
+		}
+		return
+	}
+	choice := c.cands[c.sel.Select(set, c.cands)]
+	if c.victimAt(set, choice.Way).valid {
+		c.silentEvict(set, choice.Way)
+	}
+	*c.victimAt(set, choice.Way) = line
+	c.sel.OnFill(set, choice.Way)
+	c.stats.VictimInserts++
+	// Moving the victim's data into its new way costs a data-array
+	// read and write.
+	c.res.DataMoves++
+	c.stats.DataMoves++
+	if c.baseAt(set, choice.Way).valid {
+		c.res.PartnerWrite = true
+		c.stats.PartnerWrites++
+	}
+}
+
+// HintEviction forwards an L2 reuse hint to the baseline policy if it
+// listens (CHAR). Hints only apply to Baseline Cache residents, exactly
+// as in the mirrored uncompressed cache.
+func (c *BaseVictim) HintEviction(lineAddr uint64, dead bool) {
+	h, ok := c.pol.(policy.Hinter)
+	if !ok {
+		return
+	}
+	if way, found := c.findBase(lineAddr); found {
+		h.OnEvictionHint(c.set(lineAddr), way, dead)
+	}
+}
+
+// dumpBase returns the base tags of one set, for the mirror tests.
+func (c *BaseVictim) dumpBase(set int) []tag {
+	out := make([]tag, c.cfg.Ways)
+	for w := 0; w < c.cfg.Ways; w++ {
+		out[w] = *c.baseAt(set, w)
+	}
+	return out
+}
+
+// checkInvariants panics if a structural invariant is violated; tests
+// call it after every operation.
+func (c *BaseVictim) checkInvariants() {
+	for set := 0; set < c.sets; set++ {
+		for w := 0; w < c.cfg.Ways; w++ {
+			b, v := c.baseAt(set, w), c.victimAt(set, w)
+			if b.valid && v.valid && b.segs+v.segs > WaySegments {
+				panic("ccache: way overflow")
+			}
+			if v.valid && c.cfg.Inclusive && v.dirty {
+				panic("ccache: dirty inclusive victim line")
+			}
+			if b.valid && v.valid && b.addr == v.addr {
+				panic("ccache: duplicate line in base and victim")
+			}
+		}
+	}
+}
+
+// ContainsBase implements Org: Baseline Cache residency only.
+func (c *BaseVictim) ContainsBase(lineAddr uint64) bool {
+	_, ok := c.findBase(lineAddr)
+	return ok
+}

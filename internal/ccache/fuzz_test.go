@@ -1,0 +1,87 @@
+package ccache
+
+import (
+	"testing"
+
+	"basevictim/internal/policy"
+)
+
+// FuzzBaseVictimInvariants interprets arbitrary bytes as a program of
+// cache operations and checks the structural invariants after every
+// step: way-capacity, victim cleanliness, no duplicate residency, and
+// the mirror property against an uncompressed cache.
+func FuzzBaseVictimInvariants(f *testing.F) {
+	f.Add([]byte{0x01, 0x82, 0x13, 0x44, 0x01, 0x01})
+	f.Add([]byte{0xFF, 0x00, 0x7F, 0x80, 0x22, 0x22, 0x22})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		cfg := tinyConfig()
+		bv, _ := NewBaseVictim(cfg)
+		unc, _ := NewUncompressed(cfg)
+		db, du := newDriver(bv), newDriver(unc)
+		for i := 0; i+1 < len(prog); i += 2 {
+			op := streamOp{
+				addr:  uint64(prog[i] & 0x3F),
+				write: prog[i+1]&0x80 != 0,
+			}
+			segs := sizeMix(uint64(prog[i+1] & 0x1F))
+			hitU, _ := du.do(op, segs)
+			hitB, victimB := db.do(op, segs)
+			if hitU && !hitB {
+				t.Fatal("uncompressed hit but basevictim missed")
+			}
+			if hitU != (hitB && !victimB) {
+				t.Fatal("base-hit mismatch")
+			}
+			bv.checkInvariants()
+		}
+		if bv.Stats().Misses > unc.Stats().Misses {
+			t.Fatal("basevictim missed more than uncompressed")
+		}
+	})
+}
+
+// FuzzTwoTagInvariants checks the two-tag organizations never overfill
+// a physical way and keep logical lines consistent.
+func FuzzTwoTagInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		cfg := tinyConfig()
+		cfg.Policy = policy.NewNRU
+		for _, mk := range []func() Org{
+			func() Org { o, _ := NewTwoTag(cfg); return o },
+			func() Org { o, _ := NewTwoTagModified(cfg); return o },
+		} {
+			o := mk()
+			d := newDriver(o)
+			for i := 0; i+1 < len(prog); i += 2 {
+				op := streamOp{addr: uint64(prog[i] & 0x3F), write: prog[i+1]&0x80 != 0}
+				d.do(op, sizeMix(uint64(prog[i+1]&0x1F)))
+				checkTwoTagWays(t, o)
+			}
+		}
+	})
+}
+
+func checkTwoTagWays(t *testing.T, o Org) {
+	t.Helper()
+	var base *twoTagBase
+	switch v := o.(type) {
+	case *TwoTag:
+		base = &v.twoTagBase
+	case *TwoTagModified:
+		base = &v.twoTagBase
+	default:
+		t.Fatal("unexpected org")
+	}
+	for set := 0; set < base.sets; set++ {
+		for l := 0; l < base.lways; l += 2 {
+			a, b := base.tagAt(set, l), base.tagAt(set, l+1)
+			if a.valid && b.valid && a.segs+b.segs > WaySegments {
+				t.Fatalf("set %d way %d overflow: %d + %d", set, l/2, a.segs, b.segs)
+			}
+			if a.valid && b.valid && a.addr == b.addr {
+				t.Fatal("duplicate line in one way")
+			}
+		}
+	}
+}

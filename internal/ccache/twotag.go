@@ -1,0 +1,282 @@
+package ccache
+
+import "basevictim/internal/policy"
+
+// twoTagBase carries the state shared by the naive and modified
+// two-tag organizations: 2N logical tags over N physical ways, managed
+// by one replacement policy across all 2N logical ways. Logical way l
+// maps to physical way l/2, slot l%2; the two slots of a physical way
+// are partners and must fit in WaySegments together.
+type twoTagBase struct {
+	cfg   Config
+	sets  int
+	lways int   // logical ways = 2 * physical
+	tags  []tag // [set*lways + l]
+	pol   policy.Policy
+	stats Stats
+	res   Result
+}
+
+func newTwoTagBase(cfg Config) (*twoTagBase, error) {
+	sets, err := cfg.sets()
+	if err != nil {
+		return nil, err
+	}
+	lways := 2 * cfg.Ways
+	return &twoTagBase{
+		cfg:   cfg,
+		sets:  sets,
+		lways: lways,
+		tags:  make([]tag, sets*lways),
+		pol:   cfg.Policy(sets, lways),
+	}, nil
+}
+
+func (c *twoTagBase) Sets() int     { return c.sets }
+func (c *twoTagBase) Ways() int     { return c.cfg.Ways }
+func (c *twoTagBase) Stats() *Stats { return &c.stats }
+
+// Policy exposes the replacement policy for hint delivery.
+func (c *twoTagBase) Policy() policy.Policy { return c.pol }
+
+func (c *twoTagBase) set(lineAddr uint64) int { return int(lineAddr & uint64(c.sets-1)) }
+
+func (c *twoTagBase) tagAt(set, l int) *tag { return &c.tags[set*c.lways+l] }
+
+// partnerOf returns the logical way sharing l's physical way.
+func partnerOf(l int) int { return l ^ 1 }
+
+func (c *twoTagBase) find(lineAddr uint64) (l int, ok bool) {
+	set := c.set(lineAddr)
+	for i := 0; i < c.lways; i++ {
+		if t := c.tagAt(set, i); t.valid && t.addr == lineAddr {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Contains implements Org.
+func (c *twoTagBase) Contains(lineAddr uint64) bool {
+	_, ok := c.find(lineAddr)
+	return ok
+}
+
+// LogicalLines implements Org.
+func (c *twoTagBase) LogicalLines() int {
+	n := 0
+	for i := range c.tags {
+		if c.tags[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// HintEviction forwards an L2 reuse hint to the replacement policy if
+// it listens (CHAR).
+func (c *twoTagBase) HintEviction(lineAddr uint64, dead bool) {
+	h, ok := c.pol.(policy.Hinter)
+	if !ok {
+		return
+	}
+	if l, found := c.find(lineAddr); found {
+		h.OnEvictionHint(c.set(lineAddr), l, dead)
+	}
+}
+
+// evict removes logical line l, emitting writeback and back-invalidate
+// events (two-tag lines can be dirty and present in inner caches).
+func (c *twoTagBase) evict(set, l int) {
+	t := c.tagAt(set, l)
+	c.stats.Evictions++
+	c.res.Evicted = append(c.res.Evicted, t.addr)
+	c.res.BackInvals = append(c.res.BackInvals, t.addr)
+	c.stats.BackInvals++
+	if t.dirty {
+		c.res.Writebacks = append(c.res.Writebacks, t.addr)
+		c.stats.Writebacks++
+	}
+	t.valid = false
+	c.pol.OnInvalidate(set, l)
+}
+
+// Access implements the shared two-tag lookup. A write hit updates the
+// line's compressed size and victimizes the partner if the pair no
+// longer fits.
+func (c *twoTagBase) Access(lineAddr uint64, write bool, segs int) *Result {
+	c.res.reset()
+	c.stats.Accesses++
+	set := c.set(lineAddr)
+	l, ok := c.find(lineAddr)
+	if !ok {
+		c.stats.Misses++
+		if mo, ok := c.pol.(policy.MissObserver); ok {
+			mo.OnMiss(set)
+		}
+		return &c.res
+	}
+	c.stats.Hits++
+	c.stats.BaseHits++
+	t := c.tagAt(set, l)
+	c.res.Hit = true
+	if needsDecompression(t.segs) {
+		c.res.Decompress = true
+		c.stats.Decompressions++
+	}
+	c.pol.OnHit(set, l)
+	if write {
+		t.dirty = true
+		segs = clampSegs(segs)
+		p := c.tagAt(set, partnerOf(l))
+		if p.valid && segs+p.segs > WaySegments {
+			c.stats.PartnerEvictions++
+			c.evict(set, partnerOf(l))
+		}
+		t.segs = segs
+		if c.tagAt(set, partnerOf(l)).valid {
+			c.res.PartnerWrite = true
+			c.stats.PartnerWrites++
+		}
+	}
+	return &c.res
+}
+
+// fillAt installs a line in logical way l, assuming space has been made.
+func (c *twoTagBase) fillAt(set, l int, lineAddr uint64, segs int, dirty bool) {
+	*c.tagAt(set, l) = tag{addr: lineAddr, valid: true, dirty: dirty, segs: segs}
+	c.pol.OnFill(set, l)
+	if c.tagAt(set, partnerOf(l)).valid {
+		c.res.PartnerWrite = true
+		c.stats.PartnerWrites++
+	}
+}
+
+// freeSlot returns an invalid logical way whose partner leaves room for
+// segs, or -1.
+func (c *twoTagBase) freeSlot(set, segs int) int {
+	for l := 0; l < c.lways; l++ {
+		t := c.tagAt(set, l)
+		if t.valid {
+			continue
+		}
+		p := c.tagAt(set, partnerOf(l))
+		if !p.valid || p.segs+segs <= WaySegments {
+			return l
+		}
+	}
+	return -1
+}
+
+// TwoTag is the naive two-tags-per-way compressed cache of Section III:
+// the replacement policy runs over all logical lines, and when the
+// incoming line does not fit beside the victim's partner, the partner
+// is victimized too — even if it is the MRU line.
+type TwoTag struct {
+	twoTagBase
+}
+
+// NewTwoTag builds the naive two-tag organization.
+func NewTwoTag(cfg Config) (*TwoTag, error) {
+	b, err := newTwoTagBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TwoTag{twoTagBase: *b}, nil
+}
+
+// Name implements Org.
+func (c *TwoTag) Name() string { return "twotag" }
+
+// Fill implements Org.
+func (c *TwoTag) Fill(lineAddr uint64, segs int, dirty bool) *Result {
+	c.res.reset()
+	c.stats.Fills++
+	segs = clampSegs(segs)
+	set := c.set(lineAddr)
+	if l := c.freeSlot(set, segs); l >= 0 {
+		c.fillAt(set, l, lineAddr, segs, dirty)
+		return &c.res
+	}
+	l := c.pol.Victim(set)
+	c.evict(set, l)
+	p := c.tagAt(set, partnerOf(l))
+	if p.valid && segs+p.segs > WaySegments {
+		// Partner line victimization: the incoming line does not fit
+		// with the victim's partner, so the partner goes too.
+		c.stats.PartnerEvictions++
+		c.evict(set, partnerOf(l))
+	}
+	c.fillAt(set, l, lineAddr, segs, dirty)
+	return &c.res
+}
+
+// TwoTagModified is the ECM-inspired variant of Figure 7: the fill
+// first searches the not-recently-used tags for one whose replacement
+// does not displace a partner, choosing the candidate with the largest
+// compressed size; only if none exists does it fall back to the naive
+// partner-victimizing replacement.
+type TwoTagModified struct {
+	twoTagBase
+}
+
+// NewTwoTagModified builds the modified two-tag organization.
+func NewTwoTagModified(cfg Config) (*TwoTagModified, error) {
+	b, err := newTwoTagBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TwoTagModified{twoTagBase: *b}, nil
+}
+
+// Name implements Org.
+func (c *TwoTagModified) Name() string { return "twotag-mod" }
+
+// Fill implements Org.
+func (c *TwoTagModified) Fill(lineAddr uint64, segs int, dirty bool) *Result {
+	c.res.reset()
+	c.stats.Fills++
+	segs = clampSegs(segs)
+	set := c.set(lineAddr)
+	if l := c.freeSlot(set, segs); l >= 0 {
+		c.fillAt(set, l, lineAddr, segs, dirty)
+		return &c.res
+	}
+	rec, _ := c.pol.(policy.Recency)
+	best := -1
+	for l := 0; l < c.lways; l++ {
+		t := c.tagAt(set, l)
+		if !t.valid {
+			continue
+		}
+		if rec != nil && !rec.NotRecent(set, l) {
+			continue
+		}
+		p := c.tagAt(set, partnerOf(l))
+		if p.valid && segs+p.segs > WaySegments {
+			continue // replacing l would still displace its partner
+		}
+		if best < 0 || t.segs > c.tagAt(set, best).segs {
+			best = l
+		}
+	}
+	if best >= 0 {
+		c.evict(set, best)
+		c.fillAt(set, best, lineAddr, segs, dirty)
+		return &c.res
+	}
+	// No fit-preserving candidate: naive partner victimization.
+	l := c.pol.Victim(set)
+	c.evict(set, l)
+	p := c.tagAt(set, partnerOf(l))
+	if p.valid && segs+p.segs > WaySegments {
+		c.stats.PartnerEvictions++
+		c.evict(set, partnerOf(l))
+	}
+	c.fillAt(set, l, lineAddr, segs, dirty)
+	return &c.res
+}
+
+// ContainsBase implements Org; both tags of a two-tag way are demand
+// storage, so base residency equals residency.
+func (c *twoTagBase) ContainsBase(lineAddr uint64) bool { return c.Contains(lineAddr) }

@@ -1,0 +1,164 @@
+package ccache
+
+import "basevictim/internal/policy"
+
+// tag is one logical-line tag entry shared by all organizations here.
+type tag struct {
+	addr  uint64
+	valid bool
+	dirty bool
+	segs  int // compressed size in segments (WaySegments when raw)
+}
+
+// Uncompressed is the baseline LLC: one tag per physical way, no
+// compression. It is also the reference model the Base-Victim
+// organization's Baseline Cache must mirror exactly.
+type Uncompressed struct {
+	cfg   Config
+	sets  int
+	tags  []tag // [set*ways+way]
+	pol   policy.Policy
+	stats Stats
+	res   Result
+}
+
+// NewUncompressed builds the baseline organization.
+func NewUncompressed(cfg Config) (*Uncompressed, error) {
+	sets, err := cfg.sets()
+	if err != nil {
+		return nil, err
+	}
+	return &Uncompressed{
+		cfg:  cfg,
+		sets: sets,
+		tags: make([]tag, sets*cfg.Ways),
+		pol:  cfg.Policy(sets, cfg.Ways),
+	}, nil
+}
+
+// Name implements Org.
+func (c *Uncompressed) Name() string { return "uncompressed" }
+
+// Sets implements Org.
+func (c *Uncompressed) Sets() int { return c.sets }
+
+// Ways implements Org.
+func (c *Uncompressed) Ways() int { return c.cfg.Ways }
+
+// Stats implements Org.
+func (c *Uncompressed) Stats() *Stats { return &c.stats }
+
+// Policy exposes the replacement policy for hint delivery (CHAR).
+func (c *Uncompressed) Policy() policy.Policy { return c.pol }
+
+func (c *Uncompressed) set(lineAddr uint64) int { return int(lineAddr & uint64(c.sets-1)) }
+
+func (c *Uncompressed) tagAt(set, way int) *tag { return &c.tags[set*c.cfg.Ways+way] }
+
+func (c *Uncompressed) find(lineAddr uint64) (way int, ok bool) {
+	set := c.set(lineAddr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if t := c.tagAt(set, w); t.valid && t.addr == lineAddr {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Contains implements Org.
+func (c *Uncompressed) Contains(lineAddr uint64) bool {
+	_, ok := c.find(lineAddr)
+	return ok
+}
+
+// LogicalLines implements Org.
+func (c *Uncompressed) LogicalLines() int {
+	n := 0
+	for i := range c.tags {
+		if c.tags[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Access implements Org.
+func (c *Uncompressed) Access(lineAddr uint64, write bool, segs int) *Result {
+	c.res.reset()
+	c.stats.Accesses++
+	set := c.set(lineAddr)
+	if way, ok := c.find(lineAddr); ok {
+		c.stats.Hits++
+		c.stats.BaseHits++
+		t := c.tagAt(set, way)
+		if write {
+			t.dirty = true
+		}
+		c.res.Hit = true
+		c.pol.OnHit(set, way)
+		return &c.res
+	}
+	c.stats.Misses++
+	if mo, ok := c.pol.(policy.MissObserver); ok {
+		mo.OnMiss(set)
+	}
+	return &c.res
+}
+
+// Fill implements Org.
+func (c *Uncompressed) Fill(lineAddr uint64, segs int, dirty bool) *Result {
+	c.res.reset()
+	c.stats.Fills++
+	set := c.set(lineAddr)
+	way := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.tagAt(set, w).valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = c.pol.Victim(set)
+		old := c.tagAt(set, way)
+		c.evictLine(old)
+	}
+	*c.tagAt(set, way) = tag{addr: lineAddr, valid: true, dirty: dirty, segs: WaySegments}
+	c.pol.OnFill(set, way)
+	return &c.res
+}
+
+func (c *Uncompressed) evictLine(t *tag) {
+	c.stats.Evictions++
+	c.res.Evicted = append(c.res.Evicted, t.addr)
+	c.res.BackInvals = append(c.res.BackInvals, t.addr)
+	c.stats.BackInvals++
+	if t.dirty {
+		c.res.Writebacks = append(c.res.Writebacks, t.addr)
+		c.stats.Writebacks++
+	}
+	t.valid = false
+}
+
+// HintEviction forwards an L2 reuse hint to the replacement policy if
+// it listens (CHAR).
+func (c *Uncompressed) HintEviction(lineAddr uint64, dead bool) {
+	h, ok := c.pol.(policy.Hinter)
+	if !ok {
+		return
+	}
+	if way, found := c.find(lineAddr); found {
+		h.OnEvictionHint(c.set(lineAddr), way, dead)
+	}
+}
+
+// dumpBase returns the base tags of one set, for the mirror tests.
+func (c *Uncompressed) dumpBase(set int) []tag {
+	out := make([]tag, c.cfg.Ways)
+	for w := 0; w < c.cfg.Ways; w++ {
+		out[w] = *c.tagAt(set, w)
+	}
+	return out
+}
+
+// ContainsBase implements Org; no victim partition exists here.
+func (c *Uncompressed) ContainsBase(lineAddr uint64) bool { return c.Contains(lineAddr) }

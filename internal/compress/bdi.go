@@ -1,0 +1,290 @@
+package compress
+
+import "encoding/binary"
+
+// BDI implements Base-Delta-Immediate compression (Pekhimenko et al.,
+// PACT 2012), the algorithm the Base-Victim paper uses for its LLC. A
+// line compresses if all of its fixed-width elements are within a small
+// signed delta of either a single base value or of zero (the "immediate"
+// base). BDI was chosen by the paper for its fast, parallel
+// decompression: every element is one add.
+//
+// The encoder tries every (base width, delta width) pair the original
+// proposal defines, plus the all-zero and repeated-value special cases,
+// and picks the smallest encoding.
+type BDI struct{}
+
+// NewBDI returns a BDI compressor.
+func NewBDI() *BDI { return &BDI{} }
+
+// Name implements Compressor.
+func (*BDI) Name() string { return "bdi" }
+
+// BDI encoding identifiers, stored in the header byte. Hardware keeps
+// this 4-bit code in tag metadata.
+const (
+	bdiZeros   = 0x00 // all bytes zero
+	bdiRepeat8 = 0x01 // one 8-byte value repeated
+	bdiB8D1    = 0x02 // 8-byte base, 1-byte deltas
+	bdiB8D2    = 0x03
+	bdiB8D4    = 0x04
+	bdiB4D1    = 0x05 // 4-byte base, 1-byte deltas
+	bdiB4D2    = 0x06
+	bdiB2D1    = 0x07 // 2-byte base, 1-byte deltas
+	bdiRaw     = 0x0F // uncompressed
+)
+
+type bdiMode struct {
+	id         byte
+	baseBytes  int
+	deltaBytes int
+}
+
+// Modes in increasing payload-size order so the first fit is the best.
+var bdiModes = []bdiMode{
+	{bdiB8D1, 8, 1}, // 8 + 1 + 8   = 17
+	{bdiB4D1, 4, 1}, // 4 + 2 + 16  = 22
+	{bdiB8D2, 8, 2}, // 8 + 1 + 16  = 25
+	{bdiB4D2, 4, 2}, // 4 + 2 + 32  = 38
+	{bdiB2D1, 2, 1}, // 2 + 4 + 32  = 38
+	{bdiB8D4, 8, 4}, // 8 + 1 + 32  = 41
+}
+
+func (m bdiMode) payloadSize() int {
+	n := LineSize / m.baseBytes
+	return m.baseBytes + n/8 + n*m.deltaBytes
+}
+
+func loadElem(line []byte, i, width int) uint64 {
+	switch width {
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(line[i*2:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(line[i*4:]))
+	case 8:
+		return binary.LittleEndian.Uint64(line[i*8:])
+	}
+	panic("compress: bad BDI element width")
+}
+
+func storeElem(line []byte, i, width int, v uint64) {
+	switch width {
+	case 2:
+		binary.LittleEndian.PutUint16(line[i*2:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(line[i*4:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(line[i*8:], v)
+	default:
+		panic("compress: bad BDI element width")
+	}
+}
+
+// deltaFits reports whether v-base fits in a signed deltaBytes integer
+// when both are interpreted as baseBytes-wide two's-complement values.
+func deltaFits(v, base uint64, baseBytes, deltaBytes int) bool {
+	// Compute the difference modulo 2^(8*baseBytes), then check it
+	// sign-extends from deltaBytes to baseBytes.
+	width := uint(8 * baseBytes)
+	diff := (v - base) & maskBits(width)
+	dw := uint(8 * deltaBytes)
+	if dw >= width {
+		return true
+	}
+	// Sign-extend the low dw bits of diff and compare.
+	ext := signExtend(diff&maskBits(dw), dw) & maskBits(width)
+	return ext == diff
+}
+
+func maskBits(bits uint) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << bits) - 1
+}
+
+func signExtend(v uint64, bits uint) uint64 {
+	if bits == 0 || bits >= 64 {
+		return v
+	}
+	sign := uint64(1) << (bits - 1)
+	return (v ^ sign) - sign
+}
+
+// tryMode attempts to encode line under mode m. It returns the mask and
+// delta payload and true on success. The base is the first element that
+// is not representable as an immediate (delta from zero); elements
+// representable from zero are stored against the implicit zero base.
+func tryMode(line []byte, m bdiMode) (base uint64, mask []byte, deltas []byte, ok bool) {
+	n := LineSize / m.baseBytes
+	mask = make([]byte, n/8)
+	deltas = make([]byte, 0, n*m.deltaBytes)
+	haveBase := false
+	var tmp [8]byte
+	for i := 0; i < n; i++ {
+		v := loadElem(line, i, m.baseBytes)
+		var d uint64
+		switch {
+		case deltaFits(v, 0, m.baseBytes, m.deltaBytes):
+			d = v & maskBits(uint(8*m.deltaBytes))
+		case !haveBase:
+			haveBase = true
+			base = v
+			mask[i/8] |= 1 << (i % 8)
+			d = 0
+		case deltaFits(v, base, m.baseBytes, m.deltaBytes):
+			mask[i/8] |= 1 << (i % 8)
+			d = (v - base) & maskBits(uint(8*m.deltaBytes))
+		default:
+			return 0, nil, nil, false
+		}
+		binary.LittleEndian.PutUint64(tmp[:], d)
+		deltas = append(deltas, tmp[:m.deltaBytes]...)
+	}
+	return base, mask, deltas, true
+}
+
+// fitsMode reports whether line encodes under mode m, without building
+// the payload. It mirrors tryMode's base/immediate selection exactly
+// and is allocation-free for the size-query fast path.
+func fitsMode(line []byte, m bdiMode) bool {
+	n := LineSize / m.baseBytes
+	haveBase := false
+	var base uint64
+	for i := 0; i < n; i++ {
+		v := loadElem(line, i, m.baseBytes)
+		switch {
+		case deltaFits(v, 0, m.baseBytes, m.deltaBytes):
+		case !haveBase:
+			haveBase = true
+			base = v
+		case deltaFits(v, base, m.baseBytes, m.deltaBytes):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Compress implements Compressor.
+func (*BDI) Compress(line []byte) ([]byte, error) {
+	if err := checkLine(line); err != nil {
+		return nil, err
+	}
+	if IsZeroLine(line) {
+		return []byte{bdiZeros}, nil
+	}
+	if rep, ok := repeated8(line); ok {
+		out := make([]byte, 1+8)
+		out[0] = bdiRepeat8
+		binary.LittleEndian.PutUint64(out[1:], rep)
+		return out, nil
+	}
+	for _, m := range bdiModes {
+		base, mask, deltas, ok := tryMode(line, m)
+		if !ok {
+			continue
+		}
+		out := make([]byte, 0, 1+m.payloadSize())
+		out = append(out, m.id)
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], base)
+		out = append(out, tmp[:m.baseBytes]...)
+		out = append(out, mask...)
+		out = append(out, deltas...)
+		return out, nil
+	}
+	out := make([]byte, 1+LineSize)
+	out[0] = bdiRaw
+	copy(out[1:], line)
+	return out, nil
+}
+
+func repeated8(line []byte) (uint64, bool) {
+	v := binary.LittleEndian.Uint64(line)
+	for i := 8; i < LineSize; i += 8 {
+		if binary.LittleEndian.Uint64(line[i:]) != v {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// Decompress implements Compressor.
+func (*BDI) Decompress(enc []byte) ([]byte, error) {
+	if len(enc) < 1 {
+		return nil, ErrBadEncoding
+	}
+	out := make([]byte, LineSize)
+	switch enc[0] {
+	case bdiZeros:
+		if len(enc) != 1 {
+			return nil, ErrBadEncoding
+		}
+		return out, nil
+	case bdiRepeat8:
+		if len(enc) != 1+8 {
+			return nil, ErrBadEncoding
+		}
+		v := binary.LittleEndian.Uint64(enc[1:])
+		for i := 0; i < LineSize; i += 8 {
+			binary.LittleEndian.PutUint64(out[i:], v)
+		}
+		return out, nil
+	case bdiRaw:
+		if len(enc) != 1+LineSize {
+			return nil, ErrBadEncoding
+		}
+		copy(out, enc[1:])
+		return out, nil
+	}
+	for _, m := range bdiModes {
+		if m.id != enc[0] {
+			continue
+		}
+		n := LineSize / m.baseBytes
+		want := 1 + m.payloadSize()
+		if len(enc) != want {
+			return nil, ErrBadEncoding
+		}
+		var tmp [8]byte
+		copy(tmp[:], enc[1:1+m.baseBytes])
+		base := binary.LittleEndian.Uint64(tmp[:])
+		mask := enc[1+m.baseBytes : 1+m.baseBytes+n/8]
+		deltas := enc[1+m.baseBytes+n/8:]
+		for i := 0; i < n; i++ {
+			var dtmp [8]byte
+			copy(dtmp[:], deltas[i*m.deltaBytes:(i+1)*m.deltaBytes])
+			d := signExtend(binary.LittleEndian.Uint64(dtmp[:]), uint(8*m.deltaBytes))
+			var v uint64
+			if mask[i/8]&(1<<(i%8)) != 0 {
+				v = base + d
+			} else {
+				v = d
+			}
+			storeElem(out, i, m.baseBytes, v&maskBits(uint(8*m.baseBytes)))
+		}
+		return out, nil
+	}
+	return nil, ErrBadEncoding
+}
+
+// CompressedSize implements Compressor. It mirrors Compress without
+// materializing the payload.
+func (c *BDI) CompressedSize(line []byte) int {
+	if len(line) != LineSize {
+		return LineSize
+	}
+	if IsZeroLine(line) {
+		return 0
+	}
+	if _, ok := repeated8(line); ok {
+		return 8
+	}
+	for _, m := range bdiModes {
+		if fitsMode(line, m) {
+			return m.payloadSize()
+		}
+	}
+	return LineSize
+}

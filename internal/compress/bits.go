@@ -1,0 +1,54 @@
+package compress
+
+// bitWriter appends values of arbitrary bit width to a byte slice,
+// LSB-first within each byte. It backs the FPC and C-PACK bitstream
+// encodings.
+type bitWriter struct {
+	buf  []byte
+	nbit uint // total bits written
+}
+
+func (w *bitWriter) write(v uint64, bits uint) {
+	for bits > 0 {
+		byteIdx := w.nbit / 8
+		bitIdx := w.nbit % 8
+		if int(byteIdx) == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		take := 8 - bitIdx
+		if take > bits {
+			take = bits
+		}
+		w.buf[byteIdx] |= byte(v&maskBits(take)) << bitIdx
+		v >>= take
+		bits -= take
+		w.nbit += take
+	}
+}
+
+// bitReader reads back what bitWriter wrote.
+type bitReader struct {
+	buf  []byte
+	nbit uint
+}
+
+func (r *bitReader) read(bits uint) (uint64, bool) {
+	if r.nbit+bits > uint(len(r.buf))*8 {
+		return 0, false
+	}
+	var v uint64
+	var got uint
+	for got < bits {
+		byteIdx := r.nbit / 8
+		bitIdx := r.nbit % 8
+		take := 8 - bitIdx
+		if take > bits-got {
+			take = bits - got
+		}
+		chunk := uint64(r.buf[byteIdx]>>bitIdx) & maskBits(take)
+		v |= chunk << got
+		got += take
+		r.nbit += take
+	}
+	return v, true
+}

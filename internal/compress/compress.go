@@ -1,0 +1,122 @@
+// Package compress implements the hardware cache-line compression
+// algorithms evaluated by the Base-Victim paper: Base-Delta-Immediate
+// (BDI), Frequent Pattern Compression (FPC) and Cache Packer (C-PACK).
+//
+// All compressors operate on fixed 64-byte cache lines and produce a
+// self-describing encoding that round-trips through Decompress. The
+// compressed size drives placement decisions in the compressed cache
+// organizations; the cache quantizes sizes to segment boundaries (4-byte
+// segments in the paper's evaluation, 8-byte segments in its examples).
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LineSize is the cache line size in bytes used throughout the simulator.
+const LineSize = 64
+
+// ErrBadEncoding reports a malformed or truncated encoded line.
+var ErrBadEncoding = errors.New("compress: bad encoding")
+
+// Compressor compresses and decompresses fixed-size cache lines.
+type Compressor interface {
+	// Name identifies the algorithm (e.g. "bdi").
+	Name() string
+	// Compress encodes a LineSize-byte line. The first byte of the
+	// result identifies the encoding. Compress never fails on valid
+	// input: incompressible lines are stored raw with a 1-byte header.
+	Compress(line []byte) ([]byte, error)
+	// Decompress reverses Compress, returning the original line.
+	Decompress(enc []byte) ([]byte, error)
+	// CompressedSize returns the encoded size in bytes for the line,
+	// excluding the header byte. Hardware keeps the encoding id in tag
+	// metadata, so placement decisions use the payload size only.
+	CompressedSize(line []byte) int
+}
+
+// SegmentsFor converts a compressed payload size in bytes to the number
+// of segments it occupies, given the segment granularity. The result is
+// always at least 1 (a zero line still owns a size code) and never more
+// than LineSize/segBytes.
+func SegmentsFor(sizeBytes, segBytes int) int {
+	if segBytes <= 0 {
+		panic(fmt.Sprintf("compress: invalid segment size %d", segBytes))
+	}
+	max := LineSize / segBytes
+	if sizeBytes <= 0 {
+		return 1
+	}
+	n := (sizeBytes + segBytes - 1) / segBytes
+	if n > max {
+		return max
+	}
+	return n
+}
+
+// IsZeroLine reports whether every byte of the line is zero. Zero lines
+// are detected from the tag size field and bypass decompression latency.
+func IsZeroLine(line []byte) bool {
+	for _, b := range line {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func checkLine(line []byte) error {
+	if len(line) != LineSize {
+		return fmt.Errorf("compress: line must be %d bytes, got %d", LineSize, len(line))
+	}
+	return nil
+}
+
+// ByName returns the compressor registered under name. Known names are
+// "bdi", "fpc", "cpack" and "none".
+func ByName(name string) (Compressor, error) {
+	switch name {
+	case "bdi":
+		return NewBDI(), nil
+	case "fpc":
+		return NewFPC(), nil
+	case "cpack":
+		return NewCPack(), nil
+	case "none":
+		return None{}, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown compressor %q", name)
+	}
+}
+
+// None is the identity compressor: every line is stored raw. It models
+// an uncompressed cache through the same interface.
+type None struct{}
+
+// Name implements Compressor.
+func (None) Name() string { return "none" }
+
+// Compress implements Compressor; it prefixes the raw line with a header.
+func (None) Compress(line []byte) ([]byte, error) {
+	if err := checkLine(line); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 1+LineSize)
+	out[0] = 0xFF
+	copy(out[1:], line)
+	return out, nil
+}
+
+// Decompress implements Compressor.
+func (None) Decompress(enc []byte) ([]byte, error) {
+	if len(enc) != 1+LineSize || enc[0] != 0xFF {
+		return nil, ErrBadEncoding
+	}
+	out := make([]byte, LineSize)
+	copy(out, enc[1:])
+	return out, nil
+}
+
+// CompressedSize implements Compressor; always the full line.
+func (None) CompressedSize(line []byte) int { return LineSize }

@@ -1,0 +1,402 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allCompressors() []Compressor {
+	return []Compressor{NewBDI(), NewFPC(), NewCPack(), None{}}
+}
+
+// lineFrom builds a 64-byte line from 32-bit words, repeating the given
+// words to fill the line.
+func lineFrom(words ...uint32) []byte {
+	line := make([]byte, LineSize)
+	for i := 0; i < LineSize/4; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], words[i%len(words)])
+	}
+	return line
+}
+
+func TestSegmentsFor(t *testing.T) {
+	cases := []struct {
+		size, seg, want int
+	}{
+		{0, 4, 1},
+		{1, 4, 1},
+		{4, 4, 1},
+		{5, 4, 2},
+		{17, 4, 5},
+		{64, 4, 16},
+		{100, 4, 16},
+		{0, 8, 1},
+		{17, 8, 3},
+		{64, 8, 8},
+	}
+	for _, c := range cases {
+		if got := SegmentsFor(c.size, c.seg); got != c.want {
+			t.Errorf("SegmentsFor(%d,%d) = %d, want %d", c.size, c.seg, got, c.want)
+		}
+	}
+}
+
+func TestSegmentsForPanicsOnBadSegment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for segBytes=0")
+		}
+	}()
+	SegmentsFor(8, 0)
+}
+
+func TestIsZeroLine(t *testing.T) {
+	if !IsZeroLine(make([]byte, LineSize)) {
+		t.Error("all-zero line not detected")
+	}
+	l := make([]byte, LineSize)
+	l[63] = 1
+	if IsZeroLine(l) {
+		t.Error("nonzero line reported zero")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"bdi", "fpc", "cpack", "none"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if _, err := ByName("lz77"); err == nil {
+		t.Error("expected error for unknown compressor")
+	}
+}
+
+func TestRejectShortLine(t *testing.T) {
+	for _, c := range allCompressors() {
+		if _, err := c.Compress(make([]byte, 10)); err == nil {
+			t.Errorf("%s: expected error for short line", c.Name())
+		}
+	}
+}
+
+func TestRoundTripKnownPatterns(t *testing.T) {
+	patterns := map[string][]byte{
+		"zeros":      make([]byte, LineSize),
+		"repeated":   lineFrom(0xDEADBEEF),
+		"small-ints": lineFrom(1, 2, 3, 4, 5, 6, 7, 8),
+		"pointers":   lineFrom(0x7F001000, 0x7F001040, 0x7F001080, 0x7F0010C0),
+		"neg-small":  lineFrom(0xFFFFFFFF, 0xFFFFFFFE, 0xFFFFFFF0),
+		"half-zero":  lineFrom(0x12340000, 0x56780000),
+		"low-bytes":  lineFrom(0x11, 0x22, 0x33),
+		"random":     randLine(rand.New(rand.NewSource(7))),
+		"mixed":      append(append(make([]byte, 0), lineFrom(0, 1)[:32]...), randLine(rand.New(rand.NewSource(9)))[:32]...),
+	}
+	for _, c := range allCompressors() {
+		for name, line := range patterns {
+			enc, err := c.Compress(line)
+			if err != nil {
+				t.Fatalf("%s/%s: compress: %v", c.Name(), name, err)
+			}
+			dec, err := c.Decompress(enc)
+			if err != nil {
+				t.Fatalf("%s/%s: decompress: %v", c.Name(), name, err)
+			}
+			if !bytes.Equal(dec, line) {
+				t.Errorf("%s/%s: round trip mismatch", c.Name(), name)
+			}
+		}
+	}
+}
+
+func randLine(r *rand.Rand) []byte {
+	line := make([]byte, LineSize)
+	r.Read(line)
+	return line
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	for _, c := range allCompressors() {
+		c := c
+		f := func(seed int64) bool {
+			line := randLine(rand.New(rand.NewSource(seed)))
+			enc, err := c.Compress(line)
+			if err != nil {
+				return false
+			}
+			dec, err := c.Decompress(enc)
+			return err == nil && bytes.Equal(dec, line)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestRoundTripCompressible exercises the compressible encodings with
+// structured random content, where random raw bytes would almost always
+// take the uncompressed path.
+func TestRoundTripCompressible(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, c := range allCompressors() {
+		for trial := 0; trial < 500; trial++ {
+			base := r.Uint64()
+			width := []int{2, 4, 8}[r.Intn(3)]
+			spread := []uint64{0x7F, 0x7FFF, 0x7FFFFFFF}[r.Intn(3)]
+			line := make([]byte, LineSize)
+			for i := 0; i < LineSize/width; i++ {
+				v := base + (r.Uint64() % spread)
+				if r.Intn(4) == 0 {
+					v = r.Uint64() % spread // immediate (near zero)
+				}
+				switch width {
+				case 2:
+					binary.LittleEndian.PutUint16(line[i*2:], uint16(v))
+				case 4:
+					binary.LittleEndian.PutUint32(line[i*4:], uint32(v))
+				case 8:
+					binary.LittleEndian.PutUint64(line[i*8:], v)
+				}
+			}
+			enc, err := c.Compress(line)
+			if err != nil {
+				t.Fatalf("%s: compress: %v", c.Name(), err)
+			}
+			dec, err := c.Decompress(enc)
+			if err != nil {
+				t.Fatalf("%s: decompress: %v", c.Name(), err)
+			}
+			if !bytes.Equal(dec, line) {
+				t.Fatalf("%s: round trip mismatch on structured line", c.Name())
+			}
+		}
+	}
+}
+
+func TestCompressedSizeMatchesEncoding(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, c := range allCompressors() {
+		if c.Name() == "none" {
+			continue
+		}
+		for trial := 0; trial < 200; trial++ {
+			var line []byte
+			switch trial % 4 {
+			case 0:
+				line = make([]byte, LineSize)
+			case 1:
+				line = lineFrom(uint32(r.Intn(100)), uint32(r.Intn(100)))
+			case 2:
+				line = lineFrom(r.Uint32(), r.Uint32()&0xFF)
+			default:
+				line = randLine(r)
+			}
+			enc, err := c.Compress(line)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := c.CompressedSize(line)
+			want := len(enc) - 1
+			if want > LineSize {
+				want = LineSize
+			}
+			if got != want {
+				t.Errorf("%s: CompressedSize=%d, len(enc)-1=%d", c.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestBDIKnownSizes(t *testing.T) {
+	bdi := NewBDI()
+	cases := []struct {
+		name string
+		line []byte
+		want int
+	}{
+		{"zeros", make([]byte, LineSize), 0},
+		{"repeat8", lineFrom(0xAABBCCDD, 0x11223344), 8},
+		// Consecutive 8-byte values base+{0..7}: B8D1 = 8+1+8 = 17.
+		{"b8d1", line64(func(i int) uint64 { return 0x1000_0000_0000 + uint64(i) }), 17},
+		// 4-byte elements near a common base: B4D1 = 4+2+16 = 22.
+		{"b4d1", lineFrom(0x40000000, 0x40000001, 0x40000002, 0x40000007), 22},
+		// 2-byte elements near base: B2D1 = 2+4+32 = 38.
+		{"b2d1", line16(func(i int) uint16 { return 0x8000 + uint16(i%100) }), 38},
+		{"random", randLine(rand.New(rand.NewSource(1))), LineSize},
+	}
+	for _, c := range cases {
+		if got := bdi.CompressedSize(c.line); got != c.want {
+			t.Errorf("%s: CompressedSize = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func line64(f func(i int) uint64) []byte {
+	line := make([]byte, LineSize)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(line[i*8:], f(i))
+	}
+	return line
+}
+
+func line16(f func(i int) uint16) []byte {
+	line := make([]byte, LineSize)
+	for i := 0; i < 32; i++ {
+		binary.LittleEndian.PutUint16(line[i*2:], f(i))
+	}
+	return line
+}
+
+func TestBDIImmediateMix(t *testing.T) {
+	// Mix of near-zero values and near-base values: the immediate
+	// (zero-base) path must kick in so the line still compresses B8D1.
+	line := line64(func(i int) uint64 {
+		if i%2 == 0 {
+			return uint64(i) // near zero
+		}
+		return 0x7777_0000_0000 + uint64(i) // near base
+	})
+	bdi := NewBDI()
+	if got := bdi.CompressedSize(line); got != 17 {
+		t.Fatalf("immediate mix: size %d, want 17 (B8D1)", got)
+	}
+	enc, _ := bdi.Compress(line)
+	dec, err := bdi.Decompress(enc)
+	if err != nil || !bytes.Equal(dec, line) {
+		t.Fatal("immediate mix round trip failed")
+	}
+}
+
+func TestBDIDeltaWraparound(t *testing.T) {
+	// Deltas that straddle the unsigned wrap (base 0xFFFF...FF) must be
+	// handled by two's-complement arithmetic.
+	line := line64(func(i int) uint64 { return 0xFFFFFFFFFFFFFFFF - uint64(i) })
+	bdi := NewBDI()
+	enc, err := bdi.Compress(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := bdi.Decompress(enc)
+	if err != nil || !bytes.Equal(dec, line) {
+		t.Fatal("wraparound round trip failed")
+	}
+	if got := bdi.CompressedSize(line); got > 17 {
+		t.Errorf("wraparound deltas should fit B8D1, got size %d", got)
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	for _, c := range allCompressors() {
+		if _, err := c.Decompress(nil); err == nil {
+			t.Errorf("%s: nil accepted", c.Name())
+		}
+		if _, err := c.Decompress([]byte{0x99, 1, 2}); err == nil {
+			t.Errorf("%s: bad header accepted", c.Name())
+		}
+	}
+	bdi := NewBDI()
+	if _, err := bdi.Decompress([]byte{bdiB8D1, 1, 2}); err == nil {
+		t.Error("bdi: truncated payload accepted")
+	}
+	if _, err := bdi.Decompress([]byte{bdiZeros, 0}); err == nil {
+		t.Error("bdi: oversized zero encoding accepted")
+	}
+}
+
+func TestFPCZeroRun(t *testing.T) {
+	fpc := NewFPC()
+	// All zeros: 16 words = 2 runs of 8 => 2*(3+3) bits = 12 bits = 2 bytes.
+	if got := fpc.CompressedSize(make([]byte, LineSize)); got != 2 {
+		t.Errorf("fpc zero line size = %d, want 2", got)
+	}
+}
+
+func TestCPackDictionaryMatch(t *testing.T) {
+	cp := NewCPack()
+	// Same word repeated: first word xxxx (34 bits), rest mmmm (6 bits each).
+	line := lineFrom(0xCAFEBABE)
+	want := (34 + 15*6 + 7) / 8
+	if got := cp.CompressedSize(line); got != want {
+		t.Errorf("cpack repeated word size = %d, want %d", got, want)
+	}
+	// Partial match: same upper 3 bytes, differing low byte.
+	line2 := make([]byte, LineSize)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(line2[i*4:], 0xAABBCC00|uint32(i+1))
+	}
+	enc, err := cp.Compress(line2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := cp.Decompress(enc)
+	if err != nil || !bytes.Equal(dec, line2) {
+		t.Fatal("cpack partial-match round trip failed")
+	}
+	// first word 34 bits, rest mmmx 16 bits each
+	want2 := (34 + 15*16 + 7) / 8
+	if got := cp.CompressedSize(line2); got != want2 {
+		t.Errorf("cpack mmmx size = %d, want %d", got, want2)
+	}
+}
+
+func TestCompressorsNeverExpandBeyondRaw(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, c := range allCompressors() {
+		for trial := 0; trial < 100; trial++ {
+			line := randLine(r)
+			if got := c.CompressedSize(line); got > LineSize {
+				t.Errorf("%s: CompressedSize %d > %d", c.Name(), got, LineSize)
+			}
+		}
+	}
+}
+
+func BenchmarkBDICompress(b *testing.B) {
+	bdi := NewBDI()
+	line := lineFrom(0x40000000, 0x40000001, 0x40000002)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bdi.CompressedSize(line)
+	}
+}
+
+func BenchmarkBDIDecompress(b *testing.B) {
+	bdi := NewBDI()
+	line := lineFrom(0x40000000, 0x40000001, 0x40000002)
+	enc, _ := bdi.Compress(line)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bdi.Decompress(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFPCCompress(b *testing.B) {
+	fpc := NewFPC()
+	line := lineFrom(1, 2, 3, 0, 0, 0x10000, 0xFF)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fpc.Compress(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPackCompress(b *testing.B) {
+	cp := NewCPack()
+	line := lineFrom(0xAABBCC01, 0xAABBCC02, 0xAABBCC03)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.Compress(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package compress
+
+import "encoding/binary"
+
+// CPack implements the Cache Packer (C-PACK) algorithm (Chen et al.,
+// IEEE TVLSI 2010). It combines static frequent patterns (zero words,
+// low-byte-only words) with a small FIFO dictionary that captures full
+// and partial matches against recently seen words within the line.
+type CPack struct{}
+
+// NewCPack returns a C-PACK compressor.
+func NewCPack() *CPack { return &CPack{} }
+
+// Name implements Compressor.
+func (*CPack) Name() string { return "cpack" }
+
+const (
+	cpackDictSize = 16
+	cpackHeader   = 0x20
+)
+
+// cpackDict is the FIFO match dictionary shared (in structure) by the
+// compressor and decompressor so both sides stay in sync.
+type cpackDict struct {
+	entries [cpackDictSize]uint32
+	n       int // valid entries
+	next    int // FIFO insertion cursor
+}
+
+func (d *cpackDict) push(v uint32) {
+	d.entries[d.next] = v
+	d.next = (d.next + 1) % cpackDictSize
+	if d.n < cpackDictSize {
+		d.n++
+	}
+}
+
+// match looks for the best dictionary match for v: full word, upper 3
+// bytes, or upper 2 bytes. It returns the index and the number of
+// matching high bytes (4, 3, 2) or ok=false.
+func (d *cpackDict) match(v uint32) (idx, nbytes int, ok bool) {
+	best := 0
+	bestIdx := -1
+	for i := 0; i < d.n; i++ {
+		e := d.entries[i]
+		switch {
+		case e == v:
+			return i, 4, true
+		case e&0xFFFFFF00 == v&0xFFFFFF00 && best < 3:
+			best, bestIdx = 3, i
+		case e&0xFFFF0000 == v&0xFFFF0000 && best < 2:
+			best, bestIdx = 2, i
+		}
+	}
+	if bestIdx < 0 {
+		return 0, 0, false
+	}
+	return bestIdx, best, true
+}
+
+// Compress implements Compressor.
+func (*CPack) Compress(line []byte) ([]byte, error) {
+	if err := checkLine(line); err != nil {
+		return nil, err
+	}
+	w := &bitWriter{}
+	var dict cpackDict
+	for i := 0; i < LineSize/4; i++ {
+		v := binary.LittleEndian.Uint32(line[i*4:])
+		switch idx, nb, ok := dict.match(v); {
+		case v == 0:
+			w.write(0b00, 2) // zzzz
+		case v&0xFFFFFF00 == 0:
+			w.write(0b11, 2) // zzzx
+			w.write(0b10, 2)
+			w.write(uint64(v&0xFF), 8)
+			dict.push(v)
+		case ok && nb == 4:
+			w.write(0b10, 2) // mmmm
+			w.write(uint64(idx), 4)
+		case ok && nb == 3:
+			w.write(0b11, 2) // mmmx
+			w.write(0b01, 2)
+			w.write(uint64(idx), 4)
+			w.write(uint64(v&0xFF), 8)
+			dict.push(v)
+		case ok && nb == 2:
+			w.write(0b11, 2) // mmxx
+			w.write(0b00, 2)
+			w.write(uint64(idx), 4)
+			w.write(uint64(v&0xFFFF), 16)
+			dict.push(v)
+		default:
+			w.write(0b01, 2) // xxxx
+			w.write(uint64(v), 32)
+			dict.push(v)
+		}
+	}
+	out := make([]byte, 0, 1+len(w.buf))
+	out = append(out, cpackHeader)
+	out = append(out, w.buf...)
+	return out, nil
+}
+
+// Decompress implements Compressor.
+func (*CPack) Decompress(enc []byte) ([]byte, error) {
+	if len(enc) < 1 || enc[0] != cpackHeader {
+		return nil, ErrBadEncoding
+	}
+	r := &bitReader{buf: enc[1:]}
+	var dict cpackDict
+	out := make([]byte, LineSize)
+	for i := 0; i < LineSize/4; i++ {
+		c2, ok := r.read(2)
+		if !ok {
+			return nil, ErrBadEncoding
+		}
+		var v uint32
+		switch c2 {
+		case 0b00:
+			v = 0
+		case 0b01:
+			d, ok := r.read(32)
+			if !ok {
+				return nil, ErrBadEncoding
+			}
+			v = uint32(d)
+			dict.push(v)
+		case 0b10:
+			idx, ok := r.read(4)
+			if !ok || int(idx) >= dict.n {
+				return nil, ErrBadEncoding
+			}
+			v = dict.entries[idx]
+		case 0b11:
+			sub, ok := r.read(2)
+			if !ok {
+				return nil, ErrBadEncoding
+			}
+			switch sub {
+			case 0b00: // 1100 mmxx
+				idx, ok1 := r.read(4)
+				lo, ok2 := r.read(16)
+				if !ok1 || !ok2 || int(idx) >= dict.n {
+					return nil, ErrBadEncoding
+				}
+				v = dict.entries[idx]&0xFFFF0000 | uint32(lo)
+				dict.push(v)
+			case 0b01: // 1101 mmmx
+				idx, ok1 := r.read(4)
+				lo, ok2 := r.read(8)
+				if !ok1 || !ok2 || int(idx) >= dict.n {
+					return nil, ErrBadEncoding
+				}
+				v = dict.entries[idx]&0xFFFFFF00 | uint32(lo)
+				dict.push(v)
+			case 0b10: // 1110 zzzx
+				lo, ok := r.read(8)
+				if !ok {
+					return nil, ErrBadEncoding
+				}
+				v = uint32(lo)
+				dict.push(v)
+			default:
+				return nil, ErrBadEncoding
+			}
+		}
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return out, nil
+}
+
+// CompressedSize implements Compressor (payload bytes, header excluded).
+func (c *CPack) CompressedSize(line []byte) int {
+	enc, err := c.Compress(line)
+	if err != nil {
+		return LineSize
+	}
+	n := len(enc) - 1
+	if n > LineSize {
+		n = LineSize
+	}
+	return n
+}

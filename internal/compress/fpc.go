@@ -1,0 +1,178 @@
+package compress
+
+import "encoding/binary"
+
+// FPC implements Frequent Pattern Compression (Alameldeen & Wood, ISCA
+// 2004). Each 32-bit word is encoded as a 3-bit prefix plus a
+// variable-width payload chosen from seven frequent patterns; words that
+// match no pattern are stored raw. Runs of zero words collapse into a
+// single prefix with a 3-bit run length.
+type FPC struct{}
+
+// NewFPC returns an FPC compressor.
+func NewFPC() *FPC { return &FPC{} }
+
+// Name implements Compressor.
+func (*FPC) Name() string { return "fpc" }
+
+// FPC word patterns (3-bit prefixes).
+const (
+	fpcZeroRun  = 0 // run of 1..8 zero words; 3-bit payload = run-1
+	fpcSE4      = 1 // 4-bit sign-extended
+	fpcSE8      = 2 // 8-bit sign-extended
+	fpcSE16     = 3 // 16-bit sign-extended
+	fpcHalfZero = 4 // nonzero upper halfword, zero lower halfword
+	fpcTwoSE8   = 5 // two halfwords, each a sign-extended byte
+	fpcRepByte  = 6 // word of four repeated bytes
+	fpcRaw      = 7 // uncompressed 32-bit word
+	fpcHeader   = 0x10
+)
+
+func fitsSigned(v uint32, bits uint) bool {
+	ext := uint32(signExtend(uint64(v)&maskBits(bits), bits))
+	return ext == v
+}
+
+// Compress implements Compressor.
+func (*FPC) Compress(line []byte) ([]byte, error) {
+	if err := checkLine(line); err != nil {
+		return nil, err
+	}
+	w := &bitWriter{}
+	nwords := LineSize / 4
+	for i := 0; i < nwords; {
+		v := binary.LittleEndian.Uint32(line[i*4:])
+		if v == 0 {
+			run := 1
+			for i+run < nwords && run < 8 && binary.LittleEndian.Uint32(line[(i+run)*4:]) == 0 {
+				run++
+			}
+			w.write(fpcZeroRun, 3)
+			w.write(uint64(run-1), 3)
+			i += run
+			continue
+		}
+		switch {
+		case fitsSigned(v, 4):
+			w.write(fpcSE4, 3)
+			w.write(uint64(v)&maskBits(4), 4)
+		case fitsSigned(v, 8):
+			w.write(fpcSE8, 3)
+			w.write(uint64(v)&maskBits(8), 8)
+		case fitsSigned(v, 16):
+			w.write(fpcSE16, 3)
+			w.write(uint64(v)&maskBits(16), 16)
+		case v&0xFFFF == 0:
+			w.write(fpcHalfZero, 3)
+			w.write(uint64(v>>16), 16)
+		case fitsSigned(v&0xFFFF, 8) && fitsSigned(v>>16, 8):
+			w.write(fpcTwoSE8, 3)
+			w.write(uint64(v)&maskBits(8), 8)
+			w.write(uint64(v>>16)&maskBits(8), 8)
+		case isRepByte(v):
+			w.write(fpcRepByte, 3)
+			w.write(uint64(v)&maskBits(8), 8)
+		default:
+			w.write(fpcRaw, 3)
+			w.write(uint64(v), 32)
+		}
+		i++
+	}
+	out := make([]byte, 0, 1+len(w.buf))
+	out = append(out, fpcHeader)
+	out = append(out, w.buf...)
+	return out, nil
+}
+
+func isRepByte(v uint32) bool {
+	b := v & 0xFF
+	return v == b|b<<8|b<<16|b<<24
+}
+
+// Decompress implements Compressor.
+func (*FPC) Decompress(enc []byte) ([]byte, error) {
+	if len(enc) < 1 || enc[0] != fpcHeader {
+		return nil, ErrBadEncoding
+	}
+	r := &bitReader{buf: enc[1:]}
+	out := make([]byte, LineSize)
+	nwords := LineSize / 4
+	for i := 0; i < nwords; {
+		prefix, ok := r.read(3)
+		if !ok {
+			return nil, ErrBadEncoding
+		}
+		var v uint32
+		switch prefix {
+		case fpcZeroRun:
+			run, ok := r.read(3)
+			if !ok || i+int(run)+1 > nwords {
+				return nil, ErrBadEncoding
+			}
+			i += int(run) + 1
+			continue
+		case fpcSE4:
+			d, ok := r.read(4)
+			if !ok {
+				return nil, ErrBadEncoding
+			}
+			v = uint32(signExtend(d, 4))
+		case fpcSE8:
+			d, ok := r.read(8)
+			if !ok {
+				return nil, ErrBadEncoding
+			}
+			v = uint32(signExtend(d, 8))
+		case fpcSE16:
+			d, ok := r.read(16)
+			if !ok {
+				return nil, ErrBadEncoding
+			}
+			v = uint32(signExtend(d, 16))
+		case fpcHalfZero:
+			d, ok := r.read(16)
+			if !ok {
+				return nil, ErrBadEncoding
+			}
+			v = uint32(d) << 16
+		case fpcTwoSE8:
+			lo, ok1 := r.read(8)
+			hi, ok2 := r.read(8)
+			if !ok1 || !ok2 {
+				return nil, ErrBadEncoding
+			}
+			v = uint32(signExtend(lo, 8))&0xFFFF | uint32(signExtend(hi, 8))<<16
+		case fpcRepByte:
+			b, ok := r.read(8)
+			if !ok {
+				return nil, ErrBadEncoding
+			}
+			v = uint32(b) * 0x01010101
+		case fpcRaw:
+			d, ok := r.read(32)
+			if !ok {
+				return nil, ErrBadEncoding
+			}
+			v = uint32(d)
+		}
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+		i++
+	}
+	return out, nil
+}
+
+// CompressedSize implements Compressor, returning the payload size in
+// whole bytes (header excluded). FPC sizes are bit-granular in hardware;
+// rounding to bytes matches how the cache's segment quantization
+// consumes them.
+func (c *FPC) CompressedSize(line []byte) int {
+	enc, err := c.Compress(line)
+	if err != nil {
+		return LineSize
+	}
+	n := len(enc) - 1
+	if n > LineSize {
+		n = LineSize
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzRoundTrip drives one compressor with arbitrary 64-byte lines:
+// compression must succeed, decompression must invert it, and the size
+// query must agree with the encoding.
+func fuzzRoundTrip(f *testing.F, c Compressor) {
+	f.Add(make([]byte, LineSize))
+	f.Add(bytes.Repeat([]byte{0xAB}, LineSize))
+	f.Add(lineFrom(1, 2, 3, 4))
+	f.Add(lineFrom(0xDEADBEEF))
+	f.Add(line64(func(i int) uint64 { return 0xFFFFFFFF_FFFFFF00 + uint64(i) }))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		line := make([]byte, LineSize)
+		copy(line, data)
+		enc, err := c.Compress(line)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		dec, err := c.Decompress(enc)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(dec, line) {
+			t.Fatal("round trip mismatch")
+		}
+		got := c.CompressedSize(line)
+		want := len(enc) - 1
+		if want > LineSize {
+			want = LineSize
+		}
+		if got != want {
+			t.Fatalf("CompressedSize %d != encoding %d", got, want)
+		}
+	})
+}
+
+func FuzzBDIRoundTrip(f *testing.F)   { fuzzRoundTrip(f, NewBDI()) }
+func FuzzFPCRoundTrip(f *testing.F)   { fuzzRoundTrip(f, NewFPC()) }
+func FuzzCPackRoundTrip(f *testing.F) { fuzzRoundTrip(f, NewCPack()) }
+
+// FuzzBDIDecodeGarbage feeds arbitrary bytes to the decoder: it must
+// either error or produce a full line, never panic.
+func FuzzBDIDecodeGarbage(f *testing.F) {
+	bdi := NewBDI()
+	good, _ := bdi.Compress(lineFrom(7, 8, 9))
+	f.Add(good)
+	f.Add([]byte{bdiZeros})
+	f.Add([]byte{bdiB8D1, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, enc []byte) {
+		line, err := bdi.Decompress(enc)
+		if err == nil && len(line) != LineSize {
+			t.Fatalf("accepted encoding produced %d bytes", len(line))
+		}
+	})
+}
+
+// FuzzTraceStreamRobustness (here for the shared corpus helper): the
+// cache organizations must hold their invariants under arbitrary short
+// access programs. Kept in ccache's own fuzz file; see that package.

@@ -1,0 +1,176 @@
+package cpu
+
+import (
+	"testing"
+
+	"basevictim/internal/trace"
+)
+
+// fixedMem returns constant latencies and records call counts.
+type fixedMem struct {
+	loadLat, storeLat, fetchLat uint64
+	loads, stores, fetches      int
+}
+
+func (m *fixedMem) Load(now, addr uint64) uint64  { m.loads++; return now + m.loadLat }
+func (m *fixedMem) Store(now, addr uint64) uint64 { m.stores++; return now + m.storeLat }
+func (m *fixedMem) Fetch(now, addr uint64) uint64 { m.fetches++; return now + m.fetchLat }
+
+func execOps(n int) []trace.Op {
+	ops := make([]trace.Op, n)
+	return ops // all Exec
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Fatal("nil mem accepted")
+	}
+	if _, err := New(Config{Width: 0, ROB: 8}, &fixedMem{}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+// TestPeakIPC: pure exec code retires at the dispatch width.
+func TestPeakIPC(t *testing.T) {
+	mem := &fixedMem{fetchLat: 3}
+	core := MustNew(DefaultConfig(), mem)
+	res := core.Run(&trace.SliceStream{Ops: execOps(100000)}, 100000)
+	if res.IPC < 3.5 || res.IPC > 4.01 {
+		t.Fatalf("peak IPC = %.2f, want ~4", res.IPC)
+	}
+}
+
+// TestIndependentLoadsOverlap: non-blocking loads expose MLP, so IPC
+// stays near the front-end limit even with long latencies.
+func TestIndependentLoadsOverlap(t *testing.T) {
+	mem := &fixedMem{loadLat: 200, fetchLat: 3}
+	core := MustNew(DefaultConfig(), mem)
+	ops := make([]trace.Op, 20000)
+	for i := range ops {
+		if i%4 == 0 {
+			ops[i] = trace.Op{Kind: trace.Load, Addr: uint64(i * 64)}
+		}
+	}
+	res := core.Run(&trace.SliceStream{Ops: ops}, uint64(len(ops)))
+	// ROB 224 deep with width 4: a 200-cycle load stalls retirement,
+	// but 224 instructions dispatch under it; effective IPC stays > 1.
+	if res.IPC < 1.0 {
+		t.Fatalf("independent loads IPC = %.2f, expected MLP > 1", res.IPC)
+	}
+}
+
+// TestDependentLoadsSerialize: blocking loads kill MLP.
+func TestDependentLoadsSerialize(t *testing.T) {
+	mem := &fixedMem{loadLat: 200, fetchLat: 3}
+	core := MustNew(DefaultConfig(), mem)
+	ops := make([]trace.Op, 4000)
+	for i := range ops {
+		if i%4 == 0 {
+			ops[i] = trace.Op{Kind: trace.Load, Addr: uint64(i * 64), Dep: true}
+		}
+	}
+	res := core.Run(&trace.SliceStream{Ops: ops}, uint64(len(ops)))
+	// Every 4th instruction waits 200 cycles: IPC ~ 4/200.
+	if res.IPC > 0.1 {
+		t.Fatalf("dependent loads IPC = %.3f, expected serialization", res.IPC)
+	}
+}
+
+// TestLatencySensitivity: lower load latency must give higher IPC under
+// dependent loads.
+func TestLatencySensitivity(t *testing.T) {
+	run := func(lat uint64) float64 {
+		mem := &fixedMem{loadLat: lat, fetchLat: 3}
+		core := MustNew(DefaultConfig(), mem)
+		ops := make([]trace.Op, 8000)
+		for i := range ops {
+			if i%3 == 0 {
+				ops[i] = trace.Op{Kind: trace.Load, Addr: uint64(i), Dep: i%6 == 0}
+			}
+		}
+		return core.Run(&trace.SliceStream{Ops: ops}, uint64(len(ops))).IPC
+	}
+	fast, slow := run(10), run(300)
+	if fast <= slow {
+		t.Fatalf("IPC(10cy)=%.3f not above IPC(300cy)=%.3f", fast, slow)
+	}
+}
+
+// TestROBBoundsMLP: a bigger ROB tolerates more outstanding misses.
+func TestROBBoundsMLP(t *testing.T) {
+	run := func(rob int) float64 {
+		cfg := DefaultConfig()
+		cfg.ROB = rob
+		mem := &fixedMem{loadLat: 400, fetchLat: 3}
+		core := MustNew(cfg, mem)
+		ops := make([]trace.Op, 20000)
+		for i := range ops {
+			if i%2 == 0 {
+				ops[i] = trace.Op{Kind: trace.Load, Addr: uint64(i)}
+			}
+		}
+		return core.Run(&trace.SliceStream{Ops: ops}, uint64(len(ops))).IPC
+	}
+	small, big := run(16), run(512)
+	if big <= small {
+		t.Fatalf("IPC(ROB=512)=%.3f not above IPC(ROB=16)=%.3f", big, small)
+	}
+}
+
+func TestStoresDoNotStall(t *testing.T) {
+	mem := &fixedMem{storeLat: 500, fetchLat: 3}
+	core := MustNew(DefaultConfig(), mem)
+	ops := make([]trace.Op, 8000)
+	for i := range ops {
+		if i%4 == 0 {
+			ops[i] = trace.Op{Kind: trace.Store, Addr: uint64(i)}
+		}
+	}
+	res := core.Run(&trace.SliceStream{Ops: ops}, uint64(len(ops)))
+	if res.IPC < 3 {
+		t.Fatalf("stores stalled the pipeline: IPC = %.2f", res.IPC)
+	}
+	if mem.stores == 0 {
+		t.Fatal("stores never reached the hierarchy")
+	}
+}
+
+func TestSlowFetchStallsFrontEnd(t *testing.T) {
+	fast := &fixedMem{fetchLat: 3}
+	slow := &fixedMem{fetchLat: 300}
+	rf := MustNew(DefaultConfig(), fast).Run(&trace.SliceStream{Ops: execOps(10000)}, 10000)
+	rs := MustNew(DefaultConfig(), slow).Run(&trace.SliceStream{Ops: execOps(10000)}, 10000)
+	if rs.IPC >= rf.IPC {
+		t.Fatalf("slow fetch IPC %.2f not below fast fetch %.2f", rs.IPC, rf.IPC)
+	}
+}
+
+func TestRunContinuesTime(t *testing.T) {
+	mem := &fixedMem{fetchLat: 3}
+	core := MustNew(DefaultConfig(), mem)
+	r1 := core.Run(&trace.SliceStream{Ops: execOps(1000)}, 1000)
+	r2 := core.Run(&trace.SliceStream{Ops: execOps(1000)}, 1000)
+	if r2.Cycles <= r1.Cycles {
+		t.Fatal("second run did not continue from first")
+	}
+}
+
+func TestMaxInsLimits(t *testing.T) {
+	mem := &fixedMem{fetchLat: 3}
+	core := MustNew(DefaultConfig(), mem)
+	res := core.Run(&trace.SliceStream{Ops: execOps(1000)}, 100)
+	if res.Instructions != 100 {
+		t.Fatalf("ran %d instructions, want 100", res.Instructions)
+	}
+}
+
+func BenchmarkCoreExec(b *testing.B) {
+	mem := &fixedMem{fetchLat: 3}
+	core := MustNew(DefaultConfig(), mem)
+	ops := execOps(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(ops) {
+		s := &trace.SliceStream{Ops: ops}
+		core.Run(s, uint64(len(ops)))
+	}
+}

@@ -1,0 +1,190 @@
+// Package dram models the evaluation's main memory: two channels of
+// DDR3-1600 with 15-15-15-34 (tCL-tRCD-tRP-tRAS) timing (Section V).
+// Each channel has independent banks with open-row state; requests see
+// row hits, row misses (closed bank) or row conflicts, plus queueing
+// behind earlier requests to the same bank and data-bus contention.
+//
+// Time is kept in CPU cycles at 4 GHz; DDR3-1600 runs its command clock
+// at 800 MHz, so one DRAM cycle is five CPU cycles.
+package dram
+
+// Timing and geometry constants for the paper's configuration.
+const (
+	// CPUCyclesPerDRAMCycle converts the 800 MHz DRAM command clock to
+	// the 4 GHz core clock.
+	CPUCyclesPerDRAMCycle = 5
+
+	tCL  = 15 // CAS latency, DRAM cycles
+	tRCD = 15 // RAS-to-CAS delay
+	tRP  = 15 // row precharge
+	tRAS = 34 // row active time
+
+	// tBurst is the data transfer time for one 64-byte line: burst
+	// length 8 at two transfers per clock = 4 DRAM cycles.
+	tBurst = 4
+)
+
+// Config describes the memory system geometry.
+type Config struct {
+	Channels     int
+	BanksPerChan int
+	RowBytes     int // row-buffer size per bank
+}
+
+// DefaultConfig is the paper's two-channel DDR3-1600 system.
+func DefaultConfig() Config {
+	return Config{Channels: 2, BanksPerChan: 8, RowBytes: 8 << 10}
+}
+
+// Stats counts memory events and occupancy.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64 // closed bank
+	RowConflicts uint64 // open different row
+	Activations  uint64
+	Precharges   uint64
+	// BusyCycles accumulates data-bus occupancy (CPU cycles) across
+	// channels, for bandwidth accounting.
+	BusyCycles uint64
+}
+
+type bank struct {
+	openRow    int64 // -1 = closed
+	readyAt    uint64
+	activateAt uint64 // when the open row was activated (for tRAS)
+}
+
+type channel struct {
+	banks     []bank
+	busFree   uint64
+	writeFree uint64 // write-drain cursor (posted writes)
+}
+
+// System is a two-channel DDR3 timing model. It is not safe for
+// concurrent use.
+type System struct {
+	cfg   Config
+	chans []channel
+	Stats Stats
+}
+
+// New builds a memory system.
+func New(cfg Config) *System {
+	if cfg.Channels <= 0 {
+		cfg = DefaultConfig()
+	}
+	s := &System{cfg: cfg, chans: make([]channel, cfg.Channels)}
+	for i := range s.chans {
+		s.chans[i].banks = make([]bank, cfg.BanksPerChan)
+		for b := range s.chans[i].banks {
+			s.chans[i].banks[b].openRow = -1
+		}
+	}
+	return s
+}
+
+// route maps a line address to channel, bank and row. Channel bits are
+// taken just above the line offset so consecutive lines interleave
+// across channels; banks interleave above that.
+func (s *System) route(lineAddr uint64) (ch, bk int, row int64) {
+	ch = int(lineAddr % uint64(s.cfg.Channels))
+	rest := lineAddr / uint64(s.cfg.Channels)
+	bk = int(rest % uint64(s.cfg.BanksPerChan))
+	linesPerRow := uint64(s.cfg.RowBytes / 64)
+	row = int64(rest / uint64(s.cfg.BanksPerChan) / linesPerRow)
+	return ch, bk, row
+}
+
+func cpuCycles(dramCycles uint64) uint64 { return dramCycles * CPUCyclesPerDRAMCycle }
+
+// Access issues a read or write of one 64-byte line at CPU-cycle time
+// now and returns the completion time (data fully transferred) in CPU
+// cycles.
+//
+// Writes are posted: the controller buffers them and drains during
+// read-idle periods, so they consume write-drain bandwidth (tracked
+// per channel) and energy but do not occupy the banks reads race for.
+// Modeling writes in-line with reads would overcharge organizations
+// that merely shift writeback timing.
+func (s *System) Access(now uint64, lineAddr uint64, write bool) uint64 {
+	chIdx, bkIdx, row := s.route(lineAddr)
+	c := &s.chans[chIdx]
+	b := &c.banks[bkIdx]
+
+	if write {
+		s.Stats.Writes++
+		// Drain cursor: one burst of write bandwidth per write, row
+		// locality approximated by charging an activation per
+		// RowBytes/64 writes.
+		if s.Stats.Writes%uint64(s.cfg.RowBytes/64/8+1) == 0 {
+			s.Stats.Activations++
+		}
+		if c.writeFree < now {
+			c.writeFree = now
+		}
+		c.writeFree += cpuCycles(tBurst)
+		s.Stats.BusyCycles += cpuCycles(tBurst)
+		return c.writeFree
+	}
+	s.Stats.Reads++
+
+	// The command cannot start before the request arrives or while the
+	// bank is busy with the previous access.
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var latency uint64 // DRAM cycles from start to first data beat
+	switch {
+	case b.openRow == int64(row):
+		s.Stats.RowHits++
+		latency = tCL
+	case b.openRow < 0:
+		s.Stats.RowMisses++
+		s.Stats.Activations++
+		latency = tRCD + tCL
+		b.activateAt = start
+	default:
+		s.Stats.RowConflicts++
+		s.Stats.Activations++
+		s.Stats.Precharges++
+		// Respect tRAS: the open row must have been active long enough
+		// before precharge.
+		minPre := b.activateAt + cpuCycles(tRAS)
+		if minPre > start {
+			start = minPre
+		}
+		latency = tRP + tRCD + tCL
+		b.activateAt = start + cpuCycles(tRP)
+	}
+	b.openRow = row
+
+	dataStart := start + cpuCycles(latency)
+	// Serialize on the channel's data bus.
+	if c.busFree > dataStart {
+		dataStart = c.busFree
+	}
+	done := dataStart + cpuCycles(tBurst)
+	c.busFree = done
+	s.Stats.BusyCycles += cpuCycles(tBurst)
+	// The bank can take another command once the column access and
+	// burst complete.
+	b.readyAt = done
+	return done
+}
+
+// IdealReadLatency returns the unloaded row-hit read latency in CPU
+// cycles, for reporting.
+func IdealReadLatency() uint64 { return cpuCycles(tCL + tBurst) }
+
+// Bandwidth returns achieved bandwidth in bytes per CPU cycle over an
+// interval of elapsed cycles.
+func (s *System) Bandwidth(elapsed uint64) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64((s.Stats.Reads+s.Stats.Writes)*64) / float64(elapsed)
+}

@@ -1,0 +1,216 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Section VI). Each experiment returns a Table whose rows
+// mirror what the paper plots: per-trace ratio series for the line
+// graphs, category averages for the bar charts, and the headline
+// aggregates quoted in the text.
+//
+// Experiments share a Session so the uncompressed baseline for a trace
+// is simulated once and reused across figures.
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"basevictim/internal/compress"
+
+	"basevictim/internal/sim"
+	"basevictim/internal/stats"
+	"basevictim/internal/workload"
+)
+
+// Table is one reproduced table or figure.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiments lists every reproducible experiment by id, in paper
+// order. The map values run the experiment on a session.
+func Experiments() []struct {
+	ID  string
+	Run func(*Session) Table
+} {
+	return []struct {
+		ID  string
+		Run func(*Session) Table
+	}{
+		{"table1", (*Session).TableI},
+		{"fig6", (*Session).Fig6},
+		{"fig7", (*Session).Fig7},
+		{"fig8", (*Session).Fig8},
+		{"fig9", (*Session).Fig9},
+		{"fig10", (*Session).Fig10},
+		{"fig11", (*Session).Fig11},
+		{"fig12", (*Session).Fig12},
+		{"fig13", (*Session).Fig13},
+		{"fig14", (*Session).Fig14},
+		{"assoc", (*Session).Associativity},
+		{"victimpolicy", (*Session).VictimPolicy},
+		{"area", (*Session).Area},
+		{"capacity", (*Session).Capacity},
+		{"traffic", (*Session).Traffic},
+		{"ablation-latency", (*Session).LatencyAblation},
+		{"ablation-compressor", (*Session).CompressorAblation},
+		{"inclusion", (*Session).Inclusion},
+		{"prefetch-interaction", (*Session).PrefetchInteraction},
+	}
+}
+
+// Session runs simulations with memoization and shared options.
+type Session struct {
+	// Instructions per thread; scaled-down reruns use fewer than the
+	// paper's 200M.
+	Instructions uint64
+	// MaxTraces caps the trace count per experiment (0 = all), for
+	// quick smoke runs and benchmarks.
+	MaxTraces int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(format string, args ...any)
+
+	all   []workload.Profile
+	cache map[string]sim.Result
+}
+
+// NewSession builds a session with the full suite loaded.
+func NewSession(instructions uint64) *Session {
+	return &Session{
+		Instructions: instructions,
+		all:          workload.Suite(),
+		cache:        make(map[string]sim.Result),
+	}
+}
+
+func (s *Session) logf(format string, args ...any) {
+	if s.Progress != nil {
+		s.Progress(format, args...)
+	}
+}
+
+func (s *Session) limit(ps []workload.Profile) []workload.Profile {
+	if s.MaxTraces > 0 && len(ps) > s.MaxTraces {
+		return ps[:s.MaxTraces]
+	}
+	return ps
+}
+
+// sensitive returns the (possibly capped) cache-sensitive trace list.
+func (s *Session) sensitive() []workload.Profile {
+	return s.limit(workload.Sensitive(s.all))
+}
+
+func cfgKey(name string, cfg sim.Config) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%s|%s|%v|%v|%d|%d|%d|%d|%s",
+		name, cfg.Org, cfg.LLCSizeBytes, cfg.LLCWays, cfg.Policy, cfg.VictimPolicy,
+		cfg.Prefetch, cfg.Inclusive, cfg.ExtraLLCLatency, cfg.Instructions,
+		cfg.TagCycles, cfg.DecompressCycles, cfg.Compressor)
+}
+
+// run simulates (memoized) one trace under one config.
+func (s *Session) run(p workload.Profile, cfg sim.Config) sim.Result {
+	cfg.Instructions = s.Instructions
+	key := cfgKey(p.Name, cfg)
+	if r, ok := s.cache[key]; ok {
+		return r
+	}
+	r, err := sim.RunSingle(p, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("figures: %s: %v", p.Name, err))
+	}
+	s.logf("ran %-16s %-12s IPC=%.3f dramReads=%d", p.Name, cfg.Org, r.IPC, r.DemandDRAMReads)
+	s.cache[key] = r
+	return r
+}
+
+// base2MB is the paper's 2 MB 16-way NRU uncompressed baseline.
+func base2MB() sim.Config {
+	c := sim.Default()
+	c.Org = sim.OrgUncompressed
+	return c
+}
+
+// bvDefault is the 2 MB Base-Victim configuration.
+func bvDefault() sim.Config {
+	c := sim.Default()
+	c.Org = sim.OrgBaseVictim
+	return c
+}
+
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pct(x float64) string { return fmt.Sprintf("%+.1f%%", (x-1)*100) }
+
+// ratioSeries runs cfg and base across traces, returning per-trace IPC
+// and DRAM-read ratios.
+func (s *Session) ratioSeries(ps []workload.Profile, cfg, base sim.Config) (ipc, reads []float64) {
+	for _, p := range ps {
+		r := s.run(p, cfg)
+		b := s.run(p, base)
+		pair := sim.Pair{Run: r, Base: b}
+		ipc = append(ipc, pair.IPCRatio())
+		reads = append(reads, pair.DRAMReadRatio())
+	}
+	return ipc, reads
+}
+
+// lineGraph builds the per-trace table used by Figures 6, 7, 8 and 12.
+func (s *Session) lineGraph(id, title string, ps []workload.Profile, cfg sim.Config) Table {
+	ipc, reads := s.ratioSeries(ps, cfg, base2MB())
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"trace", "IPC ratio", "DRAM read ratio"},
+	}
+	for i, p := range ps {
+		t.Rows = append(t.Rows, []string{p.Name, f3(ipc[i]), f3(reads[i])})
+	}
+	sum := stats.Summarize(ipc)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("IPC geomean %s (min %.3f, max %.3f); %d/%d traces lose vs baseline (%d below 0.99)",
+			pct(sum.GeoMean), sum.Min, sum.Max, sum.Losers, sum.N, stats.CountBelow(ipc, 0.99)),
+		fmt.Sprintf("DRAM read geomean %.3f", stats.GeoMean(reads)),
+	)
+	return t
+}
+
+// compressByName resolves a compressor for ablations; split out so the
+// ablation file stays free of the compress import details.
+func compressByName(name string) (compress.Compressor, error) {
+	return compress.ByName(name)
+}

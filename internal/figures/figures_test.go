@@ -1,0 +1,177 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickSession keeps experiment smoke tests fast: few instructions,
+// few traces.
+func quickSession() *Session {
+	s := NewSession(40_000)
+	s.MaxTraces = 3
+	return s
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := Table{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "== X: demo ==") || !strings.Contains(out, "333") || !strings.Contains(out, "note: hello") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestTableICensus(t *testing.T) {
+	s := NewSession(1)
+	tab := s.TableI()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("TableI rows = %d, want 4 categories", len(tab.Rows))
+	}
+	// 30+29+14+27 traces.
+	wantTraces := []string{"30", "29", "14", "27"}
+	for i, r := range tab.Rows {
+		if r[1] != wantTraces[i] {
+			t.Errorf("category %s has %s traces, want %s", r[0], r[1], wantTraces[i])
+		}
+	}
+}
+
+func TestExperimentsRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "assoc", "victimpolicy", "area", "capacity", "traffic"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing from registry", want)
+		}
+	}
+}
+
+func TestAreaTable(t *testing.T) {
+	tab := NewSession(1).Area()
+	found := false
+	for _, r := range tab.Rows {
+		if r[0] == "total overhead" && r[1] == "8.5%" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("area table missing 8.5%% total overhead:\n%s", tab.Format())
+	}
+}
+
+// TestFig8Smoke runs the central figure on a tiny budget and checks
+// its structural guarantee: no trace reads more from DRAM.
+func TestFig8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	s := quickSession()
+	tab := s.Fig8()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (MaxTraces)", len(tab.Rows))
+	}
+	for _, note := range tab.Notes {
+		if strings.Contains(note, "MORE demand DRAM reads") && !strings.Contains(note, ": 0 (guarantee: 0)") {
+			t.Fatalf("hit-rate guarantee violated: %s", note)
+		}
+	}
+}
+
+func TestCachingAvoidsRerun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	s := quickSession()
+	runs := 0
+	s.Progress = func(string, ...any) { runs++ }
+	s.Fig6()
+	afterFig6 := runs
+	s.Fig6()
+	if runs != afterFig6 {
+		t.Fatalf("second Fig6 re-ran simulations (%d -> %d)", afterFig6, runs)
+	}
+}
+
+func TestCapacitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	s := quickSession()
+	tab := s.Capacity()
+	if len(tab.Rows) < 2 {
+		t.Fatal("capacity table empty")
+	}
+	// VSC must report more effective capacity than physical.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "mean" {
+		t.Fatalf("last row %v, want mean", last)
+	}
+}
+
+func TestAblationLatencyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	s := quickSession()
+	tab := s.LatencyAblation()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// Free compression (0,0) must not do worse than the pessimistic
+	// (2,4) configuration.
+	free, pess := tab.Rows[0][2], tab.Rows[2][2]
+	if free < pess {
+		t.Fatalf("free-compression geomean %s below pessimistic %s", free, pess)
+	}
+}
+
+func TestAblationCompressorRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	s := quickSession()
+	tab := s.CompressorAblation()
+	algs := map[string]bool{}
+	for _, r := range tab.Rows {
+		algs[r[0]] = true
+	}
+	for _, want := range []string{"bdi", "fpc", "cpack"} {
+		if !algs[want] {
+			t.Errorf("compressor %s missing from ablation", want)
+		}
+	}
+}
+
+func TestInclusionModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	s := quickSession()
+	tab := s.Inclusion()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+}
+
+func TestPrefetchInteraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	s := quickSession()
+	tab := s.PrefetchInteraction()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+}

@@ -1,0 +1,119 @@
+package policy
+
+// CHAR is a hierarchy-aware replacement policy after Chaudhuri et al.
+// (PACT 2012), in the reduced form the Base-Victim paper evaluates:
+// one-bit ages (not layered on SRRIP) plus downgrade hints delivered on
+// L2 evictions. An L2 eviction hint marked dead means the block was
+// never reused during its L2 lifetime, so CHAR ages the LLC copy,
+// making it the preferred victim. Set-dueling decides whether applying
+// the hints helps the running workload: one group of leader sets always
+// applies hints, another never does, and follower sets adopt whichever
+// leader group misses less.
+type CHAR struct {
+	sets, ways int
+	old        []bool // 1-bit age; true = old (victim candidate)
+	psel       int    // saturating selector; >=0 favors applying hints
+}
+
+// pselMax bounds the dueling selector at +/-pselMax.
+const pselMax = 1 << 9
+
+// charLeaderStride spaces the leader sets; with 2048 LLC sets this
+// gives 16 leaders per group. A sparse leader population bounds the
+// damage mis-predicted hints can do in the always-apply leaders while
+// still letting the selector learn.
+const charLeaderStride = 128
+
+// NewCHAR returns a CHAR policy.
+func NewCHAR(sets, ways int) Policy {
+	return &CHAR{sets: sets, ways: ways, old: make([]bool, sets*ways)}
+}
+
+// Name implements Policy.
+func (*CHAR) Name() string { return "char" }
+
+// leaderApply reports whether set is a leader that always applies hints.
+func (p *CHAR) leaderApply(set int) bool { return set%charLeaderStride == 0 }
+
+// leaderIgnore reports whether set is a leader that never applies hints.
+func (p *CHAR) leaderIgnore(set int) bool { return set%charLeaderStride == charLeaderStride/2 }
+
+// pselThreshold is the evidence margin followers demand before they
+// adopt the hints: the apply-leaders must out-hit the ignore-leaders
+// decisively. LLC miss counts are a noisy proxy for the IPC impact of
+// a downgrade hint (a wrong hint costs extra back-invalidations and
+// refetch latency that per-set miss counting cannot see), so the
+// selector is deliberately conservative.
+const pselThreshold = 64
+
+// applyHints reports whether hints apply in this set right now.
+func (p *CHAR) applyHints(set int) bool {
+	switch {
+	case p.leaderApply(set):
+		return true
+	case p.leaderIgnore(set):
+		return false
+	default:
+		return p.psel > pselThreshold
+	}
+}
+
+// OnHit implements Policy.
+func (p *CHAR) OnHit(set, way int) { p.old[set*p.ways+way] = false }
+
+// OnFill implements Policy.
+func (p *CHAR) OnFill(set, way int) { p.old[set*p.ways+way] = false }
+
+// OnInvalidate implements Policy.
+func (p *CHAR) OnInvalidate(set, way int) { p.old[set*p.ways+way] = true }
+
+// OnEvictionHint implements Hinter. A live hint (the block proved its
+// reuse during its L2 lifetime) refreshes the LLC copy's age; a dead
+// hint ages it so it is replaced ahead of live lines. Aging on dead
+// hints is only trusted for sets where dueling says it helps; the
+// refresh side is conservative (it can only improve recency fidelity,
+// since the L2 reuse was invisible to the LLC).
+func (p *CHAR) OnEvictionHint(set, way int, dead bool) {
+	if !p.applyHints(set) {
+		return
+	}
+	p.old[set*p.ways+way] = dead
+}
+
+// OnMiss feeds the dueling selector: misses in apply-leader sets count
+// against applying hints; misses in ignore-leader sets count for it.
+func (p *CHAR) OnMiss(set int) {
+	switch {
+	case p.leaderApply(set):
+		if p.psel > -pselMax {
+			p.psel--
+		}
+	case p.leaderIgnore(set):
+		if p.psel < pselMax {
+			p.psel++
+		}
+	}
+}
+
+// NotRecent implements Recency.
+func (p *CHAR) NotRecent(set, way int) bool { return p.old[set*p.ways+way] }
+
+// Victim implements Policy: first old way, NRU-style reset when none.
+func (p *CHAR) Victim(set int) int {
+	base := set * p.ways
+	for w := 0; w < p.ways; w++ {
+		if p.old[base+w] {
+			return w
+		}
+	}
+	for w := 0; w < p.ways; w++ {
+		p.old[base+w] = true
+	}
+	return 0
+}
+
+// MissObserver is implemented by policies (CHAR) that learn from
+// per-set miss feedback for set-dueling.
+type MissObserver interface {
+	OnMiss(set int)
+}

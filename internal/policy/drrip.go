@@ -1,0 +1,93 @@
+package policy
+
+// DRRIP is dynamic re-reference interval prediction (Jaleel et al.,
+// ISCA 2010): set-dueling between SRRIP insertion (RRPV = max-1) and
+// bimodal BRRIP insertion (usually RRPV = max, rarely max-1), which
+// protects the cache against thrashing and scanning patterns. The
+// paper evaluates SRRIP and CHAR; DRRIP is included as an extension to
+// demonstrate that the Base-Victim architecture composes with any
+// baseline policy unchanged.
+type DRRIP struct {
+	ways int
+	rrpv []uint8
+	psel int
+	rng  Random
+}
+
+// brripEpsilon is BRRIP's probability (1/32) of the "long" insertion.
+const brripEpsilon = 32
+
+// NewDRRIP returns a DRRIP policy.
+func NewDRRIP(sets, ways int) Policy {
+	p := &DRRIP{ways: ways, rrpv: make([]uint8, sets*ways), rng: *NewRandom(sets, ways, 77)}
+	for i := range p.rrpv {
+		p.rrpv[i] = rrpvMax
+	}
+	return p
+}
+
+// Name implements Policy.
+func (*DRRIP) Name() string { return "drrip" }
+
+// leaderSRRIP and leaderBRRIP partition the leader sets.
+func (p *DRRIP) leaderSRRIP(set int) bool { return set%charLeaderStride == 1 }
+func (p *DRRIP) leaderBRRIP(set int) bool { return set%charLeaderStride == charLeaderStride/2+1 }
+
+// useBRRIP decides the insertion policy for this set.
+func (p *DRRIP) useBRRIP(set int) bool {
+	switch {
+	case p.leaderSRRIP(set):
+		return false
+	case p.leaderBRRIP(set):
+		return true
+	default:
+		return p.psel < 0
+	}
+}
+
+// OnHit implements Policy.
+func (p *DRRIP) OnHit(set, way int) { p.rrpv[set*p.ways+way] = 0 }
+
+// OnFill implements Policy.
+func (p *DRRIP) OnFill(set, way int) {
+	ins := uint8(rrpvMax - 1)
+	if p.useBRRIP(set) && p.rng.Next()%brripEpsilon != 0 {
+		ins = rrpvMax
+	}
+	p.rrpv[set*p.ways+way] = ins
+}
+
+// OnInvalidate implements Policy.
+func (p *DRRIP) OnInvalidate(set, way int) { p.rrpv[set*p.ways+way] = rrpvMax }
+
+// OnMiss implements MissObserver: misses in leader sets steer PSEL.
+func (p *DRRIP) OnMiss(set int) {
+	switch {
+	case p.leaderSRRIP(set):
+		if p.psel > -pselMax {
+			p.psel--
+		}
+	case p.leaderBRRIP(set):
+		if p.psel < pselMax {
+			p.psel++
+		}
+	}
+}
+
+// NotRecent implements Recency: distant lines are candidates.
+func (p *DRRIP) NotRecent(set, way int) bool { return p.rrpv[set*p.ways+way] >= rrpvMax-1 }
+
+// Victim implements Policy (same aging search as SRRIP).
+func (p *DRRIP) Victim(set int) int {
+	base := set * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] == rrpvMax {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}

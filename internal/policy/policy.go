@@ -1,0 +1,256 @@
+// Package policy implements the cache replacement policies used by the
+// Base-Victim study: LRU, 1-bit NRU (the paper's default), random,
+// SRRIP, and a 1-bit-age CHAR variant driven by L2 eviction hints, as
+// well as the victim-cache selection policies of Section VI.B.4.
+//
+// A Policy owns the replacement metadata for a whole cache (all sets);
+// the cache calls back into it on hits, fills and invalidations and asks
+// it for a victim way on replacement. Policies are deterministic given
+// their seed so simulations are reproducible.
+package policy
+
+import "fmt"
+
+// Policy tracks replacement state and picks victims.
+type Policy interface {
+	// Name identifies the policy (e.g. "nru").
+	Name() string
+	// OnHit updates state when way in set is hit by a demand access.
+	OnHit(set, way int)
+	// OnFill updates state when a new line is installed in way.
+	OnFill(set, way int)
+	// OnInvalidate clears state when the line in way is invalidated.
+	OnInvalidate(set, way int)
+	// Victim returns the way to replace in set. It must not be called
+	// while the set has invalid ways (the cache fills those first).
+	Victim(set int) int
+}
+
+// Recency is implemented by policies that can report whether a way is
+// currently a replacement candidate (not recently used). The modified
+// two-tag organization uses it to restrict its fit search to ways the
+// base policy would be willing to evict.
+type Recency interface {
+	NotRecent(set, way int) bool
+}
+
+// Hinter is implemented by policies that consume external reuse hints.
+// The CHAR policy uses hints generated on L2 evictions: dead=true means
+// the evicted line was never reused while it lived in the L2, so the
+// LLC copy is unlikely to be referenced again.
+type Hinter interface {
+	OnEvictionHint(set, way int, dead bool)
+}
+
+// Factory builds a policy instance for a cache geometry. Simulations
+// pass factories around so each cache level can instantiate its own
+// state.
+type Factory func(sets, ways int) Policy
+
+// ByName returns a factory for the named policy. Known names: "lru",
+// "nru", "random", "srrip", "char", "drrip".
+func ByName(name string) (Factory, error) {
+	switch name {
+	case "lru":
+		return NewLRU, nil
+	case "nru":
+		return NewNRU, nil
+	case "random":
+		return func(sets, ways int) Policy { return NewRandom(sets, ways, 1) }, nil
+	case "srrip":
+		return NewSRRIP, nil
+	case "char":
+		return NewCHAR, nil
+	case "drrip":
+		return NewDRRIP, nil
+	default:
+		return nil, fmt.Errorf("policy: unknown policy %q", name)
+	}
+}
+
+// LRU is true least-recently-used replacement, tracked with a global
+// access clock per cache.
+type LRU struct {
+	ways  int
+	clock uint64
+	stamp []uint64 // [set*ways+way]; 0 = never touched
+}
+
+// NewLRU returns an LRU policy for the given geometry.
+func NewLRU(sets, ways int) Policy {
+	return &LRU{ways: ways, stamp: make([]uint64, sets*ways)}
+}
+
+// Name implements Policy.
+func (*LRU) Name() string { return "lru" }
+
+func (p *LRU) touch(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+// OnHit implements Policy.
+func (p *LRU) OnHit(set, way int) { p.touch(set, way) }
+
+// OnFill implements Policy.
+func (p *LRU) OnFill(set, way int) { p.touch(set, way) }
+
+// OnInvalidate implements Policy.
+func (p *LRU) OnInvalidate(set, way int) { p.stamp[set*p.ways+way] = 0 }
+
+// Victim implements Policy: the way with the oldest stamp.
+func (p *LRU) Victim(set int) int {
+	victim, oldest := 0, ^uint64(0)
+	for w := 0; w < p.ways; w++ {
+		if s := p.stamp[set*p.ways+w]; s < oldest {
+			victim, oldest = w, s
+		}
+	}
+	return victim
+}
+
+// StackOrder returns the ways of a set ordered from MRU to LRU. Used by
+// tests and by the VSC functional model, which replaces from the bottom
+// of the LRU stack.
+func (p *LRU) StackOrder(set int) []int {
+	order := make([]int, p.ways)
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by descending stamp; associativity is small.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && p.stamp[set*p.ways+order[j]] > p.stamp[set*p.ways+order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// NRU is the 1-bit not-recently-used policy the paper uses as the LLC
+// default: each line has one bit, set on use; the victim is the first
+// way (left to right) whose bit is clear; when all bits are set they are
+// all cleared first.
+type NRU struct {
+	ways int
+	used []bool
+}
+
+// NewNRU returns an NRU policy.
+func NewNRU(sets, ways int) Policy {
+	return &NRU{ways: ways, used: make([]bool, sets*ways)}
+}
+
+// Name implements Policy.
+func (*NRU) Name() string { return "nru" }
+
+// OnHit implements Policy.
+func (p *NRU) OnHit(set, way int) { p.used[set*p.ways+way] = true }
+
+// OnFill implements Policy.
+func (p *NRU) OnFill(set, way int) { p.used[set*p.ways+way] = true }
+
+// OnInvalidate implements Policy.
+func (p *NRU) OnInvalidate(set, way int) { p.used[set*p.ways+way] = false }
+
+// NotRecent implements Recency.
+func (p *NRU) NotRecent(set, way int) bool { return !p.used[set*p.ways+way] }
+
+// Victim implements Policy.
+func (p *NRU) Victim(set int) int {
+	base := set * p.ways
+	for w := 0; w < p.ways; w++ {
+		if !p.used[base+w] {
+			return w
+		}
+	}
+	for w := 0; w < p.ways; w++ {
+		p.used[base+w] = false
+	}
+	return 0
+}
+
+// Random picks victims uniformly with a deterministic xorshift
+// generator.
+type Random struct {
+	ways  int
+	state uint64
+}
+
+// NewRandom returns a random-replacement policy seeded with seed.
+func NewRandom(sets, ways int, seed uint64) *Random {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Random{ways: ways, state: seed}
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// OnHit implements Policy (no state).
+func (*Random) OnHit(set, way int) {}
+
+// OnFill implements Policy (no state).
+func (*Random) OnFill(set, way int) {}
+
+// OnInvalidate implements Policy (no state).
+func (*Random) OnInvalidate(set, way int) {}
+
+// Next returns the next pseudo-random 64-bit value.
+func (p *Random) Next() uint64 {
+	p.state ^= p.state << 13
+	p.state ^= p.state >> 7
+	p.state ^= p.state << 17
+	return p.state
+}
+
+// Victim implements Policy.
+func (p *Random) Victim(set int) int { return int(p.Next() % uint64(p.ways)) }
+
+// SRRIP is static re-reference interval prediction (Jaleel et al., ISCA
+// 2010) with 2-bit re-reference prediction values (RRPV). Lines fill at
+// RRPV=2 ("long"), promote to 0 on hit, and the victim is any line at
+// RRPV=3, aging the whole set until one exists.
+type SRRIP struct {
+	ways int
+	rrpv []uint8
+}
+
+// rrpvMax is the distant re-reference value for 2-bit SRRIP.
+const rrpvMax = 3
+
+// NewSRRIP returns an SRRIP policy.
+func NewSRRIP(sets, ways int) Policy {
+	p := &SRRIP{ways: ways, rrpv: make([]uint8, sets*ways)}
+	for i := range p.rrpv {
+		p.rrpv[i] = rrpvMax
+	}
+	return p
+}
+
+// Name implements Policy.
+func (*SRRIP) Name() string { return "srrip" }
+
+// OnHit implements Policy.
+func (p *SRRIP) OnHit(set, way int) { p.rrpv[set*p.ways+way] = 0 }
+
+// OnFill implements Policy.
+func (p *SRRIP) OnFill(set, way int) { p.rrpv[set*p.ways+way] = rrpvMax - 1 }
+
+// OnInvalidate implements Policy.
+func (p *SRRIP) OnInvalidate(set, way int) { p.rrpv[set*p.ways+way] = rrpvMax }
+
+// Victim implements Policy.
+func (p *SRRIP) Victim(set int) int {
+	base := set * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] == rrpvMax {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"lru", "nru", "random", "srrip", "char"} {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		p := f(16, 4)
+		if p.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("plru"); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	p := NewLRU(1, 4).(*LRU)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w)
+	}
+	if got := p.Victim(0); got != 0 {
+		t.Fatalf("victim = %d, want 0 (oldest fill)", got)
+	}
+	p.OnHit(0, 0) // 0 becomes MRU; 1 is now LRU
+	if got := p.Victim(0); got != 1 {
+		t.Fatalf("victim after hit = %d, want 1", got)
+	}
+	order := p.StackOrder(0)
+	want := []int{0, 3, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("stack order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestLRUInvalidatePreferred(t *testing.T) {
+	p := NewLRU(1, 4).(*LRU)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w)
+	}
+	p.OnInvalidate(0, 2)
+	if got := p.Victim(0); got != 2 {
+		t.Fatalf("victim = %d, want invalidated way 2", got)
+	}
+}
+
+func TestNRUBasics(t *testing.T) {
+	p := NewNRU(2, 4).(*NRU)
+	// Empty set: way 0 (all bits clear).
+	if got := p.Victim(0); got != 0 {
+		t.Fatalf("victim = %d, want 0", got)
+	}
+	p.OnFill(0, 0)
+	p.OnFill(0, 1)
+	if got := p.Victim(0); got != 2 {
+		t.Fatalf("victim = %d, want first unused way 2", got)
+	}
+	// Saturate: all used -> reset -> way 0.
+	p.OnFill(0, 2)
+	p.OnFill(0, 3)
+	if got := p.Victim(0); got != 0 {
+		t.Fatalf("victim after saturation = %d, want 0", got)
+	}
+	// The reset must have cleared the bits.
+	for w := 0; w < 4; w++ {
+		if p.used[w] {
+			t.Fatalf("way %d still marked used after reset", w)
+		}
+	}
+	// Sets are independent.
+	p.OnFill(1, 0)
+	if got := p.Victim(1); got != 1 {
+		t.Fatalf("set 1 victim = %d, want 1", got)
+	}
+}
+
+func TestRandomDeterministicAndInRange(t *testing.T) {
+	a := NewRandom(4, 8, 99)
+	b := NewRandom(4, 8, 99)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.Victim(0), b.Victim(0)
+		if va != vb {
+			t.Fatal("same seed produced different sequences")
+		}
+		if va < 0 || va >= 8 {
+			t.Fatalf("victim %d out of range", va)
+		}
+	}
+}
+
+func TestSRRIP(t *testing.T) {
+	p := NewSRRIP(1, 4).(*SRRIP)
+	// All lines at distant RRPV initially: way 0 wins.
+	if got := p.Victim(0); got != 0 {
+		t.Fatalf("victim = %d, want 0", got)
+	}
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w) // RRPV=2
+	}
+	p.OnHit(0, 1) // RRPV=0
+	// Victim: no RRPV==3 -> age all by 1 -> ways 0,2,3 reach 3.
+	if got := p.Victim(0); got != 0 {
+		t.Fatalf("victim = %d, want 0", got)
+	}
+	// Way 1 must need two more agings to reach 3.
+	if p.rrpv[1] != 1 {
+		t.Fatalf("hit way rrpv = %d, want 1 after one aging", p.rrpv[1])
+	}
+}
+
+func TestSRRIPVictimTerminates(t *testing.T) {
+	f := func(hits []uint8) bool {
+		p := NewSRRIP(1, 8).(*SRRIP)
+		for _, h := range hits {
+			w := int(h) % 8
+			p.OnFill(0, w)
+			p.OnHit(0, w)
+		}
+		v := p.Victim(0)
+		return v >= 0 && v < 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCHARHintsAppliedInApplyLeader(t *testing.T) {
+	p := NewCHAR(charLeaderStride*2, 4).(*CHAR)
+	applySet := 0                     // leaderApply
+	ignoreSet := charLeaderStride / 2 // leaderIgnore
+	for w := 0; w < 4; w++ {
+		p.OnFill(applySet, w)
+		p.OnFill(ignoreSet, w)
+	}
+	p.OnEvictionHint(applySet, 2, true)
+	if got := p.Victim(applySet); got != 2 {
+		t.Fatalf("apply-leader victim = %d, want hinted way 2", got)
+	}
+	p.OnEvictionHint(ignoreSet, 2, true)
+	// Ignore leader: hint dropped; all young -> reset -> way 0.
+	if got := p.Victim(ignoreSet); got != 0 {
+		t.Fatalf("ignore-leader victim = %d, want 0", got)
+	}
+}
+
+func TestCHARDueling(t *testing.T) {
+	p := NewCHAR(charLeaderStride*4, 4).(*CHAR)
+	follower := 1 // neither leader
+	for w := 0; w < 4; w++ {
+		p.OnFill(follower, w)
+	}
+	// psel starts at 0, below the conservative evidence threshold:
+	// followers ignore hints by default.
+	p.OnEvictionHint(follower, 3, true)
+	if got := p.Victim(follower); got != 0 {
+		t.Fatalf("follower victim = %d, want 0 while hints lack evidence", got)
+	}
+	// Misses in the ignore-leader group accumulate evidence that
+	// applying hints helps; past the threshold, followers adopt them.
+	for i := 0; i < pselThreshold+8; i++ {
+		p.OnMiss(charLeaderStride / 2)
+	}
+	for w := 0; w < 4; w++ {
+		p.OnFill(follower, w)
+	}
+	p.OnEvictionHint(follower, 3, true)
+	if got := p.Victim(follower); got != 3 {
+		t.Fatalf("follower victim = %d, want hinted way 3 once evidence accrues", got)
+	}
+}
+
+func TestCHARLiveHintRefreshes(t *testing.T) {
+	p := NewCHAR(charLeaderStride, 4).(*CHAR)
+	set := 0
+	for w := 0; w < 4; w++ {
+		p.OnFill(set, w)
+	}
+	p.OnEvictionHint(set, 1, true)
+	p.OnEvictionHint(set, 1, false) // line proved live again
+	if got := p.Victim(set); got == 1 {
+		t.Fatal("live-hinted way chosen as victim")
+	}
+}
+
+func TestPselSaturates(t *testing.T) {
+	p := NewCHAR(charLeaderStride*2, 2).(*CHAR)
+	for i := 0; i < pselMax*3; i++ {
+		p.OnMiss(0)
+	}
+	if p.psel < -pselMax {
+		t.Fatalf("psel %d below floor", p.psel)
+	}
+	for i := 0; i < pselMax*6; i++ {
+		p.OnMiss(charLeaderStride / 2)
+	}
+	if p.psel > pselMax {
+		t.Fatalf("psel %d above ceiling", p.psel)
+	}
+}
+
+func TestDRRIPInsertionDueling(t *testing.T) {
+	p := NewDRRIP(charLeaderStride*2, 4).(*DRRIP)
+	// SRRIP leader inserts at max-1.
+	sr := 1 // leaderSRRIP
+	p.OnFill(sr, 0)
+	if p.rrpv[sr*4+0] != rrpvMax-1 {
+		t.Fatalf("SRRIP-leader insertion rrpv = %d, want %d", p.rrpv[sr*4+0], rrpvMax-1)
+	}
+	// BRRIP leader inserts mostly at max.
+	br := charLeaderStride/2 + 1
+	atMax := 0
+	for i := 0; i < 256; i++ {
+		p.OnFill(br, i%4)
+		if p.rrpv[br*4+i%4] == rrpvMax {
+			atMax++
+		}
+	}
+	if atMax < 200 {
+		t.Fatalf("BRRIP-leader distant insertions %d/256, want most", atMax)
+	}
+}
+
+func TestDRRIPFollowerFlipsWithPsel(t *testing.T) {
+	p := NewDRRIP(charLeaderStride*2, 4).(*DRRIP)
+	follower := 2
+	if p.useBRRIP(follower) {
+		t.Fatal("psel=0 should favor SRRIP insertion")
+	}
+	for i := 0; i < 10; i++ {
+		p.OnMiss(1) // SRRIP leader misses
+	}
+	if !p.useBRRIP(follower) {
+		t.Fatal("negative psel should flip followers to BRRIP")
+	}
+}
+
+func TestDRRIPVictimAndHit(t *testing.T) {
+	p := NewDRRIP(1, 4).(*DRRIP)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w)
+	}
+	p.OnHit(0, 2)
+	v := p.Victim(0)
+	if v == 2 {
+		t.Fatal("freshly hit way chosen as victim")
+	}
+	if !p.NotRecent(0, v) {
+		t.Fatal("victim not reported as not-recent")
+	}
+}

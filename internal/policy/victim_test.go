@@ -1,0 +1,124 @@
+package policy
+
+import "testing"
+
+func cands(c ...Candidate) []Candidate { return c }
+
+func TestVictimByName(t *testing.T) {
+	for _, name := range []string{"random", "ecm", "lru", "sizelru"} {
+		f, err := VictimByName(name)
+		if err != nil {
+			t.Fatalf("VictimByName(%q): %v", name, err)
+		}
+		if got := f(8, 4).Name(); got != name {
+			t.Errorf("selector name = %q, want %q", got, name)
+		}
+	}
+	if _, err := VictimByName("fifo"); err == nil {
+		t.Error("expected error for unknown selector")
+	}
+}
+
+func TestECMPrefersUnoccupied(t *testing.T) {
+	s := NewECMVictim()
+	got := s.Select(0, cands(
+		Candidate{Way: 0, PartnerSegs: 15, Occupied: true},
+		Candidate{Way: 1, PartnerSegs: 2, Occupied: false},
+	))
+	if got != 1 {
+		t.Fatalf("selected %d, want unoccupied candidate 1", got)
+	}
+}
+
+func TestECMLargestPartner(t *testing.T) {
+	s := NewECMVictim()
+	got := s.Select(0, cands(
+		Candidate{Way: 0, PartnerSegs: 5, Occupied: true},
+		Candidate{Way: 1, PartnerSegs: 12, Occupied: true},
+		Candidate{Way: 2, PartnerSegs: 9, Occupied: true},
+	))
+	if got != 1 {
+		t.Fatalf("selected %d, want largest-partner candidate 1", got)
+	}
+}
+
+func TestECMFreeTieBreaksBySize(t *testing.T) {
+	s := NewECMVictim()
+	got := s.Select(0, cands(
+		Candidate{Way: 0, PartnerSegs: 3, Occupied: false},
+		Candidate{Way: 1, PartnerSegs: 10, Occupied: false},
+	))
+	if got != 1 {
+		t.Fatalf("selected %d, want larger-partner free candidate 1", got)
+	}
+}
+
+func TestRandomVictimPrefersFreeAndDeterministic(t *testing.T) {
+	s := NewRandomVictim(5)
+	got := s.Select(0, cands(
+		Candidate{Way: 0, Occupied: true},
+		Candidate{Way: 1, Occupied: false},
+	))
+	if got != 1 {
+		t.Fatalf("selected %d, want free candidate", got)
+	}
+	a, b := NewRandomVictim(7), NewRandomVictim(7)
+	all := cands(
+		Candidate{Way: 0, Occupied: true},
+		Candidate{Way: 1, Occupied: true},
+		Candidate{Way: 2, Occupied: true},
+	)
+	for i := 0; i < 100; i++ {
+		if a.Select(0, all) != b.Select(0, all) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestLRUVictimSelectsOldest(t *testing.T) {
+	s := NewLRUVictim(4, 4)
+	s.OnFill(0, 0)
+	s.OnFill(0, 1)
+	s.OnFill(0, 2)
+	s.OnHit(0, 0)
+	got := s.Select(0, cands(
+		Candidate{Way: 0, Occupied: true},
+		Candidate{Way: 1, Occupied: true},
+		Candidate{Way: 2, Occupied: true},
+	))
+	if cand := got; cand != 1 {
+		t.Fatalf("selected candidate %d, want 1 (way 1 oldest)", cand)
+	}
+	// Invalidate resets recency: way 0 becomes oldest (stamp 0).
+	s.OnInvalidate(0, 0)
+	got = s.Select(0, cands(
+		Candidate{Way: 0, Occupied: true},
+		Candidate{Way: 1, Occupied: true},
+	))
+	if got != 0 {
+		t.Fatalf("selected candidate %d, want 0 after invalidate", got)
+	}
+}
+
+func TestSizeLRUBlends(t *testing.T) {
+	s := NewSizeLRUVictim(2, 4)
+	s.OnFill(0, 0)
+	s.OnFill(0, 1)
+	s.OnFill(0, 2)
+	// Sizes differ: size dominates.
+	got := s.Select(0, cands(
+		Candidate{Way: 0, PartnerSegs: 4, Occupied: true},
+		Candidate{Way: 1, PartnerSegs: 9, Occupied: true},
+	))
+	if got != 1 {
+		t.Fatalf("selected %d, want larger partner", got)
+	}
+	// Equal sizes: LRU breaks the tie (way 0 filled first).
+	got = s.Select(0, cands(
+		Candidate{Way: 0, PartnerSegs: 6, Occupied: true},
+		Candidate{Way: 1, PartnerSegs: 6, Occupied: true},
+	))
+	if got != 0 {
+		t.Fatalf("selected %d, want LRU way 0", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package prefetch implements the multi-stream stride prefetcher the
+// evaluation attaches to every cache level ("aggressive multi-stream
+// instruction and data prefetchers", Section V). The prefetcher tracks
+// independent access streams per 4 KB region, detects constant strides,
+// and issues a configurable number of prefetches ahead of the demand
+// stream once a stride has been confirmed.
+package prefetch
+
+// Config tunes one prefetcher instance.
+type Config struct {
+	Streams  int // tracked concurrent streams (table entries)
+	Degree   int // prefetches issued per confirmed demand access
+	Distance int // how many strides ahead the furthest prefetch lands
+	// TrainOnLines trains on 64-byte line addresses rather than byte
+	// addresses (used at L2/LLC where requests are line-granular).
+	TrainOnLines bool
+}
+
+// DefaultL1 mirrors an aggressive per-core L1 configuration.
+func DefaultL1() Config { return Config{Streams: 16, Degree: 2, Distance: 4} }
+
+// DefaultL2 prefetches further ahead at line granularity.
+func DefaultL2() Config { return Config{Streams: 32, Degree: 2, Distance: 8, TrainOnLines: true} }
+
+// DefaultLLC is the most aggressive, deepest-distance stream engine.
+func DefaultLLC() Config { return Config{Streams: 32, Degree: 4, Distance: 16, TrainOnLines: true} }
+
+// regionShift groups addresses into 4 KB training regions.
+const regionShift = 12
+
+type stream struct {
+	region   uint64
+	lastLine uint64
+	stride   int64
+	confirms int
+	valid    bool
+	lastUse  uint64
+}
+
+// Prefetcher is a multi-stream stride engine. It is not safe for
+// concurrent use; each cache level owns one.
+type Prefetcher struct {
+	cfg     Config
+	streams []stream
+	clock   uint64
+	out     []uint64 // reused output buffer
+
+	Stats Stats
+}
+
+// Stats counts prefetcher activity.
+type Stats struct {
+	Trains   uint64
+	Issued   uint64
+	Streams  uint64 // stream allocations
+	Confirms uint64
+}
+
+// New builds a prefetcher with the given configuration.
+func New(cfg Config) *Prefetcher {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 16
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 1
+	}
+	if cfg.Distance < cfg.Degree {
+		cfg.Distance = cfg.Degree
+	}
+	return &Prefetcher{cfg: cfg, streams: make([]stream, cfg.Streams)}
+}
+
+// confirmThreshold is how many same-stride observations arm a stream.
+const confirmThreshold = 2
+
+// Advise trains the prefetcher on a demand access (byte address) and
+// returns the line addresses to prefetch. The returned slice is valid
+// until the next call.
+func (p *Prefetcher) Advise(addr uint64) []uint64 {
+	p.clock++
+	p.Stats.Trains++
+	line := addr >> 6
+	region := addr >> regionShift
+	p.out = p.out[:0]
+
+	s := p.lookup(region)
+	if s == nil {
+		s = p.victim()
+		*s = stream{region: region, lastLine: line, valid: true, lastUse: p.clock}
+		p.Stats.Streams++
+		return p.out
+	}
+	s.lastUse = p.clock
+	stride := int64(line) - int64(s.lastLine)
+	if stride == 0 {
+		return p.out // same line; nothing to learn
+	}
+	if stride == s.stride {
+		if s.confirms < confirmThreshold {
+			s.confirms++
+			p.Stats.Confirms++
+		}
+	} else {
+		s.stride = stride
+		s.confirms = 1
+	}
+	s.lastLine = line
+	if s.confirms < confirmThreshold {
+		return p.out
+	}
+	// Armed: issue Degree prefetches spread up to Distance strides out.
+	step := p.cfg.Distance / p.cfg.Degree
+	if step < 1 {
+		step = 1
+	}
+	for i := 1; i <= p.cfg.Degree; i++ {
+		target := int64(line) + s.stride*int64(i*step)
+		if target < 0 {
+			continue
+		}
+		p.out = append(p.out, uint64(target))
+		p.Stats.Issued++
+	}
+	return p.out
+}
+
+func (p *Prefetcher) lookup(region uint64) *stream {
+	for i := range p.streams {
+		if p.streams[i].valid && p.streams[i].region == region {
+			return &p.streams[i]
+		}
+	}
+	return nil
+}
+
+func (p *Prefetcher) victim() *stream {
+	oldest := 0
+	for i := range p.streams {
+		if !p.streams[i].valid {
+			return &p.streams[i]
+		}
+		if p.streams[i].lastUse < p.streams[oldest].lastUse {
+			oldest = i
+		}
+	}
+	return &p.streams[oldest]
+}

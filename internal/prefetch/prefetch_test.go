@@ -1,0 +1,112 @@
+package prefetch
+
+import "testing"
+
+func TestStrideDetection(t *testing.T) {
+	p := New(Config{Streams: 4, Degree: 2, Distance: 4})
+	// Unit-stride line stream within one region.
+	var got []uint64
+	for i := 0; i < 6; i++ {
+		got = p.Advise(uint64(i * 64))
+	}
+	if len(got) != 2 {
+		t.Fatalf("issued %d prefetches, want 2", len(got))
+	}
+	// Last demand line 5, stride 1, step = 4/2 = 2: lines 7 and 9.
+	if got[0] != 7 || got[1] != 9 {
+		t.Fatalf("prefetch lines %v, want [7 9]", got)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New(Config{Streams: 4, Degree: 1, Distance: 1})
+	var got []uint64
+	for i := 20; i >= 14; i-- {
+		got = p.Advise(uint64(i * 64))
+	}
+	if len(got) != 1 || got[0] != 13 {
+		t.Fatalf("prefetch lines %v, want [13]", got)
+	}
+}
+
+func TestNoPrefetchBeforeConfirmation(t *testing.T) {
+	p := New(DefaultL1())
+	if got := p.Advise(0); len(got) != 0 {
+		t.Fatalf("cold access issued %v", got)
+	}
+	if got := p.Advise(64); len(got) != 0 {
+		t.Fatalf("single stride observation issued %v", got)
+	}
+}
+
+func TestIrregularStreamStaysQuiet(t *testing.T) {
+	p := New(DefaultL1())
+	addrs := []uint64{0, 64, 320, 128, 448, 192}
+	issued := 0
+	for _, a := range addrs {
+		issued += len(p.Advise(a))
+	}
+	if issued != 0 {
+		t.Fatalf("irregular stream issued %d prefetches", issued)
+	}
+}
+
+func TestSameLineAccessesIgnored(t *testing.T) {
+	p := New(Config{Streams: 4, Degree: 1, Distance: 1})
+	p.Advise(0)
+	p.Advise(64)
+	p.Advise(64 + 8) // same line
+	got := p.Advise(128)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("prefetch %v, want [3] despite same-line noise", got)
+	}
+}
+
+func TestMultipleStreams(t *testing.T) {
+	p := New(Config{Streams: 8, Degree: 1, Distance: 1})
+	// Two interleaved streams in different regions. Advise reuses its
+	// output buffer, so copy the results before the next call.
+	var a, b []uint64
+	for i := 0; i < 5; i++ {
+		a = append(a[:0], p.Advise(uint64(i*64))...)
+		b = append(b[:0], p.Advise(uint64(1<<20+i*128))...)
+	}
+	if len(a) != 1 || a[0] != 5 {
+		t.Fatalf("stream A prefetch %v", a)
+	}
+	if len(b) != 1 || b[0] != (1<<20)/64+10 {
+		t.Fatalf("stream B prefetch %v", b)
+	}
+}
+
+func TestStreamTableEviction(t *testing.T) {
+	p := New(Config{Streams: 2, Degree: 1, Distance: 1})
+	p.Advise(0)
+	p.Advise(1 << 20)
+	p.Advise(2 << 20) // evicts the LRU stream (region 0)
+	if p.Stats.Streams != 3 {
+		t.Fatalf("stream allocations = %d, want 3", p.Stats.Streams)
+	}
+	// Region 0 must retrain from scratch.
+	p.Advise(64)
+	p.Advise(128)
+	got := p.Advise(192)
+	if len(got) != 1 {
+		t.Fatalf("retrained stream issued %v", got)
+	}
+}
+
+func TestConfigDefaultsSanitized(t *testing.T) {
+	p := New(Config{Streams: -1, Degree: 0, Distance: -5})
+	if got := p.Advise(0); got == nil && len(p.streams) == 0 {
+		t.Fatal("prefetcher unusable with sanitized config")
+	}
+}
+
+func BenchmarkAdvise(b *testing.B) {
+	p := New(DefaultLLC())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Advise(uint64(i%4096) * 64)
+	}
+}

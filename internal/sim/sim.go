@@ -1,0 +1,367 @@
+// Package sim ties the substrates together into runnable experiments:
+// a trace-driven core (cpu) over a private hierarchy (hierarchy) with a
+// pluggable LLC organization (ccache) and DDR3 memory (dram), fed by
+// the synthetic workload suite (workload). It provides single-thread
+// runs, multi-program runs with a shared LLC, and the ratio metrics
+// the paper reports.
+package sim
+
+import (
+	"fmt"
+
+	"basevictim/internal/ccache"
+	"basevictim/internal/compress"
+	"basevictim/internal/cpu"
+	"basevictim/internal/dram"
+	"basevictim/internal/energy"
+	"basevictim/internal/hierarchy"
+	"basevictim/internal/policy"
+	"basevictim/internal/trace"
+	"basevictim/internal/workload"
+)
+
+// OrgKind names an LLC organization.
+type OrgKind string
+
+// Organization kinds.
+const (
+	OrgUncompressed OrgKind = "uncompressed"
+	OrgTwoTag       OrgKind = "twotag"
+	OrgTwoTagMod    OrgKind = "twotag-mod"
+	OrgBaseVictim   OrgKind = "basevictim"
+	OrgVSC          OrgKind = "vsc2x"
+)
+
+// Config describes one simulation configuration.
+type Config struct {
+	Org          OrgKind
+	LLCSizeBytes int
+	LLCWays      int
+	Policy       string // baseline replacement: "nru", "srrip", "char", "lru"
+	VictimPolicy string // victim selector: "ecm", "random", "lru", "sizelru"
+	Inclusive    bool
+
+	Instructions uint64 // per-thread instruction budget
+	Prefetch     bool
+
+	// ExtraLLCLatency adds lookup cycles for larger uncompressed
+	// caches (the paper adds 1 cycle for 3 MB+).
+	ExtraLLCLatency uint64
+
+	// TagCycles is the extra LLC lookup latency from doubled tags
+	// (paper: 1). DecompressCycles is the penalty on compressed hits
+	// (paper: 2). Both apply to compressed organizations only.
+	TagCycles        uint64
+	DecompressCycles uint64
+
+	// Compressor selects the algorithm sizing lines in the value
+	// model: "bdi" (paper default), "fpc" or "cpack".
+	Compressor string
+}
+
+// Default is the paper's main single-thread configuration with a
+// reduced instruction budget suitable for a laptop-scale rerun; the
+// harness scales Instructions up or down.
+func Default() Config {
+	return Config{
+		Org:              OrgBaseVictim,
+		LLCSizeBytes:     2 << 20,
+		LLCWays:          16,
+		Policy:           "nru",
+		VictimPolicy:     "ecm",
+		Inclusive:        true,
+		Instructions:     1_000_000,
+		Prefetch:         true,
+		TagCycles:        1,
+		DecompressCycles: 2,
+		Compressor:       "bdi",
+	}
+}
+
+// Baseline returns cfg rewritten as the uncompressed baseline of the
+// same geometry.
+func (c Config) Baseline() Config {
+	c.Org = OrgUncompressed
+	return c
+}
+
+// WithSize returns cfg with a different LLC size (ways scale with size
+// below 2 MB granularity kept at 16 unless specified).
+func (c Config) WithSize(bytes, ways int, extraLat uint64) Config {
+	c.LLCSizeBytes = bytes
+	c.LLCWays = ways
+	c.ExtraLLCLatency = extraLat
+	return c
+}
+
+// buildOrg constructs the configured LLC organization.
+func buildOrg(c Config) (ccache.Org, error) {
+	pf, err := policy.ByName(c.Policy)
+	if err != nil {
+		return nil, err
+	}
+	vName := c.VictimPolicy
+	if vName == "" {
+		vName = "ecm"
+	}
+	vf, err := policy.VictimByName(vName)
+	if err != nil {
+		return nil, err
+	}
+	cc := ccache.Config{
+		SizeBytes: c.LLCSizeBytes,
+		Ways:      c.LLCWays,
+		Policy:    pf,
+		Victim:    vf,
+		Inclusive: c.Inclusive,
+		Seed:      1,
+	}
+	switch c.Org {
+	case OrgUncompressed:
+		return ccache.NewUncompressed(cc)
+	case OrgTwoTag:
+		return ccache.NewTwoTag(cc)
+	case OrgTwoTagMod:
+		return ccache.NewTwoTagModified(cc)
+	case OrgBaseVictim:
+		return ccache.NewBaseVictim(cc)
+	case OrgVSC:
+		return ccache.NewVSCFunctional(cc)
+	default:
+		return nil, fmt.Errorf("sim: unknown org %q", c.Org)
+	}
+}
+
+// Result summarizes one thread's run.
+type Result struct {
+	Trace        string
+	Org          OrgKind
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	DemandDRAMReads uint64
+	DRAMReads       uint64
+	DRAMWrites      uint64
+	LLC             ccache.Stats
+	Energy          energy.Counters
+
+	// LLCLogicalLines and LLCPhysicalLines snapshot the effective
+	// capacity at the end of the run (Section V comparison).
+	LLCLogicalLines  int
+	LLCPhysicalLines int
+}
+
+// sizerFor builds the trace's value model under the configured
+// compression algorithm.
+func sizerFor(p workload.Profile, cfg Config) (hierarchy.Sizer, error) {
+	name := cfg.Compressor
+	if name == "" || name == "bdi" {
+		return p.Values(), nil
+	}
+	c, err := compress.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.ValuesWith(c), nil
+}
+
+func hierConfig(cfg Config) hierarchy.Config {
+	hcfg := hierarchy.DefaultConfig()
+	hcfg.EnablePrefetch = cfg.Prefetch
+	hcfg.ExtraLLCLatency = cfg.ExtraLLCLatency
+	hcfg.ExtraTagCycles = cfg.TagCycles
+	hcfg.DecompressCycles = cfg.DecompressCycles
+	return hcfg
+}
+
+// RunSingle executes one trace on one configuration.
+func RunSingle(p workload.Profile, cfg Config) (Result, error) {
+	org, err := buildOrg(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	sizer, err := sizerFor(p, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	mem := dram.New(dram.DefaultConfig())
+	h, err := hierarchy.New(hierConfig(cfg), org, mem, sizer)
+	if err != nil {
+		return Result{}, err
+	}
+	core := cpu.MustNew(cpu.DefaultConfig(), h)
+	res := core.Run(p.Stream(), cfg.Instructions)
+	return Result{
+		Trace:            p.Name,
+		Org:              cfg.Org,
+		Instructions:     res.Instructions,
+		Cycles:           res.Cycles,
+		IPC:              res.IPC,
+		DemandDRAMReads:  h.Stats.DemandDRAMReads,
+		DRAMReads:        mem.Stats.Reads,
+		DRAMWrites:       mem.Stats.Writes,
+		LLC:              *org.Stats(),
+		Energy:           h.EnergyCounters(res.Cycles),
+		LLCLogicalLines:  org.LogicalLines(),
+		LLCPhysicalLines: org.Sets() * org.Ways(),
+	}, nil
+}
+
+// RunStream executes an arbitrary instruction stream (e.g. a trace
+// file replayed through trace.Reader) against the configuration, using
+// the supplied value model for compressed sizes. It powers trace-file
+// replay in cmd/bvsim.
+func RunStream(s trace.Stream, sizer hierarchy.Sizer, cfg Config) (Result, error) {
+	org, err := buildOrg(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	mem := dram.New(dram.DefaultConfig())
+	h, err := hierarchy.New(hierConfig(cfg), org, mem, sizer)
+	if err != nil {
+		return Result{}, err
+	}
+	core := cpu.MustNew(cpu.DefaultConfig(), h)
+	res := core.Run(s, cfg.Instructions)
+	return Result{
+		Trace:            "stream",
+		Org:              cfg.Org,
+		Instructions:     res.Instructions,
+		Cycles:           res.Cycles,
+		IPC:              res.IPC,
+		DemandDRAMReads:  h.Stats.DemandDRAMReads,
+		DRAMReads:        mem.Stats.Reads,
+		DRAMWrites:       mem.Stats.Writes,
+		LLC:              *org.Stats(),
+		Energy:           h.EnergyCounters(res.Cycles),
+		LLCLogicalLines:  org.LogicalLines(),
+		LLCPhysicalLines: org.Sets() * org.Ways(),
+	}, nil
+}
+
+// Pair holds a run and its same-trace baseline, with ratio helpers.
+type Pair struct {
+	Run, Base Result
+}
+
+// IPCRatio is run IPC over baseline IPC.
+func (p Pair) IPCRatio() float64 {
+	if p.Base.IPC == 0 {
+		return 0
+	}
+	return p.Run.IPC / p.Base.IPC
+}
+
+// DRAMReadRatio is the demand read-traffic ratio.
+func (p Pair) DRAMReadRatio() float64 {
+	if p.Base.DemandDRAMReads == 0 {
+		return 1
+	}
+	return float64(p.Run.DemandDRAMReads) / float64(p.Base.DemandDRAMReads)
+}
+
+// RunPair runs a trace on cfg and on the 2 MB-class baseline given by
+// base, returning both.
+func RunPair(p workload.Profile, cfg, base Config) (Pair, error) {
+	r, err := RunSingle(p, cfg)
+	if err != nil {
+		return Pair{}, err
+	}
+	b, err := RunSingle(p, base)
+	if err != nil {
+		return Pair{}, err
+	}
+	return Pair{Run: r, Base: b}, nil
+}
+
+// MultiResult is one multi-program mix outcome.
+type MultiResult struct {
+	Mix     [4]string
+	PerIPC  [4]float64
+	Cycles  [4]uint64 // cycle count when each thread finished its phase
+	LLCStat ccache.Stats
+}
+
+// RunMix executes a 4-thread multi-program mix on a shared LLC. Each
+// thread retires insPerThread instructions; threads that finish early
+// keep running to preserve contention (Section V), and per-thread IPC
+// is measured at the end of each thread's own phase.
+func RunMix(mix [4]workload.Profile, cfg Config) (MultiResult, error) {
+	org, err := buildOrg(cfg)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	mem := dram.New(dram.DefaultConfig())
+
+	var (
+		cores   [4]*cpu.Core
+		streams [4]*workload.Generator
+		retired [4]uint64
+		doneAt  [4]uint64
+		res     MultiResult
+	)
+	hiers := make([]*hierarchy.Hierarchy, len(mix))
+	for i, p := range mix {
+		sizer, err := sizerFor(p, cfg)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		h, err := hierarchy.New(hierConfig(cfg), org, mem, sizer)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		h.AddrOffset = uint64(i+1) << 44
+		hiers[i] = h
+		ccfg := cpu.DefaultConfig()
+		ccfg.CodeBase = uint64(i+1)<<44 | 1<<40
+		cores[i] = cpu.MustNew(ccfg, h)
+		streams[i] = p.Stream()
+		res.Mix[i] = p.Name
+	}
+	hierarchy.ShareLLC(hiers)
+
+	const quantum = 2000
+	for {
+		allDone := true
+		for i := range cores {
+			if doneAt[i] != 0 {
+				// Finished threads keep executing for contention, but
+				// only while others still measure.
+				continue
+			}
+			allDone = false
+			r := cores[i].Run(streams[i], quantum)
+			retired[i] += r.Instructions
+			if retired[i] >= cfg.Instructions {
+				doneAt[i] = r.Cycles
+				res.PerIPC[i] = float64(retired[i]) / float64(r.Cycles)
+				res.Cycles[i] = r.Cycles
+			}
+		}
+		if allDone {
+			break
+		}
+		// Contention traffic from finished threads.
+		for i := range cores {
+			if doneAt[i] != 0 {
+				cores[i].Run(streams[i], quantum/4)
+			}
+		}
+	}
+	res.LLCStat = *org.Stats()
+	return res, nil
+}
+
+// WeightedSpeedup returns the paper's multi-program metric: the mean
+// over threads of IPC_new/IPC_base, where base is the same mix run on
+// the baseline configuration.
+func WeightedSpeedup(run, base MultiResult) float64 {
+	sum := 0.0
+	for i := range run.PerIPC {
+		if base.PerIPC[i] > 0 {
+			sum += run.PerIPC[i] / base.PerIPC[i]
+		}
+	}
+	return sum / float64(len(run.PerIPC))
+}

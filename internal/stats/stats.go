@@ -1,0 +1,134 @@
+// Package stats provides the aggregate metrics the paper reports:
+// geometric means of per-trace ratios, category breakdowns, and simple
+// series summaries for the line-graph figures.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of positive values; zero or
+// negative entries are skipped (they would otherwise poison the mean).
+// It returns 0 for an empty input.
+func GeoMean(xs []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min and Max return the extrema; both return 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum, 0 for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CountBelow returns how many values are strictly below the threshold.
+// The paper uses it for "37 out of 60 traces have a lower IPC".
+func CountBelow(xs []float64, threshold float64) int {
+	n := 0
+	for _, x := range xs {
+		if x < threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Sorted returns a sorted copy (ascending); used to print line-graph
+// series the way the paper's figures order traces.
+func Sorted(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of the values using
+// nearest-rank on a sorted copy; 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := Sorted(xs)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// Series pairs a label with per-trace values; figures print one row
+// per series.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Summary renders the aggregate numbers the paper quotes for a series.
+type Summary struct {
+	GeoMean float64
+	Min     float64
+	Max     float64
+	Losers  int // values below 1.0
+	N       int
+}
+
+// Summarize computes a Summary for ratio values.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		GeoMean: GeoMean(xs),
+		Min:     Min(xs),
+		Max:     Max(xs),
+		Losers:  CountBelow(xs, 1.0),
+		N:       len(xs),
+	}
+}

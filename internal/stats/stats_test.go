@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean not 0")
+	}
+	// Non-positive values are skipped.
+	if got := GeoMean([]float64{0, -1, 4}); got != 4 {
+		t.Fatalf("GeoMean with junk = %v, want 4", got)
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)/1000 + 0.001
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || Min(xs) != 1 || Max(xs) != 3 {
+		t.Fatal("mean/min/max wrong")
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty inputs should yield 0")
+	}
+}
+
+func TestCountBelow(t *testing.T) {
+	xs := []float64{0.9, 1.0, 1.1, 0.5}
+	if got := CountBelow(xs, 1.0); got != 2 {
+		t.Fatalf("CountBelow = %d, want 2", got)
+	}
+}
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := Sorted(xs)
+	if xs[0] != 3 {
+		t.Fatal("input mutated")
+	}
+	if s[0] != 1 || s[2] != 3 {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Fatalf("P50 = %v, want 5", got)
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 10 {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile not 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.8, 1.2, 1.0})
+	if s.N != 3 || s.Losers != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Min != 0.8 || s.Max != 1.2 {
+		t.Fatalf("summary extremes %+v", s)
+	}
+}

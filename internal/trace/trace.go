@@ -1,0 +1,209 @@
+// Package trace defines the instruction-trace representation the
+// simulator consumes, plus a compact binary codec for storing traces on
+// disk. Traces are streams of retired instructions: memory operations
+// carry a byte address, and loads can be flagged as blocking
+// (dependence-critical), which the core model uses to bound
+// memory-level parallelism.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind classifies one trace operation.
+type Kind uint8
+
+// Operation kinds.
+const (
+	// Exec is a non-memory instruction (ALU, branch, ...).
+	Exec Kind = iota
+	// Load is a data read.
+	Load
+	// Store is a data write.
+	Store
+)
+
+// Op is one retired instruction.
+type Op struct {
+	Kind Kind
+	Addr uint64 // byte address; meaningful for Load/Store only
+	// Dep marks a load whose value feeds address generation or
+	// control flow: dispatch stalls until it completes. The fraction
+	// of Dep loads is the workload's MLP knob.
+	Dep bool
+}
+
+// Stream produces trace operations. Next returns false when the trace
+// is exhausted.
+type Stream interface {
+	Next() (Op, bool)
+}
+
+// SliceStream adapts a slice of ops into a Stream; used by tests.
+type SliceStream struct {
+	Ops []Op
+	i   int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Op, bool) {
+	if s.i >= len(s.Ops) {
+		return Op{}, false
+	}
+	op := s.Ops[s.i]
+	s.i++
+	return op, true
+}
+
+// Reset rewinds the stream.
+func (s *SliceStream) Reset() { s.i = 0 }
+
+// Binary trace format:
+//
+//	magic "BVTR" | version u8 | ops...
+//	op: header byte = kind(2b) | dep(1b) | hasAddr(1b)
+//	    followed by a varint zig-zag address delta when hasAddr.
+//
+// Addresses are delta-encoded against the previous memory address,
+// which compresses strided streams well.
+var magic = [4]byte{'B', 'V', 'T', 'R'}
+
+const formatVersion = 1
+
+// ErrBadTrace reports a corrupt or truncated trace file.
+var ErrBadTrace = errors.New("trace: bad trace data")
+
+// Writer encodes ops to an underlying writer.
+type Writer struct {
+	w        *bufio.Writer
+	lastAddr uint64
+	started  bool
+	count    uint64
+}
+
+// NewWriter creates a trace writer and emits the header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(formatVersion); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one op.
+func (t *Writer) Write(op Op) error {
+	hdr := byte(op.Kind) & 0x3
+	if op.Dep {
+		hdr |= 1 << 2
+	}
+	hasAddr := op.Kind == Load || op.Kind == Store
+	if hasAddr {
+		hdr |= 1 << 3
+	}
+	if err := t.w.WriteByte(hdr); err != nil {
+		return err
+	}
+	if hasAddr {
+		delta := int64(op.Addr - t.lastAddr)
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], delta)
+		if _, err := t.w.Write(buf[:n]); err != nil {
+			return err
+		}
+		t.lastAddr = op.Addr
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of ops written.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush drains buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader decodes a trace produced by Writer; it implements Stream via
+// ReadOp plus an error-free Next adapter.
+type Reader struct {
+	r        *bufio.Reader
+	lastAddr uint64
+	err      error
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if [4]byte(hdr[:4]) != magic || hdr[4] != formatVersion {
+		return nil, ErrBadTrace
+	}
+	return &Reader{r: br}, nil
+}
+
+// ReadOp returns the next op, io.EOF at end, or ErrBadTrace.
+func (t *Reader) ReadOp() (Op, error) {
+	hdr, err := t.r.ReadByte()
+	if err == io.EOF {
+		return Op{}, io.EOF
+	}
+	if err != nil {
+		return Op{}, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	op := Op{Kind: Kind(hdr & 0x3), Dep: hdr&(1<<2) != 0}
+	if op.Kind > Store || (hdr&0xF0) != 0 {
+		return Op{}, ErrBadTrace
+	}
+	if hdr&(1<<3) != 0 {
+		delta, err := binary.ReadVarint(t.r)
+		if err != nil {
+			return Op{}, fmt.Errorf("%w: truncated address", ErrBadTrace)
+		}
+		t.lastAddr += uint64(delta)
+		op.Addr = t.lastAddr
+	} else if op.Kind != Exec {
+		return Op{}, ErrBadTrace
+	}
+	return op, nil
+}
+
+// Next implements Stream; decode errors terminate the stream and are
+// available via Err.
+func (t *Reader) Next() (Op, bool) {
+	op, err := t.ReadOp()
+	if err != nil {
+		if err != io.EOF {
+			t.err = err
+		}
+		return Op{}, false
+	}
+	return op, true
+}
+
+// Err returns the first non-EOF decode error, if any.
+func (t *Reader) Err() error { return t.err }
+
+// Limit wraps a stream, ending it after n ops.
+func Limit(s Stream, n uint64) Stream { return &limitStream{s: s, left: n} }
+
+type limitStream struct {
+	s    Stream
+	left uint64
+}
+
+func (l *limitStream) Next() (Op, bool) {
+	if l.left == 0 {
+		return Op{}, false
+	}
+	l.left--
+	return l.s.Next()
+}

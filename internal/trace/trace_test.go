@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randOps(seed int64, n int) []Op {
+	r := rand.New(rand.NewSource(seed))
+	ops := make([]Op, n)
+	for i := range ops {
+		switch r.Intn(3) {
+		case 0:
+			ops[i] = Op{Kind: Exec}
+		case 1:
+			ops[i] = Op{Kind: Load, Addr: uint64(r.Intn(1 << 30)), Dep: r.Intn(3) == 0}
+		default:
+			ops[i] = Op{Kind: Store, Addr: uint64(r.Intn(1 << 30))}
+		}
+	}
+	return ops
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		ops := randOps(seed, 500)
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			if err := w.Write(op); err != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil || w.Count() != 500 {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range ops {
+			got, ok := r.Next()
+			if !ok || got != ops[i] {
+				t.Logf("op %d: got %+v want %+v", i, got, ops[i])
+				return false
+			}
+		}
+		if _, ok := r.Next(); ok {
+			return false
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaEncodingIsCompact(t *testing.T) {
+	// A strided stream should cost ~2 bytes per op (header + 1-byte
+	// delta).
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		w.Write(Op{Kind: Load, Addr: uint64(i * 64)})
+	}
+	w.Flush()
+	if buf.Len() > 5+1000*3 {
+		t.Fatalf("strided trace took %d bytes, expected compact delta encoding", buf.Len())
+	}
+}
+
+func TestRejectsBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("oops"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX\x01more"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(append(magic[:], 99))); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTruncatedAddress(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Op{Kind: Load, Addr: 1 << 40})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-2] // chop the varint
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated op decoded")
+	}
+	if r.Err() == nil {
+		t.Fatal("truncation not reported")
+	}
+}
+
+func TestReadOpEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	r, _ := NewReader(&buf)
+	if _, err := r.ReadOp(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := &SliceStream{Ops: []Op{{Kind: Exec}, {Kind: Load, Addr: 64}}}
+	var n int
+	for _, ok := s.Next(); ok; _, ok = s.Next() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("streamed %d ops, want 2", n)
+	}
+	s.Reset()
+	if op, ok := s.Next(); !ok || op.Kind != Exec {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := &SliceStream{Ops: randOps(1, 100)}
+	lim := Limit(s, 10)
+	var n int
+	for _, ok := lim.Next(); ok; _, ok = lim.Next() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("limited stream gave %d ops, want 10", n)
+	}
+}
+
+func BenchmarkWriter(b *testing.B) {
+	ops := randOps(1, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for _, op := range ops {
+			w.Write(op)
+		}
+		w.Flush()
+	}
+}
