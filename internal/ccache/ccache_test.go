@@ -23,6 +23,15 @@ func tinyConfig() Config {
 // addrInSet returns the i-th distinct line address mapping to the set.
 func addrInSet(sets, set, i int) uint64 { return uint64(i*sets + set) }
 
+// mustIntegrity fails the test on the first structural-invariant
+// violation the organization reports.
+func mustIntegrity(t *testing.T, o IntegrityChecker) {
+	t.Helper()
+	if err := o.Integrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	bad := Config{SizeBytes: 100, Ways: 3, Policy: policy.NewLRU}
 	if _, err := NewUncompressed(bad); err == nil {
@@ -189,7 +198,7 @@ func TestBaseVictimMirrorsUncompressed(t *testing.T) {
 					if hitU != (hitB && !victimB) {
 						t.Fatalf("seed %d: base-hit mismatch addr %d", seed, op.addr)
 					}
-					bv.checkInvariants()
+					mustIntegrity(t, bv)
 				}
 				// Base tags must match exactly, dirty bits included.
 				for set := 0; set < unc.Sets(); set++ {
@@ -268,7 +277,7 @@ func TestBaseVictimFigure4(t *testing.T) {
 	*bv.victimAt(0, 1) = tag{addr: addrInSet(sets, 0, 11), valid: true, segs: 8} // E
 	*bv.victimAt(0, 2) = tag{addr: addrInSet(sets, 0, 12), valid: true, segs: 4} // X
 	*bv.victimAt(0, 3) = tag{addr: addrInSet(sets, 0, 13), valid: true, segs: 6} // Y
-	bv.checkInvariants()
+	mustIntegrity(t, bv)
 	// Touch bases so LRU order is A,C,D (MRU..) and B is LRU.
 	bv.Access(d, false, 12)
 	bv.Access(cAddr, false, 8)
@@ -279,7 +288,7 @@ func TestBaseVictimFigure4(t *testing.T) {
 		t.Fatal("Z unexpectedly present")
 	}
 	r := bv.Fill(z, 12, false)
-	bv.checkInvariants()
+	mustIntegrity(t, bv)
 
 	// B was clean: back-invalidated, no writeback.
 	if len(r.Writebacks) != 0 {
@@ -343,7 +352,7 @@ func TestBaseVictimFigure5(t *testing.T) {
 	bv.Access(a, false, 8)
 
 	r := bv.Access(e, false, 8)
-	bv.checkInvariants()
+	mustIntegrity(t, bv)
 	if !r.Hit || !r.VictimHit {
 		t.Fatal("E should hit the Victim Cache")
 	}
@@ -381,16 +390,16 @@ func TestBaseVictimWriteGrowthEvictsPartner(t *testing.T) {
 	x, v := addrInSet(sets, 0, 1), addrInSet(sets, 0, 2)
 	bv.Fill(x, 4, false)
 	*bv.victimAt(0, 0) = tag{addr: v, valid: true, segs: 8}
-	bv.checkInvariants()
+	mustIntegrity(t, bv)
 	// Write X with a size that still fits: partner survives.
 	bv.Access(x, true, 8)
-	bv.checkInvariants()
+	mustIntegrity(t, bv)
 	if !bv.Contains(v) {
 		t.Fatal("partner evicted although it fits")
 	}
 	// Grow X to 12: 12+8 > 16, partner dropped silently.
 	r := bv.Access(x, true, 12)
-	bv.checkInvariants()
+	mustIntegrity(t, bv)
 	if bv.Contains(v) {
 		t.Fatal("partner survived overflow")
 	}
@@ -429,7 +438,7 @@ func TestBaseVictimNonInclusiveDirtyVictims(t *testing.T) {
 		bv.Fill(addrInSet(sets, 0, i), 4, true)
 	}
 	r := bv.Fill(addrInSet(sets, 0, 5), 4, false)
-	bv.checkInvariants()
+	mustIntegrity(t, bv)
 	// Non-inclusive: the displaced dirty line parks in the Victim
 	// Cache still dirty, with no writeback and no back-invalidate.
 	if len(r.Writebacks) != 0 || len(r.BackInvals) != 0 {
@@ -443,23 +452,39 @@ func TestBaseVictimNonInclusiveDirtyVictims(t *testing.T) {
 	if r := bv.Access(victim, true, 6); !r.Hit || !r.VictimHit {
 		t.Fatal("write to victim line should hit and promote (non-inclusive)")
 	}
-	bv.checkInvariants()
+	mustIntegrity(t, bv)
 	if r := bv.Access(victim, false, 6); !r.Hit || r.VictimHit {
 		t.Fatal("promoted line should be a base hit")
 	}
 }
 
-func TestBaseVictimInclusiveVictimWritePanics(t *testing.T) {
+// TestBaseVictimInclusiveVictimWriteRecordsFault: a write hit on an
+// inclusive victim line is a hierarchy protocol violation. Instead of
+// panicking, the organization records the fault (surfaced through
+// sim.Run's error path) and degrades to the non-inclusive promotion so
+// the run stays analyzable.
+func TestBaseVictimInclusiveVictimWriteRecordsFault(t *testing.T) {
 	cfg := tinyConfig()
 	bv, _ := NewBaseVictim(cfg)
 	sets := bv.Sets()
-	*bv.victimAt(0, 0) = tag{addr: addrInSet(sets, 0, 9), valid: true, segs: 4}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on inclusive victim write hit")
-		}
-	}()
-	bv.Access(addrInSet(sets, 0, 9), true, 4)
+	addr := addrInSet(sets, 0, 9)
+	*bv.victimAt(0, 0) = tag{addr: addr, valid: true, segs: 4}
+	if bv.Fault() != nil {
+		t.Fatal("fault recorded before any access")
+	}
+	r := bv.Access(addr, true, 4)
+	if !r.Hit || !r.VictimHit {
+		t.Fatal("write to victim line should still hit")
+	}
+	if bv.Fault() == nil {
+		t.Fatal("protocol fault not recorded")
+	}
+	// The degraded path promotes the line dirty; the structure stays
+	// sound and a subsequent access is a normal base hit.
+	mustIntegrity(t, bv)
+	if r := bv.Access(addr, false, 4); !r.Hit || r.VictimHit {
+		t.Fatal("promoted line should be a base hit")
+	}
 }
 
 // TestTwoTagPartnerVictimization reproduces the Section III example:

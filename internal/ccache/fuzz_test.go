@@ -32,7 +32,7 @@ func FuzzBaseVictimInvariants(f *testing.F) {
 			if hitU != (hitB && !victimB) {
 				t.Fatal("base-hit mismatch")
 			}
-			bv.checkInvariants()
+			mustIntegrity(t, bv)
 		}
 		if bv.Stats().Misses > unc.Stats().Misses {
 			t.Fatal("basevictim missed more than uncompressed")

@@ -86,9 +86,16 @@ func (c *twoTagBase) HintEviction(lineAddr uint64, dead bool) {
 }
 
 // evict removes logical line l, emitting writeback and back-invalidate
-// events (two-tag lines can be dirty and present in inner caches).
+// events (two-tag lines can be dirty and present in inner caches). The
+// replacement policy runs over all logical ways and can nominate one
+// that is already invalid (freeSlot skips invalid slots whose partner
+// leaves no room), so an invalid slot is a silent no-op — emitting its
+// stale tag would back-invalidate an unrelated resident line.
 func (c *twoTagBase) evict(set, l int) {
 	t := c.tagAt(set, l)
+	if !t.valid {
+		return
+	}
 	c.stats.Evictions++
 	c.res.Evicted = append(c.res.Evicted, t.addr)
 	c.res.BackInvals = append(c.res.BackInvals, t.addr)

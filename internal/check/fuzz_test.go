@@ -1,0 +1,41 @@
+package check
+
+import (
+	"testing"
+
+	"basevictim/internal/ccache"
+)
+
+// FuzzCheckedBaseVictim is the metamorphic fuzz target: arbitrary bytes
+// become an operation program driven through Base-Victim under the full
+// checker. Any violation — mirror break, hit shortfall, structural
+// overflow, protocol drop — fails the target, so the fuzzer searches
+// for access patterns that break the paper's performance guarantee.
+func FuzzCheckedBaseVictim(f *testing.F) {
+	f.Add([]byte{0x01, 0x82, 0x13, 0x44, 0x01, 0x01}, true)
+	f.Add([]byte{0xFF, 0x00, 0x7F, 0x80, 0x22, 0x22, 0x22, 0x05}, false)
+	f.Fuzz(func(t *testing.T, prog []byte, inclusive bool) {
+		cfg := tinyConfig("lru")
+		cfg.Inclusive = inclusive
+		org, err := ccache.NewBaseVictim(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, err := New(org, cfg, Config{Level: Full, SweepEvery: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := newDriver(ck)
+		for i := 0; i+1 < len(prog); i += 2 {
+			addr := uint64(prog[i] & 0x3F)
+			write := prog[i+1]&0x80 != 0
+			d.do(addr, write, sizeMix(uint64(prog[i+1]&0x1F)))
+			if err := ck.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ck.Final(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package check
+
+// segMap is a flat open-addressed hash map from line address to the
+// compressed size last handed to the organization. The checker probes
+// it for every valid line of every scanned set — tens of probes per
+// simulated operation — so probes must touch as little memory as
+// possible: entries pack key and value into one 16-byte slot (a probe
+// costs one cache line, where a generic map costs several), and
+// deletion backward-shifts the probe chain so the heavy fill/evict
+// churn of a running cache never accumulates tombstones or forces
+// mid-run rehashes.
+type segMap struct {
+	// key holds the line address + 1; 0 marks an empty slot.
+	slots []segSlot
+	n     int
+}
+
+type segSlot struct {
+	key  uint64
+	segs int8
+}
+
+func newSegMap() *segMap {
+	return &segMap{slots: make([]segSlot, 1024)}
+}
+
+// home maps an address onto the table; Fibonacci hashing spreads the
+// low-entropy line addresses (aligned, clustered) across slots.
+func (m *segMap) home(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15 >> 32) & uint64(len(m.slots)-1))
+}
+
+func (m *segMap) get(addr uint64) (int, bool) {
+	key := addr + 1
+	mask := len(m.slots) - 1
+	for i := m.home(key); m.slots[i].key != 0; i = (i + 1) & mask {
+		if m.slots[i].key == key {
+			return int(m.slots[i].segs), true
+		}
+	}
+	return 0, false
+}
+
+func (m *segMap) put(addr uint64, segs int) {
+	if m.n*4 >= len(m.slots)*3 {
+		m.grow()
+	}
+	key := addr + 1
+	mask := len(m.slots) - 1
+	i := m.home(key)
+	for ; m.slots[i].key != 0; i = (i + 1) & mask {
+		if m.slots[i].key == key {
+			m.slots[i].segs = int8(segs)
+			return
+		}
+	}
+	m.slots[i] = segSlot{key: key, segs: int8(segs)}
+	m.n++
+}
+
+// del removes addr, backward-shifting the probe chain so lookups never
+// cross a hole: any later entry whose home slot does not sit strictly
+// inside the (hole, entry] window moves into the hole.
+func (m *segMap) del(addr uint64) {
+	key := addr + 1
+	mask := len(m.slots) - 1
+	i := m.home(key)
+	for ; m.slots[i].key != key; i = (i + 1) & mask {
+		if m.slots[i].key == 0 {
+			return
+		}
+	}
+	for j := (i + 1) & mask; m.slots[j].key != 0; j = (j + 1) & mask {
+		if (j-m.home(m.slots[j].key))&mask >= (j-i)&mask {
+			m.slots[i] = m.slots[j]
+			i = j
+		}
+	}
+	m.slots[i] = segSlot{}
+	m.n--
+}
+
+func (m *segMap) grow() {
+	old := m.slots
+	m.slots = make([]segSlot, len(old)*2)
+	m.n = 0
+	for _, s := range old {
+		if s.key != 0 {
+			m.put(s.key-1, int(s.segs))
+		}
+	}
+}

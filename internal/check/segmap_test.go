@@ -1,0 +1,61 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSegMapChurn drives the flat map through the fill/evict churn
+// pattern the checker produces and compares every answer against a
+// reference Go map.
+func TestSegMapChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := newSegMap()
+	ref := make(map[uint64]int)
+	live := []uint64{}
+	for op := 0; op < 200_000; op++ {
+		switch {
+		case len(live) == 0 || rng.Intn(3) > 0:
+			addr := uint64(rng.Intn(4096)) * 64
+			segs := rng.Intn(17)
+			if _, ok := ref[addr]; !ok {
+				live = append(live, addr)
+			}
+			ref[addr] = segs
+			m.put(addr, segs)
+		default:
+			k := rng.Intn(len(live))
+			addr := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			delete(ref, addr)
+			m.del(addr)
+		}
+		if op%97 == 0 {
+			probe := uint64(rng.Intn(4096)) * 64
+			want, wantOK := ref[probe]
+			got, ok := m.get(probe)
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("op %d: get(%#x) = (%d,%v), want (%d,%v)", op, probe, got, ok, want, wantOK)
+			}
+		}
+	}
+	if m.n != len(ref) {
+		t.Fatalf("size %d, want %d", m.n, len(ref))
+	}
+	for addr, want := range ref {
+		if got, ok := m.get(addr); !ok || got != want {
+			t.Fatalf("final get(%#x) = (%d,%v), want (%d,true)", addr, got, ok, want)
+		}
+	}
+}
+
+// TestSegMapDeleteMissing: deleting an absent key is a no-op.
+func TestSegMapDeleteMissing(t *testing.T) {
+	m := newSegMap()
+	m.put(64, 5)
+	m.del(128)
+	if got, ok := m.get(64); !ok || got != 5 {
+		t.Fatalf("get(64) = (%d,%v) after unrelated delete", got, ok)
+	}
+}

@@ -27,7 +27,7 @@ func (s *Session) ablationTraces() []workload.Profile {
 // LatencyAblation measures the cost of the two latency adders the
 // two-tag organization introduces: the extra tag cycle and the 2-cycle
 // BDI decompression (Section V notes zero/uncompressed lines skip it).
-func (s *Session) LatencyAblation() Table {
+func (s *Session) LatencyAblation() (Table, error) {
 	t := Table{
 		ID:     "AblLatency",
 		Title:  "Latency ablation: Base-Victim IPC ratio vs 2MB uncompressed",
@@ -42,19 +42,22 @@ func (s *Session) LatencyAblation() Table {
 	} {
 		cfg := bvDefault()
 		cfg.TagCycles, cfg.DecompressCycles = row.tag, row.dec
-		ipc, _ := s.ratioSeries(ps, cfg, base2MB())
+		ipc, _, err := s.ratioSeries(ps, cfg, base2MB())
+		if err != nil {
+			return Table{}, err
+		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(row.tag), fmt.Sprint(row.dec), f3(stats.GeoMean(ipc))})
 	}
 	t.Notes = append(t.Notes, "gain is dominated by miss savings; latency adders trim tenths of a percent")
-	return t
+	return t, nil
 }
 
 // CompressorAblation swaps the compression algorithm under the same
 // architecture: the paper argues algorithms are orthogonal (Section
 // VII.A) and picks BDI for latency; FPC and C-PACK change the size
 // distribution and thus the pairing success rate.
-func (s *Session) CompressorAblation() Table {
+func (s *Session) CompressorAblation() (Table, error) {
 	t := Table{
 		ID:     "AblCompressor",
 		Title:  "Compression algorithm ablation (Base-Victim, IPC ratio vs 2MB uncompressed)",
@@ -64,10 +67,16 @@ func (s *Session) CompressorAblation() Table {
 	for _, alg := range []string{"bdi", "fpc", "cpack"} {
 		cfg := bvDefault()
 		cfg.Compressor = alg
-		ipc, _ := s.ratioSeries(ps, cfg, base2MB())
+		ipc, _, err := s.ratioSeries(ps, cfg, base2MB())
+		if err != nil {
+			return Table{}, err
+		}
 		var vh, ins uint64
 		for _, p := range ps {
-			r := s.run(p, cfg)
+			r, err := s.run(p, cfg)
+			if err != nil {
+				return Table{}, err
+			}
 			vh += r.LLC.VictimHits
 			ins += r.Instructions
 		}
@@ -75,7 +84,7 @@ func (s *Session) CompressorAblation() Table {
 		for _, p := range ps[:min(3, len(ps))] {
 			v, err := sizerForAblation(p, alg)
 			if err != nil {
-				panic(err)
+				return Table{}, fmt.Errorf("figures: compressor %q: %w", alg, err)
 			}
 			meanSegs += v.MeanCompressedRatio(1000) * 16
 		}
@@ -83,7 +92,7 @@ func (s *Session) CompressorAblation() Table {
 		t.Rows = append(t.Rows, []string{alg, f3(stats.GeoMean(ipc)),
 			f3(float64(vh) / float64(ins) * 1000), f3(meanSegs)})
 	}
-	return t
+	return t, nil
 }
 
 func min(a, b int) int {
@@ -108,7 +117,7 @@ func sizerForAblation(p workload.Profile, alg string) (*workload.Values, error) 
 // lines, silent evictions, no writeback savings) against the
 // non-inclusive variant of Section IV.B.3 (dirty victim lines allowed,
 // writebacks can be saved).
-func (s *Session) Inclusion() Table {
+func (s *Session) Inclusion() (Table, error) {
 	t := Table{
 		ID:     "Inclusion",
 		Title:  "Inclusive vs non-inclusive Victim Cache (Base-Victim)",
@@ -124,11 +133,20 @@ func (s *Session) Inclusion() Table {
 	} {
 		cfg := bvDefault()
 		cfg.Inclusive = mode.inclusive
-		ipc, _ := s.ratioSeries(ps, cfg, base2MB())
+		ipc, _, err := s.ratioSeries(ps, cfg, base2MB())
+		if err != nil {
+			return Table{}, err
+		}
 		var writes []float64
 		for _, p := range ps {
-			r := s.run(p, cfg)
-			b := s.run(p, base2MB())
+			r, err := s.run(p, cfg)
+			if err != nil {
+				return Table{}, err
+			}
+			b, err := s.run(p, base2MB())
+			if err != nil {
+				return Table{}, err
+			}
 			if b.DRAMWrites > 0 {
 				writes = append(writes, float64(r.DRAMWrites)/float64(b.DRAMWrites))
 			}
@@ -139,13 +157,13 @@ func (s *Session) Inclusion() Table {
 	t.Notes = append(t.Notes,
 		"the paper's inclusive mode cannot reduce writebacks (victim lines are clean);",
 		"the non-inclusive variant keeps dirty victims and can")
-	return t
+	return t, nil
 }
 
 // PrefetchInteraction tests the compression-prefetching interaction
 // the introduction cites (Alameldeen & Wood, HPCA 2007: positive): the
 // gain from Base-Victim with prefetchers on vs off.
-func (s *Session) PrefetchInteraction() Table {
+func (s *Session) PrefetchInteraction() (Table, error) {
 	t := Table{
 		ID:     "PrefetchX",
 		Title:  "Compression x prefetching interaction (IPC geomean vs matching baseline)",
@@ -157,12 +175,15 @@ func (s *Session) PrefetchInteraction() Table {
 		cfg.Prefetch = pf
 		base := base2MB()
 		base.Prefetch = pf
-		ipc, _ := s.ratioSeries(ps, cfg, base)
+		ipc, _, err := s.ratioSeries(ps, cfg, base)
+		if err != nil {
+			return Table{}, err
+		}
 		label := "off"
 		if pf {
 			label = "on"
 		}
 		t.Rows = append(t.Rows, []string{label, pct(stats.GeoMean(ipc))})
 	}
-	return t
+	return t, nil
 }

@@ -11,7 +11,7 @@ import (
 )
 
 // TableI reproduces Table I: the workload census.
-func (s *Session) TableI() Table {
+func (s *Session) TableI() (Table, error) {
 	t := Table{
 		ID:     "TableI",
 		Title:  "Workloads (100 traces, 60 cache-sensitive)",
@@ -44,12 +44,12 @@ func (s *Session) TableI() Table {
 	friendly, unfriendly := workload.CompressionFriendly(s.all)
 	t.Notes = append(t.Notes, fmt.Sprintf("compression-friendly sensitive traces: %d; unfriendly: %d",
 		len(friendly), len(unfriendly)))
-	return t
+	return t, nil
 }
 
 // Fig6 reproduces Figure 6: the naive two-tag architecture on the 60
 // sensitive traces. Paper: -12%% average, 37/60 traces lose.
-func (s *Session) Fig6() Table {
+func (s *Session) Fig6() (Table, error) {
 	cfg := sim.Default()
 	cfg.Org = sim.OrgTwoTag
 	return s.lineGraph("Fig6", "Two-tag architecture vs 2MB uncompressed", s.sensitive(), cfg)
@@ -58,26 +58,44 @@ func (s *Session) Fig6() Table {
 // Fig7 reproduces Figure 7: the modified (ECM-inspired) two-tag
 // architecture. Paper: +4.7%% on friendly traces, -3.8%% on
 // unfriendly, 27/60 lose, outliers to -14%%.
-func (s *Session) Fig7() Table {
+func (s *Session) Fig7() (Table, error) {
 	cfg := sim.Default()
 	cfg.Org = sim.OrgTwoTagMod
-	t := s.lineGraph("Fig7", "Modified two-tag architecture vs 2MB uncompressed", s.sensitive(), cfg)
+	t, err := s.lineGraph("Fig7", "Modified two-tag architecture vs 2MB uncompressed", s.sensitive(), cfg)
+	if err != nil {
+		return Table{}, err
+	}
 	friendly, unfriendly := workload.CompressionFriendly(s.all)
-	fIPC, _ := s.ratioSeries(s.limit(friendly), cfg, base2MB())
-	uIPC, _ := s.ratioSeries(s.limit(unfriendly), cfg, base2MB())
+	fIPC, _, err := s.ratioSeries(s.limit(friendly), cfg, base2MB())
+	if err != nil {
+		return Table{}, err
+	}
+	uIPC, _, err := s.ratioSeries(s.limit(unfriendly), cfg, base2MB())
+	if err != nil {
+		return Table{}, err
+	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("compression-friendly geomean %s; unfriendly geomean %s",
 			pct(stats.GeoMean(fIPC)), pct(stats.GeoMean(uIPC))))
-	return t
+	return t, nil
 }
 
 // Fig8 reproduces Figure 8: Base-Victim. Paper: +8.5%% on friendly
 // traces, reads never above baseline, one negligible negative outlier.
-func (s *Session) Fig8() Table {
-	t := s.lineGraph("Fig8", "Base-Victim opportunistic compression vs 2MB uncompressed", s.sensitive(), bvDefault())
+func (s *Session) Fig8() (Table, error) {
+	t, err := s.lineGraph("Fig8", "Base-Victim opportunistic compression vs 2MB uncompressed", s.sensitive(), bvDefault())
+	if err != nil {
+		return Table{}, err
+	}
 	friendly, unfriendly := workload.CompressionFriendly(s.all)
-	fIPC, fReads := s.ratioSeries(s.limit(friendly), bvDefault(), base2MB())
-	uIPC, _ := s.ratioSeries(s.limit(unfriendly), bvDefault(), base2MB())
+	fIPC, fReads, err := s.ratioSeries(s.limit(friendly), bvDefault(), base2MB())
+	if err != nil {
+		return Table{}, err
+	}
+	uIPC, _, err := s.ratioSeries(s.limit(unfriendly), bvDefault(), base2MB())
+	if err != nil {
+		return Table{}, err
+	}
 	bad := 0
 	for _, r := range fReads {
 		if r > 1.0 {
@@ -88,13 +106,13 @@ func (s *Session) Fig8() Table {
 		fmt.Sprintf("friendly geomean %s (read geomean %.3f); unfriendly geomean %s",
 			pct(stats.GeoMean(fIPC)), stats.GeoMean(fReads), pct(stats.GeoMean(uIPC))),
 		fmt.Sprintf("traces with MORE demand DRAM reads than baseline: %d (guarantee: 0)", bad))
-	return t
+	return t, nil
 }
 
 // Fig9 reproduces Figure 9: per-category IPC for Base-Victim vs a 3 MB
 // (50%% larger) uncompressed cache, on compression-friendly traces and
 // on all sensitive traces.
-func (s *Session) Fig9() Table {
+func (s *Session) Fig9() (Table, error) {
 	cfg3MB := base2MB().WithSize(3<<20, 24, 1)
 	t := Table{
 		ID:     "Fig9",
@@ -122,8 +140,14 @@ func (s *Session) Fig9() Table {
 			if len(ps) == 0 {
 				continue
 			}
-			i3, _ := s.ratioSeries(ps, cfg3MB, base2MB())
-			ibv, _ := s.ratioSeries(ps, bvDefault(), base2MB())
+			i3, _, err := s.ratioSeries(ps, cfg3MB, base2MB())
+			if err != nil {
+				return Table{}, err
+			}
+			ibv, _, err := s.ratioSeries(ps, bvDefault(), base2MB())
+			if err != nil {
+				return Table{}, err
+			}
 			all3 = append(all3, i3...)
 			allBV = append(allBV, ibv...)
 			t.Rows = append(t.Rows, []string{g.label, cat.String(),
@@ -133,13 +157,13 @@ func (s *Session) Fig9() Table {
 			f3(stats.GeoMean(all3)), f3(stats.GeoMean(allBV))})
 	}
 	t.Notes = append(t.Notes, "paper: friendly avg 1.09 / 1.08(.5); overall 1.081 / 1.073")
-	return t
+	return t, nil
 }
 
 // Fig10 reproduces Figure 10: Base-Victim on top of SRRIP and CHAR
 // baselines. Paper: SRRIP +2.9%%, SRRIP+BV +6.4%% over SRRIP; CHAR
 // +3.2%%, CHAR+BV +7.2%% over CHAR; no negative outliers.
-func (s *Session) Fig10() Table {
+func (s *Session) Fig10() (Table, error) {
 	t := Table{
 		ID:     "Fig10",
 		Title:  "Replacement-policy interaction (ratios vs 2MB NRU uncompressed)",
@@ -161,19 +185,25 @@ func (s *Session) Fig10() Table {
 			unc.Policy = pol
 			bv := bvDefault()
 			bv.Policy = pol
-			iu, _ := s.ratioSeries(g.ps, unc, base2MB())
-			ib, _ := s.ratioSeries(g.ps, bv, base2MB())
+			iu, _, err := s.ratioSeries(g.ps, unc, base2MB())
+			if err != nil {
+				return Table{}, err
+			}
+			ib, _, err := s.ratioSeries(g.ps, bv, base2MB())
+			if err != nil {
+				return Table{}, err
+			}
 			gu, gb := stats.GeoMean(iu), stats.GeoMean(ib)
 			t.Rows = append(t.Rows, []string{g.label, pol, f3(gu), f3(gb), pct(gb / gu)})
 		}
 	}
 	t.Notes = append(t.Notes, "paper: SRRIP +2.9%, +BV 6.4% on top; CHAR +3.2%, +BV 7.2% on top (drrip is our extension)")
-	return t
+	return t, nil
 }
 
 // Fig11 reproduces Figure 11: LLC size sensitivity. Paper: 4MB +15.8%%,
 // 4MB+BV adds +6.8%% on top, 6MB +9%% over 4MB... all vs 2MB.
-func (s *Session) Fig11() Table {
+func (s *Session) Fig11() (Table, error) {
 	t := Table{
 		ID:     "Fig11",
 		Title:  "LLC size sensitivity (IPC ratio vs 2MB uncompressed)",
@@ -191,30 +221,45 @@ func (s *Session) Fig11() Table {
 		{"overall", s.sensitive()},
 	}
 	for _, g := range groups {
-		i4, _ := s.ratioSeries(g.ps, cfg4, base2MB())
-		i6, _ := s.ratioSeries(g.ps, cfg6, base2MB())
-		i4bv, _ := s.ratioSeries(g.ps, cfg4bv, base2MB())
+		i4, _, err := s.ratioSeries(g.ps, cfg4, base2MB())
+		if err != nil {
+			return Table{}, err
+		}
+		i6, _, err := s.ratioSeries(g.ps, cfg6, base2MB())
+		if err != nil {
+			return Table{}, err
+		}
+		i4bv, _, err := s.ratioSeries(g.ps, cfg4bv, base2MB())
+		if err != nil {
+			return Table{}, err
+		}
 		t.Rows = append(t.Rows, []string{g.label,
 			f3(stats.GeoMean(i4)), f3(stats.GeoMean(i6)), f3(stats.GeoMean(i4bv))})
 	}
-	return t
+	return t, nil
 }
 
 // Fig12 reproduces Figure 12: all 100 traces including the
 // cache-insensitive ones. Paper: BV +4.3%% vs 3MB +4.9%%.
-func (s *Session) Fig12() Table {
+func (s *Session) Fig12() (Table, error) {
 	all := s.limit(s.all)
-	t := s.lineGraph("Fig12", "All 100 traces vs 2MB uncompressed (Base-Victim)", all, bvDefault())
+	t, err := s.lineGraph("Fig12", "All 100 traces vs 2MB uncompressed (Base-Victim)", all, bvDefault())
+	if err != nil {
+		return Table{}, err
+	}
 	cfg3MB := base2MB().WithSize(3<<20, 24, 1)
-	i3, _ := s.ratioSeries(all, cfg3MB, base2MB())
+	i3, _, err := s.ratioSeries(all, cfg3MB, base2MB())
+	if err != nil {
+		return Table{}, err
+	}
 	t.Notes = append(t.Notes, fmt.Sprintf("3MB uncompressed geomean %s (paper: +4.9%%; BV paper: +4.3%%)",
 		pct(stats.GeoMean(i3))))
-	return t
+	return t, nil
 }
 
 // Fig13 reproduces Figure 13: 4-thread multi-program mixes. Paper (4MB
 // base): BV +8.7%% vs 6MB +9%%; (8MB base): BV +11.2%% vs 12MB +15.7%%.
-func (s *Session) Fig13() Table {
+func (s *Session) Fig13() (Table, error) {
 	t := Table{
 		ID:     "Fig13",
 		Title:  "Multi-program weighted speedup (per mix)",
@@ -248,7 +293,7 @@ func (s *Session) Fig13() Table {
 		for i, n := range names {
 			p, ok := workload.ByName(s.all, n)
 			if !ok {
-				panic("figures: unknown mix trace " + n)
+				return Table{}, fmt.Errorf("figures: unknown mix trace %q", n)
 			}
 			mix[i] = p
 		}
@@ -256,7 +301,7 @@ func (s *Session) Fig13() Table {
 		for ci, cfg := range configs {
 			r, err := sim.RunMix(mix, cfg)
 			if err != nil {
-				panic(err)
+				return Table{}, fmt.Errorf("figures: mix %d on %s: %w", mi+1, cfg.Org, err)
 			}
 			results[ci] = r
 			s.logf("mix %d config %d done", mi, ci)
@@ -278,14 +323,14 @@ func (s *Session) Fig13() Table {
 		f3(stats.GeoMean(cols[0])), f3(stats.GeoMean(cols[1])), f3(stats.GeoMean(cols[2])),
 		f3(stats.GeoMean(cols[3])), f3(stats.GeoMean(cols[4]))})
 	t.Notes = append(t.Notes, "paper: 6MB +9%, BV(4MB) +8.7%; 12MB/8MB +15.7%, BV(8MB) +11.2%")
-	return t
+	return t, nil
 }
 
 // Fig14 reproduces Figure 14: energy ratio vs the uncompressed
 // baseline across all 100 traces, with and without word enables.
 // Paper: -6.5%% average with word enables, -2.2%% without; worst
 // outliers +2.3%% / +6%%.
-func (s *Session) Fig14() Table {
+func (s *Session) Fig14() (Table, error) {
 	all := s.limit(s.all)
 	t := Table{
 		ID:     "Fig14",
@@ -297,8 +342,14 @@ func (s *Session) Fig14() Table {
 	mBase := energy.Model{}
 	var we, rmw, reads []float64
 	for _, p := range all {
-		r := s.run(p, bvDefault())
-		b := s.run(p, base2MB())
+		r, err := s.run(p, bvDefault())
+		if err != nil {
+			return Table{}, err
+		}
+		b, err := s.run(p, base2MB())
+		if err != nil {
+			return Table{}, err
+		}
 		eWE := energy.Ratio(mWE, r.Energy, mBase, b.Energy)
 		eRMW := energy.Ratio(mRMW, r.Energy, mBase, b.Energy)
 		rd := sim.Pair{Run: r, Base: b}.DRAMReadRatio()
@@ -313,13 +364,13 @@ func (s *Session) Fig14() Table {
 		fmt.Sprintf("worst case: word-enables %.3f, RMW %.3f (paper outliers: 1.023 / 1.06)",
 			stats.Max(we), stats.Max(rmw)),
 		fmt.Sprintf("DRAM read geomean %.3f", stats.GeoMean(reads)))
-	return t
+	return t, nil
 }
 
 // Associativity reproduces Section VI.B.1: the 16-tags-per-set variant
 // (8-way baseline + 8 victim ways) and a 32-way uncompressed cache.
 // Paper: +6.2%% (vs +7.3%% for 32 tags); 32-way uncompressed ~ 0%%.
-func (s *Session) Associativity() Table {
+func (s *Session) Associativity() (Table, error) {
 	t := Table{
 		ID:     "AssocSens",
 		Title:  "Associativity sensitivity (IPC ratio vs 2MB 16-way uncompressed)",
@@ -337,17 +388,20 @@ func (s *Session) Associativity() Table {
 		{"BaseVictim 8-way base (16 tags)", bv16},
 		{"Uncompressed 32-way", unc32},
 	} {
-		ipc, _ := s.ratioSeries(ps, row.cfg, base2MB())
+		ipc, _, err := s.ratioSeries(ps, row.cfg, base2MB())
+		if err != nil {
+			return Table{}, err
+		}
 		t.Rows = append(t.Rows, []string{row.label, f3(stats.GeoMean(ipc))})
 	}
 	t.Notes = append(t.Notes, "paper: 1.073 / 1.062 / ~1.000")
-	return t
+	return t, nil
 }
 
 // VictimPolicy reproduces Section VI.B.4: Victim Cache replacement
 // variants. Paper: no variant significantly beats the ECM-inspired
 // default.
-func (s *Session) VictimPolicy() Table {
+func (s *Session) VictimPolicy() (Table, error) {
 	t := Table{
 		ID:     "VictimPolicy",
 		Title:  "Victim Cache replacement sensitivity (IPC ratio vs 2MB uncompressed)",
@@ -357,10 +411,16 @@ func (s *Session) VictimPolicy() Table {
 	for _, vp := range []string{"ecm", "random", "lru", "sizelru"} {
 		cfg := bvDefault()
 		cfg.VictimPolicy = vp
-		ipc, _ := s.ratioSeries(ps, cfg, base2MB())
+		ipc, _, err := s.ratioSeries(ps, cfg, base2MB())
+		if err != nil {
+			return Table{}, err
+		}
 		var vh, hits uint64
 		for _, p := range ps {
-			r := s.run(p, cfg)
+			r, err := s.run(p, cfg)
+			if err != nil {
+				return Table{}, err
+			}
 			vh += r.LLC.VictimHits
 			hits += r.LLC.Hits
 		}
@@ -370,13 +430,13 @@ func (s *Session) VictimPolicy() Table {
 		}
 		t.Rows = append(t.Rows, []string{vp, f3(stats.GeoMean(ipc)), f3(share)})
 	}
-	return t
+	return t, nil
 }
 
 // Area reproduces Section IV.C's overhead arithmetic.
-func (s *Session) Area() Table {
+func (s *Session) Area() (Table, error) {
 	r := area.Overhead(area.PaperParams())
-	return Table{
+	t := Table{
 		ID:     "Area",
 		Title:  "Area overhead (Section IV.C)",
 		Header: []string{"quantity", "value", "paper"},
@@ -388,12 +448,13 @@ func (s *Session) Area() Table {
 			{"total overhead", fmt.Sprintf("%.1f%%", r.TotalOverhead*100), "8.5%"},
 		},
 	}
+	return t, nil
 }
 
 // Capacity reproduces the Section V functional-capacity comparison:
 // VSC-class designs approach ~80%% extra capacity while Base-Victim
 // reaches ~50%% on compression-friendly traces.
-func (s *Session) Capacity() Table {
+func (s *Session) Capacity() (Table, error) {
 	t := Table{
 		ID:     "Capacity",
 		Title:  "Effective capacity on functional models (logical lines / physical lines)",
@@ -406,37 +467,43 @@ func (s *Session) Capacity() Table {
 	}
 	var bvs, vscs []float64
 	for _, p := range ps {
-		bvRatio := capacityOf(p, sim.OrgBaseVictim, s.Instructions)
-		vscRatio := capacityOf(p, sim.OrgVSC, s.Instructions)
+		bvRatio, err := capacityOf(p, sim.OrgBaseVictim, s.Instructions)
+		if err != nil {
+			return Table{}, err
+		}
+		vscRatio, err := capacityOf(p, sim.OrgVSC, s.Instructions)
+		if err != nil {
+			return Table{}, err
+		}
 		bvs = append(bvs, bvRatio)
 		vscs = append(vscs, vscRatio)
 		t.Rows = append(t.Rows, []string{p.Name, f3(bvRatio), f3(vscRatio)})
 	}
 	t.Rows = append(t.Rows, []string{"mean", f3(stats.Mean(bvs)), f3(stats.Mean(vscs))})
 	t.Notes = append(t.Notes, "paper: VSC-class ~1.8x, Base-Victim ~1.5x on friendly traces")
-	return t
+	return t, nil
 }
 
 // capacityOf runs the trace on the organization and reports the
 // end-of-run logical-to-physical line ratio.
-func capacityOf(p workload.Profile, org sim.OrgKind, instructions uint64) float64 {
+func capacityOf(p workload.Profile, org sim.OrgKind, instructions uint64) (float64, error) {
 	cfg := sim.Default()
 	cfg.Org = org
 	cfg.Instructions = instructions
 	r, err := sim.RunSingle(p, cfg)
 	if err != nil {
-		panic(err)
+		return 0, fmt.Errorf("figures: %s on %s: %w", p.Name, org, err)
 	}
 	if r.LLCPhysicalLines == 0 {
-		return 0
+		return 0, nil
 	}
-	return float64(r.LLCLogicalLines) / float64(r.LLCPhysicalLines)
+	return float64(r.LLCLogicalLines) / float64(r.LLCPhysicalLines), nil
 }
 
 // Traffic reproduces the Section VI.D traffic accounting: LLC access
 // increase (+31%% in the paper), demand DRAM read reduction (-16%%)
 // and bandwidth reduction (-12%%).
-func (s *Session) Traffic() Table {
+func (s *Session) Traffic() (Table, error) {
 	t := Table{
 		ID:     "Traffic",
 		Title:  "LLC and DRAM traffic, Base-Victim vs 2MB uncompressed (friendly traces)",
@@ -446,8 +513,14 @@ func (s *Session) Traffic() Table {
 	ps := s.limit(friendly)
 	var llcAcc, reads, bw []float64
 	for _, p := range ps {
-		r := s.run(p, bvDefault())
-		b := s.run(p, base2MB())
+		r, err := s.run(p, bvDefault())
+		if err != nil {
+			return Table{}, err
+		}
+		b, err := s.run(p, base2MB())
+		if err != nil {
+			return Table{}, err
+		}
 		ra := float64(r.LLC.Accesses+r.LLC.Fills+r.Energy.LLCDataReads+r.Energy.LLCDataWrites) /
 			float64(b.LLC.Accesses+b.LLC.Fills+b.Energy.LLCDataReads+b.Energy.LLCDataWrites)
 		llcAcc = append(llcAcc, ra)
@@ -458,5 +531,5 @@ func (s *Session) Traffic() Table {
 	t.Rows = append(t.Rows, []string{"LLC accesses", f3(stats.GeoMean(llcAcc)), "1.31"})
 	t.Rows = append(t.Rows, []string{"demand DRAM reads", f3(stats.GeoMean(reads)), "0.84"})
 	t.Rows = append(t.Rows, []string{"DRAM bandwidth (rd+wr)", f3(stats.GeoMean(bw)), "0.88"})
-	return t
+	return t, nil
 }

@@ -63,14 +63,16 @@ func (t Table) Format() string {
 }
 
 // Experiments lists every reproducible experiment by id, in paper
-// order. The map values run the experiment on a session.
+// order. The map values run the experiment on a session; simulation
+// failures (including checker violations) come back as errors rather
+// than panics so drivers can report them and exit cleanly.
 func Experiments() []struct {
 	ID  string
-	Run func(*Session) Table
+	Run func(*Session) (Table, error)
 } {
 	return []struct {
 		ID  string
-		Run func(*Session) Table
+		Run func(*Session) (Table, error)
 	}{
 		{"table1", (*Session).TableI},
 		{"fig6", (*Session).Fig6},
@@ -144,19 +146,19 @@ func cfgKey(name string, cfg sim.Config) string {
 }
 
 // run simulates (memoized) one trace under one config.
-func (s *Session) run(p workload.Profile, cfg sim.Config) sim.Result {
+func (s *Session) run(p workload.Profile, cfg sim.Config) (sim.Result, error) {
 	cfg.Instructions = s.Instructions
 	key := cfgKey(p.Name, cfg)
 	if r, ok := s.cache[key]; ok {
-		return r
+		return r, nil
 	}
 	r, err := sim.RunSingle(p, cfg)
 	if err != nil {
-		panic(fmt.Sprintf("figures: %s: %v", p.Name, err))
+		return sim.Result{}, fmt.Errorf("figures: %s on %s: %w", p.Name, cfg.Org, err)
 	}
 	s.logf("ran %-16s %-12s IPC=%.3f dramReads=%d", p.Name, cfg.Org, r.IPC, r.DemandDRAMReads)
 	s.cache[key] = r
-	return r
+	return r, nil
 }
 
 // base2MB is the paper's 2 MB 16-way NRU uncompressed baseline.
@@ -178,20 +180,29 @@ func pct(x float64) string { return fmt.Sprintf("%+.1f%%", (x-1)*100) }
 
 // ratioSeries runs cfg and base across traces, returning per-trace IPC
 // and DRAM-read ratios.
-func (s *Session) ratioSeries(ps []workload.Profile, cfg, base sim.Config) (ipc, reads []float64) {
+func (s *Session) ratioSeries(ps []workload.Profile, cfg, base sim.Config) (ipc, reads []float64, err error) {
 	for _, p := range ps {
-		r := s.run(p, cfg)
-		b := s.run(p, base)
+		r, err := s.run(p, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := s.run(p, base)
+		if err != nil {
+			return nil, nil, err
+		}
 		pair := sim.Pair{Run: r, Base: b}
 		ipc = append(ipc, pair.IPCRatio())
 		reads = append(reads, pair.DRAMReadRatio())
 	}
-	return ipc, reads
+	return ipc, reads, nil
 }
 
 // lineGraph builds the per-trace table used by Figures 6, 7, 8 and 12.
-func (s *Session) lineGraph(id, title string, ps []workload.Profile, cfg sim.Config) Table {
-	ipc, reads := s.ratioSeries(ps, cfg, base2MB())
+func (s *Session) lineGraph(id, title string, ps []workload.Profile, cfg sim.Config) (Table, error) {
+	ipc, reads, err := s.ratioSeries(ps, cfg, base2MB())
+	if err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		ID:     id,
 		Title:  title,
@@ -206,7 +217,7 @@ func (s *Session) lineGraph(id, title string, ps []workload.Profile, cfg sim.Con
 			pct(sum.GeoMean), sum.Min, sum.Max, sum.Losers, sum.N, stats.CountBelow(ipc, 0.99)),
 		fmt.Sprintf("DRAM read geomean %.3f", stats.GeoMean(reads)),
 	)
-	return t
+	return t, nil
 }
 
 // compressByName resolves a compressor for ablations; split out so the

@@ -29,7 +29,10 @@ func TestTableFormat(t *testing.T) {
 
 func TestTableICensus(t *testing.T) {
 	s := NewSession(1)
-	tab := s.TableI()
+	tab, err := s.TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 4 {
 		t.Fatalf("TableI rows = %d, want 4 categories", len(tab.Rows))
 	}
@@ -59,7 +62,10 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 }
 
 func TestAreaTable(t *testing.T) {
-	tab := NewSession(1).Area()
+	tab, err := NewSession(1).Area()
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := false
 	for _, r := range tab.Rows {
 		if r[0] == "total overhead" && r[1] == "8.5%" {
@@ -78,7 +84,10 @@ func TestFig8Smoke(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab := s.Fig8()
+	tab, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows = %d, want 3 (MaxTraces)", len(tab.Rows))
 	}
@@ -96,9 +105,13 @@ func TestCachingAvoidsRerun(t *testing.T) {
 	s := quickSession()
 	runs := 0
 	s.Progress = func(string, ...any) { runs++ }
-	s.Fig6()
+	if _, err := s.Fig6(); err != nil {
+		t.Fatal(err)
+	}
 	afterFig6 := runs
-	s.Fig6()
+	if _, err := s.Fig6(); err != nil {
+		t.Fatal(err)
+	}
 	if runs != afterFig6 {
 		t.Fatalf("second Fig6 re-ran simulations (%d -> %d)", afterFig6, runs)
 	}
@@ -109,7 +122,10 @@ func TestCapacitySmoke(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab := s.Capacity()
+	tab, err := s.Capacity()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) < 2 {
 		t.Fatal("capacity table empty")
 	}
@@ -125,7 +141,10 @@ func TestAblationLatencyOrdering(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab := s.LatencyAblation()
+	tab, err := s.LatencyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d, want 4", len(tab.Rows))
 	}
@@ -142,7 +161,10 @@ func TestAblationCompressorRows(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab := s.CompressorAblation()
+	tab, err := s.CompressorAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
 	algs := map[string]bool{}
 	for _, r := range tab.Rows {
 		algs[r[0]] = true
@@ -159,7 +181,10 @@ func TestInclusionModes(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab := s.Inclusion()
+	tab, err := s.Inclusion()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d, want 2", len(tab.Rows))
 	}
@@ -170,7 +195,10 @@ func TestPrefetchInteraction(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab := s.PrefetchInteraction()
+	tab, err := s.PrefetchInteraction()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d, want 2", len(tab.Rows))
 	}

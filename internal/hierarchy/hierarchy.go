@@ -282,8 +282,10 @@ func (h *Hierarchy) llcDemand(now uint64, line uint64) uint64 {
 }
 
 // llcTagPenalty is the doubled-tag cycle for compressed organizations.
+// Root unwraps verification layers (internal/check), which must not
+// change timing.
 func (h *Hierarchy) llcTagPenalty() uint64 {
-	if _, ok := h.LLC.(*ccache.Uncompressed); ok {
+	if _, ok := ccache.Root(h.LLC).(*ccache.Uncompressed); ok {
 		return 0
 	}
 	return h.cfg.ExtraTagCycles

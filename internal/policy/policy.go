@@ -47,6 +47,11 @@ type Hinter interface {
 // state.
 type Factory func(sets, ways int) Policy
 
+// Names lists the policies ByName accepts, in presentation order.
+func Names() []string {
+	return []string{"lru", "nru", "random", "srrip", "char", "drrip"}
+}
+
 // ByName returns a factory for the named policy. Known names: "lru",
 // "nru", "random", "srrip", "char", "drrip".
 func ByName(name string) (Factory, error) {

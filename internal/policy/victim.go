@@ -25,6 +25,12 @@ type Candidate struct {
 	Occupied    bool // a victim line currently lives here and would be evicted
 }
 
+// VictimNames lists the selectors VictimByName accepts, in
+// presentation order.
+func VictimNames() []string {
+	return []string{"random", "ecm", "lru", "sizelru"}
+}
+
 // VictimByName returns a constructor for the named victim selector.
 // Known names: "random", "ecm", "lru", "sizelru".
 func VictimByName(name string) (func(sets, ways int) VictimSelector, error) {

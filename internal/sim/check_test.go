@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"basevictim/internal/check"
+	"basevictim/internal/workload"
+)
+
+func profileByName(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	p, ok := workload.ByName(workload.Suite(), name)
+	if !ok {
+		t.Fatalf("trace %q not in suite", name)
+	}
+	return p
+}
+
+// TestFullCheckLockstepSuite runs every compressed organization under
+// full lockstep verification over suite traces: the simulated hierarchy
+// must drive each organization without a single invariant violation.
+func TestFullCheckLockstepSuite(t *testing.T) {
+	traces := []string{"mcf.p1", "omnetpp.p1", "libquantum.p1"}
+	if testing.Short() {
+		traces = traces[:1]
+	}
+	for _, org := range []OrgKind{OrgBaseVictim, OrgTwoTag, OrgTwoTagMod, OrgVSC} {
+		for _, tr := range traces {
+			t.Run(string(org)+"/"+tr, func(t *testing.T) {
+				cfg := Default()
+				cfg.Org = org
+				cfg.Instructions = 120_000
+				cfg.Check = "full"
+				if _, err := RunSingle(profileByName(t, tr), cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestFullCheckNonInclusive covers the non-inclusive Base-Victim
+// variant under the (relaxed) lockstep checks.
+func TestFullCheckNonInclusive(t *testing.T) {
+	cfg := Default()
+	cfg.Inclusive = false
+	cfg.Instructions = 120_000
+	cfg.Check = "full"
+	if _, err := RunSingle(profileByName(t, "mcf.p1"), cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectedFaultSurfaces: a fault injected under the hierarchy's
+// real access stream comes back from RunSingle as a *check.Violation.
+func TestInjectedFaultSurfaces(t *testing.T) {
+	for _, spec := range []string{"tag@20000", "size@20000"} {
+		t.Run(spec, func(t *testing.T) {
+			cfg := Default()
+			cfg.Instructions = 150_000
+			cfg.Check = "full"
+			cfg.Inject = spec
+			cfg.Seed = 7
+			_, err := RunSingle(profileByName(t, "mcf.p1"), cfg)
+			var v *check.Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("RunSingle error = %v, want *check.Violation", err)
+			}
+			if v.OpIndex < 20000 {
+				t.Fatalf("violation before injection point: %v", v)
+			}
+		})
+	}
+}
+
+// TestCheckerPreservesResults: checking must observe, never perturb —
+// a cheap-checked run reports exactly the numbers of an unchecked run.
+func TestCheckerPreservesResults(t *testing.T) {
+	cfg := Default()
+	cfg.Instructions = 120_000
+	off, err := RunSingle(profileByName(t, "omnetpp.p1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Check = "cheap"
+	on, err := RunSingle(profileByName(t, "omnetpp.p1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on.CheckNotices = nil
+	if !reflect.DeepEqual(off, on) {
+		t.Fatalf("results diverged:\noff %+v\non  %+v", off, on)
+	}
+}
+
+// TestDowngradeNoticeSurfaces: the full->cheap downgrade reaches the
+// Result so callers can report it.
+func TestDowngradeNoticeSurfaces(t *testing.T) {
+	cfg := Default()
+	cfg.Instructions = 80_000
+	cfg.Check = "full"
+	cfg.CheckFullBudget = 1_000
+	res, err := RunSingle(profileByName(t, "mcf.p1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CheckNotices) != 1 || !strings.Contains(res.CheckNotices[0], "downgraded") {
+		t.Fatalf("CheckNotices = %v, want one downgrade notice", res.CheckNotices)
+	}
+}
+
+// TestBadCheckConfig: bad -check / -inject values error out before any
+// simulation runs.
+func TestBadCheckConfig(t *testing.T) {
+	cfg := Default()
+	cfg.Check = "paranoid"
+	if _, err := RunSingle(profileByName(t, "mcf.p1"), cfg); err == nil {
+		t.Fatal("bad check level accepted")
+	}
+	cfg = Default()
+	cfg.Inject = "bitrot@5"
+	if _, err := RunSingle(profileByName(t, "mcf.p1"), cfg); err == nil {
+		t.Fatal("bad inject spec accepted")
+	}
+}
+
+// TestMixUnderCheck: the shared-LLC multi-program path works under the
+// checker (the four hierarchies interleave on one checked LLC).
+func TestMixUnderCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-program lockstep is slow")
+	}
+	all := workload.Suite()
+	var mix [4]workload.Profile
+	for i, n := range []string{"mcf.p1", "omnetpp.p1", "libquantum.p1", "gcc.p1"} {
+		p, ok := workload.ByName(all, n)
+		if !ok {
+			t.Fatalf("trace %q not in suite", n)
+		}
+		mix[i] = p
+	}
+	cfg := Default()
+	cfg.Instructions = 40_000
+	cfg.Check = "full"
+	if _, err := RunMix(mix, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

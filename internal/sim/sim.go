@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"basevictim/internal/ccache"
+	"basevictim/internal/check"
 	"basevictim/internal/compress"
 	"basevictim/internal/cpu"
 	"basevictim/internal/dram"
@@ -57,6 +58,20 @@ type Config struct {
 	// Compressor selects the algorithm sizing lines in the value
 	// model: "bdi" (paper default), "fpc" or "cpack".
 	Compressor string
+
+	// Check enables the lockstep shadow checker: "off" (or empty),
+	// "cheap", or "full" (see internal/check). A violation aborts the
+	// run with a *check.Violation error.
+	Check string
+	// CheckFullBudget overrides the operation budget after which full
+	// checking downgrades itself to cheap (0 = check.DefaultFullBudget).
+	CheckFullBudget uint64
+	// Inject schedules deterministic faults ("tag@1000,size", see
+	// check.ParseSpec) between the organization and the checker; used to
+	// validate that the checker catches real corruption.
+	Inject string
+	// Seed perturbs fault placement (0 behaves as 1).
+	Seed uint64
 }
 
 // Default is the paper's main single-thread configuration with a
@@ -94,11 +109,20 @@ func (c Config) WithSize(bytes, ways int, extraLat uint64) Config {
 	return c
 }
 
-// buildOrg constructs the configured LLC organization.
-func buildOrg(c Config) (ccache.Org, error) {
+// OrgKinds lists the valid organization names, in presentation order.
+func OrgKinds() []string {
+	return []string{
+		string(OrgUncompressed), string(OrgTwoTag), string(OrgTwoTagMod),
+		string(OrgBaseVictim), string(OrgVSC),
+	}
+}
+
+// ccacheConfig translates the simulation config into the organization
+// config (shared by the organization itself and the shadow checker).
+func ccacheConfig(c Config) (ccache.Config, error) {
 	pf, err := policy.ByName(c.Policy)
 	if err != nil {
-		return nil, err
+		return ccache.Config{}, err
 	}
 	vName := c.VictimPolicy
 	if vName == "" {
@@ -106,30 +130,107 @@ func buildOrg(c Config) (ccache.Org, error) {
 	}
 	vf, err := policy.VictimByName(vName)
 	if err != nil {
-		return nil, err
+		return ccache.Config{}, err
 	}
-	cc := ccache.Config{
+	return ccache.Config{
 		SizeBytes: c.LLCSizeBytes,
 		Ways:      c.LLCWays,
 		Policy:    pf,
 		Victim:    vf,
 		Inclusive: c.Inclusive,
 		Seed:      1,
+	}, nil
+}
+
+// buildOrg constructs the configured LLC organization and returns the
+// organization config it was built with.
+func buildOrg(c Config) (ccache.Org, ccache.Config, error) {
+	cc, err := ccacheConfig(c)
+	if err != nil {
+		return nil, ccache.Config{}, err
 	}
+	var org ccache.Org
 	switch c.Org {
 	case OrgUncompressed:
-		return ccache.NewUncompressed(cc)
+		org, err = ccache.NewUncompressed(cc)
 	case OrgTwoTag:
-		return ccache.NewTwoTag(cc)
+		org, err = ccache.NewTwoTag(cc)
 	case OrgTwoTagMod:
-		return ccache.NewTwoTagModified(cc)
+		org, err = ccache.NewTwoTagModified(cc)
 	case OrgBaseVictim:
-		return ccache.NewBaseVictim(cc)
+		org, err = ccache.NewBaseVictim(cc)
 	case OrgVSC:
-		return ccache.NewVSCFunctional(cc)
+		org, err = ccache.NewVSCFunctional(cc)
 	default:
-		return nil, fmt.Errorf("sim: unknown org %q", c.Org)
+		return nil, ccache.Config{}, fmt.Errorf("sim: unknown org %q", c.Org)
 	}
+	if err != nil {
+		return nil, ccache.Config{}, err
+	}
+	return org, cc, nil
+}
+
+// instrument layers the configured verification around the organization:
+// fault injection innermost (it corrupts what the checker must catch),
+// then the lockstep checker. With checking off the organization is
+// returned as-is (possibly wrapped by an injector) and the checker is
+// nil.
+func instrument(org ccache.Org, cc ccache.Config, c Config) (ccache.Org, *check.Checker, error) {
+	wrapped := org
+	if c.Inject != "" {
+		faults, err := check.ParseSpec(c.Inject)
+		if err != nil {
+			return nil, nil, err
+		}
+		wrapped = check.NewInjector(wrapped, faults, c.Seed)
+	}
+	lvl, err := check.ParseLevel(c.Check)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lvl == check.Off {
+		return wrapped, nil, nil
+	}
+	ck, err := check.New(wrapped, cc, check.Config{Level: lvl, FullBudget: c.CheckFullBudget})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ck, ck, nil
+}
+
+// buildLLC is the common construction path: organization plus the
+// configured verification layers.
+func buildLLC(c Config) (ccache.Org, *check.Checker, error) {
+	org, cc, err := buildOrg(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return instrument(org, cc, c)
+}
+
+// finishChecks runs the end-of-run verification: the checker's final
+// whole-cache sweep, plus any protocol fault the organization absorbed
+// (surfaced even with checking off, so bare runs cannot silently
+// swallow one).
+func finishChecks(llc ccache.Org, ck *check.Checker) error {
+	if ck != nil {
+		if err := ck.Final(); err != nil {
+			return err
+		}
+	}
+	if f, ok := ccache.Root(llc).(ccache.Faulter); ok {
+		if err := f.Fault(); err != nil {
+			return fmt.Errorf("sim: organization protocol fault: %w", err)
+		}
+	}
+	return nil
+}
+
+func checkNotices(ck *check.Checker) []string {
+	if ck == nil {
+		return nil
+	}
+	return ck.Notices()
 }
 
 // Result summarizes one thread's run.
@@ -150,6 +251,10 @@ type Result struct {
 	// capacity at the end of the run (Section V comparison).
 	LLCLogicalLines  int
 	LLCPhysicalLines int
+
+	// CheckNotices carries non-fatal notices from the lockstep checker
+	// (e.g. the full->cheap downgrade); empty with checking off.
+	CheckNotices []string
 }
 
 // sizerFor builds the trace's value model under the configured
@@ -177,7 +282,7 @@ func hierConfig(cfg Config) hierarchy.Config {
 
 // RunSingle executes one trace on one configuration.
 func RunSingle(p workload.Profile, cfg Config) (Result, error) {
-	org, err := buildOrg(cfg)
+	org, ck, err := buildLLC(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -192,6 +297,9 @@ func RunSingle(p workload.Profile, cfg Config) (Result, error) {
 	}
 	core := cpu.MustNew(cpu.DefaultConfig(), h)
 	res := core.Run(p.Stream(), cfg.Instructions)
+	if err := finishChecks(org, ck); err != nil {
+		return Result{}, err
+	}
 	return Result{
 		Trace:            p.Name,
 		Org:              cfg.Org,
@@ -205,6 +313,7 @@ func RunSingle(p workload.Profile, cfg Config) (Result, error) {
 		Energy:           h.EnergyCounters(res.Cycles),
 		LLCLogicalLines:  org.LogicalLines(),
 		LLCPhysicalLines: org.Sets() * org.Ways(),
+		CheckNotices:     checkNotices(ck),
 	}, nil
 }
 
@@ -213,7 +322,7 @@ func RunSingle(p workload.Profile, cfg Config) (Result, error) {
 // the supplied value model for compressed sizes. It powers trace-file
 // replay in cmd/bvsim.
 func RunStream(s trace.Stream, sizer hierarchy.Sizer, cfg Config) (Result, error) {
-	org, err := buildOrg(cfg)
+	org, ck, err := buildLLC(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -224,6 +333,9 @@ func RunStream(s trace.Stream, sizer hierarchy.Sizer, cfg Config) (Result, error
 	}
 	core := cpu.MustNew(cpu.DefaultConfig(), h)
 	res := core.Run(s, cfg.Instructions)
+	if err := finishChecks(org, ck); err != nil {
+		return Result{}, err
+	}
 	return Result{
 		Trace:            "stream",
 		Org:              cfg.Org,
@@ -237,6 +349,7 @@ func RunStream(s trace.Stream, sizer hierarchy.Sizer, cfg Config) (Result, error
 		Energy:           h.EnergyCounters(res.Cycles),
 		LLCLogicalLines:  org.LogicalLines(),
 		LLCPhysicalLines: org.Sets() * org.Ways(),
+		CheckNotices:     checkNotices(ck),
 	}, nil
 }
 
@@ -288,7 +401,7 @@ type MultiResult struct {
 // keep running to preserve contention (Section V), and per-thread IPC
 // is measured at the end of each thread's own phase.
 func RunMix(mix [4]workload.Profile, cfg Config) (MultiResult, error) {
-	org, err := buildOrg(cfg)
+	org, ck, err := buildLLC(cfg)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -348,6 +461,9 @@ func RunMix(mix [4]workload.Profile, cfg Config) (MultiResult, error) {
 				cores[i].Run(streams[i], quantum/4)
 			}
 		}
+	}
+	if err := finishChecks(org, ck); err != nil {
+		return MultiResult{}, err
 	}
 	res.LLCStat = *org.Stats()
 	return res, nil

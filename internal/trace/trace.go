@@ -142,10 +142,13 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var hdr [5]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadTrace, err)
 	}
-	if [4]byte(hdr[:4]) != magic || hdr[4] != formatVersion {
-		return nil, ErrBadTrace
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q (want %q)", ErrBadTrace, hdr[:4], magic[:])
+	}
+	if hdr[4] != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d (want %d)", ErrBadTrace, hdr[4], formatVersion)
 	}
 	return &Reader{r: br}, nil
 }
@@ -160,25 +163,31 @@ func (t *Reader) ReadOp() (Op, error) {
 		return Op{}, fmt.Errorf("%w: %v", ErrBadTrace, err)
 	}
 	op := Op{Kind: Kind(hdr & 0x3), Dep: hdr&(1<<2) != 0}
-	if op.Kind > Store || (hdr&0xF0) != 0 {
-		return Op{}, ErrBadTrace
+	if op.Kind > Store {
+		return Op{}, fmt.Errorf("%w: unknown op kind %d (header byte %#02x)", ErrBadTrace, op.Kind, hdr)
+	}
+	if hdr&0xF0 != 0 {
+		return Op{}, fmt.Errorf("%w: reserved header bits set (header byte %#02x)", ErrBadTrace, hdr)
 	}
 	if hdr&(1<<3) != 0 {
 		delta, err := binary.ReadVarint(t.r)
 		if err != nil {
-			return Op{}, fmt.Errorf("%w: truncated address", ErrBadTrace)
+			return Op{}, fmt.Errorf("%w: truncated address after header byte %#02x", ErrBadTrace, hdr)
 		}
 		t.lastAddr += uint64(delta)
 		op.Addr = t.lastAddr
 	} else if op.Kind != Exec {
-		return Op{}, ErrBadTrace
+		return Op{}, fmt.Errorf("%w: memory op without address (header byte %#02x)", ErrBadTrace, hdr)
 	}
 	return op, nil
 }
 
-// Next implements Stream; decode errors terminate the stream and are
-// available via Err.
+// Next implements Stream; decode errors terminate the stream for good
+// (bytes after a corrupt op would misparse) and are available via Err.
 func (t *Reader) Next() (Op, bool) {
+	if t.err != nil {
+		return Op{}, false
+	}
 	op, err := t.ReadOp()
 	if err != nil {
 		if err != io.EOF {

@@ -2,8 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -140,6 +142,112 @@ func TestLimit(t *testing.T) {
 	if n != 10 {
 		t.Fatalf("limited stream gave %d ops, want 10", n)
 	}
+}
+
+// TestCorruptBody drives the reader over every corrupt-body class and
+// checks each is reported as a descriptive ErrBadTrace, never a panic
+// or a silent misparse.
+func TestCorruptBody(t *testing.T) {
+	header := append(magic[:], formatVersion)
+	cases := []struct {
+		name string
+		body []byte
+		want string
+	}{
+		{"bad-kind", []byte{0x03}, "unknown op kind"},
+		{"reserved-bits", []byte{0x90}, "reserved header bits"},
+		{"load-without-addr", []byte{0x01}, "memory op without address"},
+		{"store-without-addr", []byte{0x02}, "memory op without address"},
+		{"truncated-varint", []byte{0x09, 0x80}, "truncated address"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := NewReader(bytes.NewReader(append(append([]byte{}, header...), tc.body...)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := r.Next(); ok {
+				t.Fatal("corrupt op decoded")
+			}
+			err = r.Err()
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("Err() = %v, want ErrBadTrace", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q missing detail %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestHeaderErrorsAreDescriptive: header failures say what was wrong,
+// not just that something was.
+func TestHeaderErrorsAreDescriptive(t *testing.T) {
+	for _, tc := range []struct {
+		data []byte
+		want string
+	}{
+		{[]byte("oo"), "truncated header"},
+		{[]byte("XXXX\x01"), "bad magic"},
+		{append(magic[:], 99), "unsupported format version 99"},
+	} {
+		_, err := NewReader(bytes.NewReader(tc.data))
+		if !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("NewReader(%q) = %v, want ErrBadTrace", tc.data, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("error %q missing detail %q", err, tc.want)
+		}
+	}
+}
+
+// TestErrStickyAfterCorruption: once a decode error occurs the stream
+// stays terminated and Err keeps returning it.
+func TestErrStickyAfterCorruption(t *testing.T) {
+	data := append(append([]byte{}, magic[:]...), formatVersion, 0x03, 0x00)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := r.Next(); ok {
+			t.Fatal("stream continued past corruption")
+		}
+	}
+	if r.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+}
+
+// FuzzReader: arbitrary bytes must never panic the decoder; every
+// non-EOF failure must be an ErrBadTrace.
+func FuzzReader(f *testing.F) {
+	var seed bytes.Buffer
+	w, _ := NewWriter(&seed)
+	for _, op := range randOps(3, 40) {
+		w.Write(op)
+	}
+	w.Flush()
+	f.Add(seed.Bytes())
+	f.Add([]byte("BVTR\x01\x09\x80"))
+	f.Add([]byte("XXXX"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("NewReader error %v does not wrap ErrBadTrace", err)
+			}
+			return
+		}
+		for i := 0; i < 1<<16; i++ {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+		if err := r.Err(); err != nil && !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("Err() %v does not wrap ErrBadTrace", err)
+		}
+	})
 }
 
 func BenchmarkWriter(b *testing.B) {
