@@ -1,0 +1,227 @@
+// Command bench measures the simulator and the experiment engine and
+// writes a machine-readable BENCH_<date>.json snapshot next to the
+// repo's other artifacts, so perf regressions show up as diffs.
+//
+// It records three things:
+//
+//   - raw simulator throughput (MIPS) on a representative trace;
+//   - per-experiment wall-clock and allocation cost on a capped
+//     session (fresh session per experiment, serial, so numbers are
+//     comparable across runs);
+//   - serial vs parallel wall-clock for the capped full suite, with a
+//     byte-identity check between the two runs' tables.
+//
+// Usage:
+//
+//	bench                        # writes BENCH_YYYY-MM-DD.json
+//	bench -ins 100000 -traces 4 -out BENCH.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"basevictim"
+)
+
+type throughputStat struct {
+	Trace        string  `json:"trace"`
+	Org          string  `json:"org"`
+	Instructions uint64  `json:"instructions"`
+	Seconds      float64 `json:"seconds"`
+	MIPS         float64 `json:"mips"`
+}
+
+type expStat struct {
+	ID           string  `json:"id"`
+	Seconds      float64 `json:"seconds"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	AllocObjects uint64  `json:"alloc_objects"`
+}
+
+type suiteStat struct {
+	Experiments     int     `json:"experiments"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	ParallelWorkers int     `json:"parallel_workers"`
+	Speedup         float64 `json:"speedup"`
+	TablesIdentical bool    `json:"tables_identical"`
+}
+
+type report struct {
+	Date         string           `json:"date"`
+	GoVersion    string           `json:"go_version"`
+	GOOS         string           `json:"goos"`
+	GOARCH       string           `json:"goarch"`
+	Cores        int              `json:"cores"`
+	Instructions uint64           `json:"instructions"`
+	MaxTraces    int              `json:"max_traces"`
+	Throughput   []throughputStat `json:"throughput"`
+	Experiments  []expStat        `json:"experiments"`
+	Suite        suiteStat        `json:"suite"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		out    = fs.String("out", "", "output path (default BENCH_<date>.json)")
+		ins    = fs.Uint64("ins", 60_000, "instructions per thread for the experiment passes")
+		traces = fs.Int("traces", 3, "trace cap per experiment")
+		mipsN  = fs.Uint64("mips-ins", 1_000_000, "instructions for the raw throughput measurement")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+
+	rep := report{
+		Date:         time.Now().Format("2006-01-02"),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		Cores:        runtime.NumCPU(),
+		Instructions: *ins,
+		MaxTraces:    *traces,
+	}
+	if *out == "" {
+		*out = "BENCH_" + rep.Date + ".json"
+	}
+
+	fmt.Fprintf(os.Stderr, "throughput: %d instructions on %d core(s)\n", *mipsN, rep.Cores)
+	for _, org := range []string{"uncompressed", "basevictim"} {
+		st, err := throughput("soplex.p1", org, *mipsN)
+		if err != nil {
+			return err
+		}
+		rep.Throughput = append(rep.Throughput, st)
+		fmt.Fprintf(os.Stderr, "  %-13s %6.2f MIPS\n", org, st.MIPS)
+	}
+
+	fmt.Fprintf(os.Stderr, "experiments: ins=%d traces=%d (serial, fresh session each)\n", *ins, *traces)
+	for _, id := range basevictim.Experiments() {
+		st, err := experiment(id, *ins, *traces)
+		if err != nil {
+			return err
+		}
+		rep.Experiments = append(rep.Experiments, st)
+		fmt.Fprintf(os.Stderr, "  %-22s %7.2fs  %8.1f MB  %9d objects\n",
+			st.ID, st.Seconds, float64(st.AllocBytes)/(1<<20), st.AllocObjects)
+	}
+
+	suite, err := suiteComparison(*ins, *traces)
+	if err != nil {
+		return err
+	}
+	rep.Suite = suite
+	fmt.Fprintf(os.Stderr, "suite: serial %.2fs, parallel(%d) %.2fs, speedup %.2fx, identical=%v\n",
+		suite.SerialSeconds, suite.ParallelWorkers, suite.ParallelSeconds, suite.Speedup, suite.TablesIdentical)
+	if !suite.TablesIdentical {
+		return fmt.Errorf("parallel tables differ from serial tables")
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+	return nil
+}
+
+// throughput times one raw simulation and reports millions of
+// simulated instructions per wall-clock second.
+func throughput(traceName, org string, ins uint64) (throughputStat, error) {
+	tr, err := basevictim.TraceByName(traceName)
+	if err != nil {
+		return throughputStat{}, err
+	}
+	cfg := basevictim.BaseVictimConfig()
+	cfg.Org = basevictim.OrgKind(org)
+	start := time.Now()
+	res, err := basevictim.Run(tr, cfg, ins)
+	if err != nil {
+		return throughputStat{}, err
+	}
+	sec := time.Since(start).Seconds()
+	return throughputStat{
+		Trace:        traceName,
+		Org:          org,
+		Instructions: res.Instructions,
+		Seconds:      sec,
+		MIPS:         float64(res.Instructions) / sec / 1e6,
+	}, nil
+}
+
+// experiment times one experiment on a fresh serial session and
+// captures its heap allocation cost via MemStats deltas.
+func experiment(id string, ins uint64, traces int) (expStat, error) {
+	s := basevictim.NewSession(ins)
+	s.MaxTraces = traces
+	s.Workers = 1
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if _, err := basevictim.RunExperiment(s, id); err != nil {
+		return expStat{}, err
+	}
+	sec := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	return expStat{
+		ID:           id,
+		Seconds:      sec,
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		AllocObjects: after.Mallocs - before.Mallocs,
+	}, nil
+}
+
+// suiteComparison runs every experiment back to back on one session,
+// once with Workers=1 and once with the full worker budget, and checks
+// the rendered tables are byte-identical.
+func suiteComparison(ins uint64, traces int) (suiteStat, error) {
+	render := func(workers int) (string, float64, error) {
+		s := basevictim.NewSession(ins)
+		s.MaxTraces = traces
+		s.Workers = workers
+		var b strings.Builder
+		start := time.Now()
+		for _, id := range basevictim.Experiments() {
+			tab, err := basevictim.RunExperiment(s, id)
+			if err != nil {
+				return "", 0, fmt.Errorf("%s (workers=%d): %w", id, workers, err)
+			}
+			b.WriteString(tab.Format())
+		}
+		return b.String(), time.Since(start).Seconds(), nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	serialTab, serialSec, err := render(1)
+	if err != nil {
+		return suiteStat{}, err
+	}
+	parTab, parSec, err := render(workers)
+	if err != nil {
+		return suiteStat{}, err
+	}
+	return suiteStat{
+		Experiments:     len(basevictim.Experiments()),
+		SerialSeconds:   serialSec,
+		ParallelSeconds: parSec,
+		ParallelWorkers: workers,
+		Speedup:         serialSec / parSec,
+		TablesIdentical: serialTab == parTab,
+	}, nil
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"basevictim"
@@ -60,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkLvl  = fs.String("check", "off", "lockstep shadow verification: off|cheap|full")
 		inject    = fs.String("inject", "", "fault injection spec, e.g. tag@1000,size (kinds: tag, size, backinval, writeback)")
 		seed      = fs.Uint64("seed", 1, "fault-injection placement seed")
+		workers   = fs.Int("workers", 0, "concurrent simulations for -compare (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -125,26 +127,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fatal(stderr, err)
 	}
-	res, err := basevictim.Run(tr, cfg, *ins)
+
+	if !*compare {
+		res, err := basevictim.Run(tr, cfg, *ins)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		printResult(stdout, res)
+		printNotices(stderr, res)
+		return 0
+	}
+
+	// -compare runs the configured org and the uncompressed baseline;
+	// with 2+ workers the two independent simulations run concurrently.
+	res, base, err := comparePair(tr, cfg, *ins, *workers)
 	if err != nil {
 		return fatal(stderr, err)
 	}
 	printResult(stdout, res)
 	printNotices(stderr, res)
-
-	if *compare {
-		var base basevictim.Result
-		base, err = basevictim.Run(tr, cfg.Baseline(), *ins)
-		if err != nil {
-			return fatal(stderr, err)
-		}
-		fmt.Fprintln(stdout, "-- uncompressed baseline --")
-		printResult(stdout, base)
-		pair := basevictim.Pair{Run: res, Base: base}
-		fmt.Fprintf(stdout, "IPC ratio:        %.4f\n", pair.IPCRatio())
-		fmt.Fprintf(stdout, "DRAM read ratio:  %.4f\n", pair.DRAMReadRatio())
-	}
+	fmt.Fprintln(stdout, "-- uncompressed baseline --")
+	printResult(stdout, base)
+	printNotices(stderr, base)
+	pair := basevictim.Pair{Run: res, Base: base}
+	fmt.Fprintf(stdout, "IPC ratio:        %.4f\n", pair.IPCRatio())
+	fmt.Fprintf(stdout, "DRAM read ratio:  %.4f\n", pair.DRAMReadRatio())
 	return 0
+}
+
+// comparePair simulates cfg and its baseline, concurrently when the
+// worker budget allows. Output order is deterministic either way.
+func comparePair(tr basevictim.Trace, cfg basevictim.Config, ins uint64, workers int) (res, base basevictim.Result, err error) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 2 {
+		if res, err = basevictim.Run(tr, cfg, ins); err != nil {
+			return res, base, err
+		}
+		base, err = basevictim.Run(tr, cfg.Baseline(), ins)
+		return res, base, err
+	}
+	var baseErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		base, baseErr = basevictim.Run(tr, cfg.Baseline(), ins)
+	}()
+	res, err = basevictim.Run(tr, cfg, ins)
+	<-done
+	if err != nil {
+		return res, base, err
+	}
+	return res, base, baseErr
 }
 
 // replayFile runs a recorded .bvtr trace through the simulator, using

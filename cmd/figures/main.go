@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"basevictim"
+	"basevictim/internal/check"
 )
 
 func main() {
@@ -26,6 +27,9 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment id, comma list, 'all' or 'list'")
 		ins     = flag.Uint64("ins", 400_000, "instructions per thread (paper: 200M)")
 		traces  = flag.Int("traces", 0, "cap traces/mixes per experiment (0 = all)")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		chk     = flag.String("check", "", "lockstep shadow verification on every run: off|cheap|full")
+		inject  = flag.String("inject", "", "fault injection spec applied to every run, e.g. tag@1000")
 		verbose = flag.Bool("v", false, "print per-run progress to stderr")
 	)
 	flag.Parse()
@@ -36,10 +40,27 @@ func main() {
 		}
 		return
 	}
+	if *chk != "" {
+		if _, err := check.ParseLevel(*chk); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: invalid -check %q (valid: off, cheap, full)\n", *chk)
+			os.Exit(2)
+		}
+	}
+	if *inject != "" {
+		if _, err := check.ParseSpec(*inject); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: invalid -inject: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	session := basevictim.NewSession(*ins)
 	session.MaxTraces = *traces
+	session.Workers = *workers
+	session.Check = *chk
+	session.Inject = *inject
 	if *verbose {
+		// The session serializes Progress calls, so each callback may
+		// write freely; one Fprintf per line keeps output line-atomic.
 		session.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}

@@ -166,6 +166,53 @@ func fitsMode(line []byte, m bdiMode) bool {
 	return true
 }
 
+// fitsDeltas evaluates every delta width of one base width in a single
+// pass, loading each element once instead of once per (base, delta)
+// mode. Each delta width tracks its own base selection, mirroring
+// fitsMode's semantics exactly; the pass stops early once every delta
+// width has failed.
+func fitsDeltas(line []byte, baseBytes int, deltaBytes []int) (fits [3]bool) {
+	n := LineSize / baseBytes
+	var (
+		ok       [3]bool
+		haveBase [3]bool
+		base     [3]uint64
+	)
+	live := len(deltaBytes)
+	for d := range deltaBytes {
+		ok[d] = true
+	}
+	for i := 0; i < n && live > 0; i++ {
+		v := loadElem(line, i, baseBytes)
+		for d, db := range deltaBytes {
+			if !ok[d] {
+				continue
+			}
+			switch {
+			case deltaFits(v, 0, baseBytes, db):
+			case !haveBase[d]:
+				haveBase[d] = true
+				base[d] = v
+			case deltaFits(v, base[d], baseBytes, db):
+			default:
+				ok[d] = false
+				live--
+			}
+		}
+	}
+	for d := range deltaBytes {
+		fits[d] = ok[d]
+	}
+	return fits
+}
+
+// Per-width delta lists for fitsDeltas, matching bdiModes' coverage.
+var (
+	bdiDeltas8 = []int{1, 2, 4} // B8D1, B8D2, B8D4
+	bdiDeltas4 = []int{1, 2}    // B4D1, B4D2
+	bdiDeltas2 = []int{1}       // B2D1
+)
+
 // Compress implements Compressor.
 func (*BDI) Compress(line []byte) ([]byte, error) {
 	if err := checkLine(line); err != nil {
@@ -270,7 +317,9 @@ func (*BDI) Decompress(enc []byte) ([]byte, error) {
 }
 
 // CompressedSize implements Compressor. It mirrors Compress without
-// materializing the payload.
+// materializing the payload, evaluating each base width's delta modes
+// in one pass over the elements and picking sizes in bdiModes' exact
+// preference order (B8D1 < B4D1 < B8D2 < B4D2 <= B2D1 < B8D4).
 func (c *BDI) CompressedSize(line []byte) int {
 	if len(line) != LineSize {
 		return LineSize
@@ -281,10 +330,24 @@ func (c *BDI) CompressedSize(line []byte) int {
 	if _, ok := repeated8(line); ok {
 		return 8
 	}
-	for _, m := range bdiModes {
-		if fitsMode(line, m) {
-			return m.payloadSize()
-		}
+	f8 := fitsDeltas(line, 8, bdiDeltas8)
+	if f8[0] {
+		return bdiModes[0].payloadSize() // B8D1
+	}
+	f4 := fitsDeltas(line, 4, bdiDeltas4)
+	switch {
+	case f4[0]:
+		return bdiModes[1].payloadSize() // B4D1
+	case f8[1]:
+		return bdiModes[2].payloadSize() // B8D2
+	case f4[1]:
+		return bdiModes[3].payloadSize() // B4D2
+	}
+	if f2 := fitsDeltas(line, 2, bdiDeltas2); f2[0] {
+		return bdiModes[4].payloadSize() // B2D1
+	}
+	if f8[2] {
+		return bdiModes[5].payloadSize() // B8D4
 	}
 	return LineSize
 }

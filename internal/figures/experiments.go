@@ -287,25 +287,35 @@ func (s *Session) Fig13() (Table, error) {
 		mk(12<<20, 24, 1, sim.OrgUncompressed), // 12MB
 		mk(8<<20, 16, 1, sim.OrgBaseVictim),    // BV on 8MB
 	}
-	var cols [6][]float64
+	mixes := make([][4]workload.Profile, len(mixNames))
 	for mi, names := range mixNames {
-		var mix [4]workload.Profile
 		for i, n := range names {
 			p, ok := workload.ByName(s.all, n)
 			if !ok {
 				return Table{}, fmt.Errorf("figures: unknown mix trace %q", n)
 			}
-			mix[i] = p
+			mixes[mi][i] = p
 		}
-		var results [6]sim.MultiResult
-		for ci, cfg := range configs {
-			r, err := sim.RunMix(mix, cfg)
-			if err != nil {
-				return Table{}, fmt.Errorf("figures: mix %d on %s: %w", mi+1, cfg.Org, err)
-			}
-			results[ci] = r
-			s.logf("mix %d config %d done", mi, ci)
+	}
+	// The full (mix, config) grid is one batch: every cell is an
+	// independent RunMix, collected into its fixed slot.
+	grid := make([][6]sim.MultiResult, len(mixes))
+	err := s.runJobs(len(mixes)*len(configs), func(j int) error {
+		mi, ci := j/len(configs), j%len(configs)
+		r, err := sim.RunMix(mixes[mi], configs[ci])
+		if err != nil {
+			return fmt.Errorf("figures: mix %d on %s: %w", mi+1, configs[ci].Org, err)
 		}
+		grid[mi][ci] = r
+		s.logf("mix %d config %d done", mi, ci)
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	var cols [6][]float64
+	for mi := range mixes {
+		results := grid[mi]
 		ws6 := sim.WeightedSpeedup(results[1], results[0])
 		wsBV4 := sim.WeightedSpeedup(results[2], results[0])
 		ws8 := sim.WeightedSpeedup(results[3], results[0])
@@ -340,16 +350,17 @@ func (s *Session) Fig14() (Table, error) {
 	mWE := energy.Model{Cfg: energy.Config{Compressed: true, WordEnables: true}}
 	mRMW := energy.Model{Cfg: energy.Config{Compressed: true, WordEnables: false}}
 	mBase := energy.Model{}
-	var we, rmw, reads []float64
+	reqs := make([]runReq, 0, 2*len(all))
 	for _, p := range all {
-		r, err := s.run(p, bvDefault())
-		if err != nil {
-			return Table{}, err
-		}
-		b, err := s.run(p, base2MB())
-		if err != nil {
-			return Table{}, err
-		}
+		reqs = append(reqs, runReq{p, bvDefault()}, runReq{p, base2MB()})
+	}
+	res, err := s.runAll(reqs)
+	if err != nil {
+		return Table{}, err
+	}
+	var we, rmw, reads []float64
+	for i, p := range all {
+		r, b := res[2*i], res[2*i+1]
 		eWE := energy.Ratio(mWE, r.Energy, mBase, b.Energy)
 		eRMW := energy.Ratio(mRMW, r.Energy, mBase, b.Energy)
 		rd := sim.Pair{Run: r, Base: b}.DRAMReadRatio()
@@ -465,16 +476,20 @@ func (s *Session) Capacity() (Table, error) {
 	if len(ps) > 10 {
 		ps = ps[:10]
 	}
-	var bvs, vscs []float64
+	vscCfg := sim.Default()
+	vscCfg.Org = sim.OrgVSC
+	reqs := make([]runReq, 0, 2*len(ps))
 	for _, p := range ps {
-		bvRatio, err := capacityOf(p, sim.OrgBaseVictim, s.Instructions)
-		if err != nil {
-			return Table{}, err
-		}
-		vscRatio, err := capacityOf(p, sim.OrgVSC, s.Instructions)
-		if err != nil {
-			return Table{}, err
-		}
+		reqs = append(reqs, runReq{p, bvDefault()}, runReq{p, vscCfg})
+	}
+	res, err := s.runAll(reqs)
+	if err != nil {
+		return Table{}, err
+	}
+	var bvs, vscs []float64
+	for i, p := range ps {
+		bvRatio := capacityRatio(res[2*i])
+		vscRatio := capacityRatio(res[2*i+1])
 		bvs = append(bvs, bvRatio)
 		vscs = append(vscs, vscRatio)
 		t.Rows = append(t.Rows, []string{p.Name, f3(bvRatio), f3(vscRatio)})
@@ -484,20 +499,13 @@ func (s *Session) Capacity() (Table, error) {
 	return t, nil
 }
 
-// capacityOf runs the trace on the organization and reports the
-// end-of-run logical-to-physical line ratio.
-func capacityOf(p workload.Profile, org sim.OrgKind, instructions uint64) (float64, error) {
-	cfg := sim.Default()
-	cfg.Org = org
-	cfg.Instructions = instructions
-	r, err := sim.RunSingle(p, cfg)
-	if err != nil {
-		return 0, fmt.Errorf("figures: %s on %s: %w", p.Name, org, err)
-	}
+// capacityRatio reports a run's end-of-run logical-to-physical line
+// ratio (Section V's effective-capacity metric).
+func capacityRatio(r sim.Result) float64 {
 	if r.LLCPhysicalLines == 0 {
-		return 0, nil
+		return 0
 	}
-	return float64(r.LLCLogicalLines) / float64(r.LLCPhysicalLines), nil
+	return float64(r.LLCLogicalLines) / float64(r.LLCPhysicalLines)
 }
 
 // Traffic reproduces the Section VI.D traffic accounting: LLC access
@@ -511,16 +519,17 @@ func (s *Session) Traffic() (Table, error) {
 	}
 	friendly, _ := workload.CompressionFriendly(s.all)
 	ps := s.limit(friendly)
-	var llcAcc, reads, bw []float64
+	reqs := make([]runReq, 0, 2*len(ps))
 	for _, p := range ps {
-		r, err := s.run(p, bvDefault())
-		if err != nil {
-			return Table{}, err
-		}
-		b, err := s.run(p, base2MB())
-		if err != nil {
-			return Table{}, err
-		}
+		reqs = append(reqs, runReq{p, bvDefault()}, runReq{p, base2MB()})
+	}
+	res, err := s.runAll(reqs)
+	if err != nil {
+		return Table{}, err
+	}
+	var llcAcc, reads, bw []float64
+	for i := range ps {
+		r, b := res[2*i], res[2*i+1]
 		ra := float64(r.LLC.Accesses+r.LLC.Fills+r.Energy.LLCDataReads+r.Energy.LLCDataWrites) /
 			float64(b.LLC.Accesses+b.LLC.Fills+b.Energy.LLCDataReads+b.Energy.LLCDataWrites)
 		llcAcc = append(llcAcc, ra)

@@ -11,6 +11,7 @@ package figures
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"basevictim/internal/compress"
 
@@ -97,6 +98,9 @@ func Experiments() []struct {
 }
 
 // Session runs simulations with memoization and shared options.
+// Experiments fan their independent (trace, config) runs out over a
+// bounded worker pool (see scheduler.go); a session is safe for
+// concurrent use, including running several experiments at once.
 type Session struct {
 	// Instructions per thread; scaled-down reruns use fewer than the
 	// paper's 200M.
@@ -104,11 +108,59 @@ type Session struct {
 	// MaxTraces caps the trace count per experiment (0 = all), for
 	// quick smoke runs and benchmarks.
 	MaxTraces int
+	// Workers bounds the number of concurrent simulations (0 =
+	// GOMAXPROCS, 1 = the historical serial behavior). Tables are
+	// byte-identical at every worker count.
+	Workers int
+	// Check applies the lockstep shadow checker to every run: "" or
+	// "off", "cheap", or "full" (see internal/check). A violation in
+	// any worker cancels the batch and surfaces as a *check.Violation.
+	Check string
+	// Inject applies a deterministic fault-injection spec (see
+	// check.ParseSpec) to every run; with Check enabled this proves the
+	// checker catches corruption under the parallel engine too.
+	Inject string
 	// Progress, when non-nil, receives one line per completed run.
+	// With Workers > 1 it is called from multiple goroutines; the
+	// session serializes the calls, so the callback itself needs no
+	// locking and lines never interleave.
 	Progress func(format string, args ...any)
 
-	all   []workload.Profile
-	cache map[string]sim.Result
+	all []workload.Profile
+
+	// cache memoizes runs by the full (trace, config) pair with
+	// singleflight semantics: the first caller simulates, concurrent
+	// callers for the same key wait on the entry instead of duplicating
+	// the run. Keying on the complete sim.Config struct makes aliasing
+	// impossible by construction — a checked run can never satisfy an
+	// unchecked request, nor a different seed, budget or latency knob.
+	mu    sync.Mutex
+	cache map[runKey]*cacheEntry
+
+	progressMu sync.Mutex
+
+	// runFn is the simulation entry point; tests swap it to count or
+	// fail runs. Nil means sim.RunSingle.
+	runFn func(workload.Profile, sim.Config) (sim.Result, error)
+}
+
+// runKey identifies one memoized simulation. sim.Config contains only
+// comparable scalar fields, so the struct itself is the key; every
+// config field — including Check, CheckFullBudget, Inject and Seed —
+// participates automatically.
+type runKey struct {
+	trace string
+	cfg   sim.Config
+}
+
+// cacheEntry is one singleflight cache slot: done closes when the
+// owning goroutine has filled res/err. Errors are cached too —
+// simulations are deterministic, so a failed (trace, config) pair
+// fails identically on retry.
+type cacheEntry struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
 }
 
 // NewSession builds a session with the full suite loaded.
@@ -116,13 +168,15 @@ func NewSession(instructions uint64) *Session {
 	return &Session{
 		Instructions: instructions,
 		all:          workload.Suite(),
-		cache:        make(map[string]sim.Result),
+		cache:        make(map[runKey]*cacheEntry),
 	}
 }
 
 func (s *Session) logf(format string, args ...any) {
 	if s.Progress != nil {
+		s.progressMu.Lock()
 		s.Progress(format, args...)
+		s.progressMu.Unlock()
 	}
 }
 
@@ -138,26 +192,46 @@ func (s *Session) sensitive() []workload.Profile {
 	return s.limit(workload.Sensitive(s.all))
 }
 
-func cfgKey(name string, cfg sim.Config) string {
-	return fmt.Sprintf("%s|%s|%d|%d|%s|%s|%v|%v|%d|%d|%d|%d|%s",
-		name, cfg.Org, cfg.LLCSizeBytes, cfg.LLCWays, cfg.Policy, cfg.VictimPolicy,
-		cfg.Prefetch, cfg.Inclusive, cfg.ExtraLLCLatency, cfg.Instructions,
-		cfg.TagCycles, cfg.DecompressCycles, cfg.Compressor)
-}
-
-// run simulates (memoized) one trace under one config.
+// run simulates (memoized, singleflight) one trace under one config.
+// The session's instruction budget and verification options are applied
+// before keying, so every distinct effective configuration — checked or
+// not, injected or not — gets its own cache slot. When several workers
+// race for the same key (e.g. Fig6/7/8/12 all needing a trace's shared
+// 2 MB baseline), exactly one simulates; the rest wait for its entry.
 func (s *Session) run(p workload.Profile, cfg sim.Config) (sim.Result, error) {
 	cfg.Instructions = s.Instructions
-	key := cfgKey(p.Name, cfg)
-	if r, ok := s.cache[key]; ok {
-		return r, nil
+	if s.Check != "" {
+		cfg.Check = s.Check
 	}
-	r, err := sim.RunSingle(p, cfg)
+	if s.Inject != "" {
+		cfg.Inject = s.Inject
+	}
+	key := runKey{trace: p.Name, cfg: cfg}
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	s.cache[key] = e
+	s.mu.Unlock()
+	e.res, e.err = s.simulate(p, cfg)
+	close(e.done)
+	return e.res, e.err
+}
+
+// simulate performs the actual run (no caching) and reports progress.
+func (s *Session) simulate(p workload.Profile, cfg sim.Config) (sim.Result, error) {
+	runFn := s.runFn
+	if runFn == nil {
+		runFn = sim.RunSingle
+	}
+	r, err := runFn(p, cfg)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("figures: %s on %s: %w", p.Name, cfg.Org, err)
 	}
 	s.logf("ran %-16s %-12s IPC=%.3f dramReads=%d", p.Name, cfg.Org, r.IPC, r.DemandDRAMReads)
-	s.cache[key] = r
 	return r, nil
 }
 
@@ -179,18 +253,21 @@ func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
 func pct(x float64) string { return fmt.Sprintf("%+.1f%%", (x-1)*100) }
 
 // ratioSeries runs cfg and base across traces, returning per-trace IPC
-// and DRAM-read ratios.
+// and DRAM-read ratios. All 2*len(ps) simulations are submitted as one
+// batch to the worker pool; results come back in trace order.
 func (s *Session) ratioSeries(ps []workload.Profile, cfg, base sim.Config) (ipc, reads []float64, err error) {
+	reqs := make([]runReq, 0, 2*len(ps))
 	for _, p := range ps {
-		r, err := s.run(p, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		b, err := s.run(p, base)
-		if err != nil {
-			return nil, nil, err
-		}
-		pair := sim.Pair{Run: r, Base: b}
+		reqs = append(reqs, runReq{p, cfg}, runReq{p, base})
+	}
+	res, err := s.runAll(reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	ipc = make([]float64, 0, len(ps))
+	reads = make([]float64, 0, len(ps))
+	for i := range ps {
+		pair := sim.Pair{Run: res[2*i], Base: res[2*i+1]}
 		ipc = append(ipc, pair.IPCRatio())
 		reads = append(reads, pair.DRAMReadRatio())
 	}

@@ -1,0 +1,108 @@
+package figures
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"basevictim/internal/sim"
+	"basevictim/internal/workload"
+)
+
+// This file is the parallel experiment engine: a bounded worker pool
+// over which every experiment fans out its independent (trace, config)
+// simulations, and the batch helpers the experiment functions use.
+//
+// Determinism contract: results are collected in input order and every
+// simulation is memoized by its full (trace, config) key, so a parallel
+// session produces byte-identical tables to a Workers=1 session (the
+// only observable difference is the interleaving of Progress lines).
+
+// workerCount resolves the session's worker budget: Session.Workers,
+// or GOMAXPROCS when unset.
+func (s *Session) workerCount() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runJobs executes job(0..n-1) on up to workerCount goroutines. After
+// the first failure no new jobs start (jobs already running finish),
+// mirroring errgroup's cancel-on-first-error. The error returned is the
+// one from the lowest-indexed failed job, unwrapped — a *check.Violation
+// raised in any worker surfaces with its forensics intact.
+func (s *Session) runJobs(n int, job func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := s.workerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Inline fast path: identical to the historical serial loop,
+		// including stop-at-first-error semantics.
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := job(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runReq is one (trace, config) simulation request.
+type runReq struct {
+	p   workload.Profile
+	cfg sim.Config
+}
+
+// runAll simulates every request concurrently (bounded by the worker
+// budget) and returns results in input order. Duplicate requests and
+// requests already memoized cost nothing extra: run's singleflight
+// cache guarantees each distinct (trace, config) simulates once.
+func (s *Session) runAll(reqs []runReq) ([]sim.Result, error) {
+	out := make([]sim.Result, len(reqs))
+	err := s.runJobs(len(reqs), func(i int) error {
+		r, err := s.run(reqs[i].p, reqs[i].cfg)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

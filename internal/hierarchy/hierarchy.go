@@ -148,8 +148,12 @@ func New(cfg Config, llc ccache.Org, mem *dram.System, sizer Sizer) (*Hierarchy,
 	h := &Hierarchy{
 		cfg: cfg, L1I: l1i, L1D: l1d, L2: l2,
 		LLC: llc, Mem: mem, sizer: sizer,
-		gen: make(map[uint64]uint32),
+		gen: make(map[uint64]uint32, 1<<12),
 	}
+	// Single-core hierarchies snoop only themselves; ShareLLC replaces
+	// this for multi-program runs. Pre-binding the group here keeps
+	// consume allocation-free on the per-access path.
+	h.snoop = []*Hierarchy{h}
 	if cfg.EnablePrefetch {
 		h.pfL1 = prefetch.New(prefetch.DefaultL1())
 		h.pfL2 = prefetch.New(prefetch.DefaultL2())
@@ -306,9 +310,6 @@ func (h *Hierarchy) llcFill(line uint64, dirty bool) {
 // and internal data movement into the counters.
 func (h *Hierarchy) consume(r *ccache.Result) {
 	group := h.snoop
-	if group == nil {
-		group = []*Hierarchy{h}
-	}
 	for _, bi := range r.BackInvals {
 		dirtyAbove := false
 		for _, peer := range group {
@@ -370,8 +371,9 @@ func (h *Hierarchy) fillL2(line uint64) {
 // writebackToLLC delivers a dirty L2 eviction to the LLC. The data is
 // recompressed, so the line's size can change (Section IV.B.5).
 func (h *Hierarchy) writebackToLLC(line uint64) {
-	h.gen[line]++
-	segs := h.segsOf(line)
+	g := h.gen[line] + 1
+	h.gen[line] = g
+	segs := h.sizer.Segments(line, g)
 	h.Stats.Compressions++
 	h.Stats.LLCDataWrites++
 	r := h.LLC.Access(line, true, segs)

@@ -29,18 +29,26 @@ func DefaultLLC() Config { return Config{Streams: 32, Degree: 4, Distance: 16, T
 const regionShift = 12
 
 type stream struct {
-	region   uint64
 	lastLine uint64
 	stride   int64
 	confirms int
-	valid    bool
-	lastUse  uint64
 }
+
+// invalidRegion marks an unallocated stream slot. Regions are byte
+// addresses shifted right by 12, so the all-ones value is unreachable.
+const invalidRegion = ^uint64(0)
 
 // Prefetcher is a multi-stream stride engine. It is not safe for
 // concurrent use; each cache level owns one.
+//
+// The per-stream region and last-use keys live in dedicated flat
+// arrays: the lookup and victim scans that run on every train touch
+// only those dense words instead of striding through the full stream
+// structs, which is where the profiler showed the time going.
 type Prefetcher struct {
 	cfg     Config
+	regions []uint64 // stream key per slot; invalidRegion = free
+	lastUse []uint64 // LRU clock per slot; 0 = never used (free)
 	streams []stream
 	clock   uint64
 	out     []uint64 // reused output buffer
@@ -67,7 +75,16 @@ func New(cfg Config) *Prefetcher {
 	if cfg.Distance < cfg.Degree {
 		cfg.Distance = cfg.Degree
 	}
-	return &Prefetcher{cfg: cfg, streams: make([]stream, cfg.Streams)}
+	p := &Prefetcher{
+		cfg:     cfg,
+		regions: make([]uint64, cfg.Streams),
+		lastUse: make([]uint64, cfg.Streams),
+		streams: make([]stream, cfg.Streams),
+	}
+	for i := range p.regions {
+		p.regions[i] = invalidRegion
+	}
+	return p
 }
 
 // confirmThreshold is how many same-stride observations arm a stream.
@@ -83,14 +100,17 @@ func (p *Prefetcher) Advise(addr uint64) []uint64 {
 	region := addr >> regionShift
 	p.out = p.out[:0]
 
-	s := p.lookup(region)
-	if s == nil {
-		s = p.victim()
-		*s = stream{region: region, lastLine: line, valid: true, lastUse: p.clock}
+	idx := p.lookup(region)
+	if idx < 0 {
+		idx = p.victim()
+		p.regions[idx] = region
+		p.lastUse[idx] = p.clock
+		p.streams[idx] = stream{lastLine: line}
 		p.Stats.Streams++
 		return p.out
 	}
-	s.lastUse = p.clock
+	s := &p.streams[idx]
+	p.lastUse[idx] = p.clock
 	stride := int64(line) - int64(s.lastLine)
 	if stride == 0 {
 		return p.out // same line; nothing to learn
@@ -124,24 +144,28 @@ func (p *Prefetcher) Advise(addr uint64) []uint64 {
 	return p.out
 }
 
-func (p *Prefetcher) lookup(region uint64) *stream {
-	for i := range p.streams {
-		if p.streams[i].valid && p.streams[i].region == region {
-			return &p.streams[i]
+func (p *Prefetcher) lookup(region uint64) int {
+	for i, r := range p.regions {
+		if r == region {
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
-func (p *Prefetcher) victim() *stream {
+// victim picks the slot to reallocate: the first free slot, else the
+// least recently used one. Free slots have lastUse 0 and the clock
+// starts at 1, so a single min-scan with first-wins ties reproduces
+// the historical first-free-then-LRU selection exactly.
+func (p *Prefetcher) victim() int {
 	oldest := 0
-	for i := range p.streams {
-		if !p.streams[i].valid {
-			return &p.streams[i]
+	for i, u := range p.lastUse {
+		if u == 0 {
+			return i
 		}
-		if p.streams[i].lastUse < p.streams[oldest].lastUse {
+		if u < p.lastUse[oldest] {
 			oldest = i
 		}
 	}
-	return &p.streams[oldest]
+	return oldest
 }

@@ -242,10 +242,18 @@ func logApprox(x float64) float64 {
 // Values is the profile's value model: it synthesizes line contents
 // per (line, generation) and compresses them with a real compressor
 // (BDI by default), memoizing the resulting segment counts. It
-// implements hierarchy.Sizer.
+// implements hierarchy.Sizer. A Values is owned by one run; it is not
+// safe for concurrent use (parallel sessions build one per run).
 type Values struct {
 	p    Profile
 	comp compress.Compressor
+	// gen0 memoizes generation-0 sizes for the data footprint — the
+	// overwhelmingly common Segments query — in a flat slice (-1 =
+	// not yet sized), avoiding per-run map churn on the hot path.
+	gen0 []int8
+	// memo covers everything gen0 cannot: written lines (gen > 0) and
+	// lines outside the footprint (instruction fetches, offset
+	// multi-program address spaces).
 	memo map[valueKey]int8
 	buf  []byte
 }
@@ -259,6 +267,10 @@ type valueKey struct {
 // compression algorithm.
 func (p Profile) Values() *Values { return p.ValuesWith(nil) }
 
+// gen0MemoCap bounds the flat generation-0 memo so huge footprints do
+// not pre-allocate more than 1 MB per run.
+const gen0MemoCap = 1 << 20
+
 // ValuesWith returns the value model sized by the given compressor
 // (nil means BDI). Swapping the compressor is the paper's
 // "algorithms are orthogonal to the architecture" knob.
@@ -266,7 +278,21 @@ func (p Profile) ValuesWith(c compress.Compressor) *Values {
 	if c == nil {
 		c = compress.NewBDI()
 	}
-	return &Values{p: p, comp: c, memo: make(map[valueKey]int8), buf: make([]byte, compress.LineSize)}
+	n := p.TotalLines
+	if n > gen0MemoCap {
+		n = gen0MemoCap
+	}
+	gen0 := make([]int8, n)
+	for i := range gen0 {
+		gen0[i] = -1
+	}
+	return &Values{
+		p:    p,
+		comp: c,
+		gen0: gen0,
+		memo: make(map[valueKey]int8, 256),
+		buf:  make([]byte, compress.LineSize),
+	}
 }
 
 // classOf assigns a value class from the profile's mix. Write churn
@@ -329,17 +355,30 @@ func (v *Values) FillLine(dst []byte, line uint64, gen uint32) ValueClass {
 // Segments implements the hierarchy's Sizer: the BDI-compressed size
 // of the line's current contents, in 4-byte segments.
 func (v *Values) Segments(line uint64, gen uint32) int {
+	if gen == 0 && line < uint64(len(v.gen0)) {
+		if s := v.gen0[line]; s >= 0 {
+			return int(s)
+		}
+		segs := v.size(line, 0)
+		v.gen0[line] = int8(segs)
+		return segs
+	}
 	key := valueKey{line: line, gen: gen}
 	if s, ok := v.memo[key]; ok {
 		return int(s)
 	}
-	v.FillLine(v.buf, line, gen)
-	segs := compress.SegmentsFor(v.comp.CompressedSize(v.buf), 4)
-	if compress.IsZeroLine(v.buf) {
-		segs = 0
-	}
+	segs := v.size(line, gen)
 	v.memo[key] = int8(segs)
 	return segs
+}
+
+// size synthesizes and compresses the line's contents (no memo).
+func (v *Values) size(line uint64, gen uint32) int {
+	v.FillLine(v.buf, line, gen)
+	if compress.IsZeroLine(v.buf) {
+		return 0
+	}
+	return compress.SegmentsFor(v.comp.CompressedSize(v.buf), 4)
 }
 
 // MeanCompressedRatio estimates the average compressed-to-raw size

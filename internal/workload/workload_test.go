@@ -162,8 +162,21 @@ func TestValuesMemoized(t *testing.T) {
 	if a != b {
 		t.Fatal("memoized size changed")
 	}
-	if len(v.memo) != 1 {
-		t.Fatalf("memo has %d entries, want 1", len(v.memo))
+	if v.gen0[42] != int8(a) {
+		t.Fatalf("gen-0 memo slot holds %d, want %d", v.gen0[42], a)
+	}
+	// Written lines and out-of-footprint lines take the map path.
+	w := v.Segments(42, 1)
+	if v.Segments(42, 1) != w {
+		t.Fatal("memoized written size changed")
+	}
+	far := uint64(len(v.gen0)) + 100
+	f := v.Segments(far, 0)
+	if v.Segments(far, 0) != f {
+		t.Fatal("memoized out-of-footprint size changed")
+	}
+	if len(v.memo) != 2 {
+		t.Fatalf("memo has %d entries, want 2 (gen>0 and out-of-footprint)", len(v.memo))
 	}
 }
 
