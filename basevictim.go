@@ -24,6 +24,7 @@
 package basevictim
 
 import (
+	"context"
 	"fmt"
 
 	"basevictim/internal/ccache"
@@ -108,10 +109,17 @@ func Mixes() [][4]string { return workload.Mixes() }
 
 // Run simulates one trace under one configuration.
 func Run(t Trace, cfg Config, instructions uint64) (Result, error) {
+	return RunContext(context.Background(), t, cfg, instructions)
+}
+
+// RunContext is Run with cancellation and deadline support: the
+// simulation polls ctx inside the instruction loop and aborts promptly
+// when it is cancelled or its deadline passes.
+func RunContext(ctx context.Context, t Trace, cfg Config, instructions uint64) (Result, error) {
 	if instructions > 0 {
 		cfg.Instructions = instructions
 	}
-	return sim.RunSingle(t, cfg)
+	return sim.RunSingleCtx(ctx, t, cfg)
 }
 
 // Compare runs a trace under cfg and under the uncompressed baseline
@@ -128,6 +136,11 @@ type MixResult = sim.MultiResult
 
 // RunMix executes a four-trace multi-program mix on a shared LLC.
 func RunMix(names [4]string, cfg Config, instructionsPerThread uint64) (MixResult, error) {
+	return RunMixContext(context.Background(), names, cfg, instructionsPerThread)
+}
+
+// RunMixContext is RunMix with cancellation and deadline support.
+func RunMixContext(ctx context.Context, names [4]string, cfg Config, instructionsPerThread uint64) (MixResult, error) {
 	var mix [4]workload.Profile
 	for i, n := range names {
 		p, err := TraceByName(n)
@@ -139,7 +152,7 @@ func RunMix(names [4]string, cfg Config, instructionsPerThread uint64) (MixResul
 	if instructionsPerThread > 0 {
 		cfg.Instructions = instructionsPerThread
 	}
-	return sim.RunMix(mix, cfg)
+	return sim.RunMixCtx(ctx, mix, cfg)
 }
 
 // WeightedSpeedup computes the paper's multi-program metric between a
@@ -170,12 +183,41 @@ func Experiments() []string {
 
 // RunExperiment regenerates one experiment by id.
 func RunExperiment(s *Session, id string) (ExperimentTable, error) {
+	return RunExperimentContext(context.Background(), s, id)
+}
+
+// RunExperimentContext regenerates one experiment by id under a
+// context: cancelling ctx (or exceeding its deadline) stops the
+// experiment's in-flight simulations promptly and returns the ctx
+// error wrapped in the first failed run's error.
+func RunExperimentContext(ctx context.Context, s *Session, id string) (ExperimentTable, error) {
 	for _, e := range figures.Experiments() {
 		if e.ID == id {
-			return e.Run(s)
+			return e.Run(s, ctx)
 		}
 	}
 	return ExperimentTable{}, fmt.Errorf("basevictim: unknown experiment %q (known: %v)", id, Experiments())
+}
+
+// RunPanicError reports a panic contained inside a single simulation:
+// the trace (or mix), the full configuration and the goroutine stack.
+// A panicking run fails like any other erroring run instead of
+// crashing the process, and inside an experiment batch it fails only
+// its own job — sibling runs complete.
+type RunPanicError = sim.RunPanicError
+
+// CheckpointStore is a durable on-disk store of completed simulation
+// results, keyed by the full (trace, config) identity. Attach one to a
+// Session (Session.Store) to make a suite crash-recoverable: a later
+// session opened with resume=true re-simulates only runs that never
+// completed.
+type CheckpointStore = figures.Store
+
+// NewCheckpointStore opens (creating if needed) a checkpoint
+// directory. With resume set, valid existing records satisfy run
+// requests; without it the store only writes.
+func NewCheckpointStore(dir string, resume bool) (*CheckpointStore, error) {
+	return figures.NewStore(dir, resume)
 }
 
 // CacheConfig configures a standalone LLC organization for direct use

@@ -18,15 +18,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"basevictim"
+	"basevictim/internal/atomicio"
+	"basevictim/internal/cliexit"
 )
 
 type throughputStat struct {
@@ -67,13 +72,16 @@ type report struct {
 }
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx)
+	stop()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", cliexit.Describe(err))
+		os.Exit(cliexit.Code(err))
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
 		out    = fs.String("out", "", "output path (default BENCH_<date>.json)")
@@ -100,7 +108,7 @@ func run() error {
 
 	fmt.Fprintf(os.Stderr, "throughput: %d instructions on %d core(s)\n", *mipsN, rep.Cores)
 	for _, org := range []string{"uncompressed", "basevictim"} {
-		st, err := throughput("soplex.p1", org, *mipsN)
+		st, err := throughput(ctx, "soplex.p1", org, *mipsN)
 		if err != nil {
 			return err
 		}
@@ -110,7 +118,7 @@ func run() error {
 
 	fmt.Fprintf(os.Stderr, "experiments: ins=%d traces=%d (serial, fresh session each)\n", *ins, *traces)
 	for _, id := range basevictim.Experiments() {
-		st, err := experiment(id, *ins, *traces)
+		st, err := experiment(ctx, id, *ins, *traces)
 		if err != nil {
 			return err
 		}
@@ -119,7 +127,7 @@ func run() error {
 			st.ID, st.Seconds, float64(st.AllocBytes)/(1<<20), st.AllocObjects)
 	}
 
-	suite, err := suiteComparison(*ins, *traces)
+	suite, err := suiteComparison(ctx, *ins, *traces)
 	if err != nil {
 		return err
 	}
@@ -134,7 +142,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+	// An atomic write keeps a previous snapshot intact if this run is
+	// killed mid-write: the temp file renames into place or nothing does.
+	if err := atomicio.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "wrote", *out)
@@ -143,7 +153,7 @@ func run() error {
 
 // throughput times one raw simulation and reports millions of
 // simulated instructions per wall-clock second.
-func throughput(traceName, org string, ins uint64) (throughputStat, error) {
+func throughput(ctx context.Context, traceName, org string, ins uint64) (throughputStat, error) {
 	tr, err := basevictim.TraceByName(traceName)
 	if err != nil {
 		return throughputStat{}, err
@@ -151,7 +161,7 @@ func throughput(traceName, org string, ins uint64) (throughputStat, error) {
 	cfg := basevictim.BaseVictimConfig()
 	cfg.Org = basevictim.OrgKind(org)
 	start := time.Now()
-	res, err := basevictim.Run(tr, cfg, ins)
+	res, err := basevictim.RunContext(ctx, tr, cfg, ins)
 	if err != nil {
 		return throughputStat{}, err
 	}
@@ -167,7 +177,7 @@ func throughput(traceName, org string, ins uint64) (throughputStat, error) {
 
 // experiment times one experiment on a fresh serial session and
 // captures its heap allocation cost via MemStats deltas.
-func experiment(id string, ins uint64, traces int) (expStat, error) {
+func experiment(ctx context.Context, id string, ins uint64, traces int) (expStat, error) {
 	s := basevictim.NewSession(ins)
 	s.MaxTraces = traces
 	s.Workers = 1
@@ -175,7 +185,7 @@ func experiment(id string, ins uint64, traces int) (expStat, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	if _, err := basevictim.RunExperiment(s, id); err != nil {
+	if _, err := basevictim.RunExperimentContext(ctx, s, id); err != nil {
 		return expStat{}, err
 	}
 	sec := time.Since(start).Seconds()
@@ -191,7 +201,7 @@ func experiment(id string, ins uint64, traces int) (expStat, error) {
 // suiteComparison runs every experiment back to back on one session,
 // once with Workers=1 and once with the full worker budget, and checks
 // the rendered tables are byte-identical.
-func suiteComparison(ins uint64, traces int) (suiteStat, error) {
+func suiteComparison(ctx context.Context, ins uint64, traces int) (suiteStat, error) {
 	render := func(workers int) (string, float64, error) {
 		s := basevictim.NewSession(ins)
 		s.MaxTraces = traces
@@ -199,7 +209,7 @@ func suiteComparison(ins uint64, traces int) (suiteStat, error) {
 		var b strings.Builder
 		start := time.Now()
 		for _, id := range basevictim.Experiments() {
-			tab, err := basevictim.RunExperiment(s, id)
+			tab, err := basevictim.RunExperimentContext(ctx, s, id)
 			if err != nil {
 				return "", 0, fmt.Errorf("%s (workers=%d): %w", id, workers, err)
 			}

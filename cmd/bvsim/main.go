@@ -9,18 +9,27 @@
 //	bvsim -check cheap -inject tag@100000      # prove the checker sees faults
 //	bvsim -replay mcf.p1.bvtr -values mcf.p1   # replay a trace file
 //	bvsim -list
+//
+// Runs are cancellable (SIGINT/SIGTERM) and -timeout bounds each
+// simulation. Exit codes follow internal/cliexit: 0 ok, 1 error,
+// 2 usage, 3 verification violation, 4 cancelled or timed out.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"basevictim"
 	"basevictim/internal/check"
+	"basevictim/internal/cliexit"
 	"basevictim/internal/policy"
 	"basevictim/internal/sim"
 	"basevictim/internal/trace"
@@ -28,7 +37,10 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
 // validateChoice rejects a flag value not in the valid list, naming
@@ -42,7 +54,7 @@ func validateChoice(flagName, val string, valid []string) error {
 	return fmt.Errorf("invalid -%s %q (valid: %s)", flagName, val, strings.Join(valid, ", "))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bvsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -62,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		inject    = fs.String("inject", "", "fault injection spec, e.g. tag@1000,size (kinds: tag, size, backinval, writeback)")
 		seed      = fs.Uint64("seed", 1, "fault-injection placement seed")
 		workers   = fs.Int("workers", 0, "concurrent simulations for -compare (0 = GOMAXPROCS, 1 = serial)")
+		timeout   = fs.Duration("timeout", 0, "per-simulation deadline (0 = unbounded), e.g. 90s")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,20 +94,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Validate every enumerated flag before any simulation runs, so a
 	// typo fails in milliseconds with the valid values spelled out.
 	if err := validateChoice("org", *org, sim.OrgKinds()); err != nil {
-		return fatal(stderr, err)
+		return usage(stderr, err)
 	}
 	if err := validateChoice("policy", *pol, policy.Names()); err != nil {
-		return fatal(stderr, err)
+		return usage(stderr, err)
 	}
 	if err := validateChoice("victim", *victim, policy.VictimNames()); err != nil {
-		return fatal(stderr, err)
+		return usage(stderr, err)
 	}
 	if _, err := check.ParseLevel(*checkLvl); err != nil {
-		return fatal(stderr, fmt.Errorf("invalid -check %q (valid: off, cheap, full)", *checkLvl))
+		return usage(stderr, fmt.Errorf("invalid -check %q (valid: off, cheap, full)", *checkLvl))
 	}
 	if *inject != "" {
 		if _, err := check.ParseSpec(*inject); err != nil {
-			return fatal(stderr, fmt.Errorf("invalid -inject: %w", err))
+			return usage(stderr, fmt.Errorf("invalid -inject: %w", err))
 		}
 	}
 
@@ -114,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if vname == "" {
 			vname = *traceName
 		}
-		res, err := replayFile(*replay, vname, cfg, *ins)
+		res, err := replayFile(ctx, *timeout, *replay, vname, cfg, *ins)
 		if err != nil {
 			return fatal(stderr, err)
 		}
@@ -129,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if !*compare {
-		res, err := basevictim.Run(tr, cfg, *ins)
+		res, err := runOne(ctx, *timeout, tr, cfg, *ins)
 		if err != nil {
 			return fatal(stderr, err)
 		}
@@ -140,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// -compare runs the configured org and the uncompressed baseline;
 	// with 2+ workers the two independent simulations run concurrently.
-	res, base, err := comparePair(tr, cfg, *ins, *workers)
+	res, base, err := comparePair(ctx, *timeout, tr, cfg, *ins, *workers)
 	if err != nil {
 		return fatal(stderr, err)
 	}
@@ -155,26 +168,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// runOne simulates one trace under ctx with its own -timeout window.
+func runOne(ctx context.Context, timeout time.Duration, tr basevictim.Trace, cfg basevictim.Config, ins uint64) (basevictim.Result, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return basevictim.RunContext(ctx, tr, cfg, ins)
+}
+
 // comparePair simulates cfg and its baseline, concurrently when the
-// worker budget allows. Output order is deterministic either way.
-func comparePair(tr basevictim.Trace, cfg basevictim.Config, ins uint64, workers int) (res, base basevictim.Result, err error) {
+// worker budget allows. Each simulation gets its own -timeout window.
+// Output order is deterministic either way.
+func comparePair(ctx context.Context, timeout time.Duration, tr basevictim.Trace, cfg basevictim.Config, ins uint64, workers int) (res, base basevictim.Result, err error) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers < 2 {
-		if res, err = basevictim.Run(tr, cfg, ins); err != nil {
+		if res, err = runOne(ctx, timeout, tr, cfg, ins); err != nil {
 			return res, base, err
 		}
-		base, err = basevictim.Run(tr, cfg.Baseline(), ins)
+		base, err = runOne(ctx, timeout, tr, cfg.Baseline(), ins)
 		return res, base, err
 	}
 	var baseErr error
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		base, baseErr = basevictim.Run(tr, cfg.Baseline(), ins)
+		base, baseErr = runOne(ctx, timeout, tr, cfg.Baseline(), ins)
 	}()
-	res, err = basevictim.Run(tr, cfg, ins)
+	res, err = runOne(ctx, timeout, tr, cfg, ins)
 	<-done
 	if err != nil {
 		return res, base, err
@@ -184,7 +208,12 @@ func comparePair(tr basevictim.Trace, cfg basevictim.Config, ins uint64, workers
 
 // replayFile runs a recorded .bvtr trace through the simulator, using
 // the named suite trace's value model for compressed sizes.
-func replayFile(path, valuesTrace string, cfg basevictim.Config, ins uint64) (basevictim.Result, error) {
+func replayFile(ctx context.Context, timeout time.Duration, path, valuesTrace string, cfg basevictim.Config, ins uint64) (basevictim.Result, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	vt, ok := workload.ByName(workload.Suite(), valuesTrace)
 	if !ok {
 		return basevictim.Result{}, fmt.Errorf("unknown value-model trace %q", valuesTrace)
@@ -199,7 +228,7 @@ func replayFile(path, valuesTrace string, cfg basevictim.Config, ins uint64) (ba
 		return basevictim.Result{}, err
 	}
 	cfg.Instructions = ins
-	res, err := sim.RunStream(r, vt.Values(), cfg)
+	res, err := sim.RunStreamCtx(ctx, r, vt.Values(), cfg)
 	if err != nil {
 		return basevictim.Result{}, err
 	}
@@ -228,7 +257,16 @@ func printNotices(w io.Writer, r basevictim.Result) {
 	}
 }
 
+// fatal reports a run failure and maps it to the shared exit-code
+// contract: 3 for a checker violation, 4 for cancellation or an
+// expired -timeout (with the cause named), 1 otherwise.
 func fatal(w io.Writer, err error) int {
+	fmt.Fprintln(w, "bvsim:", cliexit.Describe(err))
+	return cliexit.Code(err)
+}
+
+// usage reports a bad flag or argument (exit 2).
+func usage(w io.Writer, err error) int {
 	fmt.Fprintln(w, "bvsim:", err)
-	return 1
+	return cliexit.Usage
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +14,7 @@ import (
 // runCLI invokes run with captured stdout/stderr.
 func runCLI(args ...string) (code int, stdout, stderr string) {
 	var out, errb bytes.Buffer
-	code = run(args, &out, &errb)
+	code = run(context.Background(), args, &out, &errb)
 	return code, out.String(), errb.String()
 }
 
@@ -35,8 +36,8 @@ func TestInvalidEnumFlags(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			code, _, stderr := runCLI(tc.args...)
-			if code != 1 {
-				t.Fatalf("exit code %d, want 1 (stderr: %s)", code, stderr)
+			if code != 2 {
+				t.Fatalf("exit code %d, want 2 (stderr: %s)", code, stderr)
 			}
 			for _, w := range tc.want {
 				if !strings.Contains(stderr, w) {
@@ -78,16 +79,44 @@ func TestHappyPathWithCheck(t *testing.T) {
 	}
 }
 
-// TestInjectedFaultExitsNonzero: with injection on and checking on, the
-// violation reaches the exit code and stderr.
-func TestInjectedFaultExitsNonzero(t *testing.T) {
+// TestInjectedFaultExitsThree: with injection on and checking on, the
+// violation reaches stderr and maps to its dedicated exit code (3),
+// distinct from ordinary failures.
+func TestInjectedFaultExitsThree(t *testing.T) {
 	code, _, stderr := runCLI("-trace", "mcf.p1", "-ins", "60000",
 		"-check", "full", "-inject", "size@10000", "-seed", "3")
-	if code != 1 {
-		t.Fatalf("exit code %d, want 1 (stderr: %s)", code, stderr)
+	if code != 3 {
+		t.Fatalf("exit code %d, want 3 (stderr: %s)", code, stderr)
 	}
 	if !strings.Contains(stderr, "violation") {
 		t.Fatalf("stderr does not describe the violation:\n%s", stderr)
+	}
+}
+
+// TestTimeoutExitsFour: an unmeetable -timeout aborts the run with the
+// cancellation exit code and a message naming the deadline.
+func TestTimeoutExitsFour(t *testing.T) {
+	code, _, stderr := runCLI("-trace", "mcf.p1", "-ins", "5000000", "-timeout", "1ns")
+	if code != 4 {
+		t.Fatalf("exit code %d, want 4 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "deadline exceeded") {
+		t.Fatalf("stderr does not name the deadline:\n%s", stderr)
+	}
+}
+
+// TestCancelledContextExitsFour: a signal that already landed stops the
+// run before it starts, with the interrupt named.
+func TestCancelledContextExitsFour(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	code := run(ctx, []string{"-trace", "mcf.p1", "-ins", "100000"}, &out, &errb)
+	if code != 4 {
+		t.Fatalf("exit code %d, want 4 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Fatalf("stderr does not name the interrupt:\n%s", errb.String())
 	}
 }
 

@@ -5,52 +5,84 @@
 //	figures -exp all  -ins 1000000          # everything (slow)
 //	figures -exp fig8 -ins 400000 -v        # one figure with progress
 //	figures -exp list                       # list experiment ids
+//	figures -exp all -cache-dir ckpt        # checkpoint completed runs
+//	figures -exp all -cache-dir ckpt -resume  # finish an interrupted suite
 //
 // Each experiment prints the per-trace series (for the line-graph
 // figures) and the headline aggregates the paper quotes, with the
 // paper's numbers in the notes for side-by-side comparison.
+//
+// Runs are cancellable: SIGINT or SIGTERM stops in-flight simulations
+// promptly (exit 4), and -timeout bounds each individual simulation.
+// With -cache-dir, every completed run is durably checkpointed, so a
+// killed suite resumed with -resume re-simulates only what never
+// finished. Exit codes follow internal/cliexit: 0 ok, 1 error,
+// 2 usage, 3 verification violation, 4 cancelled or timed out.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"basevictim"
 	"basevictim/internal/check"
+	"basevictim/internal/cliexit"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "all", "experiment id, comma list, 'all' or 'list'")
-		ins     = flag.Uint64("ins", 400_000, "instructions per thread (paper: 200M)")
-		traces  = flag.Int("traces", 0, "cap traces/mixes per experiment (0 = all)")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		chk     = flag.String("check", "", "lockstep shadow verification on every run: off|cheap|full")
-		inject  = flag.String("inject", "", "fault injection spec applied to every run, e.g. tag@1000")
-		verbose = flag.Bool("v", false, "print per-run progress to stderr")
+		exp      = fs.String("exp", "all", "experiment id, comma list, 'all' or 'list'")
+		ins      = fs.Uint64("ins", 400_000, "instructions per thread (paper: 200M)")
+		traces   = fs.Int("traces", 0, "cap traces/mixes per experiment (0 = all)")
+		workers  = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		chk      = fs.String("check", "", "lockstep shadow verification on every run: off|cheap|full")
+		inject   = fs.String("inject", "", "fault injection spec applied to every run, e.g. tag@1000")
+		timeout  = fs.Duration("timeout", 0, "per-simulation deadline (0 = unbounded), e.g. 90s")
+		cacheDir = fs.String("cache-dir", "", "checkpoint completed runs into this directory")
+		resume   = fs.Bool("resume", false, "load completed runs from -cache-dir instead of re-simulating")
+		verbose  = fs.Bool("v", false, "print per-run progress to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return cliexit.Usage
+	}
 
 	if *exp == "list" {
 		for _, id := range basevictim.Experiments() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return cliexit.OK
 	}
 	if *chk != "" {
 		if _, err := check.ParseLevel(*chk); err != nil {
-			fmt.Fprintf(os.Stderr, "figures: invalid -check %q (valid: off, cheap, full)\n", *chk)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "figures: invalid -check %q (valid: off, cheap, full)\n", *chk)
+			return cliexit.Usage
 		}
 	}
 	if *inject != "" {
 		if _, err := check.ParseSpec(*inject); err != nil {
-			fmt.Fprintf(os.Stderr, "figures: invalid -inject: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "figures: invalid -inject: %v\n", err)
+			return cliexit.Usage
 		}
+	}
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(stderr, "figures: -resume requires -cache-dir")
+		return cliexit.Usage
 	}
 
 	session := basevictim.NewSession(*ins)
@@ -58,11 +90,20 @@ func main() {
 	session.Workers = *workers
 	session.Check = *chk
 	session.Inject = *inject
+	session.RunTimeout = *timeout
+	if *cacheDir != "" {
+		store, err := basevictim.NewCheckpointStore(*cacheDir, *resume)
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return cliexit.Failure
+		}
+		session.Store = store
+	}
 	if *verbose {
 		// The session serializes Progress calls, so each callback may
 		// write freely; one Fprintf per line keeps output line-atomic.
 		session.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
 
@@ -72,12 +113,31 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		tab, err := basevictim.RunExperiment(session, strings.TrimSpace(id))
+		tab, err := basevictim.RunExperimentContext(ctx, session, strings.TrimSpace(id))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "figures:", cliexit.Describe(err))
+			reportStore(session, stderr)
+			return cliexit.Code(err)
 		}
-		fmt.Print(tab.Format())
-		fmt.Printf("(%s in %.1fs)\n\n", tab.ID, time.Since(start).Seconds())
+		fmt.Fprint(stdout, tab.Format())
+		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", tab.ID, time.Since(start).Seconds())
+	}
+	reportStore(session, stderr)
+	return cliexit.OK
+}
+
+// reportStore summarizes checkpoint activity on stderr — on success and
+// on failure alike, since the whole point of the store is surviving
+// failed suites.
+func reportStore(s *basevictim.Session, stderr io.Writer) {
+	if s.Store == nil {
+		return
+	}
+	loaded, discarded, written := s.Store.Stats()
+	fmt.Fprintf(stderr, "figures: checkpoints: %d loaded, %d written, %d corrupt discarded (dir %s)\n",
+		loaded, written, discarded, s.Store.Dir())
+	if failed, first := s.Store.WriteErr(); failed > 0 {
+		fmt.Fprintf(stderr, "figures: warning: %d checkpoint write(s) failed (first: %v); a resume will re-simulate those runs\n",
+			failed, first)
 	}
 }

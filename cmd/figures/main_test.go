@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run with a background context and captured output.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListExperiments(t *testing.T) {
+	code, stdout, _ := runCLI("-exp", "list")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	for _, want := range []string{"fig6", "fig8", "table1"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("listing missing %s:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-nosuchflag"}},
+		{"bad check", []string{"-check", "paranoid"}},
+		{"bad inject", []string{"-inject", "bitrot@x"}},
+		{"resume without cache-dir", []string{"-resume"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, _ := runCLI(tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code %d, want 2 (usage)", code)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, stderr := runCLI("-exp", "fig99", "-ins", "1000", "-traces", "1")
+	if code != 1 || !strings.Contains(stderr, "fig99") {
+		t.Fatalf("code=%d stderr=%q, want 1 naming the experiment", code, stderr)
+	}
+}
+
+// TestCancelledContextExitsFour: an already-cancelled context (a signal
+// that landed before the suite started) exits 4 with "interrupted".
+func TestCancelledContextExitsFour(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	code := run(ctx, []string{"-exp", "fig6", "-ins", "50000", "-traces", "2"}, &out, &errb)
+	if code != 4 {
+		t.Fatalf("exit code %d, want 4 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Fatalf("stderr does not name the cancellation:\n%s", errb.String())
+	}
+}
+
+// TestTimeoutExitsFour: an unmeetable per-run deadline exits 4 and the
+// message names -timeout, not a generic interrupt.
+func TestTimeoutExitsFour(t *testing.T) {
+	code, _, stderr := runCLI("-exp", "fig6", "-ins", "2000000", "-traces", "2", "-timeout", "1ns")
+	if code != 4 {
+		t.Fatalf("exit code %d, want 4 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "deadline exceeded") || !strings.Contains(stderr, "-timeout") {
+		t.Fatalf("stderr does not name the deadline:\n%s", stderr)
+	}
+}
+
+// TestViolationExitsThree: an injected fault caught by the checker is
+// distinct from both ordinary errors and cancellation.
+func TestViolationExitsThree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	code, _, stderr := runCLI("-exp", "fig6", "-ins", "60000", "-traces", "2",
+		"-check", "cheap", "-inject", "tag@2000")
+	if code != 3 {
+		t.Fatalf("exit code %d, want 3 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "verification failure") {
+		t.Fatalf("stderr does not describe the violation:\n%s", stderr)
+	}
+}
+
+// TestCacheDirResumeIdenticalOutput: a suite checkpointed to -cache-dir
+// and then rerun with -resume prints byte-identical tables while
+// re-simulating nothing (every run loads).
+func TestCacheDirResumeIdenticalOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	args := []string{"-exp", "fig6,fig8", "-ins", "40000", "-traces", "2", "-cache-dir", dir}
+
+	// Wall-clock lines "(fig6 in 0.1s)" legitimately differ between a
+	// simulated and a resumed pass; everything else must match exactly.
+	stripTimings := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "(") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+
+	code, first, stderr := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("first run exit %d: %s", code, stderr)
+	}
+	code, second, stderr := runCLI(append(args, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume run exit %d: %s", code, stderr)
+	}
+	first, second = stripTimings(first), stripTimings(second)
+	if first != second {
+		t.Fatalf("resumed tables differ:\n--- first ---\n%s\n--- resumed ---\n%s", first, second)
+	}
+	if !strings.Contains(stderr, " 0 written") || strings.Contains(stderr, " 0 loaded") {
+		t.Fatalf("resume should load everything and write nothing: %s", stderr)
+	}
+}

@@ -1,0 +1,53 @@
+// Package atomicio provides crash-safe file writes: data lands in a
+// temporary file in the destination directory and is renamed into
+// place only after a successful write, sync and close. A reader (or a
+// crashed process's recovery pass) therefore either sees the complete
+// previous file or the complete new one — never a truncated mix. Both
+// the checkpoint store (internal/figures) and cmd/bench's snapshot
+// writer use it.
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data: write to a temp file
+// in the same directory, fsync, close, chmod, then rename over the
+// destination. On any error the temp file is removed and the
+// destination is left untouched.
+//
+// In-progress temp files are named ".<base>.tmp-<random>" next to the
+// destination. Leftovers from a killed process are inert (never read,
+// never renamed) and matched by .gitignore's `.*.tmp-*` pattern so
+// they cannot be committed by accident.
+func WriteFile(path string, data []byte, perm os.FileMode) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Chmod(perm); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,84 @@
+package atomicio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	want := []byte("hello")
+	if err := WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("perm = %v, want 0644", fi.Mode().Perm())
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, []byte("old old old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("read back %q, want replacement", got)
+	}
+}
+
+// TestWriteFileLeavesNoTemps: after successful writes the directory
+// holds only the destination — no stray in-progress files.
+func TestWriteFileLeavesNoTemps(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		if err := WriteFile(filepath.Join(dir, "x"), []byte("data"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "x" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory contains %v, want only [x]", names)
+	}
+}
+
+// TestWriteFileErrorKeepsOld: a failed write (unwritable directory for
+// the rename target) must not clobber the existing file.
+func TestWriteFileErrorKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keep")
+	if err := WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Writing into a missing directory fails at CreateTemp.
+	if err := WriteFile(filepath.Join(dir, "nosuch", "keep"), []byte("x"), 0o644); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "precious" {
+		t.Fatalf("original file disturbed: %q, %v", got, err)
+	}
+}

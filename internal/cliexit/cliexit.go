@@ -1,0 +1,69 @@
+// Package cliexit defines the exit-code contract shared by every
+// command in this repository, so scripts and CI can tell apart the
+// ways a run can end without parsing error text:
+//
+//	0  success
+//	1  ordinary failure (I/O, bad trace, contained run panic, ...)
+//	2  usage error (bad flags or arguments)
+//	3  verification failure: a check.Violation — the simulated
+//	   hardware broke an invariant (or an injected fault was caught)
+//	4  interrupted: the run was cancelled (SIGINT/SIGTERM) or a
+//	   deadline (-timeout) expired before it finished
+package cliexit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"basevictim/internal/check"
+)
+
+// The exit codes of the contract above.
+const (
+	OK        = 0
+	Failure   = 1
+	Usage     = 2
+	Violation = 3
+	Cancelled = 4
+)
+
+// Code classifies an error into its exit code. Cancellation wins over
+// violation: a batch cancelled mid-flight can surface a wrapped
+// context error from any worker, and "you stopped it" is the truer
+// story than whatever the interrupted run was doing.
+func Code(err error) int {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return Cancelled
+	case isViolation(err):
+		return Violation
+	default:
+		return Failure
+	}
+}
+
+func isViolation(err error) bool {
+	var v *check.Violation
+	return errors.As(err, &v)
+}
+
+// Describe renders an error as the single line the CLIs print before
+// exiting, naming the cancellation cause explicitly so an interrupted
+// user (or a CI log reader) can tell a Ctrl-C from an expired -timeout.
+func Describe(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Sprintf("run deadline exceeded (-timeout): %v", err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Sprintf("interrupted (signal or cancellation): %v", err)
+	case isViolation(err):
+		return fmt.Sprintf("verification failure: %v", err)
+	default:
+		return err.Error()
+	}
+}

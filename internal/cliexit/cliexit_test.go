@@ -1,0 +1,69 @@
+package cliexit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"basevictim/internal/check"
+	"basevictim/internal/sim"
+)
+
+func TestCode(t *testing.T) {
+	viol := &check.Violation{Kind: "tag-mismatch", Org: "basevictim", OpIndex: 7}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, OK},
+		{"plain", errors.New("boom"), Failure},
+		{"wrapped plain", fmt.Errorf("figures: %w", errors.New("boom")), Failure},
+		{"violation", viol, Violation},
+		{"wrapped violation", fmt.Errorf("figures: mcf.p1: %w", viol), Violation},
+		{"cancelled", context.Canceled, Cancelled},
+		{"wrapped cancelled", fmt.Errorf("sim: aborted: %w", context.Canceled), Cancelled},
+		{"deadline", fmt.Errorf("sim: aborted: %w", context.DeadlineExceeded), Cancelled},
+		{"run panic", &sim.RunPanicError{Trace: "mcf.p1", Value: "x"}, Failure},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.want {
+			t.Errorf("Code(%s) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCodeCancellationBeatsViolation: when a cancelled batch surfaces
+// an error chain containing both, cancellation is the reported cause.
+func TestCodeCancellationBeatsViolation(t *testing.T) {
+	err := fmt.Errorf("outer: %w", fmt.Errorf("%w: during %v", context.Canceled, &check.Violation{Kind: "x"}))
+	if got := Code(err); got != Cancelled {
+		t.Fatalf("Code = %d, want Cancelled", got)
+	}
+}
+
+func TestDescribeNamesCause(t *testing.T) {
+	dl := fmt.Errorf("sim: mcf.p1 on basevictim aborted after 8192 instructions: %w", context.DeadlineExceeded)
+	if s := Describe(dl); !strings.Contains(s, "deadline exceeded") || !strings.Contains(s, "-timeout") {
+		t.Fatalf("deadline description does not name its cause: %q", s)
+	}
+	ca := fmt.Errorf("sim: aborted: %w", context.Canceled)
+	if s := Describe(ca); !strings.Contains(s, "interrupted") {
+		t.Fatalf("cancellation description does not name its cause: %q", s)
+	}
+	if s := Describe(dl); strings.Contains(s, "interrupted (signal") {
+		t.Fatalf("deadline misdescribed as interrupt: %q", s)
+	}
+	viol := fmt.Errorf("w: %w", &check.Violation{Kind: "tag-mismatch", Org: "basevictim"})
+	if s := Describe(viol); !strings.Contains(s, "verification failure") {
+		t.Fatalf("violation description: %q", s)
+	}
+	if s := Describe(errors.New("plain")); s != "plain" {
+		t.Fatalf("plain description: %q", s)
+	}
+	if s := Describe(nil); s != "" {
+		t.Fatalf("nil description: %q", s)
+	}
+}

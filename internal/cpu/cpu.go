@@ -14,10 +14,18 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"basevictim/internal/trace"
 )
+
+// cancelPollEvery is the amortized cancellation poll interval in
+// instructions. Between polls a run is uninterruptible, so the value
+// trades per-instruction overhead (none between polls) against
+// cancellation latency: at the simulator's ~3 MIPS, 4096 instructions
+// is under two milliseconds of wall clock.
+const cancelPollEvery = 4096
 
 // MemSystem is the memory hierarchy seen by the core. Each call
 // performs the access at time now (CPU cycles) and returns its
@@ -119,13 +127,32 @@ func (c *Core) push(done uint64) {
 // previous call (used by multi-program simulations that interleave
 // cores).
 func (c *Core) Run(s trace.Stream, maxIns uint64) Result {
+	res, _ := c.RunCtx(context.Background(), s, maxIns)
+	return res
+}
+
+// RunCtx is Run with cooperative cancellation: every cancelPollEvery
+// instructions it polls ctx and, once ctx is done, stops dispatching,
+// drains the ROB and returns the partial result alongside ctx's error
+// (context.Canceled or context.DeadlineExceeded). A non-cancellable
+// context (Done() == nil, e.g. context.Background) skips the poll
+// entirely, so the hot loop pays nothing when cancellation is unused.
+func (c *Core) RunCtx(ctx context.Context, s trace.Stream, maxIns uint64) (Result, error) {
 	var (
-		ins   uint64
-		cycle uint64 = c.lastRetire
-		slots int
-		pc    uint64
+		ins    uint64
+		cycle  uint64 = c.lastRetire
+		slots  int
+		pc     uint64
+		poll   = ctx.Done() != nil
+		ctxErr error
 	)
 	for ins < maxIns {
+		if poll && ins%cancelPollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				break
+			}
+		}
 		op, ok := s.Next()
 		if !ok {
 			break
@@ -193,5 +220,5 @@ func (c *Core) Run(s trace.Stream, maxIns uint64) Result {
 	if end > 0 {
 		res.IPC = float64(ins) / float64(end)
 	}
-	return res
+	return res, ctxErr
 }

@@ -1,7 +1,10 @@
 package cpu
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"basevictim/internal/trace"
 )
@@ -172,5 +175,76 @@ func BenchmarkCoreExec(b *testing.B) {
 	for i := 0; i < b.N; i += len(ops) {
 		s := &trace.SliceStream{Ops: ops}
 		core.Run(s, uint64(len(ops)))
+	}
+}
+
+// cancellingStream cancels its context after emitting n operations,
+// then keeps producing ops forever so only the poll can stop the run.
+type cancellingStream struct {
+	after  int
+	seen   int
+	cancel func()
+}
+
+func (s *cancellingStream) Next() (trace.Op, bool) {
+	s.seen++
+	if s.seen == s.after {
+		s.cancel()
+	}
+	return trace.Op{}, true
+}
+
+func TestRunCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	core := MustNew(DefaultConfig(), &fixedMem{fetchLat: 3})
+	res, err := core.RunCtx(ctx, &trace.SliceStream{Ops: execOps(1000)}, 1000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Instructions != 0 {
+		t.Fatalf("cancelled-before-start run retired %d instructions", res.Instructions)
+	}
+}
+
+func TestRunCtxCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := &cancellingStream{after: 10_000, cancel: cancel}
+	core := MustNew(DefaultConfig(), &fixedMem{fetchLat: 3})
+	res, err := core.RunCtx(ctx, s, 1<<40)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Instructions < 10_000 || res.Instructions > 10_000+cancelPollEvery {
+		t.Fatalf("stopped after %d instructions, want within one poll interval of 10000", res.Instructions)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("partial result lost its timing")
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline pass deterministically
+	core := MustNew(DefaultConfig(), &fixedMem{fetchLat: 3})
+	_, err := core.RunCtx(ctx, &trace.SliceStream{Ops: execOps(1000)}, 1000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunCtxBackgroundIdentical locks in that threading a background
+// context changes nothing: same instructions, same cycles as Run.
+func TestRunCtxBackgroundIdentical(t *testing.T) {
+	ops := execOps(20_000)
+	a := MustNew(DefaultConfig(), &fixedMem{fetchLat: 3}).Run(&trace.SliceStream{Ops: ops}, uint64(len(ops)))
+	b, err := MustNew(DefaultConfig(), &fixedMem{fetchLat: 3}).RunCtx(context.Background(), &trace.SliceStream{Ops: ops}, uint64(len(ops)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("RunCtx(Background) = %+v, Run = %+v", b, a)
 	}
 }

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"basevictim/internal/stats"
@@ -27,7 +28,7 @@ func (s *Session) ablationTraces() []workload.Profile {
 // LatencyAblation measures the cost of the two latency adders the
 // two-tag organization introduces: the extra tag cycle and the 2-cycle
 // BDI decompression (Section V notes zero/uncompressed lines skip it).
-func (s *Session) LatencyAblation() (Table, error) {
+func (s *Session) LatencyAblation(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "AblLatency",
 		Title:  "Latency ablation: Base-Victim IPC ratio vs 2MB uncompressed",
@@ -42,7 +43,7 @@ func (s *Session) LatencyAblation() (Table, error) {
 	} {
 		cfg := bvDefault()
 		cfg.TagCycles, cfg.DecompressCycles = row.tag, row.dec
-		ipc, _, err := s.ratioSeries(ps, cfg, base2MB())
+		ipc, _, err := s.ratioSeries(ctx, ps, cfg, base2MB())
 		if err != nil {
 			return Table{}, err
 		}
@@ -57,7 +58,7 @@ func (s *Session) LatencyAblation() (Table, error) {
 // architecture: the paper argues algorithms are orthogonal (Section
 // VII.A) and picks BDI for latency; FPC and C-PACK change the size
 // distribution and thus the pairing success rate.
-func (s *Session) CompressorAblation() (Table, error) {
+func (s *Session) CompressorAblation(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "AblCompressor",
 		Title:  "Compression algorithm ablation (Base-Victim, IPC ratio vs 2MB uncompressed)",
@@ -67,13 +68,13 @@ func (s *Session) CompressorAblation() (Table, error) {
 	for _, alg := range []string{"bdi", "fpc", "cpack"} {
 		cfg := bvDefault()
 		cfg.Compressor = alg
-		ipc, _, err := s.ratioSeries(ps, cfg, base2MB())
+		ipc, _, err := s.ratioSeries(ctx, ps, cfg, base2MB())
 		if err != nil {
 			return Table{}, err
 		}
 		var vh, ins uint64
 		for _, p := range ps {
-			r, err := s.run(p, cfg)
+			r, err := s.run(ctx, p, cfg)
 			if err != nil {
 				return Table{}, err
 			}
@@ -117,7 +118,7 @@ func sizerForAblation(p workload.Profile, alg string) (*workload.Values, error) 
 // lines, silent evictions, no writeback savings) against the
 // non-inclusive variant of Section IV.B.3 (dirty victim lines allowed,
 // writebacks can be saved).
-func (s *Session) Inclusion() (Table, error) {
+func (s *Session) Inclusion(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "Inclusion",
 		Title:  "Inclusive vs non-inclusive Victim Cache (Base-Victim)",
@@ -133,17 +134,17 @@ func (s *Session) Inclusion() (Table, error) {
 	} {
 		cfg := bvDefault()
 		cfg.Inclusive = mode.inclusive
-		ipc, _, err := s.ratioSeries(ps, cfg, base2MB())
+		ipc, _, err := s.ratioSeries(ctx, ps, cfg, base2MB())
 		if err != nil {
 			return Table{}, err
 		}
 		var writes []float64
 		for _, p := range ps {
-			r, err := s.run(p, cfg)
+			r, err := s.run(ctx, p, cfg)
 			if err != nil {
 				return Table{}, err
 			}
-			b, err := s.run(p, base2MB())
+			b, err := s.run(ctx, p, base2MB())
 			if err != nil {
 				return Table{}, err
 			}
@@ -163,7 +164,7 @@ func (s *Session) Inclusion() (Table, error) {
 // PrefetchInteraction tests the compression-prefetching interaction
 // the introduction cites (Alameldeen & Wood, HPCA 2007: positive): the
 // gain from Base-Victim with prefetchers on vs off.
-func (s *Session) PrefetchInteraction() (Table, error) {
+func (s *Session) PrefetchInteraction(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "PrefetchX",
 		Title:  "Compression x prefetching interaction (IPC geomean vs matching baseline)",
@@ -175,7 +176,7 @@ func (s *Session) PrefetchInteraction() (Table, error) {
 		cfg.Prefetch = pf
 		base := base2MB()
 		base.Prefetch = pf
-		ipc, _, err := s.ratioSeries(ps, cfg, base)
+		ipc, _, err := s.ratioSeries(ctx, ps, cfg, base)
 		if err != nil {
 			return Table{}, err
 		}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"basevictim/internal/area"
@@ -11,7 +12,7 @@ import (
 )
 
 // TableI reproduces Table I: the workload census.
-func (s *Session) TableI() (Table, error) {
+func (s *Session) TableI(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "TableI",
 		Title:  "Workloads (100 traces, 60 cache-sensitive)",
@@ -49,28 +50,28 @@ func (s *Session) TableI() (Table, error) {
 
 // Fig6 reproduces Figure 6: the naive two-tag architecture on the 60
 // sensitive traces. Paper: -12%% average, 37/60 traces lose.
-func (s *Session) Fig6() (Table, error) {
+func (s *Session) Fig6(ctx context.Context) (Table, error) {
 	cfg := sim.Default()
 	cfg.Org = sim.OrgTwoTag
-	return s.lineGraph("Fig6", "Two-tag architecture vs 2MB uncompressed", s.sensitive(), cfg)
+	return s.lineGraph(ctx, "Fig6", "Two-tag architecture vs 2MB uncompressed", s.sensitive(), cfg)
 }
 
 // Fig7 reproduces Figure 7: the modified (ECM-inspired) two-tag
 // architecture. Paper: +4.7%% on friendly traces, -3.8%% on
 // unfriendly, 27/60 lose, outliers to -14%%.
-func (s *Session) Fig7() (Table, error) {
+func (s *Session) Fig7(ctx context.Context) (Table, error) {
 	cfg := sim.Default()
 	cfg.Org = sim.OrgTwoTagMod
-	t, err := s.lineGraph("Fig7", "Modified two-tag architecture vs 2MB uncompressed", s.sensitive(), cfg)
+	t, err := s.lineGraph(ctx, "Fig7", "Modified two-tag architecture vs 2MB uncompressed", s.sensitive(), cfg)
 	if err != nil {
 		return Table{}, err
 	}
 	friendly, unfriendly := workload.CompressionFriendly(s.all)
-	fIPC, _, err := s.ratioSeries(s.limit(friendly), cfg, base2MB())
+	fIPC, _, err := s.ratioSeries(ctx, s.limit(friendly), cfg, base2MB())
 	if err != nil {
 		return Table{}, err
 	}
-	uIPC, _, err := s.ratioSeries(s.limit(unfriendly), cfg, base2MB())
+	uIPC, _, err := s.ratioSeries(ctx, s.limit(unfriendly), cfg, base2MB())
 	if err != nil {
 		return Table{}, err
 	}
@@ -82,17 +83,17 @@ func (s *Session) Fig7() (Table, error) {
 
 // Fig8 reproduces Figure 8: Base-Victim. Paper: +8.5%% on friendly
 // traces, reads never above baseline, one negligible negative outlier.
-func (s *Session) Fig8() (Table, error) {
-	t, err := s.lineGraph("Fig8", "Base-Victim opportunistic compression vs 2MB uncompressed", s.sensitive(), bvDefault())
+func (s *Session) Fig8(ctx context.Context) (Table, error) {
+	t, err := s.lineGraph(ctx, "Fig8", "Base-Victim opportunistic compression vs 2MB uncompressed", s.sensitive(), bvDefault())
 	if err != nil {
 		return Table{}, err
 	}
 	friendly, unfriendly := workload.CompressionFriendly(s.all)
-	fIPC, fReads, err := s.ratioSeries(s.limit(friendly), bvDefault(), base2MB())
+	fIPC, fReads, err := s.ratioSeries(ctx, s.limit(friendly), bvDefault(), base2MB())
 	if err != nil {
 		return Table{}, err
 	}
-	uIPC, _, err := s.ratioSeries(s.limit(unfriendly), bvDefault(), base2MB())
+	uIPC, _, err := s.ratioSeries(ctx, s.limit(unfriendly), bvDefault(), base2MB())
 	if err != nil {
 		return Table{}, err
 	}
@@ -112,7 +113,7 @@ func (s *Session) Fig8() (Table, error) {
 // Fig9 reproduces Figure 9: per-category IPC for Base-Victim vs a 3 MB
 // (50%% larger) uncompressed cache, on compression-friendly traces and
 // on all sensitive traces.
-func (s *Session) Fig9() (Table, error) {
+func (s *Session) Fig9(ctx context.Context) (Table, error) {
 	cfg3MB := base2MB().WithSize(3<<20, 24, 1)
 	t := Table{
 		ID:     "Fig9",
@@ -140,11 +141,11 @@ func (s *Session) Fig9() (Table, error) {
 			if len(ps) == 0 {
 				continue
 			}
-			i3, _, err := s.ratioSeries(ps, cfg3MB, base2MB())
+			i3, _, err := s.ratioSeries(ctx, ps, cfg3MB, base2MB())
 			if err != nil {
 				return Table{}, err
 			}
-			ibv, _, err := s.ratioSeries(ps, bvDefault(), base2MB())
+			ibv, _, err := s.ratioSeries(ctx, ps, bvDefault(), base2MB())
 			if err != nil {
 				return Table{}, err
 			}
@@ -163,7 +164,7 @@ func (s *Session) Fig9() (Table, error) {
 // Fig10 reproduces Figure 10: Base-Victim on top of SRRIP and CHAR
 // baselines. Paper: SRRIP +2.9%%, SRRIP+BV +6.4%% over SRRIP; CHAR
 // +3.2%%, CHAR+BV +7.2%% over CHAR; no negative outliers.
-func (s *Session) Fig10() (Table, error) {
+func (s *Session) Fig10(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "Fig10",
 		Title:  "Replacement-policy interaction (ratios vs 2MB NRU uncompressed)",
@@ -185,11 +186,11 @@ func (s *Session) Fig10() (Table, error) {
 			unc.Policy = pol
 			bv := bvDefault()
 			bv.Policy = pol
-			iu, _, err := s.ratioSeries(g.ps, unc, base2MB())
+			iu, _, err := s.ratioSeries(ctx, g.ps, unc, base2MB())
 			if err != nil {
 				return Table{}, err
 			}
-			ib, _, err := s.ratioSeries(g.ps, bv, base2MB())
+			ib, _, err := s.ratioSeries(ctx, g.ps, bv, base2MB())
 			if err != nil {
 				return Table{}, err
 			}
@@ -203,7 +204,7 @@ func (s *Session) Fig10() (Table, error) {
 
 // Fig11 reproduces Figure 11: LLC size sensitivity. Paper: 4MB +15.8%%,
 // 4MB+BV adds +6.8%% on top, 6MB +9%% over 4MB... all vs 2MB.
-func (s *Session) Fig11() (Table, error) {
+func (s *Session) Fig11(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "Fig11",
 		Title:  "LLC size sensitivity (IPC ratio vs 2MB uncompressed)",
@@ -221,15 +222,15 @@ func (s *Session) Fig11() (Table, error) {
 		{"overall", s.sensitive()},
 	}
 	for _, g := range groups {
-		i4, _, err := s.ratioSeries(g.ps, cfg4, base2MB())
+		i4, _, err := s.ratioSeries(ctx, g.ps, cfg4, base2MB())
 		if err != nil {
 			return Table{}, err
 		}
-		i6, _, err := s.ratioSeries(g.ps, cfg6, base2MB())
+		i6, _, err := s.ratioSeries(ctx, g.ps, cfg6, base2MB())
 		if err != nil {
 			return Table{}, err
 		}
-		i4bv, _, err := s.ratioSeries(g.ps, cfg4bv, base2MB())
+		i4bv, _, err := s.ratioSeries(ctx, g.ps, cfg4bv, base2MB())
 		if err != nil {
 			return Table{}, err
 		}
@@ -241,14 +242,14 @@ func (s *Session) Fig11() (Table, error) {
 
 // Fig12 reproduces Figure 12: all 100 traces including the
 // cache-insensitive ones. Paper: BV +4.3%% vs 3MB +4.9%%.
-func (s *Session) Fig12() (Table, error) {
+func (s *Session) Fig12(ctx context.Context) (Table, error) {
 	all := s.limit(s.all)
-	t, err := s.lineGraph("Fig12", "All 100 traces vs 2MB uncompressed (Base-Victim)", all, bvDefault())
+	t, err := s.lineGraph(ctx, "Fig12", "All 100 traces vs 2MB uncompressed (Base-Victim)", all, bvDefault())
 	if err != nil {
 		return Table{}, err
 	}
 	cfg3MB := base2MB().WithSize(3<<20, 24, 1)
-	i3, _, err := s.ratioSeries(all, cfg3MB, base2MB())
+	i3, _, err := s.ratioSeries(ctx, all, cfg3MB, base2MB())
 	if err != nil {
 		return Table{}, err
 	}
@@ -259,7 +260,7 @@ func (s *Session) Fig12() (Table, error) {
 
 // Fig13 reproduces Figure 13: 4-thread multi-program mixes. Paper (4MB
 // base): BV +8.7%% vs 6MB +9%%; (8MB base): BV +11.2%% vs 12MB +15.7%%.
-func (s *Session) Fig13() (Table, error) {
+func (s *Session) Fig13(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "Fig13",
 		Title:  "Multi-program weighted speedup (per mix)",
@@ -300,11 +301,11 @@ func (s *Session) Fig13() (Table, error) {
 	// The full (mix, config) grid is one batch: every cell is an
 	// independent RunMix, collected into its fixed slot.
 	grid := make([][6]sim.MultiResult, len(mixes))
-	err := s.runJobs(len(mixes)*len(configs), func(j int) error {
+	err := s.runJobs(ctx, len(mixes)*len(configs), func(j int) error {
 		mi, ci := j/len(configs), j%len(configs)
-		r, err := sim.RunMix(mixes[mi], configs[ci])
+		r, err := s.runMix(ctx, mixes[mi], configs[ci])
 		if err != nil {
-			return fmt.Errorf("figures: mix %d on %s: %w", mi+1, configs[ci].Org, err)
+			return err
 		}
 		grid[mi][ci] = r
 		s.logf("mix %d config %d done", mi, ci)
@@ -340,7 +341,7 @@ func (s *Session) Fig13() (Table, error) {
 // baseline across all 100 traces, with and without word enables.
 // Paper: -6.5%% average with word enables, -2.2%% without; worst
 // outliers +2.3%% / +6%%.
-func (s *Session) Fig14() (Table, error) {
+func (s *Session) Fig14(ctx context.Context) (Table, error) {
 	all := s.limit(s.all)
 	t := Table{
 		ID:     "Fig14",
@@ -354,7 +355,7 @@ func (s *Session) Fig14() (Table, error) {
 	for _, p := range all {
 		reqs = append(reqs, runReq{p, bvDefault()}, runReq{p, base2MB()})
 	}
-	res, err := s.runAll(reqs)
+	res, err := s.runAll(ctx, reqs)
 	if err != nil {
 		return Table{}, err
 	}
@@ -381,7 +382,7 @@ func (s *Session) Fig14() (Table, error) {
 // Associativity reproduces Section VI.B.1: the 16-tags-per-set variant
 // (8-way baseline + 8 victim ways) and a 32-way uncompressed cache.
 // Paper: +6.2%% (vs +7.3%% for 32 tags); 32-way uncompressed ~ 0%%.
-func (s *Session) Associativity() (Table, error) {
+func (s *Session) Associativity(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "AssocSens",
 		Title:  "Associativity sensitivity (IPC ratio vs 2MB 16-way uncompressed)",
@@ -399,7 +400,7 @@ func (s *Session) Associativity() (Table, error) {
 		{"BaseVictim 8-way base (16 tags)", bv16},
 		{"Uncompressed 32-way", unc32},
 	} {
-		ipc, _, err := s.ratioSeries(ps, row.cfg, base2MB())
+		ipc, _, err := s.ratioSeries(ctx, ps, row.cfg, base2MB())
 		if err != nil {
 			return Table{}, err
 		}
@@ -412,7 +413,7 @@ func (s *Session) Associativity() (Table, error) {
 // VictimPolicy reproduces Section VI.B.4: Victim Cache replacement
 // variants. Paper: no variant significantly beats the ECM-inspired
 // default.
-func (s *Session) VictimPolicy() (Table, error) {
+func (s *Session) VictimPolicy(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "VictimPolicy",
 		Title:  "Victim Cache replacement sensitivity (IPC ratio vs 2MB uncompressed)",
@@ -422,13 +423,13 @@ func (s *Session) VictimPolicy() (Table, error) {
 	for _, vp := range []string{"ecm", "random", "lru", "sizelru"} {
 		cfg := bvDefault()
 		cfg.VictimPolicy = vp
-		ipc, _, err := s.ratioSeries(ps, cfg, base2MB())
+		ipc, _, err := s.ratioSeries(ctx, ps, cfg, base2MB())
 		if err != nil {
 			return Table{}, err
 		}
 		var vh, hits uint64
 		for _, p := range ps {
-			r, err := s.run(p, cfg)
+			r, err := s.run(ctx, p, cfg)
 			if err != nil {
 				return Table{}, err
 			}
@@ -445,7 +446,7 @@ func (s *Session) VictimPolicy() (Table, error) {
 }
 
 // Area reproduces Section IV.C's overhead arithmetic.
-func (s *Session) Area() (Table, error) {
+func (s *Session) Area(ctx context.Context) (Table, error) {
 	r := area.Overhead(area.PaperParams())
 	t := Table{
 		ID:     "Area",
@@ -465,7 +466,7 @@ func (s *Session) Area() (Table, error) {
 // Capacity reproduces the Section V functional-capacity comparison:
 // VSC-class designs approach ~80%% extra capacity while Base-Victim
 // reaches ~50%% on compression-friendly traces.
-func (s *Session) Capacity() (Table, error) {
+func (s *Session) Capacity(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "Capacity",
 		Title:  "Effective capacity on functional models (logical lines / physical lines)",
@@ -482,7 +483,7 @@ func (s *Session) Capacity() (Table, error) {
 	for _, p := range ps {
 		reqs = append(reqs, runReq{p, bvDefault()}, runReq{p, vscCfg})
 	}
-	res, err := s.runAll(reqs)
+	res, err := s.runAll(ctx, reqs)
 	if err != nil {
 		return Table{}, err
 	}
@@ -511,7 +512,7 @@ func capacityRatio(r sim.Result) float64 {
 // Traffic reproduces the Section VI.D traffic accounting: LLC access
 // increase (+31%% in the paper), demand DRAM read reduction (-16%%)
 // and bandwidth reduction (-12%%).
-func (s *Session) Traffic() (Table, error) {
+func (s *Session) Traffic(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:     "Traffic",
 		Title:  "LLC and DRAM traffic, Base-Victim vs 2MB uncompressed (friendly traces)",
@@ -523,7 +524,7 @@ func (s *Session) Traffic() (Table, error) {
 	for _, p := range ps {
 		reqs = append(reqs, runReq{p, bvDefault()}, runReq{p, base2MB()})
 	}
-	res, err := s.runAll(reqs)
+	res, err := s.runAll(ctx, reqs)
 	if err != nil {
 		return Table{}, err
 	}

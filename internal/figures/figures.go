@@ -9,9 +9,11 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"basevictim/internal/compress"
 
@@ -64,16 +66,18 @@ func (t Table) Format() string {
 }
 
 // Experiments lists every reproducible experiment by id, in paper
-// order. The map values run the experiment on a session; simulation
-// failures (including checker violations) come back as errors rather
-// than panics so drivers can report them and exit cleanly.
+// order. The map values run the experiment on a session under a
+// context; simulation failures (including checker violations, run
+// panics contained as *sim.RunPanicError, and cancellation) come back
+// as errors rather than panics so drivers can report them and exit
+// cleanly.
 func Experiments() []struct {
 	ID  string
-	Run func(*Session) (Table, error)
+	Run func(*Session, context.Context) (Table, error)
 } {
 	return []struct {
 		ID  string
-		Run func(*Session) (Table, error)
+		Run func(*Session, context.Context) (Table, error)
 	}{
 		{"table1", (*Session).TableI},
 		{"fig6", (*Session).Fig6},
@@ -120,6 +124,16 @@ type Session struct {
 	// check.ParseSpec) to every run; with Check enabled this proves the
 	// checker catches corruption under the parallel engine too.
 	Inject string
+	// RunTimeout bounds each individual simulation (0 = unbounded): a
+	// run exceeding it aborts with context.DeadlineExceeded, which
+	// cancels the batch like any other error and surfaces through the
+	// CLIs with a distinct exit code.
+	RunTimeout time.Duration
+	// Store, when non-nil, is the durable checkpoint layer under the
+	// run cache: completed runs are written as checksummed records, and
+	// a store opened in resume mode satisfies repeat runs from disk so
+	// an interrupted suite re-simulates only what never finished.
+	Store *Store
 	// Progress, when non-nil, receives one line per completed run.
 	// With Workers > 1 it is called from multiple goroutines; the
 	// session serializes the calls, so the callback itself needs no
@@ -140,8 +154,8 @@ type Session struct {
 	progressMu sync.Mutex
 
 	// runFn is the simulation entry point; tests swap it to count or
-	// fail runs. Nil means sim.RunSingle.
-	runFn func(workload.Profile, sim.Config) (sim.Result, error)
+	// fail runs. Nil means sim.RunSingleCtx.
+	runFn func(context.Context, workload.Profile, sim.Config) (sim.Result, error)
 }
 
 // runKey identifies one memoized simulation. sim.Config contains only
@@ -197,8 +211,12 @@ func (s *Session) sensitive() []workload.Profile {
 // before keying, so every distinct effective configuration — checked or
 // not, injected or not — gets its own cache slot. When several workers
 // race for the same key (e.g. Fig6/7/8/12 all needing a trace's shared
-// 2 MB baseline), exactly one simulates; the rest wait for its entry.
-func (s *Session) run(p workload.Profile, cfg sim.Config) (sim.Result, error) {
+// 2 MB baseline), exactly one simulates; the rest wait for its entry
+// (or give up when their own context is cancelled). With a Store
+// attached, a cache miss consults the checkpoint directory before
+// simulating, and a completed simulation is checkpointed before its
+// waiters are released.
+func (s *Session) run(ctx context.Context, p workload.Profile, cfg sim.Config) (sim.Result, error) {
 	cfg.Instructions = s.Instructions
 	if s.Check != "" {
 		cfg.Check = s.Check
@@ -210,28 +228,98 @@ func (s *Session) run(p workload.Profile, cfg sim.Config) (sim.Result, error) {
 	s.mu.Lock()
 	if e, ok := s.cache[key]; ok {
 		s.mu.Unlock()
-		<-e.done
-		return e.res, e.err
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return sim.Result{}, ctx.Err()
+		}
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	s.cache[key] = e
 	s.mu.Unlock()
-	e.res, e.err = s.simulate(p, cfg)
+	if s.Store != nil {
+		if r, ok := s.Store.loadRun(key); ok {
+			e.res = r
+			close(e.done)
+			s.logf("ckpt %-16s %-12s IPC=%.3f (resumed, not re-simulated)", p.Name, cfg.Org, r.IPC)
+			return r, nil
+		}
+	}
+	e.res, e.err = s.simulate(ctx, p, cfg)
+	if e.err == nil && s.Store != nil {
+		if perr := s.Store.saveRun(key, e.res); perr != nil {
+			s.logf("checkpoint write failed for %s on %s: %v", p.Name, cfg.Org, perr)
+		}
+	}
 	close(e.done)
 	return e.res, e.err
 }
 
 // simulate performs the actual run (no caching) and reports progress.
-func (s *Session) simulate(p workload.Profile, cfg sim.Config) (sim.Result, error) {
+// It applies the session's per-run deadline and contains panics — from
+// the simulator or a test-injected runFn — as *sim.RunPanicError, so a
+// panicking run can neither kill the process nor leave the cache
+// entry's done channel unclosed (which would deadlock its waiters).
+func (s *Session) simulate(ctx context.Context, p workload.Profile, cfg sim.Config) (_ sim.Result, err error) {
+	defer sim.Contain(p.Name, cfg, &err)
+	if s.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.RunTimeout)
+		defer cancel()
+	}
 	runFn := s.runFn
 	if runFn == nil {
-		runFn = sim.RunSingle
+		runFn = sim.RunSingleCtx
 	}
-	r, err := runFn(p, cfg)
+	r, err := runFn(ctx, p, cfg)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("figures: %s on %s: %w", p.Name, cfg.Org, err)
 	}
 	s.logf("ran %-16s %-12s IPC=%.3f dramReads=%d", p.Name, cfg.Org, r.IPC, r.DemandDRAMReads)
+	return r, nil
+}
+
+// mixKey identifies one multi-program checkpoint record: the four
+// trace names plus the complete config.
+type mixKey struct {
+	traces [4]string
+	cfg    sim.Config
+}
+
+// runMix executes one multi-program mix with the session's per-run
+// deadline, panic containment and durable checkpointing applied. Mixes
+// are not memoized in memory (no two figure cells share one), but with
+// a Store attached a completed mix is checkpointed and a resumed suite
+// loads it instead of re-simulating four threads' worth of work.
+func (s *Session) runMix(ctx context.Context, mix [4]workload.Profile, cfg sim.Config) (_ sim.MultiResult, err error) {
+	var key mixKey
+	for i, p := range mix {
+		key.traces[i] = p.Name
+	}
+	key.cfg = cfg
+	label := strings.Join(key.traces[:], "+")
+	if s.Store != nil {
+		if r, ok := s.Store.loadMix(key); ok {
+			s.logf("ckpt mix %s on %s (resumed, not re-simulated)", label, cfg.Org)
+			return r, nil
+		}
+	}
+	defer sim.Contain(label, cfg, &err)
+	if s.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.RunTimeout)
+		defer cancel()
+	}
+	r, err := sim.RunMixCtx(ctx, mix, cfg)
+	if err != nil {
+		return sim.MultiResult{}, fmt.Errorf("figures: mix %s on %s: %w", label, cfg.Org, err)
+	}
+	if s.Store != nil {
+		if perr := s.Store.saveMix(key, r); perr != nil {
+			s.logf("checkpoint write failed for mix %s on %s: %v", label, cfg.Org, perr)
+		}
+	}
 	return r, nil
 }
 
@@ -255,12 +343,12 @@ func pct(x float64) string { return fmt.Sprintf("%+.1f%%", (x-1)*100) }
 // ratioSeries runs cfg and base across traces, returning per-trace IPC
 // and DRAM-read ratios. All 2*len(ps) simulations are submitted as one
 // batch to the worker pool; results come back in trace order.
-func (s *Session) ratioSeries(ps []workload.Profile, cfg, base sim.Config) (ipc, reads []float64, err error) {
+func (s *Session) ratioSeries(ctx context.Context, ps []workload.Profile, cfg, base sim.Config) (ipc, reads []float64, err error) {
 	reqs := make([]runReq, 0, 2*len(ps))
 	for _, p := range ps {
 		reqs = append(reqs, runReq{p, cfg}, runReq{p, base})
 	}
-	res, err := s.runAll(reqs)
+	res, err := s.runAll(ctx, reqs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -275,8 +363,8 @@ func (s *Session) ratioSeries(ps []workload.Profile, cfg, base sim.Config) (ipc,
 }
 
 // lineGraph builds the per-trace table used by Figures 6, 7, 8 and 12.
-func (s *Session) lineGraph(id, title string, ps []workload.Profile, cfg sim.Config) (Table, error) {
-	ipc, reads, err := s.ratioSeries(ps, cfg, base2MB())
+func (s *Session) lineGraph(ctx context.Context, id, title string, ps []workload.Profile, cfg sim.Config) (Table, error) {
+	ipc, reads, err := s.ratioSeries(ctx, ps, cfg, base2MB())
 	if err != nil {
 		return Table{}, err
 	}

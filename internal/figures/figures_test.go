@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -29,7 +30,7 @@ func TestTableFormat(t *testing.T) {
 
 func TestTableICensus(t *testing.T) {
 	s := NewSession(1)
-	tab, err := s.TableI()
+	tab, err := s.TableI(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 }
 
 func TestAreaTable(t *testing.T) {
-	tab, err := NewSession(1).Area()
+	tab, err := NewSession(1).Area(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestFig8Smoke(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab, err := s.Fig8()
+	tab, err := s.Fig8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +106,11 @@ func TestCachingAvoidsRerun(t *testing.T) {
 	s := quickSession()
 	runs := 0
 	s.Progress = func(string, ...any) { runs++ }
-	if _, err := s.Fig6(); err != nil {
+	if _, err := s.Fig6(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	afterFig6 := runs
-	if _, err := s.Fig6(); err != nil {
+	if _, err := s.Fig6(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if runs != afterFig6 {
@@ -122,7 +123,7 @@ func TestCapacitySmoke(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab, err := s.Capacity()
+	tab, err := s.Capacity(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestAblationLatencyOrdering(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab, err := s.LatencyAblation()
+	tab, err := s.LatencyAblation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestAblationCompressorRows(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab, err := s.CompressorAblation()
+	tab, err := s.CompressorAblation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestInclusionModes(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab, err := s.Inclusion()
+	tab, err := s.Inclusion(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestPrefetchInteraction(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	s := quickSession()
-	tab, err := s.PrefetchInteraction()
+	tab, err := s.PrefetchInteraction(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

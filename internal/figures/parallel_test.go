@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,7 +33,7 @@ func TestParallelDeterminism(t *testing.T) {
 				if e.ID != want {
 					continue
 				}
-				tab, err := e.Run(s)
+				tab, err := e.Run(s, context.Background())
 				if err != nil {
 					t.Fatalf("workers=%d %s: %v", workers, want, err)
 				}
@@ -52,7 +53,7 @@ func TestParallelDeterminism(t *testing.T) {
 // counts invocations per (trace, config) key.
 func countingRunFn(s *Session) (counts *sync.Map) {
 	counts = &sync.Map{}
-	s.runFn = func(p workload.Profile, cfg sim.Config) (sim.Result, error) {
+	s.runFn = func(_ context.Context, p workload.Profile, cfg sim.Config) (sim.Result, error) {
 		key := runKey{trace: p.Name, cfg: cfg}
 		n, _ := counts.LoadOrStore(key, new(int))
 		countMu.Lock()
@@ -75,12 +76,12 @@ func TestSingleflightSharedBaseline(t *testing.T) {
 
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
-	runs := []func() (Table, error){s.Fig6, s.Fig8}
+	runs := []func(context.Context) (Table, error){s.Fig6, s.Fig8}
 	for i, run := range runs {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, errs[i] = run()
+			_, errs[i] = run(context.Background())
 		}()
 	}
 	wg.Wait()
@@ -125,7 +126,7 @@ func TestRunKeyIncludesVerificationOptions(t *testing.T) {
 	}
 	for _, cfg := range variants {
 		for rep := 0; rep < 2; rep++ { // repeats must hit the cache
-			if _, err := s.run(p, cfg); err != nil {
+			if _, err := s.run(context.Background(), p, cfg); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -152,7 +153,7 @@ func TestParallelViolationPropagates(t *testing.T) {
 	s.Check = "cheap"
 	s.Inject = "tag@2000"
 
-	_, err := s.Fig6()
+	_, err := s.Fig6(context.Background())
 	if err == nil {
 		t.Fatal("injected tag fault was not detected")
 	}
@@ -173,7 +174,7 @@ func TestRunJobsStopsAfterFailure(t *testing.T) {
 	const n = 64
 	var ran sync.Map
 	failAt := 5
-	err := s.runJobs(n, func(i int) error {
+	err := s.runJobs(context.Background(), n, func(i int) error {
 		ran.Store(i, true)
 		if i == failAt {
 			return fmt.Errorf("job %d failed", i)
@@ -212,7 +213,7 @@ func TestProgressSerialized(t *testing.T) {
 		cfg.ExtraLLCLatency = uint64(i) // force 32 distinct keys
 		reqs = append(reqs, runReq{s.all[i%4], cfg})
 	}
-	if _, err := s.runAll(reqs); err != nil {
+	if _, err := s.runAll(context.Background(), reqs); err != nil {
 		t.Fatal(err)
 	}
 	if lines != 32 {

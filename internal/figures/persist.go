@@ -1,0 +1,248 @@
+package figures
+
+// This file is the durable checkpoint layer under the session's
+// singleflight run cache: every completed simulation is written to an
+// on-disk record keyed by the hash of its full key (trace or mix names
+// plus the complete sim.Config, instruction budget included), so a
+// suite killed by a signal, a deadline or a crash can be resumed and
+// re-simulates only the runs that never finished.
+//
+// Record format — one file per run, named by the SHA-256 of the key:
+//
+//	bvckpt v<schema> crc32=<hex>\n
+//	<JSON body>
+//
+// The body repeats the full key alongside the result. Loading
+// verifies, in order: the magic, the schema version, the CRC over the
+// body bytes, the JSON shape (unknown fields rejected), and finally
+// that the decoded key equals the requested one. Truncated,
+// bit-flipped, stale-schema or hash-colliding records are therefore
+// discarded (and counted) instead of trusted — a corrupt checkpoint
+// can cost a re-simulation, never a wrong table.
+//
+// Writes go through atomicio (write-temp-fsync-rename), so a record
+// file either exists complete or not at all; a kill mid-write leaves
+// only an inert temp file.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"basevictim/internal/atomicio"
+	"basevictim/internal/sim"
+)
+
+const (
+	recordMagic = "bvckpt"
+	// recordVersion is the checkpoint schema version. Bump it whenever
+	// the JSON shape of record (including sim.Config or the result
+	// structs) changes meaning; old records then fail the version check
+	// and are re-simulated instead of being decoded into wrong fields.
+	recordVersion = 1
+)
+
+// record is the on-disk payload: the complete key plus the result.
+// Exactly one of Result/MixResult is set.
+type record struct {
+	Trace     string           `json:"trace,omitempty"`
+	Mix       []string         `json:"mix,omitempty"`
+	Config    sim.Config       `json:"config"`
+	Result    *sim.Result      `json:"result,omitempty"`
+	MixResult *sim.MultiResult `json:"mix_result,omitempty"`
+}
+
+// encodeRecord renders a record in the checked on-disk format.
+func encodeRecord(rec record) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	head := fmt.Sprintf("%s v%d crc32=%08x\n", recordMagic, recordVersion, crc32.ChecksumIEEE(body))
+	return append([]byte(head), body...), nil
+}
+
+// decodeRecord parses and verifies a record. Any corruption —
+// truncation, bit flips, a wrong or future schema version, unknown
+// fields — returns an error; it never panics and never silently loads
+// damaged data.
+func decodeRecord(b []byte) (record, error) {
+	nl := bytes.IndexByte(b, '\n')
+	if nl < 0 {
+		return record{}, fmt.Errorf("checkpoint: missing header line")
+	}
+	head := string(b[:nl])
+	var (
+		version int
+		crc     uint32
+	)
+	if n, err := fmt.Sscanf(head, recordMagic+" v%d crc32=%x", &version, &crc); err != nil || n != 2 {
+		return record{}, fmt.Errorf("checkpoint: bad header %q", head)
+	}
+	if version != recordVersion {
+		return record{}, fmt.Errorf("checkpoint: schema v%d, want v%d", version, recordVersion)
+	}
+	body := b[nl+1:]
+	if got := crc32.ChecksumIEEE(body); got != crc {
+		return record{}, fmt.Errorf("checkpoint: CRC mismatch (header %08x, body %08x)", crc, got)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var rec record
+	if err := dec.Decode(&rec); err != nil {
+		return record{}, fmt.Errorf("checkpoint: bad body: %w", err)
+	}
+	return rec, nil
+}
+
+// Store is an on-disk checkpoint directory. It is safe for concurrent
+// use by all of a session's workers, and two processes sharing a
+// directory cannot corrupt each other (writes are atomic renames of
+// content-identical records).
+type Store struct {
+	dir    string
+	resume bool
+
+	mu        sync.Mutex
+	loaded    int
+	discarded int
+	written   int
+	writeErr  error // first write failure; later ones are counted only
+	failed    int
+}
+
+// NewStore opens (creating if needed) a checkpoint directory. With
+// resume set, existing records satisfy run requests; without it the
+// store only writes, so a fresh suite refreshes every record it
+// completes.
+func NewStore(dir string, resume bool) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Store{dir: dir, resume: resume}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// keyPath hashes a full run key into the record's file name. The hash
+// input includes a kind tag (run vs mix) and the %#v rendering of the
+// complete config, so any config field change yields a different file;
+// the decoded record's own key is still compared on load, making a
+// hash collision or stale record a cache miss rather than a wrong hit.
+func (st *Store) keyPath(kind, name string, cfg sim.Config) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%#v", kind, name, cfg)))
+	return filepath.Join(st.dir, hex.EncodeToString(sum[:16])+".ckpt")
+}
+
+// load reads and verifies one record file. A missing file is a plain
+// miss; a corrupt or stale record is discarded (removed and counted).
+func (st *Store) load(path string) (record, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return record{}, false
+	}
+	rec, err := decodeRecord(b)
+	if err != nil {
+		st.mu.Lock()
+		st.discarded++
+		st.mu.Unlock()
+		os.Remove(path)
+		return record{}, false
+	}
+	return rec, true
+}
+
+func (st *Store) save(path string, rec record) error {
+	b, err := encodeRecord(rec)
+	if err == nil {
+		err = atomicio.WriteFile(path, b, 0o644)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err != nil {
+		st.failed++
+		if st.writeErr == nil {
+			st.writeErr = err
+		}
+		return err
+	}
+	st.written++
+	return nil
+}
+
+// loadRun returns the checkpointed result for a single-trace run key,
+// if resuming and a valid record with the exact same key exists.
+func (st *Store) loadRun(key runKey) (sim.Result, bool) {
+	if !st.resume {
+		return sim.Result{}, false
+	}
+	rec, ok := st.load(st.keyPath("run", key.trace, key.cfg))
+	if !ok || rec.Result == nil || rec.Trace != key.trace || rec.Config != key.cfg {
+		return sim.Result{}, false
+	}
+	st.mu.Lock()
+	st.loaded++
+	st.mu.Unlock()
+	return *rec.Result, true
+}
+
+// saveRun checkpoints a completed single-trace run.
+func (st *Store) saveRun(key runKey, r sim.Result) error {
+	return st.save(st.keyPath("run", key.trace, key.cfg),
+		record{Trace: key.trace, Config: key.cfg, Result: &r})
+}
+
+// loadMix and saveMix are the multi-program equivalents, keyed by the
+// four trace names plus the config.
+func (st *Store) loadMix(key mixKey) (sim.MultiResult, bool) {
+	if !st.resume {
+		return sim.MultiResult{}, false
+	}
+	name := key.traces[0] + "+" + key.traces[1] + "+" + key.traces[2] + "+" + key.traces[3]
+	rec, ok := st.load(st.keyPath("mix", name, key.cfg))
+	if !ok || rec.MixResult == nil || rec.Config != key.cfg ||
+		len(rec.Mix) != len(key.traces) {
+		return sim.MultiResult{}, false
+	}
+	for i, tr := range key.traces {
+		if rec.Mix[i] != tr {
+			return sim.MultiResult{}, false
+		}
+	}
+	st.mu.Lock()
+	st.loaded++
+	st.mu.Unlock()
+	return *rec.MixResult, true
+}
+
+func (st *Store) saveMix(key mixKey, r sim.MultiResult) error {
+	name := key.traces[0] + "+" + key.traces[1] + "+" + key.traces[2] + "+" + key.traces[3]
+	return st.save(st.keyPath("mix", name, key.cfg),
+		record{Mix: key.traces[:], Config: key.cfg, MixResult: &r})
+}
+
+// Stats reports checkpoint activity: records loaded on resume, corrupt
+// or stale records discarded, and records written this session.
+func (st *Store) Stats() (loaded, discarded, written int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.loaded, st.discarded, st.written
+}
+
+// WriteErr reports checkpoint-write health: the number of failed
+// writes and the first failure. Write failures never abort a suite —
+// the in-memory results are still correct — but a resume from this
+// directory will re-simulate whatever failed to persist, so the CLIs
+// surface this as a warning.
+func (st *Store) WriteErr() (failed int, first error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.failed, st.writeErr
+}

@@ -1,0 +1,239 @@
+package figures
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"basevictim/internal/sim"
+)
+
+func sampleRecord() record {
+	cfg := bvDefault()
+	cfg.Instructions = 123_456
+	return record{
+		Trace:  "mcf.p1",
+		Config: cfg,
+		Result: &sim.Result{Trace: "mcf.p1", Org: cfg.Org, IPC: 1.234, Instructions: 123_456, Cycles: 100_000},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	want := sampleRecord()
+	b, err := encodeRecord(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestDecodeRecordRejectsCorruption: every way a record can rot on disk
+// must come back as an error, never a panic and never a silent load.
+func TestDecodeRecordRejectsCorruption(t *testing.T) {
+	valid, err := encodeRecord(sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := strings.IndexByte(string(valid), '\n')
+	cases := map[string][]byte{
+		"empty":          {},
+		"garbage":        []byte("not a checkpoint at all"),
+		"no newline":     valid[:10],
+		"header only":    valid[:nl+1],
+		"truncated body": valid[:len(valid)-5],
+		"wrong magic":    append([]byte("xx"), valid[2:]...),
+	}
+	// Bit flip in the body breaks the CRC.
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)-3] ^= 0x40
+	cases["bit flip"] = flipped
+	// Future schema version must be refused even if the rest is intact.
+	cases["wrong version"] = []byte(strings.Replace(string(valid), " v1 ", " v99 ", 1))
+	for name, b := range cases {
+		b := b
+		t.Run(name, func(t *testing.T) {
+			if _, err := decodeRecord(b); err == nil {
+				t.Fatalf("decodeRecord accepted %s input", name)
+			}
+		})
+	}
+}
+
+func TestStoreRunRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bvDefault()
+	cfg.Instructions = 50_000
+	key := runKey{trace: "mcf.p1", cfg: cfg}
+	if _, ok := st.loadRun(key); ok {
+		t.Fatal("empty store satisfied a load")
+	}
+	want := sim.Result{Trace: "mcf.p1", Org: cfg.Org, IPC: 1.5, Instructions: 50_000, Cycles: 7}
+	if err := st.saveRun(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.loadRun(key)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("loadRun = %+v, %v; want %+v, true", got, ok, want)
+	}
+	// A different config must be a miss, even with the same trace.
+	other := key
+	other.cfg.LLCWays = 8
+	if _, ok := st.loadRun(other); ok {
+		t.Fatal("loadRun satisfied a different config from the same store")
+	}
+	loaded, discarded, written := st.Stats()
+	if loaded != 1 || discarded != 0 || written != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1/0/1", loaded, discarded, written)
+	}
+}
+
+func TestStoreMixRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bvDefault()
+	key := mixKey{traces: [4]string{"a.p1", "b.p1", "c.p1", "d.p1"}, cfg: cfg}
+	want := sim.MultiResult{Mix: key.traces}
+	want.PerIPC[0] = 1.25
+	if err := st.saveMix(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.loadMix(key)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("loadMix = %+v, %v; want hit", got, ok)
+	}
+	// Same traces in a different order is a different mix.
+	perm := key
+	perm.traces[0], perm.traces[1] = perm.traces[1], perm.traces[0]
+	if _, ok := st.loadMix(perm); ok {
+		t.Fatal("loadMix satisfied a permuted mix")
+	}
+}
+
+// TestStoreDiscardsCorruptRecord: a damaged file on disk is removed and
+// counted, and the key simulates again instead of loading bad data.
+func TestStoreDiscardsCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := runKey{trace: "mcf.p1", cfg: bvDefault()}
+	if err := st.saveRun(key, sim.Result{Trace: "mcf.p1", IPC: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the record in place.
+	path := st.keyPath("run", key.trace, key.cfg)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.loadRun(key); ok {
+		t.Fatal("corrupt record was loaded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt record not removed: %v", err)
+	}
+	_, discarded, _ := st.Stats()
+	if discarded != 1 {
+		t.Fatalf("discarded = %d, want 1", discarded)
+	}
+}
+
+// TestStoreWriteOnlyMode: without resume, existing records are ignored
+// on load but completed runs are still written (refreshing the
+// directory for a future resume).
+func TestStoreWriteOnlyMode(t *testing.T) {
+	dir := t.TempDir()
+	st1, _ := NewStore(dir, true)
+	key := runKey{trace: "mcf.p1", cfg: bvDefault()}
+	if err := st1.saveRun(key, sim.Result{Trace: "mcf.p1", IPC: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := NewStore(dir, false)
+	if _, ok := st2.loadRun(key); ok {
+		t.Fatal("write-only store satisfied a load")
+	}
+	if err := st2.saveRun(key, sim.Result{Trace: "mcf.p1", IPC: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st3, _ := NewStore(dir, true)
+	got, ok := st3.loadRun(key)
+	if !ok || got.IPC != 3 {
+		t.Fatalf("refreshed record = %+v, %v; want IPC 3", got, ok)
+	}
+}
+
+// TestStoreLeavesNoTempFiles: after saves, the directory holds only
+// .ckpt records — the atomic-write temps are gone.
+func TestStoreLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewStore(dir, true)
+	for i := 0; i < 4; i++ {
+		cfg := bvDefault()
+		cfg.ExtraLLCLatency = uint64(i)
+		if err := st.saveRun(runKey{trace: "mcf.p1", cfg: cfg}, sim.Result{Trace: "mcf.p1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 4 {
+		t.Fatalf("%d entries, want 4 records", len(ents))
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".ckpt" {
+			t.Fatalf("unexpected file %q in checkpoint dir", e.Name())
+		}
+	}
+}
+
+// FuzzDecodeRecord: arbitrary bytes — including truncations and bit
+// flips of valid records — must either decode cleanly or error; any
+// panic fails the fuzz run, and anything that decodes must survive a
+// re-encode/decode round trip.
+func FuzzDecodeRecord(f *testing.F) {
+	valid, err := encodeRecord(sampleRecord())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("bvckpt v1 crc32=00000000\n{}"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, err := decodeRecord(b)
+		if err != nil {
+			return
+		}
+		again, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatalf("decoded record does not re-encode: %v", err)
+		}
+		rec2, err := decodeRecord(again)
+		if err != nil {
+			t.Fatalf("re-encoded record does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(rec, rec2) {
+			t.Fatalf("round trip mismatch:\nfirst  %+v\nsecond %+v", rec, rec2)
+		}
+	})
+}

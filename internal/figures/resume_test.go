@@ -1,0 +1,224 @@
+package figures
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"basevictim/internal/sim"
+	"basevictim/internal/workload"
+)
+
+// realCountingRunFn wraps the real simulator so checkpoint tests
+// exercise genuine results while still counting simulations.
+func realCountingRunFn(s *Session) *atomic.Int64 {
+	var n atomic.Int64
+	s.runFn = func(ctx context.Context, p workload.Profile, cfg sim.Config) (sim.Result, error) {
+		n.Add(1)
+		return sim.RunSingleCtx(ctx, p, cfg)
+	}
+	return &n
+}
+
+// TestCancelledSuiteCheckpointsOnlyCompleteRuns kills a suite midway
+// (cancelling from inside the simulator, like a signal would) and
+// checks the crash-safety contract: the checkpoint directory contains
+// only complete, decodable records and no half-written temp files —
+// cancelled runs are simply absent.
+func TestCancelledSuiteCheckpointsOnlyCompleteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	dir := t.TempDir()
+	s := parallelSession(2)
+	var err error
+	s.Store, err = NewStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	s.runFn = func(ctx context.Context, p workload.Profile, cfg sim.Config) (sim.Result, error) {
+		r, err := sim.RunSingleCtx(ctx, p, cfg)
+		if done.Add(1) == 2 {
+			cancel() // the "signal" lands after the second run completes
+		}
+		return r, err
+	}
+
+	if _, err := s.Fig6(ctx); err == nil {
+		t.Fatal("cancelled suite reported success")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("no checkpoints written before cancellation")
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".ckpt" {
+			t.Fatalf("non-record file %q left in checkpoint dir", e.Name())
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := decodeRecord(b); err != nil {
+			t.Fatalf("record %s does not decode: %v", e.Name(), err)
+		}
+	}
+}
+
+// TestResumeProducesIdenticalTables is the recovery contract end to
+// end: interrupt a suite, then resume from its checkpoint directory.
+// The resumed session must re-simulate only the runs that never
+// finished and render tables byte-identical to an uninterrupted run.
+func TestResumeProducesIdenticalTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	render := func(s *Session) string {
+		var out string
+		for _, id := range []string{"fig6", "fig8"} {
+			for _, e := range Experiments() {
+				if e.ID != id {
+					continue
+				}
+				tab, err := e.Run(s, context.Background())
+				if err != nil {
+					t.Fatalf("%s: %v", id, err)
+				}
+				out += tab.Format()
+			}
+		}
+		return out
+	}
+
+	// Golden: uninterrupted, no store.
+	golden := render(parallelSession(2))
+
+	// First session: cancelled after a few runs, checkpointing as it goes.
+	dir := t.TempDir()
+	s1 := parallelSession(2)
+	st1, err := NewStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Store = st1
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	s1.runFn = func(ctx context.Context, p workload.Profile, cfg sim.Config) (sim.Result, error) {
+		r, err := sim.RunSingleCtx(ctx, p, cfg)
+		if done.Add(1) == 3 {
+			cancel()
+		}
+		return r, err
+	}
+	if _, err := s1.Fig6(ctx); err == nil {
+		t.Fatal("interrupted suite reported success")
+	}
+	_, _, written := st1.Stats()
+	if written == 0 {
+		t.Fatal("interrupted suite wrote no checkpoints")
+	}
+
+	// Second session: resume from the same directory.
+	s2 := parallelSession(2)
+	st2, err := NewStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Store = st2
+	sims := realCountingRunFn(s2)
+	resumed := render(s2)
+
+	if resumed != golden {
+		t.Fatalf("resumed tables differ from uninterrupted run:\n--- golden ---\n%s\n--- resumed ---\n%s", golden, resumed)
+	}
+	loaded, _, _ := st2.Stats()
+	if loaded == 0 {
+		t.Fatal("resume loaded nothing from the checkpoint directory")
+	}
+	if int(sims.Load())+loaded <= loaded {
+		t.Fatalf("implausible accounting: %d simulated, %d loaded", sims.Load(), loaded)
+	}
+
+	// Third pass over the same directory re-simulates nothing at all.
+	s3 := parallelSession(2)
+	st3, err := NewStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3.Store = st3
+	sims3 := realCountingRunFn(s3)
+	if got := render(s3); got != golden {
+		t.Fatal("fully-checkpointed rerun differs from golden")
+	}
+	if sims3.Load() != 0 {
+		t.Fatalf("fully-checkpointed rerun still simulated %d runs", sims3.Load())
+	}
+}
+
+// TestPanicFailsOnlyItsRun: a panic inside one simulation surfaces as
+// a *sim.RunPanicError carrying its trace and config, while every
+// sibling job in the batch still completes (and checkpoints).
+func TestPanicFailsOnlyItsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	dir := t.TempDir()
+	s := parallelSession(4)
+	var err error
+	s.Store, err = NewStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := s.sensitive()[1].Name
+	var completed sync.Map
+	s.runFn = func(ctx context.Context, p workload.Profile, cfg sim.Config) (sim.Result, error) {
+		if p.Name == victim && cfg.Org != sim.OrgUncompressed {
+			panic("injected test panic")
+		}
+		r, err := sim.RunSingleCtx(ctx, p, cfg)
+		if err == nil {
+			completed.Store(runKey{trace: p.Name, cfg: cfg}, true)
+		}
+		return r, err
+	}
+
+	_, err = s.Fig6(context.Background())
+	if err == nil {
+		t.Fatal("suite with a panicking run reported success")
+	}
+	var pe *sim.RunPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a *sim.RunPanicError: %v", err)
+	}
+	if pe.Trace != victim || pe.Value != "injected test panic" {
+		t.Fatalf("panic forensics wrong: trace=%q value=%v", pe.Trace, pe.Value)
+	}
+	if !strings.Contains(pe.Error(), victim) {
+		t.Fatalf("panic message omits the trace: %s", pe.Error())
+	}
+
+	// Fig6 over MaxTraces=2 runs each trace under twotag and baseline:
+	// 4 jobs, 1 panicking. The other 3 must all have completed.
+	total := 0
+	completed.Range(func(_, _ any) bool { total++; return true })
+	if total != 3 {
+		t.Fatalf("%d sibling runs completed, want 3 (panic must not cancel the batch)", total)
+	}
+	_, _, written := s.Store.Stats()
+	if written != 3 {
+		t.Fatalf("%d checkpoints written, want 3", written)
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"basevictim/internal/workload"
+)
+
+// TestRunSingleCtxCancelled: an already-cancelled context aborts the
+// run before it simulates anything, and the error unwraps to
+// context.Canceled.
+func TestRunSingleCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSingleCtx(ctx, sensitiveTrace(t), quickCfg(OrgBaseVictim))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunSingleCtxDeadline: an expired per-run deadline surfaces as
+// context.DeadlineExceeded with the trace and org named.
+func TestRunSingleCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := RunSingleCtx(ctx, sensitiveTrace(t), quickCfg(OrgBaseVictim))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "mcf.p1") || !strings.Contains(err.Error(), "basevictim") {
+		t.Fatalf("aborted-run error does not name the run: %v", err)
+	}
+}
+
+// TestRunSingleCtxBackgroundUnchanged: a background context produces a
+// result identical to the plain entry point (bit-identical tables under
+// cancellation support).
+func TestRunSingleCtxBackgroundUnchanged(t *testing.T) {
+	p := sensitiveTrace(t)
+	cfg := quickCfg(OrgBaseVictim)
+	a, err := RunSingle(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSingleCtx(context.Background(), p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions || a.DemandDRAMReads != b.DemandDRAMReads {
+		t.Fatalf("ctx run diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestRunMixCtxCancelled: the quantum loop honors cancellation.
+func TestRunMixCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	suite := workload.Suite()
+	var mix [4]workload.Profile
+	copy(mix[:], suite[:4])
+	cfg := quickCfg(OrgBaseVictim)
+	_, err := RunMixCtx(ctx, mix, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestContainConvertsPanic: Contain turns a panic into a structured
+// *RunPanicError carrying the stack and the full config.
+func TestContainConvertsPanic(t *testing.T) {
+	cfg := Default()
+	cfg.LLCWays = 7 // distinctive value that must survive into the error
+	err := func() (err error) {
+		defer Contain("mcf.p1", cfg, &err)
+		panic("kaboom")
+	}()
+	var pe *RunPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *RunPanicError", err, err)
+	}
+	if pe.Trace != "mcf.p1" || pe.Value != "kaboom" || pe.Config.LLCWays != 7 {
+		t.Fatalf("panic forensics wrong: %+v", pe)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "cancel_test") {
+		t.Fatal("panic stack missing or does not point at the panic site")
+	}
+	for _, want := range []string{"kaboom", "mcf.p1", "LLCWays:7"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Error() missing %q:\n%s", want, err)
+		}
+	}
+}
+
+// TestContainNoopOnSuccess: Contain must not disturb a clean return.
+func TestContainNoopOnSuccess(t *testing.T) {
+	err := func() (err error) {
+		defer Contain("t", Default(), &err)
+		return nil
+	}()
+	if err != nil {
+		t.Fatalf("Contain invented an error: %v", err)
+	}
+}

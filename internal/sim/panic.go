@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// RunPanicError is a panicking simulation converted into a structured,
+// propagatable error: the panic value, the goroutine stack at the point
+// of panic, and the full configuration that triggered it. Run entry
+// points install it via Contain, so a worker executing a bad config
+// fails that one run with forensics instead of killing the whole suite
+// process; schedulers treat it like any other per-run failure (see
+// internal/figures).
+type RunPanicError struct {
+	// Trace names the trace (or "+"-joined mix) that was running.
+	Trace string
+	// Config is the complete configuration of the panicking run —
+	// enough to reproduce it with bvsim or a unit test.
+	Config Config
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *RunPanicError) Error() string {
+	return fmt.Sprintf("sim: panic running %s on %s: %v\nconfig: %+v\n%s",
+		e.Trace, e.Config.Org, e.Value, e.Config, e.Stack)
+}
+
+// Contain converts an in-flight panic into a *RunPanicError assigned
+// to *err. Use it as `defer Contain(name, cfg, &err)` at the top of a
+// run entry point with a named error return.
+func Contain(trace string, cfg Config, err *error) {
+	if v := recover(); v != nil {
+		*err = &RunPanicError{Trace: trace, Config: cfg, Value: v, Stack: debug.Stack()}
+	}
+}

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"basevictim/internal/ccache"
@@ -282,6 +283,17 @@ func hierConfig(cfg Config) hierarchy.Config {
 
 // RunSingle executes one trace on one configuration.
 func RunSingle(p workload.Profile, cfg Config) (Result, error) {
+	return RunSingleCtx(context.Background(), p, cfg)
+}
+
+// RunSingleCtx is RunSingle with cooperative cancellation: the core's
+// instruction loop polls ctx (see cpu.RunCtx) and an aborted run
+// returns an error wrapping context.Canceled or
+// context.DeadlineExceeded instead of a partial result. A panic
+// anywhere in the run comes back as a *RunPanicError rather than
+// unwinding into the caller.
+func RunSingleCtx(ctx context.Context, p workload.Profile, cfg Config) (_ Result, err error) {
+	defer Contain(p.Name, cfg, &err)
 	org, ck, err := buildLLC(cfg)
 	if err != nil {
 		return Result{}, err
@@ -296,7 +308,11 @@ func RunSingle(p workload.Profile, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	core := cpu.MustNew(cpu.DefaultConfig(), h)
-	res := core.Run(p.Stream(), cfg.Instructions)
+	res, runErr := core.RunCtx(ctx, p.Stream(), cfg.Instructions)
+	if runErr != nil {
+		return Result{}, fmt.Errorf("sim: %s on %s aborted after %d instructions: %w",
+			p.Name, cfg.Org, res.Instructions, runErr)
+	}
 	if err := finishChecks(org, ck); err != nil {
 		return Result{}, err
 	}
@@ -322,6 +338,13 @@ func RunSingle(p workload.Profile, cfg Config) (Result, error) {
 // the supplied value model for compressed sizes. It powers trace-file
 // replay in cmd/bvsim.
 func RunStream(s trace.Stream, sizer hierarchy.Sizer, cfg Config) (Result, error) {
+	return RunStreamCtx(context.Background(), s, sizer, cfg)
+}
+
+// RunStreamCtx is RunStream with the same cancellation, deadline and
+// panic-containment semantics as RunSingleCtx.
+func RunStreamCtx(ctx context.Context, s trace.Stream, sizer hierarchy.Sizer, cfg Config) (_ Result, err error) {
+	defer Contain("stream", cfg, &err)
 	org, ck, err := buildLLC(cfg)
 	if err != nil {
 		return Result{}, err
@@ -332,7 +355,11 @@ func RunStream(s trace.Stream, sizer hierarchy.Sizer, cfg Config) (Result, error
 		return Result{}, err
 	}
 	core := cpu.MustNew(cpu.DefaultConfig(), h)
-	res := core.Run(s, cfg.Instructions)
+	res, runErr := core.RunCtx(ctx, s, cfg.Instructions)
+	if runErr != nil {
+		return Result{}, fmt.Errorf("sim: stream on %s aborted after %d instructions: %w",
+			cfg.Org, res.Instructions, runErr)
+	}
 	if err := finishChecks(org, ck); err != nil {
 		return Result{}, err
 	}
@@ -377,11 +404,16 @@ func (p Pair) DRAMReadRatio() float64 {
 // RunPair runs a trace on cfg and on the 2 MB-class baseline given by
 // base, returning both.
 func RunPair(p workload.Profile, cfg, base Config) (Pair, error) {
-	r, err := RunSingle(p, cfg)
+	return RunPairCtx(context.Background(), p, cfg, base)
+}
+
+// RunPairCtx is RunPair under a cancellable context.
+func RunPairCtx(ctx context.Context, p workload.Profile, cfg, base Config) (Pair, error) {
+	r, err := RunSingleCtx(ctx, p, cfg)
 	if err != nil {
 		return Pair{}, err
 	}
-	b, err := RunSingle(p, base)
+	b, err := RunSingleCtx(ctx, p, base)
 	if err != nil {
 		return Pair{}, err
 	}
@@ -401,6 +433,15 @@ type MultiResult struct {
 // keep running to preserve contention (Section V), and per-thread IPC
 // is measured at the end of each thread's own phase.
 func RunMix(mix [4]workload.Profile, cfg Config) (MultiResult, error) {
+	return RunMixCtx(context.Background(), mix, cfg)
+}
+
+// RunMixCtx is RunMix with cooperative cancellation: the context is
+// polled between scheduling quanta (and inside each core's own loop),
+// and a panicking mix surfaces as a *RunPanicError naming all four
+// traces.
+func RunMixCtx(ctx context.Context, mix [4]workload.Profile, cfg Config) (_ MultiResult, err error) {
+	defer Contain(mixLabel(mix), cfg, &err)
 	org, ck, err := buildLLC(cfg)
 	if err != nil {
 		return MultiResult{}, err
@@ -436,6 +477,12 @@ func RunMix(mix [4]workload.Profile, cfg Config) (MultiResult, error) {
 
 	const quantum = 2000
 	for {
+		// One cancellation poll per scheduling round; each quantum is
+		// short (2000 instructions), so cancellation latency stays low
+		// without the cores needing to poll inside a quantum.
+		if cerr := ctx.Err(); cerr != nil {
+			return MultiResult{}, fmt.Errorf("sim: mix %s on %s aborted: %w", mixLabel(mix), cfg.Org, cerr)
+		}
 		allDone := true
 		for i := range cores {
 			if doneAt[i] != 0 {
@@ -467,6 +514,12 @@ func RunMix(mix [4]workload.Profile, cfg Config) (MultiResult, error) {
 	}
 	res.LLCStat = *org.Stats()
 	return res, nil
+}
+
+// mixLabel names a mix for error reporting: the four trace names
+// joined with "+".
+func mixLabel(mix [4]workload.Profile) string {
+	return mix[0].Name + "+" + mix[1].Name + "+" + mix[2].Name + "+" + mix[3].Name
 }
 
 // WeightedSpeedup returns the paper's multi-program metric: the mean
