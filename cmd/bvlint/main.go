@@ -1,0 +1,89 @@
+// Command bvlint checks this repository's domain invariants — the
+// correctness contracts the compiler cannot see (deterministic
+// simulation, full-config memo keys, context threading, the cliexit
+// exit-code contract, atomic artifact writes).
+//
+// Standalone:
+//
+//	bvlint ./...               # lint packages, findings to stderr
+//	bvlint -list               # describe the registered analyzers
+//
+// As a go vet tool (the unitchecker protocol):
+//
+//	go vet -vettool=$(which bvlint) ./...
+//
+// Findings are suppressed, narrowly and auditable, by a directive on
+// the same line or the line above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// Exit codes follow internal/cliexit: 0 clean, 1 findings or
+// operational failure, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"basevictim/internal/cliexit"
+	"basevictim/internal/lint"
+	"basevictim/internal/lint/checker"
+	"basevictim/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("bvlint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	list := fs.Bool("list", false, "describe registered analyzers and exit")
+	fs.Var(versionFlag{}, "V", "print version for the go vet tool protocol")
+	printFlags := fs.Bool("flags", false, "print flag JSON for the go vet tool protocol")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bvlint [packages]\n       go vet -vettool=$(which bvlint) [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return cliexit.Usage
+	}
+	if *printFlags {
+		// go vet probes the tool's flags; bvlint exposes none to it.
+		fmt.Println("[]")
+		return cliexit.OK
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return cliexit.OK
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitcheck(rest[0])
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Targets(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bvlint:", err)
+		return cliexit.Failure
+	}
+	findings, err := checker.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bvlint:", err)
+		return cliexit.Failure
+	}
+	checker.Print(os.Stderr, findings)
+	if len(findings) > 0 {
+		return cliexit.Failure
+	}
+	return cliexit.OK
+}

@@ -1,0 +1,182 @@
+// The `go vet -vettool` half of bvlint: cmd/go drives the tool once
+// per package with a JSON .cfg describing the compilation unit, after
+// probing it with -V=full (for build caching) and -flags. This file
+// implements that protocol — the pieces of
+// golang.org/x/tools/go/analysis/unitchecker bvlint needs, rebuilt on
+// the standard library because this repo carries no external deps.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"basevictim/internal/cliexit"
+	"basevictim/internal/lint"
+	"basevictim/internal/lint/checker"
+	"basevictim/internal/lint/load"
+)
+
+// vetConfig mirrors the unitchecker Config JSON that cmd/go writes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // canonical package path -> export data file
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single compilation unit described by the
+// .cfg file, per the go vet tool protocol.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bvlint:", err)
+		return cliexit.Failure
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bvlint: decoding %s: %v\n", cfgFile, err)
+		return cliexit.Failure
+	}
+
+	// go vet declares the facts file as a build output and expects it
+	// to exist; bvlint's analyzers exchange no facts, so it is empty.
+	// (The protocol file is build-cache plumbing, not an artifact, and
+	// go vet re-runs the tool if it is lost.)
+	if cfg.VetxOutput != "" {
+		//lint:allow atomicwrite vetx facts file is go vet build-cache plumbing, regenerated on loss, never read by bvlint
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "bvlint:", err)
+			return cliexit.Failure
+		}
+	}
+	if cfg.VetxOnly {
+		return cliexit.OK
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return cliexit.OK // the compiler will report it better
+			}
+			fmt.Fprintln(os.Stderr, "bvlint:", err)
+			return cliexit.Failure
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, compilerOr(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if canonical, ok := cfg.ImportMap[importPath]; ok {
+			importPath = canonical
+		}
+		return compilerImp.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tconf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return cliexit.OK
+		}
+		fmt.Fprintln(os.Stderr, "bvlint:", err)
+		return cliexit.Failure
+	}
+
+	pkg := &load.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	findings, err := checker.Run([]*load.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bvlint:", err)
+		return cliexit.Failure
+	}
+	checker.Print(os.Stderr, findings)
+	if len(findings) > 0 {
+		return cliexit.Failure
+	}
+	return cliexit.OK
+}
+
+func compilerOr(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// versionFlag implements the -V=full handshake: go vet hashes the
+// reported version into its build cache key, so the tool reports a
+// digest of its own executable.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", exe, h.Sum(nil))
+	//lint:allow exitcode the -V=full protocol handshake ends the process here, before any work with cleanup exists
+	os.Exit(cliexit.OK)
+	return nil
+}

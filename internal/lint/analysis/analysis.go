@@ -1,0 +1,95 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer inspects one
+// typechecked package through a Pass and reports Diagnostics.
+//
+// The x/tools module is deliberately not a dependency — this repo
+// builds offline with a bare toolchain — so bvlint carries the small
+// slice of the framework it actually needs: no facts, no Requires
+// graph, no SuggestedFixes. Analyzer values are API-compatible enough
+// that porting one to the real framework is a mechanical change.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant check. Run inspects a single
+// package via its Pass and reports findings through pass.Report; the
+// returned error is for operational failures (it aborts the whole
+// lint run), not for findings.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a summary,
+	// the rest elaborates the contract being enforced.
+	Doc string
+
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer to one package being analyzed.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The checker installs a hook
+	// here that applies //lint:allow suppression before recording.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file in the pass in depth-first order, calling
+// f for each node; f returning false prunes the subtree.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}
+
+// CalleeFunc resolves the static callee of a call expression, or nil
+// if the callee is not a known function or method (e.g. a call of a
+// function-typed variable, or a type conversion).
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgCall reports whether call statically resolves to the
+// package-level function pkgPath.name (methods do not match).
+func (p *Pass) IsPkgCall(call *ast.CallExpr, pkgPath, name string) bool {
+	fn := p.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

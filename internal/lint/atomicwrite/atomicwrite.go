@@ -1,0 +1,73 @@
+// Package atomicwrite enforces the artifact durability contract from
+// PR 3: checkpoint, benchmark and result files land under their final
+// name only when complete, via internal/atomicio's write-temp → fsync
+// → rename sequence. A direct os.WriteFile or os.Create can leave a
+// torn file that a resumed session (or the checkpoint store of a
+// sibling process) then reads.
+//
+// Outside internal/atomicio it reports os.WriteFile, os.Create, and
+// any os.OpenFile whose flags can create or truncate a file. Reads
+// (os.Open, os.ReadFile) and temp files (os.CreateTemp) are fine.
+// examples/ are out of scope.
+package atomicwrite
+
+import (
+	"go/ast"
+	"go/constant"
+	"os"
+
+	"basevictim/internal/lint/analysis"
+	"basevictim/internal/lint/internal/astscope"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc: "artifact files must be written through internal/atomicio " +
+		"(atomic temp+rename), not os.WriteFile/os.Create",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if astscope.HasSegment(pass.Pkg.Path(), "atomicio", "examples") {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case pass.IsPkgCall(call, "os", "WriteFile"):
+			pass.Reportf(call.Pos(),
+				"os.WriteFile can land a torn artifact under its final name; "+
+					"use atomicio.WriteFile (write-temp, fsync, rename)")
+		case pass.IsPkgCall(call, "os", "Create"):
+			pass.Reportf(call.Pos(),
+				"os.Create truncates the destination before the content exists; "+
+					"use atomicio.Create and Commit when the artifact is complete")
+		case pass.IsPkgCall(call, "os", "OpenFile"):
+			if len(call.Args) >= 2 && flagsCanWrite(pass, call.Args[1]) {
+				pass.Reportf(call.Pos(),
+					"os.OpenFile with create/truncate/write flags bypasses atomic "+
+						"artifact writes; use internal/atomicio")
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// flagsCanWrite reports whether the constant open-flags expression
+// includes O_CREATE, O_TRUNC, O_WRONLY or O_RDWR. Non-constant flags
+// are assumed read-only (rare, and better than false positives).
+func flagsCanWrite(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return false
+	}
+	return v&int64(os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_RDWR) != 0
+}

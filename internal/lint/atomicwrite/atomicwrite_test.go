@@ -1,0 +1,12 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"basevictim/internal/lint/atomicwrite"
+	"basevictim/internal/lint/linttest"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	linttest.Run(t, atomicwrite.Analyzer, "a", "atomicio")
+}

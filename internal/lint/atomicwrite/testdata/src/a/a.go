@@ -1,0 +1,39 @@
+// Golden data for the atomicwrite analyzer: artifact files are
+// written through the atomic temp+rename package, never directly.
+package a
+
+import "os"
+
+func writes(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `os\.WriteFile can land a torn artifact`
+}
+
+func creates(path string) error {
+	_, err := os.Create(path) // want `os\.Create truncates the destination`
+	return err
+}
+
+func opensForWrite(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644) // want `os\.OpenFile with create/truncate/write flags`
+	if err == nil {
+		f.Close()
+	}
+	return err
+}
+
+func appends(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644) // want `os\.OpenFile with create/truncate/write flags`
+	if err == nil {
+		f.Close()
+	}
+	return err
+}
+
+// Reads are unconstrained.
+func reads(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func opensReadOnly(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}

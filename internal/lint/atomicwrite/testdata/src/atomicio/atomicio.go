@@ -1,0 +1,17 @@
+// Golden stand-in for basevictim/internal/atomicio: the one package
+// allowed to touch os file-creation primitives directly, exempted by
+// its path segment.
+package atomicio
+
+import "os"
+
+func WriteFile(path string, b []byte) error {
+	f, err := os.CreateTemp(".", ".tmp-")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}

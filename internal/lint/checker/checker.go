@@ -1,0 +1,114 @@
+// Package checker drives bvlint's analyzers over loaded packages,
+// applies //lint:allow suppression, and renders findings.
+package checker
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"basevictim/internal/lint/analysis"
+	"basevictim/internal/lint/directive"
+	"basevictim/internal/lint/load"
+)
+
+// A Finding is one unsuppressed diagnostic, located and attributed.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// allowKey locates a suppression: directives on line N suppress
+// findings of their analyzer on lines N and N+1.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Run applies every analyzer to every package and returns the
+// surviving findings sorted by position. Malformed lint:allow
+// directives are reported as findings of the pseudo-analyzer
+// "directive"; well-formed ones suppress matching findings on their
+// own line or the line below.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allowed := make(map[allowKey]bool)
+		for _, f := range pkg.Syntax {
+			for _, d := range directive.FromFile(f) {
+				posn := pkg.Fset.Position(d.Pos)
+				if msg := d.Malformed(known); msg != "" {
+					findings = append(findings, Finding{
+						Analyzer: "directive", Pos: posn, Message: msg,
+					})
+					continue
+				}
+				allowed[allowKey{posn.Filename, posn.Line, d.Analyzer}] = true
+			}
+		}
+
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				posn := pkg.Fset.Position(d.Pos)
+				// The contracts govern run-path code; test files are
+				// exercisers (they reach the pass only under go vet,
+				// which hands the tool test compilations too).
+				if strings.HasSuffix(posn.Filename, "_test.go") {
+					return
+				}
+				if allowed[allowKey{posn.Filename, posn.Line, a.Name}] ||
+					allowed[allowKey{posn.Filename, posn.Line - 1, a.Name}] {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name, Pos: posn, Message: d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Print writes findings one per line in vet style.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+}

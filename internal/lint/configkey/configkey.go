@@ -1,0 +1,149 @@
+// Package configkey enforces the repo's memo/checkpoint key contract:
+// whenever a key-shaped function derives key material from individual
+// sim.Config fields, it must cover every exported field.
+//
+// PR 2 fixed exactly this bug by hand — the singleflight memo hashed a
+// hand-picked subset of Config, so runs differing only in Check,
+// Inject or Seed aliased to one cache slot. The safe idioms (using the
+// whole struct as a comparable map key, `%#v` over the full value,
+// whole-struct ==) all pass; what gets flagged is a key, hash, memo,
+// digest or fingerprint function that enumerates some exported fields
+// but not all of them, which is how field-list drift reappears when
+// Config grows.
+package configkey
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"basevictim/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "configkey",
+	Doc: "key-shaped functions deriving key material from sim.Config " +
+		"field subsets must cover every exported field",
+	Run: run,
+}
+
+// keyish matches function names that produce key material.
+var keyish = regexp.MustCompile(`(?i)key|hash|memo|digest|fingerprint`)
+
+func run(pass *analysis.Pass) error {
+	cfg := findConfig(pass.Pkg)
+	if cfg == nil {
+		return nil
+	}
+	st, ok := cfg.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var exported []string
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Exported() {
+			exported = append(exported, f.Name())
+		}
+	}
+	if len(exported) == 0 {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !keyish.MatchString(fd.Name.Name) {
+				continue
+			}
+			checkFunc(pass, fd, cfg, exported)
+		}
+	}
+	return nil
+}
+
+// findConfig locates the type Config declared in a package named
+// "sim" — this package or any direct import.
+func findConfig(pkg *types.Package) types.Type {
+	candidates := append([]*types.Package{pkg}, pkg.Imports()...)
+	for _, p := range candidates {
+		if p.Name() != "sim" {
+			continue
+		}
+		if tn, ok := p.Scope().Lookup("Config").(*types.TypeName); ok {
+			return tn.Type()
+		}
+	}
+	return nil
+}
+
+// isConfig reports whether t is cfg, possibly behind a pointer.
+func isConfig(t, cfg types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.Identical(t, cfg)
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, cfg types.Type, exported []string) {
+	used := make(map[string]bool)       // exported fields selected from a Config value
+	consumed := make(map[ast.Expr]bool) // Config-typed receivers of those selections
+	wholeUse := false
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if isConfig(s.Recv(), cfg) {
+			used[sel.Sel.Name] = true
+			consumed[sel.X] = true
+		}
+		return true
+	})
+	if len(used) == 0 {
+		return
+	}
+
+	// A use of the whole Config value (map key, ==, %#v argument,
+	// composite literal element, ...) keys on every field at once.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || consumed[e] {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[e]; ok && isConfig(tv.Type, cfg) {
+			// Receivers of field selections were consumed above; any
+			// other Config-typed expression is a whole-value use.
+			wholeUse = true
+			return false
+		}
+		return true
+	})
+	if wholeUse {
+		return
+	}
+
+	var missing []string
+	for _, f := range exported {
+		if !used[f] {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(fd.Name.Pos(),
+		"%s keys on %d of %d exported sim.Config fields; missing %s — "+
+			"a field absent from the key aliases distinct configurations (use the whole struct, or add the fields)",
+		fd.Name.Name, len(used), len(exported), strings.Join(missing, ", "))
+}

@@ -1,0 +1,12 @@
+package configkey_test
+
+import (
+	"testing"
+
+	"basevictim/internal/lint/configkey"
+	"basevictim/internal/lint/linttest"
+)
+
+func TestConfigKey(t *testing.T) {
+	linttest.Run(t, configkey.Analyzer, "a")
+}

@@ -1,0 +1,46 @@
+// Golden data for the configkey analyzer: key-shaped functions that
+// enumerate sim.Config fields must cover every exported field.
+package a
+
+import (
+	"fmt"
+
+	"sim"
+)
+
+// The PR 2 bug class: Seed was added to Config but not to the key, so
+// runs differing only in Seed alias to one memo slot.
+func memoKey(c sim.Config) string { // want `memoKey keys on 2 of 3 exported sim\.Config fields; missing Seed`
+	return fmt.Sprintf("%s|%d", c.Org, c.Size)
+}
+
+// Field-by-field comparison drifts the same way.
+func sameKeyAs(a, b sim.Config) bool { // want `sameKeyAs keys on 2 of 3 exported sim\.Config fields; missing Seed`
+	return a.Org == b.Org && a.Size == b.Size
+}
+
+// Rendering the whole struct keys on every field at once.
+func wholeHash(c sim.Config) string {
+	return fmt.Sprintf("%#v", c)
+}
+
+// The whole struct as a comparable map/struct key is the safe idiom.
+type runKey struct {
+	trace string
+	cfg   sim.Config
+}
+
+func makeKey(trace string, c sim.Config) runKey {
+	return runKey{trace: trace, cfg: c}
+}
+
+// Enumerating every exported field is drift-prone but currently full,
+// so it passes.
+func fullFingerprint(c sim.Config) string {
+	return fmt.Sprintf("%v|%v|%v", c.Org, c.Size, c.Seed)
+}
+
+// Not key-shaped: partial field use elsewhere is unconstrained.
+func describe(c sim.Config) string {
+	return c.Org
+}

@@ -1,0 +1,15 @@
+// Package sim is the golden stand-in for basevictim/internal/sim: a
+// Config with three exported fields — Seed is the "field added later"
+// that a drifted key function forgets — plus an unexported field that
+// key coverage must ignore.
+package sim
+
+type Config struct {
+	Org  string
+	Size int
+	Seed uint64
+
+	scratch int // unexported: not key material
+}
+
+func (c Config) use() int { return c.scratch }

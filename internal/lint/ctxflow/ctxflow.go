@@ -1,0 +1,145 @@
+// Package ctxflow enforces the context threading contract from PR 3:
+// every run-path entry point is cancellable, and nobody silently
+// severs an in-flight cancellation chain.
+//
+// In library packages it reports:
+//
+//   - context.TODO() anywhere — it marks unfinished plumbing;
+//   - context.Background() inside a function that already receives a
+//     context.Context (severing the caller's cancellation), or stored
+//     or returned rather than passed straight into a call. The one
+//     blessed pattern is the thin compatibility wrapper: a function
+//     without a ctx parameter passing Background() directly to its
+//     ...Ctx/...Context sibling;
+//   - an exported Run* function with no context.Context parameter and
+//     no <name>Ctx / <name>Context sibling, which would make a new
+//     run-path entry point uncancellable.
+//
+// cmd/* binaries and examples/ are out of scope (a main owns its root
+// context), as is the lint tree itself (tooling, not run path).
+package ctxflow
+
+import (
+	"go/ast"
+	"strings"
+
+	"basevictim/internal/lint/analysis"
+	"basevictim/internal/lint/internal/astscope"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "run-path functions must accept and thread context.Context; " +
+		"no context.Background()/TODO() outside compat wrappers",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" ||
+		astscope.HasSegment(pass.Pkg.Path(), "cmd", "examples", "lint") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		checkBackground(pass, file)
+	}
+	checkRunSiblings(pass)
+	return nil
+}
+
+func checkBackground(pass *analysis.Pass, file *ast.File) {
+	// parent call tracking: Background() must be an argument of the
+	// call it feeds, not stored, returned or called upon.
+	directArg := make(map[ast.Expr]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, arg := range call.Args {
+				directArg[ast.Unparen(arg)] = true
+			}
+		}
+		return true
+	})
+
+	astscope.WalkEnclosing(file, func(n, encl ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if pass.IsPkgCall(call, "context", "TODO") {
+			pass.Reportf(call.Pos(),
+				"context.TODO() marks unfinished plumbing; thread the caller's ctx")
+			return
+		}
+		if !pass.IsPkgCall(call, "context", "Background") {
+			return
+		}
+		ft := astscope.FuncType(encl)
+		switch {
+		case ft == nil:
+			pass.Reportf(call.Pos(),
+				"context.Background() at package scope pins an uncancellable context for the process lifetime")
+		case astscope.HasContextParam(pass.TypesInfo, ft):
+			pass.Reportf(call.Pos(),
+				"this function already receives a context.Context; "+
+					"context.Background() here severs the caller's cancellation")
+		case !directArg[call]:
+			pass.Reportf(call.Pos(),
+				"context.Background() in library code is only allowed as the "+
+					"direct argument of a compat wrapper's delegation call")
+		}
+	})
+}
+
+// checkRunSiblings flags exported Run* functions that neither take a
+// context nor have a cancellable ...Ctx/...Context sibling.
+func checkRunSiblings(pass *analysis.Pass) {
+	type key struct{ recv, name string }
+	declared := make(map[key]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				declared[key{recvName(fd), fd.Name.Name}] = fd
+			}
+		}
+	}
+	for k, fd := range declared {
+		name := k.name
+		if !fd.Name.IsExported() || !strings.HasPrefix(name, "Run") {
+			continue
+		}
+		if strings.HasSuffix(name, "Ctx") || strings.HasSuffix(name, "Context") {
+			continue
+		}
+		if astscope.HasContextParam(pass.TypesInfo, fd.Type) {
+			continue
+		}
+		if _, ok := declared[key{k.recv, name + "Ctx"}]; ok {
+			continue
+		}
+		if _, ok := declared[key{k.recv, name + "Context"}]; ok {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"exported run-path entry point %s takes no context.Context and has "+
+				"no %sCtx/%sContext sibling; runs started here cannot be cancelled",
+			name, name, name)
+	}
+}
+
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		if id, ok := ix.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"basevictim/internal/lint/ctxflow"
+	"basevictim/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "a")
+}

@@ -1,0 +1,40 @@
+// Golden data for the ctxflow analyzer: run-path entry points are
+// cancellable and nobody severs a live context chain.
+package a
+
+import "context"
+
+// The blessed compat-wrapper pattern: no ctx param, Background passed
+// directly to the Ctx sibling.
+func RunThing(n int) error {
+	return RunThingCtx(context.Background(), n)
+}
+
+func RunThingCtx(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// An exported Run* with neither a ctx param nor a Ctx sibling makes a
+// new uncancellable entry point.
+func RunForever(n int) error { // want `RunForever takes no context\.Context and has no RunForeverCtx`
+	return nil
+}
+
+// Already has a context but starts a fresh root: the caller's
+// cancellation no longer reaches the callee.
+func drops(ctx context.Context, n int) error {
+	return RunThingCtx(context.Background(), n) // want `severs the caller's cancellation`
+}
+
+// TODO is unfinished plumbing wherever it appears.
+func todo(n int) error {
+	return RunThingCtx(context.TODO(), n) // want `unfinished plumbing`
+}
+
+// Storing a Background context for later is not a compat wrapper.
+func stored() context.Context {
+	ctx := context.Background() // want `only allowed as the direct argument`
+	return ctx
+}

@@ -1,0 +1,235 @@
+// Package determinism enforces bit-identical simulation output.
+//
+// The parallel experiment engine (PR 2) promises byte-identical tables
+// at any worker count, and the checkpoint store (PR 3) compares runs
+// resumed across processes. Both break if simulator code consults
+// wall-clock time, the global (process-seeded) math/rand generators,
+// or lets Go's randomized map iteration order reach results. Inside
+// simulator packages this analyzer reports:
+//
+//   - time.Now / time.Since / time.Until
+//   - package-level math/rand and math/rand/v2 functions (seeded local
+//     generators via rand.New(...) stay allowed)
+//   - range over a map whose body has an order-sensitive effect;
+//     order-insensitive bodies — commutative accumulation (+=, *=, |=,
+//     &=, ^=, -=), counting, writes to other map keys, delete, and
+//     collecting keys into a slice that the same function later sorts
+//     — pass.
+//
+// cmd/* binaries, examples/, and the non-simulation support packages
+// (atomicio, cliexit, the lint tree itself) are out of scope.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"basevictim/internal/lint/analysis"
+	"basevictim/internal/lint/internal/astscope"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "simulator packages must not use wall-clock time, global " +
+		"math/rand, or order-sensitive map iteration",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" ||
+		astscope.HasSegment(pass.Pkg.Path(), "cmd", "examples", "atomicio", "cliexit", "lint") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	sorted := sortedObjects(pass, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					checkMapRange(pass, n, sorted)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"time.%s in a simulator package: results become wall-clock "+
+					"dependent and runs stop being reproducible", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// constructors for explicitly seeded generators
+		default:
+			pass.Reportf(call.Pos(),
+				"global %s.%s is process-seeded; use a generator seeded "+
+					"from the config (rand.New(rand.NewSource(seed)))",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// sortedObjects collects the objects passed to sort.* / slices.Sort*
+// calls anywhere in fd, with the call position — a map-range may
+// append to a slice that is sorted after the loop.
+func sortedObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					if prev, seen := out[obj]; !seen || call.Pos() > prev {
+						out[obj] = call.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, sorted map[types.Object]token.Pos) {
+	var check func(stmt ast.Stmt) (ok bool, why string)
+	checkList := func(stmts []ast.Stmt) (bool, string) {
+		for _, s := range stmts {
+			if ok, why := check(s); !ok {
+				return false, why
+			}
+		}
+		return true, ""
+	}
+	check = func(stmt ast.Stmt) (bool, string) {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			return true, ""
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+				token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+				return true, "" // commutative accumulation
+			case token.DEFINE:
+				return true, "" // fresh per-iteration variable
+			case token.ASSIGN:
+				if ok := assignIsInsensitive(pass, s, rng, sorted); ok {
+					return true, ""
+				}
+				return false, "assignment whose final value depends on iteration order"
+			default:
+				return false, "order-dependent compound assignment"
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						return true, ""
+					}
+				}
+			}
+			return false, "call with effects that observe iteration order"
+		case *ast.BranchStmt:
+			return true, ""
+		case *ast.BlockStmt:
+			return checkList(s.List)
+		case *ast.IfStmt:
+			if ok, why := check(s.Body); !ok {
+				return false, why
+			}
+			if s.Else != nil {
+				return check(s.Else)
+			}
+			return true, ""
+		default:
+			return false, "statement observes iteration order"
+		}
+	}
+
+	if ok, why := checkList(rng.Body.List); !ok {
+		pass.Reportf(rng.Range,
+			"map iteration order is random and this loop's effect is "+
+				"order-sensitive (%s); iterate sorted keys or make the body commutative", why)
+	}
+}
+
+// assignIsInsensitive recognizes the two safe plain-assignment forms
+// inside a map-range body: appending to a slice that is sorted after
+// the loop, and storing to another map's key.
+func assignIsInsensitive(pass *analysis.Pass, s *ast.AssignStmt, rng *ast.RangeStmt, sorted map[types.Object]token.Pos) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	// m2[k] = v: a keyed write, order-free as long as keys are unique
+	// per iteration (they are: the loop key is the map's key).
+	if ix, ok := ast.Unparen(s.Lhs[0]).(*ast.IndexExpr); ok {
+		if tv, ok := pass.TypesInfo.Types[ix.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return true
+			}
+		}
+	}
+	// xs = append(xs, ...), with sort.*(xs)/slices.Sort*(xs) after the
+	// loop in the same function.
+	id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	sortPos, isSorted := sorted[obj]
+	return isSorted && sortPos > rng.End()
+}

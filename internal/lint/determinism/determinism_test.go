@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"basevictim/internal/lint/determinism"
+	"basevictim/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, determinism.Analyzer, "a")
+}

@@ -1,0 +1,83 @@
+// Golden data for the determinism analyzer: no wall clock, no global
+// rand, no order-sensitive map iteration in simulator packages.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a simulator package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a simulator package`
+}
+
+func globalRand() int {
+	return rand.Intn(4) // want `global rand\.Intn is process-seeded`
+}
+
+// A generator seeded from the config is the deterministic idiom.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4)
+}
+
+// Collecting keys without sorting lets map order reach the caller.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is random`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Printing inside the loop publishes map order directly.
+func printAll(m map[string]int) {
+	for k, v := range m { // want `map iteration order is random`
+		fmt.Println(k, v)
+	}
+}
+
+// Order-independent last-writer assignment is still flagged: with
+// equal values it silently becomes a random choice.
+func anyValue(m map[string]int) int {
+	var got int
+	for _, v := range m { // want `map iteration order is random`
+		got = v
+	}
+	return got
+}
+
+// Sort-after-collect, commutative accumulation, keyed writes and
+// deletes are all order-insensitive.
+func sortedSum(m map[string]int) ([]string, int) {
+	var keys []string
+	total := 0
+	for k, v := range m {
+		keys = append(keys, k)
+		total += v
+	}
+	sort.Strings(keys)
+	return keys, total
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}

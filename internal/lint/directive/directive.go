@@ -1,0 +1,74 @@
+// Package directive parses bvlint's suppression comments.
+//
+// A finding is suppressed by an allow directive on the same line or
+// on the line immediately above:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// The analyzer name must be one bvlint registers and the reason is
+// mandatory — a suppression that cannot say why it exists is rot.
+// Malformed directives are themselves findings (and a repo-wide test
+// scans every file, including ones bvlint does not analyze).
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Prefix introduces an allow directive inside a // comment.
+const Prefix = "lint:allow"
+
+// A Directive is one parsed (or malformed) //lint:allow comment.
+type Directive struct {
+	Pos      token.Pos
+	Analyzer string // "" if missing
+	Reason   string // "" if missing
+}
+
+// Malformed explains what is wrong with the directive, or returns ""
+// if it is well-formed against the given set of analyzer names.
+func (d Directive) Malformed(known map[string]bool) string {
+	switch {
+	case d.Analyzer == "":
+		return "lint:allow directive names no analyzer"
+	case !known[d.Analyzer]:
+		return "lint:allow directive names unknown analyzer " + strconv.Quote(d.Analyzer)
+	case d.Reason == "":
+		return "lint:allow " + d.Analyzer + " has no reason; a suppression must say why"
+	}
+	return ""
+}
+
+// Parse extracts the directive from one comment's text, reporting ok
+// = false when the comment is not a lint:allow directive at all.
+func Parse(c *ast.Comment) (d Directive, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//"+Prefix)
+	if !found || (text != "" && text[0] != ' ' && text[0] != '\t') {
+		return Directive{}, false // e.g. //lint:allowance — not this directive
+	}
+	d.Pos = c.Pos()
+	fields := strings.Fields(text)
+	if len(fields) >= 1 {
+		d.Analyzer = fields[0]
+	}
+	if len(fields) >= 2 {
+		d.Reason = strings.Join(fields[1:], " ")
+	}
+	return d, true
+}
+
+// FromFile collects every directive in a parsed file.
+func FromFile(f *ast.File) []Directive {
+	var ds []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := Parse(c); ok {
+				ds = append(ds, d)
+			}
+		}
+	}
+	return ds
+}

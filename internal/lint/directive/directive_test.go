@@ -1,0 +1,46 @@
+package directive_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"basevictim/internal/lint/directive"
+)
+
+func TestParseAndMalformed(t *testing.T) {
+	known := map[string]bool{"exitcode": true, "determinism": true}
+	cases := []struct {
+		comment  string
+		isDir    bool
+		analyzer string
+		problem  string // substring of Malformed, "" = well-formed
+	}{
+		{"// ordinary comment", false, "", ""},
+		{"//lint:allowance is a different word", false, "", ""},
+		{"//lint:allow exitcode unreachable by construction", true, "exitcode", ""},
+		{"//lint:allow exitcode", true, "exitcode", "no reason"},
+		{"//lint:allow", true, "", "names no analyzer"},
+		{"//lint:allow nosuch because reasons", true, "nosuch", "unknown analyzer"},
+	}
+	for _, c := range cases {
+		d, ok := directive.Parse(&ast.Comment{Text: c.comment})
+		if ok != c.isDir {
+			t.Errorf("%q: directive = %v, want %v", c.comment, ok, c.isDir)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.Analyzer != c.analyzer {
+			t.Errorf("%q: analyzer = %q, want %q", c.comment, d.Analyzer, c.analyzer)
+		}
+		msg := d.Malformed(known)
+		if c.problem == "" && msg != "" {
+			t.Errorf("%q: unexpectedly malformed: %s", c.comment, msg)
+		}
+		if c.problem != "" && !strings.Contains(msg, c.problem) {
+			t.Errorf("%q: Malformed = %q, want mention of %q", c.comment, msg, c.problem)
+		}
+	}
+}

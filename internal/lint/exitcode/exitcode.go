@@ -1,0 +1,113 @@
+// Package exitcode enforces the internal/cliexit exit contract from
+// PR 3: a process ends through exactly one door, so scripts and CI
+// can trust the documented code meanings (0 ok, 1 error, 2 usage,
+// 3 violation, 4 cancelled).
+//
+// It reports:
+//
+//   - os.Exit in library packages, and in main packages anywhere but
+//     func main — early exits skip deferred cleanup and bypass
+//     cliexit.Code's error classification;
+//   - log.Fatal*/log.Panic* everywhere in scope — they hard-exit with
+//     a code outside the contract;
+//   - runtime.Goexit — control flow by goroutine suicide;
+//   - panic in library packages — errors are values here; a true
+//     "impossible" invariant may stay as a panic only behind a
+//     //lint:allow exitcode <why> (sim.Contain will still turn it
+//     into a *sim.RunPanicError rather than a crash). Functions named
+//     Must* are exempt: panicking on error is their documented
+//     contract, same as regexp.MustCompile.
+//
+// internal/cliexit itself and examples/ (teaching mains, log.Fatal is
+// idiomatic there) are out of scope.
+package exitcode
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"basevictim/internal/lint/analysis"
+	"basevictim/internal/lint/internal/astscope"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "exitcode",
+	Doc: "processes exit only through func main via the cliexit " +
+		"contract; no os.Exit/log.Fatal/panic control flow in libraries",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if astscope.HasSegment(pass.Pkg.Path(), "examples", "cliexit") {
+		return nil
+	}
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		astscope.WalkEnclosing(file, func(n, encl ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			checkCall(pass, call, encl, isMain)
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, encl ast.Node, isMain bool) {
+	// panic(...) — a builtin, resolved separately from functions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin && !isMain {
+			if fd, ok := encl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Must") {
+				return // panicking on error is the documented Must* contract
+			}
+			pass.Reportf(call.Pos(),
+				"panic is not control flow: return an error so callers decide "+
+					"(a genuine unreachable-invariant panic needs //lint:allow exitcode <why>)")
+		}
+		return
+	}
+
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // e.g. (*log.Logger).Fatal — still bad, but flagged via the global funcs in practice
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		if fn.Name() != "Exit" {
+			return
+		}
+		switch {
+		case !isMain:
+			pass.Reportf(call.Pos(),
+				"os.Exit in a library package seizes the process exit; return an "+
+					"error and let the CLI map it through cliexit.Code")
+		case enclosingFuncName(encl) != "main":
+			pass.Reportf(call.Pos(),
+				"call os.Exit only from func main (after deferred cleanup has been "+
+					"arranged) with a code from cliexit; helpers should return errors")
+		}
+	case "log":
+		if strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic") {
+			pass.Reportf(call.Pos(),
+				"log.%s exits with a code outside the cliexit contract and skips "+
+					"deferred cleanup; return the error instead", fn.Name())
+		}
+	case "runtime":
+		if fn.Name() == "Goexit" {
+			pass.Reportf(call.Pos(),
+				"runtime.Goexit is control flow by goroutine suicide; return instead")
+		}
+	}
+}
+
+func enclosingFuncName(encl ast.Node) string {
+	if fd, ok := encl.(*ast.FuncDecl); ok {
+		return fd.Name.Name
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package exitcode_test
+
+import (
+	"testing"
+
+	"basevictim/internal/lint/exitcode"
+	"basevictim/internal/lint/linttest"
+)
+
+func TestExitCode(t *testing.T) {
+	linttest.Run(t, exitcode.Analyzer, "a", "cmd/tool")
+}

@@ -1,0 +1,48 @@
+// Golden data for the exitcode analyzer, library-package half: errors
+// are values; the process exits elsewhere.
+package a
+
+import (
+	"errors"
+	"log"
+	"os"
+	"runtime"
+)
+
+func exits() {
+	os.Exit(1) // want `os\.Exit in a library package`
+}
+
+func fatal() {
+	log.Fatal("boom") // want `log\.Fatal exits with a code outside the cliexit contract`
+}
+
+func panics() {
+	panic("boom") // want `panic is not control flow`
+}
+
+func goexits() {
+	runtime.Goexit() // want `runtime\.Goexit is control flow by goroutine suicide`
+}
+
+// Must* constructors panic by documented contract, like
+// regexp.MustCompile.
+func MustValue(v int, err error) int {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// The audited escape hatch: a reasoned //lint:allow suppresses the
+// finding on the next line.
+func invariant(ok bool) {
+	if !ok {
+		//lint:allow exitcode golden-data demonstration of a reasoned unreachable-invariant suppression
+		panic("broken invariant")
+	}
+}
+
+func good() error {
+	return errors.New("handled by the caller")
+}

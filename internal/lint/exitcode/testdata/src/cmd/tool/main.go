@@ -1,0 +1,31 @@
+// Golden data for the exitcode analyzer, main-package half: the
+// process exits only through func main.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	if err := work(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func work() error { return nil }
+
+func bail() {
+	os.Exit(2) // want `call os\.Exit only from func main`
+}
+
+func fatal() {
+	log.Fatalln("boom") // want `log\.Fatalln exits with a code outside the cliexit contract`
+}

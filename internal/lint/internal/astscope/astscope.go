@@ -1,0 +1,86 @@
+// Package astscope holds the path- and AST-shape helpers shared by
+// bvlint's analyzers.
+package astscope
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HasSegment reports whether any "/"-separated segment of the import
+// path is one of segs — "cmd/bvsim" has segment "cmd", "basevictim"
+// does not.
+func HasSegment(path string, segs ...string) bool {
+	for _, part := range strings.Split(path, "/") {
+		for _, s := range segs {
+			if part == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	named, ok := t.(interface {
+		Obj() *types.TypeName
+	})
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// HasContextParam reports whether the function type declares a
+// context.Context parameter.
+func HasContextParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && IsContext(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// WalkEnclosing visits every node under file, passing the innermost
+// enclosing function node (*ast.FuncDecl or *ast.FuncLit; nil at file
+// scope). A function node itself is visited with its own enclosure as
+// encl, then becomes encl for its body.
+func WalkEnclosing(file *ast.File, visit func(n ast.Node, encl ast.Node)) {
+	var walk func(root ast.Node, encl ast.Node)
+	walk = func(root ast.Node, encl ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil || n == root {
+				return n == root
+			}
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				visit(n, encl)
+				walk(n, n)
+				return false
+			}
+			visit(n, encl)
+			return true
+		})
+	}
+	walk(file, nil)
+}
+
+// FuncType returns the signature node of a function node returned by
+// WalkEnclosing, or nil.
+func FuncType(fn ast.Node) *ast.FuncType {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Type
+	case *ast.FuncLit:
+		return fn.Type
+	}
+	return nil
+}

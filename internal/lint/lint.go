@@ -1,0 +1,34 @@
+// Package lint registers bvlint's analyzers: the machine-checked form
+// of this repo's hard-won correctness contracts (see DESIGN.md §9 for
+// the analyzer ↔ motivating-bug map).
+package lint
+
+import (
+	"basevictim/internal/lint/analysis"
+	"basevictim/internal/lint/atomicwrite"
+	"basevictim/internal/lint/configkey"
+	"basevictim/internal/lint/ctxflow"
+	"basevictim/internal/lint/determinism"
+	"basevictim/internal/lint/exitcode"
+)
+
+// Analyzers returns the full suite, in reporting-name order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicwrite.Analyzer,
+		configkey.Analyzer,
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		exitcode.Analyzer,
+	}
+}
+
+// Names returns the set of analyzer names, the vocabulary valid in a
+// //lint:allow directive.
+func Names() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}

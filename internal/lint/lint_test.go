@@ -1,0 +1,102 @@
+package lint_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"basevictim/internal/lint"
+	"basevictim/internal/lint/directive"
+)
+
+// Every analyzer registered in cmd/bvlint must ship a golden package:
+// an analyzer without one can silently stop catching its regression.
+func TestEveryAnalyzerHasGoldenData(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		dir := filepath.Join(a.Name, "testdata", "src")
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("analyzer %s has no golden data: %v", a.Name, err)
+			continue
+		}
+		goldens := 0
+		for _, e := range entries {
+			if e.IsDir() {
+				goldens++
+			}
+		}
+		if goldens == 0 {
+			t.Errorf("analyzer %s: %s holds no golden packages", a.Name, dir)
+		}
+	}
+}
+
+// Analyzer names are the //lint:allow vocabulary; they must be
+// non-empty, unique, and distinct from the checker's reserved
+// "directive" pseudo-analyzer.
+func TestAnalyzerNames(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range lint.Analyzers() {
+		switch {
+		case a.Name == "" || a.Doc == "" || a.Run == nil:
+			t.Errorf("analyzer %+v is missing a name, doc or run function", a)
+		case a.Name == "directive":
+			t.Errorf("analyzer name %q is reserved for malformed-directive findings", a.Name)
+		case seen[a.Name]:
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// Suppression rot guard: every //lint:allow in the repository — in
+// analyzed files or not — must name a registered analyzer and carry a
+// reason. Golden testdata trees are excluded; they exercise the
+// directives themselves.
+func TestAllowDirectivesAreSound(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := lint.Names()
+	fset := token.NewFileSet()
+	checked := 0
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, dir := range directive.FromFile(f) {
+			checked++
+			if msg := dir.Malformed(known); msg != "" {
+				t.Errorf("%s: %s", fset.Position(dir.Pos), msg)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The repo carries reasoned suppressions (compress's invariant
+	// panics, bvlint's vetx protocol file); finding none means the
+	// scan broke, not that the tree got cleaner.
+	if checked == 0 {
+		t.Error("suppression scan visited no //lint:allow directives; is the walk rooted correctly?")
+	}
+}

@@ -1,0 +1,118 @@
+// Package linttest runs an analyzer over golden packages and checks
+// its diagnostics against // want comments — the analysistest idiom,
+// rebuilt on this repo's own loader so the golden suites work without
+// golang.org/x/tools.
+//
+// Golden packages live in GOPATH layout under the analyzer package's
+// testdata directory: testdata/src/<importpath>/*.go. An expectation
+// is a comment on the same line as the expected diagnostic:
+//
+//	os.Exit(1) // want `os.Exit in a library package`
+//
+// Each quoted (or backquoted) string is a regexp that must match one
+// diagnostic message on that line; every diagnostic must be matched
+// by exactly one expectation. //lint:allow directives in golden files
+// are honored, so suppression behavior is golden-testable too.
+package linttest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"basevictim/internal/lint/analysis"
+	"basevictim/internal/lint/checker"
+	"basevictim/internal/lint/load"
+)
+
+// Run loads each golden package under testdata/src and reports any
+// mismatch between the analyzer's findings and the // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := load.Testdata("testdata", patterns...)
+	if err != nil {
+		t.Fatalf("loading golden packages %v: %v", patterns, err)
+	}
+	findings, err := checker.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type expect struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*expect)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, pat := range wantPatterns(t, pkg.Fset, c.Pos(), c.Text) {
+						k := lineKey{pkg.Fset.Position(c.Pos()).Filename, pkg.Fset.Position(c.Pos()).Line}
+						wants[k] = append(wants[k], &expect{re: pat})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := lineKey{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", f.Pos, f.Message, f.Analyzer)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// wantPatterns extracts the compiled regexps from one comment if it
+// is a want comment.
+func wantPatterns(t *testing.T, fset *token.FileSet, pos token.Pos, text string) []*regexp.Regexp {
+	t.Helper()
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil
+	}
+	body, ok = strings.CutPrefix(strings.TrimSpace(body), "want ")
+	if !ok {
+		return nil
+	}
+	var pats []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment %q: %v", fset.Position(pos), text, err)
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %q: %v", fset.Position(pos), q, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", fset.Position(pos), unq, err)
+		}
+		pats = append(pats, re)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return pats
+}

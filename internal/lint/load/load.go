@@ -1,0 +1,329 @@
+// Package load typechecks Go packages for analysis without depending
+// on golang.org/x/tools/go/packages (the repo builds offline).
+//
+// Packages under analysis are parsed from source; their dependencies
+// are imported from compiler export data located via
+// `go list -export -deps`, exactly as `go vet` does. A second entry
+// point loads GOPATH-style testdata trees (testdata/src/<path>) for
+// the analyzers' golden tests, resolving testdata-local imports from
+// source and everything else from export data.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one source-parsed, typechecked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -json -deps patterns...` in dir and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// loader shares a FileSet, an export-data importer and a source
+// overlay (for testdata packages) across all packages of one run.
+type loader struct {
+	fset      *token.FileSet
+	exportFor map[string]string         // import path -> export data file
+	srcDir    string                    // testdata/src root, "" outside tests
+	srcPkgs   map[string]*types.Package // typechecked source overlay packages
+	gc        types.Importer
+}
+
+func newLoader(exportFor map[string]string, srcDir string) *loader {
+	ld := &loader{
+		fset:      token.NewFileSet(),
+		exportFor: exportFor,
+		srcDir:    srcDir,
+		srcPkgs:   make(map[string]*types.Package),
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ld.exportFor[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ld
+}
+
+// Import resolves one import path: testdata-local packages from
+// source, everything else from export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if ld.srcDir != "" {
+		if pkg, ok := ld.srcPkgs[path]; ok {
+			return pkg, nil
+		}
+		dir := filepath.Join(ld.srcDir, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			loaded, err := ld.checkDir(path, dir)
+			if err != nil {
+				return nil, err
+			}
+			ld.srcPkgs[path] = loaded.Types
+			return loaded.Types, nil
+		}
+	}
+	return ld.gc.Import(path)
+}
+
+// check typechecks one package from its parsed files.
+func (ld *loader) check(importPath string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{
+		Importer: ld,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Fset:       ld.fset,
+		Syntax:     files,
+		Types:      pkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+func (ld *loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(ld.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkDir parses and typechecks all non-test .go files in dir.
+func (ld *loader) checkDir(importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	files, err := ld.parseFiles(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := ld.check(importPath, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}
+
+// Targets loads the non-test compilations of the packages matching
+// patterns (as `go list` resolves them in dir), typechecked from
+// source with dependencies imported from build-cache export data.
+func Targets(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exportFor := make(map[string]string, len(listed))
+	for _, p := range listed {
+		exportFor[p.ImportPath] = p.Export
+	}
+	ld := newLoader(exportFor, "")
+	var pkgs []*Package
+	for _, p := range listed {
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files, err := ld.parseFiles(p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := ld.check(p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = p.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Testdata loads GOPATH-style golden packages: each pattern names a
+// directory under <testdataDir>/src, which is also the package's
+// import path. Imports that resolve to directories under src load
+// from source; all others (stdlib) come from export data produced by
+// `go list -export` run at the enclosing module root.
+func Testdata(testdataDir string, patterns ...string) ([]*Package, error) {
+	srcDir := filepath.Join(testdataDir, "src")
+	modRoot, err := moduleRoot(testdataDir)
+	if err != nil {
+		return nil, err
+	}
+
+	// One `go list -export -deps` over the union of non-local
+	// imports supplies export data for the whole stdlib closure.
+	ext, err := externalImports(srcDir)
+	if err != nil {
+		return nil, err
+	}
+	exportFor := make(map[string]string)
+	if len(ext) > 0 {
+		listed, err := goList(modRoot, ext)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			exportFor[p.ImportPath] = p.Export
+		}
+	}
+
+	ld := newLoader(exportFor, srcDir)
+	var pkgs []*Package
+	for _, pat := range patterns {
+		pkg, err := ld.checkDir(pat, filepath.Join(srcDir, filepath.FromSlash(pat)))
+		if err != nil {
+			return nil, err
+		}
+		ld.srcPkgs[pat] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// externalImports scans every .go file under srcDir and returns the
+// sorted set of imports that do not resolve to srcDir-local packages.
+func externalImports(srcDir string) ([]string, error) {
+	seen := make(map[string]bool)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(srcDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if st, err := os.Stat(filepath.Join(srcDir, filepath.FromSlash(p))); err == nil && st.IsDir() {
+				continue // testdata-local
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ext := make([]string, 0, len(seen))
+	for p := range seen {
+		ext = append(ext, p)
+	}
+	sort.Strings(ext)
+	return ext, nil
+}
+
+// moduleRoot walks up from dir to the nearest go.mod, so `go list`
+// for stdlib export data runs in module context.
+func moduleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
