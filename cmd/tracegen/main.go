@@ -5,6 +5,8 @@
 //
 //	tracegen -trace mcf.p1 -n 1000000 -o mcf.bvtr
 //	tracegen -dump mcf.bvtr
+//
+// Exit codes follow the shared internal/cliexit contract.
 package main
 
 import (
@@ -14,10 +16,19 @@ import (
 	"os"
 
 	"basevictim"
+	"basevictim/internal/atomicio"
+	"basevictim/internal/cliexit"
 	"basevictim/internal/trace"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", cliexit.Describe(err))
+		os.Exit(cliexit.Code(err))
+	}
+}
+
+func run() error {
 	var (
 		name = flag.String("trace", "mcf.p1", "suite trace to materialize")
 		n    = flag.Uint64("n", 1_000_000, "number of operations")
@@ -27,28 +38,28 @@ func main() {
 	flag.Parse()
 
 	if *dump != "" {
-		if err := inspect(*dump); err != nil {
-			fatal(err)
-		}
-		return
+		return inspect(*dump)
 	}
 
 	tr, err := basevictim.TraceByName(*name)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	path := *out
 	if path == "" {
 		path = tr.Name + ".bvtr"
 	}
-	f, err := os.Create(path)
+	// Stream through an atomic write: a tracegen killed mid-run must
+	// not leave a truncated .bvtr under the final name for a later
+	// simulation to trip over.
+	f, err := atomicio.Create(path, 0o644)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	w, err := trace.NewWriter(f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	gen := tr.Stream()
 	for i := uint64(0); i < *n; i++ {
@@ -57,15 +68,22 @@ func main() {
 			break
 		}
 		if err := w.Write(op); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if err := w.Flush(); err != nil {
-		fatal(err)
+		return err
 	}
-	st, _ := f.Stat()
+	if err := f.Commit(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("wrote %d ops to %s (%d bytes, %.2f bytes/op)\n",
 		w.Count(), path, st.Size(), float64(st.Size())/float64(w.Count()))
+	return nil
 }
 
 func inspect(path string) error {
@@ -113,9 +131,4 @@ func inspect(path string) error {
 			minAddr, maxAddr, float64(maxAddr-minAddr)/(1<<20))
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
 }

@@ -2,9 +2,11 @@
 // temporary file in the destination directory and is renamed into
 // place only after a successful write, sync and close. A reader (or a
 // crashed process's recovery pass) therefore either sees the complete
-// previous file or the complete new one — never a truncated mix. Both
-// the checkpoint store (internal/figures) and cmd/bench's snapshot
-// writer use it.
+// previous file or the complete new one — never a truncated mix. The
+// checkpoint store (internal/figures), cmd/bench's snapshot writer
+// and cmd/tracegen's trace materializer use it, and the atomicwrite
+// analyzer (internal/lint) keeps direct os.WriteFile/os.Create out of
+// the rest of the tree.
 package atomicio
 
 import (
@@ -21,33 +23,87 @@ import (
 // destination. Leftovers from a killed process are inert (never read,
 // never renamed) and matched by .gitignore's `.*.tmp-*` pattern so
 // they cannot be committed by accident.
-func WriteFile(path string, data []byte, perm os.FileMode) (err error) {
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	f, err := Create(path, perm)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Commit()
+}
+
+// A File is an in-progress atomic write: a stream to a hidden temp
+// file that replaces the destination only on Commit. It exists for
+// writers too large or too incremental for one WriteFile buffer
+// (cmd/tracegen streams millions of trace records through it).
+type File struct {
+	f         *os.File
+	tmp       string // temp file path, "" once committed or discarded
+	path      string // destination
+	perm      os.FileMode
+	committed bool
+}
+
+// Create starts an atomic write of path. The returned File is a
+// io.Writer; call Commit to publish the destination, or just Close to
+// discard the partial write (the destination is then untouched).
+func Create(path string, perm os.FileMode) (*File, error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
 	}
 	f, err := os.CreateTemp(dir, "."+base+".tmp-")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	tmp := f.Name()
+	return &File{f: f, tmp: f.Name(), path: path, perm: perm}, nil
+}
+
+// Write appends to the pending temp file.
+func (w *File) Write(p []byte) (int, error) { return w.f.Write(p) }
+
+// Commit fsyncs, chmods and closes the temp file, then renames it
+// over the destination. On error the temp file is removed and the
+// destination is untouched; Commit must not be retried.
+func (w *File) Commit() (err error) {
 	defer func() {
 		if err != nil {
-			f.Close()
-			os.Remove(tmp)
+			w.discard()
 		}
 	}()
-	if _, err = f.Write(data); err != nil {
+	if err = w.f.Sync(); err != nil {
 		return err
 	}
-	if err = f.Sync(); err != nil {
+	if err = w.f.Chmod(w.perm); err != nil {
 		return err
 	}
-	if err = f.Chmod(perm); err != nil {
+	if err = w.f.Close(); err != nil {
 		return err
 	}
-	if err = f.Close(); err != nil {
-		return err
+	err = os.Rename(w.tmp, w.path)
+	if err == nil {
+		w.committed = true
+		w.tmp = ""
 	}
-	return os.Rename(tmp, path)
+	return err
+}
+
+// Close discards the write if Commit has not succeeded, leaving the
+// destination untouched; after a successful Commit it is a no-op, so
+// `defer f.Close()` is always safe.
+func (w *File) Close() error {
+	if w.committed || w.tmp == "" {
+		return nil
+	}
+	w.discard()
+	return nil
+}
+
+func (w *File) discard() {
+	w.f.Close()
+	os.Remove(w.tmp)
+	w.tmp = ""
 }

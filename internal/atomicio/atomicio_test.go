@@ -65,6 +65,77 @@ func TestWriteFileLeavesNoTemps(t *testing.T) {
 	}
 }
 
+// TestCreateCommit: the streaming API publishes the file only at
+// Commit, with the requested permissions, and a later Close is a
+// harmless no-op.
+func TestCreateCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.out")
+	f, err := Create(path, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("part one ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination visible before Commit: %v", err)
+	}
+	if _, err := f.Write([]byte("part two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close after Commit: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "part one part two" {
+		t.Fatalf("read back %q", got)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o600 {
+		t.Fatalf("perm = %v, want 0600", fi.Mode().Perm())
+	}
+}
+
+// TestCreateDiscard: Close without Commit abandons the write — the
+// destination never appears and no temp file survives.
+func TestCreateDiscard(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "abandoned")
+	f, err := Create(path, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("half-written")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after discard: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("discard left files behind: %v", names)
+	}
+}
+
 // TestWriteFileErrorKeepsOld: a failed write (unwritable directory for
 // the rename target) must not clobber the existing file.
 func TestWriteFileErrorKeepsOld(t *testing.T) {
