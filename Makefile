@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race lint fmt vet bvlint fuzz-smoke
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint is what CI's blocking lint job runs: formatting, stock vet, and
+# the repo's own invariant analyzers (DESIGN.md §10).
+lint: fmt vet bvlint
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+bvlint:
+	$(GO) build -o bin/bvlint ./cmd/bvlint
+	./bin/bvlint ./...
+
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzBDIRoundTrip -fuzztime=5s ./internal/compress/
