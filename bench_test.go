@@ -5,9 +5,12 @@
 package basevictim_test
 
 import (
+	"context"
 	"testing"
 
 	"basevictim"
+	"basevictim/internal/obs"
+	"basevictim/internal/sim"
 )
 
 // benchSession builds a small-budget session for benchmarks.
@@ -94,7 +97,11 @@ func BenchmarkInclusionModes(b *testing.B) { benchExperiment(b, "inclusion") }
 func BenchmarkPrefetchInteraction(b *testing.B) { benchExperiment(b, "prefetch-interaction") }
 
 // BenchmarkSimulatorThroughput measures raw simulated instructions per
-// second on the default Base-Victim configuration.
+// second on the default Base-Victim configuration. With no observer on
+// the context every observability hook reduces to a nil-check branch;
+// this is the overhead guard for the disabled path — compare against
+// BenchmarkSimulatorThroughputObserved for the cost of turning
+// metrics on, and against the previous BENCH_*.json for drift.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	tr, err := basevictim.TraceByName("soplex.p1")
 	if err != nil {
@@ -106,5 +113,32 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		if _, err := basevictim.Run(tr, basevictim.BaseVictimConfig(), ins); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSimulatorThroughputObserved is the same workload with the
+// full observability surface enabled: metrics registry, decision-event
+// ring, and a monitor job. The gap between this and
+// BenchmarkSimulatorThroughput is the enabled-path cost.
+func BenchmarkSimulatorThroughputObserved(b *testing.B) {
+	tr, err := basevictim.TraceByName("soplex.p1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ins = 50_000
+	b.SetBytes(ins)
+	mon := obs.NewMonitor()
+	for i := 0; i < b.N; i++ {
+		job := mon.StartJob("bench", ins)
+		o := &sim.Observer{Registry: obs.NewRegistry(), Ring: obs.NewRing(4096), Job: job}
+		ctx := sim.WithObserver(context.Background(), o)
+		res, err := basevictim.RunContext(ctx, tr, basevictim.BaseVictimConfig(), ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Obs == nil || len(res.Obs.Counters) == 0 {
+			b.Fatal("observed run produced no metrics")
+		}
+		job.Done()
 	}
 }

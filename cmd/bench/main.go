@@ -1,6 +1,10 @@
 // Command bench measures the simulator and the experiment engine and
-// writes a machine-readable BENCH_<date>.json snapshot next to the
-// repo's other artifacts, so perf regressions show up as diffs.
+// writes a machine-readable BENCH_<date>_<sha>.json snapshot next to
+// the repo's other artifacts, so perf regressions show up as diffs.
+// The report pins the host (go version, OS/arch, CPU count,
+// GOMAXPROCS) and the commit it measured, and each throughput stat
+// embeds the run's observability snapshot so a slowdown can be
+// correlated with a behavior change from the artifact alone.
 //
 // It records three things:
 //
@@ -32,6 +36,8 @@ import (
 	"basevictim"
 	"basevictim/internal/atomicio"
 	"basevictim/internal/cliexit"
+	"basevictim/internal/obs"
+	"basevictim/internal/sim"
 )
 
 type throughputStat struct {
@@ -40,6 +46,23 @@ type throughputStat struct {
 	Instructions uint64  `json:"instructions"`
 	Seconds      float64 `json:"seconds"`
 	MIPS         float64 `json:"mips"`
+	// Metrics is the run's deterministic observability snapshot —
+	// cache decision counters, stall attribution, DRAM latency buckets
+	// — so a throughput regression can be correlated with a behavior
+	// change (e.g. more victim rejects) from the artifact alone.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// hostInfo pins the machine and build the numbers were taken on;
+// comparing BENCH files from different hosts or commits is
+// apples-to-oranges without it.
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitSHA     string `json:"git_sha,omitempty"`
 }
 
 type expStat struct {
@@ -60,15 +83,41 @@ type suiteStat struct {
 
 type report struct {
 	Date         string           `json:"date"`
-	GoVersion    string           `json:"go_version"`
-	GOOS         string           `json:"goos"`
-	GOARCH       string           `json:"goarch"`
-	Cores        int              `json:"cores"`
+	Host         hostInfo         `json:"host"`
 	Instructions uint64           `json:"instructions"`
 	MaxTraces    int              `json:"max_traces"`
 	Throughput   []throughputStat `json:"throughput"`
 	Experiments  []expStat        `json:"experiments"`
 	Suite        suiteStat        `json:"suite"`
+}
+
+// gitSHA resolves HEAD without shelling out: .git/HEAD either holds
+// the hash directly (detached) or names a ref file to read. Best
+// effort — a missing or unreadable .git yields "".
+func gitSHA() string {
+	head, err := os.ReadFile(".git/HEAD")
+	if err != nil {
+		return ""
+	}
+	s := strings.TrimSpace(string(head))
+	if ref, ok := strings.CutPrefix(s, "ref: "); ok {
+		b, err := os.ReadFile(".git/" + ref)
+		if err != nil {
+			// Packed refs: scan .git/packed-refs for the ref name.
+			packed, perr := os.ReadFile(".git/packed-refs")
+			if perr != nil {
+				return ""
+			}
+			for _, line := range strings.Split(string(packed), "\n") {
+				if hash, ok := strings.CutSuffix(line, " "+ref); ok {
+					return strings.TrimSpace(hash)
+				}
+			}
+			return ""
+		}
+		return strings.TrimSpace(string(b))
+	}
+	return s
 }
 
 func main() {
@@ -94,19 +143,29 @@ func run(ctx context.Context) error {
 	}
 
 	rep := report{
-		Date:         time.Now().Format("2006-01-02"),
-		GoVersion:    runtime.Version(),
-		GOOS:         runtime.GOOS,
-		GOARCH:       runtime.GOARCH,
-		Cores:        runtime.NumCPU(),
+		Date: time.Now().Format("2006-01-02"),
+		Host: hostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GitSHA:     gitSHA(),
+		},
 		Instructions: *ins,
 		MaxTraces:    *traces,
 	}
 	if *out == "" {
-		*out = "BENCH_" + rep.Date + ".json"
+		// Suffix the commit so snapshots from different commits on the
+		// same day don't overwrite each other.
+		*out = "BENCH_" + rep.Date
+		if sha := rep.Host.GitSHA; len(sha) >= 12 {
+			*out += "_" + sha[:12]
+		}
+		*out += ".json"
 	}
 
-	fmt.Fprintf(os.Stderr, "throughput: %d instructions on %d core(s)\n", *mipsN, rep.Cores)
+	fmt.Fprintf(os.Stderr, "throughput: %d instructions on %d core(s)\n", *mipsN, rep.Host.NumCPU)
 	for _, org := range []string{"uncompressed", "basevictim"} {
 		st, err := throughput(ctx, "soplex.p1", org, *mipsN)
 		if err != nil {
@@ -160,6 +219,7 @@ func throughput(ctx context.Context, traceName, org string, ins uint64) (through
 	}
 	cfg := basevictim.BaseVictimConfig()
 	cfg.Org = basevictim.OrgKind(org)
+	ctx = sim.WithObserver(ctx, &sim.Observer{Registry: obs.NewRegistry()})
 	start := time.Now()
 	res, err := basevictim.RunContext(ctx, tr, cfg, ins)
 	if err != nil {
@@ -172,6 +232,7 @@ func throughput(ctx context.Context, traceName, org string, ins uint64) (through
 		Instructions: res.Instructions,
 		Seconds:      sec,
 		MIPS:         float64(res.Instructions) / sec / 1e6,
+		Metrics:      res.Obs,
 	}, nil
 }
 

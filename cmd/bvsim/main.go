@@ -8,11 +8,21 @@
 //	bvsim -trace mcf.p1 -check full            # lockstep shadow verification
 //	bvsim -check cheap -inject tag@100000      # prove the checker sees faults
 //	bvsim -replay mcf.p1.bvtr -values mcf.p1   # replay a trace file
+//	bvsim -trace mcf.p1 -obs                   # print the metrics snapshot
+//	bvsim -check full -obs-events-out ev.jsonl # decision-event forensics
 //	bvsim -list
 //
 // Runs are cancellable (SIGINT/SIGTERM) and -timeout bounds each
 // simulation. Exit codes follow internal/cliexit: 0 ok, 1 error,
 // 2 usage, 3 verification violation, 4 cancelled or timed out.
+//
+// Observability: -obs prints the run's deterministic metrics snapshot
+// (cache decision counters, stall attribution, DRAM latency histogram)
+// after the result; -obs-events keeps the last N cache decision events
+// in a ring and -obs-events-out flushes them as JSONL — also when the
+// run fails, so a checker violation leaves the events leading up to it
+// on disk; -obs-listen serves /debug/vars, /progress and /debug/pprof/
+// while the simulation runs. None of it changes simulated results.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"basevictim"
 	"basevictim/internal/check"
 	"basevictim/internal/cliexit"
+	"basevictim/internal/obs"
 	"basevictim/internal/policy"
 	"basevictim/internal/sim"
 	"basevictim/internal/trace"
@@ -75,6 +86,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Uint64("seed", 1, "fault-injection placement seed")
 		workers   = fs.Int("workers", 0, "concurrent simulations for -compare (0 = GOMAXPROCS, 1 = serial)")
 		timeout   = fs.Duration("timeout", 0, "per-simulation deadline (0 = unbounded), e.g. 90s")
+		obsPrint  = fs.Bool("obs", false, "print the run's metrics snapshot after the result")
+		obsEvents = fs.Int("obs-events", 0, "record the last N cache decision events in a ring buffer")
+		obsOut    = fs.String("obs-events-out", "", "flush recorded decision events to this JSONL file, also on failure (implies -obs-events 4096)")
+		obsAddr   = fs.String("obs-listen", "", "serve live metrics, /progress and pprof on this address, e.g. :6060")
+		quiet     = fs.Bool("quiet", false, "suppress notices and observability chatter; keep results and errors")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -122,6 +138,73 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg.Inject = *inject
 	cfg.Seed = *seed
 
+	// Observability setup. One observer covers whichever run mode
+	// executes below; for -compare only the primary leg is observed
+	// (comparePair detaches the baseline).
+	events := *obsEvents
+	if *obsOut != "" && events == 0 {
+		events = 4096
+	}
+	var observer *sim.Observer
+	var ring *obs.Ring
+	if events > 0 {
+		ring = obs.NewRing(events)
+	}
+	if *obsPrint || *obsAddr != "" || ring != nil {
+		observer = &sim.Observer{Ring: ring}
+		if *obsPrint || *obsAddr != "" {
+			observer.Registry = obs.NewRegistry()
+		}
+	}
+	var coll *obs.Collector
+	if *obsAddr != "" {
+		coll = obs.NewCollector()
+		srv, err := obs.Serve(*obsAddr, coll)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		defer srv.Close()
+		label := *traceName
+		if *replay != "" {
+			label = *replay
+		}
+		job := coll.Monitor.StartJob(label+" "+*org, *ins)
+		defer job.Done()
+		observer.Job = job
+		if !*quiet {
+			fmt.Fprintf(stderr, "bvsim: observability on http://%s (/progress, /debug/vars, /debug/pprof/)\n", srv.Addr())
+		}
+	}
+	if observer != nil {
+		ctx = sim.WithObserver(ctx, observer)
+	}
+	// flushEvents runs on success AND failure: after a checker
+	// violation the ring holds the decisions leading up to it, which is
+	// exactly when the JSONL dump is most wanted.
+	flushEvents := func() {
+		if ring == nil || *obsOut == "" {
+			return
+		}
+		if err := ring.WriteJSONL(*obsOut); err != nil {
+			fmt.Fprintln(stderr, "bvsim: writing decision events:", err)
+		} else if !*quiet {
+			fmt.Fprintf(stderr, "bvsim: wrote %d decision events to %s (%d recorded, %d dropped)\n",
+				ring.Len(), *obsOut, ring.Total(), ring.Dropped())
+		}
+	}
+	// finishObs merges and prints the run's snapshot once it exists.
+	finishObs := func(res basevictim.Result) {
+		flushEvents()
+		if res.Obs == nil {
+			return
+		}
+		coll.MergeRun(*res.Obs)
+		if *obsPrint {
+			fmt.Fprintln(stdout, "-- metrics --")
+			fmt.Fprint(stdout, res.Obs.Format())
+		}
+	}
+
 	if *replay != "" {
 		vname := *values
 		if vname == "" {
@@ -129,10 +212,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		res, err := replayFile(ctx, *timeout, *replay, vname, cfg, *ins)
 		if err != nil {
+			flushEvents()
 			return fatal(stderr, err)
 		}
 		printResult(stdout, res)
-		printNotices(stderr, res)
+		printNotices(stderr, res, *quiet)
+		finishObs(res)
 		return 0
 	}
 
@@ -144,10 +229,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if !*compare {
 		res, err := runOne(ctx, *timeout, tr, cfg, *ins)
 		if err != nil {
+			flushEvents()
 			return fatal(stderr, err)
 		}
 		printResult(stdout, res)
-		printNotices(stderr, res)
+		printNotices(stderr, res, *quiet)
+		finishObs(res)
 		return 0
 	}
 
@@ -155,16 +242,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// with 2+ workers the two independent simulations run concurrently.
 	res, base, err := comparePair(ctx, *timeout, tr, cfg, *ins, *workers)
 	if err != nil {
+		flushEvents()
 		return fatal(stderr, err)
 	}
 	printResult(stdout, res)
-	printNotices(stderr, res)
+	printNotices(stderr, res, *quiet)
 	fmt.Fprintln(stdout, "-- uncompressed baseline --")
 	printResult(stdout, base)
-	printNotices(stderr, base)
+	printNotices(stderr, base, *quiet)
 	pair := basevictim.Pair{Run: res, Base: base}
 	fmt.Fprintf(stdout, "IPC ratio:        %.4f\n", pair.IPCRatio())
 	fmt.Fprintf(stdout, "DRAM read ratio:  %.4f\n", pair.DRAMReadRatio())
+	finishObs(res)
 	return 0
 }
 
@@ -185,18 +274,22 @@ func comparePair(ctx context.Context, timeout time.Duration, tr basevictim.Trace
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// The baseline leg runs detached from any observer on ctx: the
+	// per-run registry and ring are single-goroutine, and the printed
+	// metrics should describe the configured organization only.
+	baseCtx := sim.WithObserver(ctx, nil)
 	if workers < 2 {
 		if res, err = runOne(ctx, timeout, tr, cfg, ins); err != nil {
 			return res, base, err
 		}
-		base, err = runOne(ctx, timeout, tr, cfg.Baseline(), ins)
+		base, err = runOne(baseCtx, timeout, tr, cfg.Baseline(), ins)
 		return res, base, err
 	}
 	var baseErr error
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		base, baseErr = runOne(ctx, timeout, tr, cfg.Baseline(), ins)
+		base, baseErr = runOne(baseCtx, timeout, tr, cfg.Baseline(), ins)
 	}()
 	res, err = runOne(ctx, timeout, tr, cfg, ins)
 	<-done
@@ -251,7 +344,10 @@ func printResult(w io.Writer, r basevictim.Result) {
 		r.LLCLogicalLines, r.LLCPhysicalLines, float64(r.LLCLogicalLines)/float64(r.LLCPhysicalLines))
 }
 
-func printNotices(w io.Writer, r basevictim.Result) {
+func printNotices(w io.Writer, r basevictim.Result, quiet bool) {
+	if quiet {
+		return
+	}
 	for _, n := range r.CheckNotices {
 		fmt.Fprintln(w, "bvsim:", n)
 	}

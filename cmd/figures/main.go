@@ -7,6 +7,7 @@
 //	figures -exp list                       # list experiment ids
 //	figures -exp all -cache-dir ckpt        # checkpoint completed runs
 //	figures -exp all -cache-dir ckpt -resume  # finish an interrupted suite
+//	figures -exp all -obs-listen :6060      # live metrics + pprof over HTTP
 //
 // Each experiment prints the per-trace series (for the line-graph
 // figures) and the headline aggregates the paper quotes, with the
@@ -18,6 +19,12 @@
 // killed suite resumed with -resume re-simulates only what never
 // finished. Exit codes follow internal/cliexit: 0 ok, 1 error,
 // 2 usage, 3 verification violation, 4 cancelled or timed out.
+//
+// -obs-listen starts an HTTP server exposing the aggregated metrics
+// registry on /debug/vars (expvar), live per-worker progress on
+// /progress, and the Go profiler on /debug/pprof/. Observability never
+// changes simulated results: tables are byte-identical with it on or
+// off.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"basevictim"
 	"basevictim/internal/check"
 	"basevictim/internal/cliexit"
+	"basevictim/internal/obs"
 )
 
 func main() {
@@ -57,6 +65,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cacheDir = fs.String("cache-dir", "", "checkpoint completed runs into this directory")
 		resume   = fs.Bool("resume", false, "load completed runs from -cache-dir instead of re-simulating")
 		verbose  = fs.Bool("v", false, "print per-run progress to stderr")
+		quiet    = fs.Bool("quiet", false, "suppress progress and summaries; keep tables and errors")
+		progJSON = fs.Bool("progress-json", false, "emit progress records as JSON lines instead of text")
+		obsAddr  = fs.String("obs-listen", "", "serve live metrics, /progress and pprof on this address, e.g. :6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliexit.Usage
@@ -84,6 +95,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "figures: -resume requires -cache-dir")
 		return cliexit.Usage
 	}
+	if *quiet && *verbose {
+		fmt.Fprintln(stderr, "figures: -quiet and -v are mutually exclusive")
+		return cliexit.Usage
+	}
 
 	session := basevictim.NewSession(*ins)
 	session.MaxTraces = *traces
@@ -99,11 +114,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		session.Store = store
 	}
-	if *verbose {
-		// The session serializes Progress calls, so each callback may
-		// write freely; one Fprintf per line keeps output line-atomic.
-		session.Progress = func(format string, args ...any) {
-			fmt.Fprintf(stderr, format+"\n", args...)
+	// Warnings (checkpoint write failures, ...) always reach stderr
+	// unless -quiet; -v — and -progress-json, which is an explicit ask
+	// for per-run records — lower the threshold to progress level.
+	// The session serializes Progress calls, so output stays line-atomic.
+	if !*quiet {
+		min := obs.LevelWarn
+		if *verbose || *progJSON {
+			min = obs.LevelProgress
+		}
+		if *progJSON {
+			session.Progress = obs.JSONProgress(stderr, min)
+		} else {
+			session.Progress = obs.TextProgress(stderr, min)
+		}
+	}
+	if *obsAddr != "" {
+		coll := obs.NewCollector()
+		srv, err := obs.Serve(*obsAddr, coll)
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return cliexit.Failure
+		}
+		defer srv.Close()
+		session.Obs = coll
+		if !*quiet {
+			fmt.Fprintf(stderr, "figures: observability on http://%s (/progress, /debug/vars, /debug/pprof/)\n", srv.Addr())
 		}
 	}
 
@@ -116,26 +152,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		tab, err := basevictim.RunExperimentContext(ctx, session, strings.TrimSpace(id))
 		if err != nil {
 			fmt.Fprintln(stderr, "figures:", cliexit.Describe(err))
-			reportStore(session, stderr)
+			reportStore(session, stderr, *quiet)
 			return cliexit.Code(err)
 		}
 		fmt.Fprint(stdout, tab.Format())
 		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", tab.ID, time.Since(start).Seconds())
 	}
-	reportStore(session, stderr)
+	reportStore(session, stderr, *quiet)
 	return cliexit.OK
 }
 
 // reportStore summarizes checkpoint activity on stderr — on success and
 // on failure alike, since the whole point of the store is surviving
-// failed suites.
-func reportStore(s *basevictim.Session, stderr io.Writer) {
+// failed suites. -quiet drops the summary but never the warning.
+func reportStore(s *basevictim.Session, stderr io.Writer, quiet bool) {
 	if s.Store == nil {
 		return
 	}
 	loaded, discarded, written := s.Store.Stats()
-	fmt.Fprintf(stderr, "figures: checkpoints: %d loaded, %d written, %d corrupt discarded (dir %s)\n",
-		loaded, written, discarded, s.Store.Dir())
+	if !quiet {
+		fmt.Fprintf(stderr, "figures: checkpoints: %d loaded, %d written, %d corrupt discarded (dir %s)\n",
+			loaded, written, discarded, s.Store.Dir())
+	}
 	if failed, first := s.Store.WriteErr(); failed > 0 {
 		fmt.Fprintf(stderr, "figures: warning: %d checkpoint write(s) failed (first: %v); a resume will re-simulate those runs\n",
 			failed, first)

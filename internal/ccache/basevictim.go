@@ -36,6 +36,7 @@ type BaseVictim struct {
 	res    Result
 	cands  []policy.Candidate // scratch for victim insertion
 	fault  error              // first protocol fault absorbed (see Fault)
+	hooks  llcHooks           // obs instrumentation; zero value = disabled
 }
 
 // NewBaseVictim builds the Base-Victim organization.
@@ -144,6 +145,7 @@ func (c *BaseVictim) Access(lineAddr uint64, write bool, segs int) *Result {
 	if way, ok := c.findBase(lineAddr); ok {
 		c.stats.Hits++
 		c.stats.BaseHits++
+		c.hooks.baseHits.Inc()
 		c.res.Hit = true
 		t := c.baseAt(set, way)
 		if needsDecompression(t.segs) {
@@ -175,6 +177,7 @@ func (c *BaseVictim) Access(lineAddr uint64, write bool, segs int) *Result {
 		}
 		c.stats.Hits++
 		c.stats.VictimHits++
+		c.hooks.victimHits.Inc()
 		c.res.Hit = true
 		c.res.VictimHit = true
 		vt := c.victimAt(set, vway)
@@ -193,11 +196,17 @@ func (c *BaseVictim) Access(lineAddr uint64, write bool, segs int) *Result {
 		// Promotion moves data between physically distinct ways.
 		c.res.DataMoves++
 		c.stats.DataMoves++
+		c.hooks.victimPromotions.Inc()
+		c.hooks.ring.Record(obsEvent{
+			Kind: "victim-promote", Addr: lineAddr, Set: set, Way: vway,
+			Segs: promoted.segs, Dirty: promoted.dirty,
+		})
 		c.installBase(set, promoted)
 		return &c.res
 	}
 
 	c.stats.Misses++
+	c.hooks.misses.Inc()
 	return &c.res
 }
 
@@ -210,7 +219,7 @@ func (c *BaseVictim) baseWrite(set, way, segs int) {
 	t.segs = clampSegs(segs)
 	v := c.victimAt(set, way)
 	if v.valid && t.segs+v.segs > WaySegments {
-		c.silentEvict(set, way)
+		c.silentEvict(set, way, dropReasonPartnerGrow)
 	}
 	if c.victimAt(set, way).valid {
 		c.res.PartnerWrite = true
@@ -218,19 +227,25 @@ func (c *BaseVictim) baseWrite(set, way, segs int) {
 	}
 }
 
-// silentEvict drops the victim line in way. In inclusive mode this is
-// free: the line is clean and absent above. In non-inclusive mode a
-// dirty victim is written back first.
-func (c *BaseVictim) silentEvict(set, way int) {
+// silentEvict drops the victim line in way for the given reason. In
+// inclusive mode this is free: the line is clean and absent above. In
+// non-inclusive mode a dirty victim is written back first.
+func (c *BaseVictim) silentEvict(set, way int, reason string) {
 	v := c.victimAt(set, way)
 	if v.dirty {
 		c.res.Writebacks = append(c.res.Writebacks, v.addr)
 		c.stats.Writebacks++
+		c.hooks.victimWritebacks.Inc()
 	} else {
 		c.stats.SilentEvictions++
 	}
 	c.stats.Evictions++
 	c.res.Evicted = append(c.res.Evicted, v.addr)
+	c.hooks.dropCounter(reason).Inc()
+	c.hooks.ring.Record(obsEvent{
+		Kind: "victim-drop", Addr: v.addr, Set: set, Way: way,
+		Segs: v.segs, Reason: reason, Dirty: v.dirty,
+	})
 	v.valid = false
 	c.sel.OnInvalidate(set, way)
 }
@@ -239,7 +254,11 @@ func (c *BaseVictim) silentEvict(set, way int) {
 func (c *BaseVictim) Fill(lineAddr uint64, segs int, dirty bool) *Result {
 	c.res.reset()
 	c.stats.Fills++
-	c.installBase(c.set(lineAddr), tag{addr: lineAddr, valid: true, dirty: dirty, segs: clampSegs(segs)})
+	set := c.set(lineAddr)
+	clamped := clampSegs(segs)
+	c.hooks.fillSegs.Observe(uint64(clamped))
+	c.hooks.ring.Record(obsEvent{Kind: "fill", Addr: lineAddr, Set: set, Segs: clamped, Dirty: dirty})
+	c.installBase(set, tag{addr: lineAddr, valid: true, dirty: dirty, segs: clamped})
 	return &c.res
 }
 
@@ -262,6 +281,13 @@ func (c *BaseVictim) installBase(set int, incoming tag) {
 		displaced = *c.baseAt(set, way)
 	}
 
+	if displaced.valid {
+		c.hooks.ring.Record(obsEvent{
+			Kind: "base-evict", Addr: displaced.addr, Set: set, Way: way,
+			Segs: displaced.segs, Dirty: displaced.dirty,
+		})
+	}
+
 	if displaced.valid && c.cfg.Inclusive {
 		// Step 2: make the baseline victim clean. Back-invalidate the
 		// inner caches and write dirty data back to memory. In the
@@ -269,6 +295,11 @@ func (c *BaseVictim) installBase(set int, incoming tag) {
 		// dirty state instead.
 		c.res.BackInvals = append(c.res.BackInvals, displaced.addr)
 		c.stats.BackInvals++
+		c.hooks.backinvalVictim.Inc()
+		c.hooks.ring.Record(obsEvent{
+			Kind: "back-inval", Addr: displaced.addr, Set: set, Way: way,
+			Reason: "victim-clean", Dirty: displaced.dirty,
+		})
 		if displaced.dirty {
 			c.res.Writebacks = append(c.res.Writebacks, displaced.addr)
 			c.stats.Writebacks++
@@ -280,7 +311,7 @@ func (c *BaseVictim) installBase(set int, incoming tag) {
 	// still fits beside the incoming line.
 	if v := c.victimAt(set, way); v.valid && incoming.segs+v.segs > WaySegments {
 		c.stats.PartnerEvictions++
-		c.silentEvict(set, way)
+		c.silentEvict(set, way, dropReasonPartnerFill)
 	}
 
 	// Step 4: install the incoming line.
@@ -321,21 +352,32 @@ func (c *BaseVictim) insertVictim(set int, line tag) {
 		c.stats.VictimInsertFail++
 		c.stats.Evictions++
 		c.res.Evicted = append(c.res.Evicted, line.addr)
+		c.hooks.rejectNofit.Inc()
+		c.hooks.ring.Record(obsEvent{
+			Kind: "victim-reject", Addr: line.addr, Set: set,
+			Segs: line.segs, Reason: "nofit", Dirty: line.dirty,
+		})
 		if line.dirty {
 			// Only possible in the non-inclusive variant, where the
 			// displaced line was not cleaned on the way out.
 			c.res.Writebacks = append(c.res.Writebacks, line.addr)
 			c.stats.Writebacks++
+			c.hooks.victimWritebacks.Inc()
 		}
 		return
 	}
 	choice := c.cands[c.sel.Select(set, c.cands)]
 	if c.victimAt(set, choice.Way).valid {
-		c.silentEvict(set, choice.Way)
+		c.silentEvict(set, choice.Way, dropReasonDisplaced)
 	}
 	*c.victimAt(set, choice.Way) = line
 	c.sel.OnFill(set, choice.Way)
 	c.stats.VictimInserts++
+	c.hooks.retained.Inc()
+	c.hooks.ring.Record(obsEvent{
+		Kind: "victim-retain", Addr: line.addr, Set: set, Way: choice.Way,
+		Segs: line.segs, Dirty: line.dirty,
+	})
 	// Moving the victim's data into its new way costs a data-array
 	// read and write.
 	c.res.DataMoves++

@@ -1,0 +1,197 @@
+package ccache
+
+import (
+	"math/rand"
+	"testing"
+
+	"basevictim/internal/obs"
+	"basevictim/internal/policy"
+)
+
+// driveObserved runs a seeded random demand stream against an
+// organization with obs instrumentation attached and returns the
+// registry and ring for reconciliation.
+func driveObserved(t *testing.T, org Org, accesses int) (*obs.Registry, *obs.Ring) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(1 << 20) // large enough to retain everything
+	org.(Observable).Observe(reg, ring)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < accesses; i++ {
+		addr := rng.Uint64() % 2048
+		write := rng.Intn(4) == 0
+		segs := rng.Intn(WaySegments + 1)
+		res := org.Access(addr, write, segs)
+		if !res.Hit {
+			org.Fill(addr, segs, write)
+		}
+	}
+	return reg, ring
+}
+
+func countKind(evs []obs.Event, kind string) (n uint64) {
+	for _, e := range evs {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func countReason(evs []obs.Event, kind, reason string) (n uint64) {
+	for _, e := range evs {
+		if e.Kind == kind && e.Reason == reason {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBaseVictimObsReconcilesWithStats(t *testing.T) {
+	for _, inclusive := range []bool{true, false} {
+		name := "inclusive"
+		if !inclusive {
+			name = "noninclusive"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{SizeBytes: 16 << 10, Ways: 4, Policy: policy.NewNRU, Inclusive: inclusive}
+			c, err := NewBaseVictim(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg, ring := driveObserved(t, c, 50_000)
+			s := c.Stats()
+			snap := reg.Snapshot()
+			cnt := snap.Counters
+
+			// Every obs counter must reconcile exactly with the Stats
+			// aggregate it shadows (acceptance criterion).
+			checks := []struct {
+				metric string
+				want   uint64
+			}{
+				{"ccache.base_hits", s.BaseHits},
+				{"ccache.victim_hits", s.VictimHits},
+				{"ccache.misses", s.Misses},
+				{"ccache.victim_retained", s.VictimInserts},
+				{"ccache.victim_reject_nofit", s.VictimInsertFail},
+				{"ccache.victim_drop_partner_fill", s.PartnerEvictions},
+				{"ccache.backinval_victim_clean", s.BackInvals},
+				{"ccache.victim_promotions", s.VictimHits},
+			}
+			for _, ck := range checks {
+				if cnt[ck.metric] != ck.want {
+					t.Errorf("%s = %d, want %d (Stats)", ck.metric, cnt[ck.metric], ck.want)
+				}
+			}
+			// The three drop reasons plus no-fit rejections partition
+			// every victim-line departure.
+			drops := cnt["ccache.victim_drop_partner_grow"] +
+				cnt["ccache.victim_drop_partner_fill"] +
+				cnt["ccache.victim_drop_displaced"]
+			if drops+cnt["ccache.victim_reject_nofit"] != s.Evictions {
+				t.Errorf("drops(%d)+rejects(%d) != Evictions(%d)", drops, cnt["ccache.victim_reject_nofit"], s.Evictions)
+			}
+			// The size-class histogram samples exactly once per fill.
+			h := snap.Histograms["ccache.fill_segs"]
+			if h.Count != s.Fills {
+				t.Errorf("fill_segs count = %d, want Fills = %d", h.Count, s.Fills)
+			}
+			var bucketSum uint64
+			for _, b := range h.Counts {
+				bucketSum += b
+			}
+			if bucketSum != h.Count {
+				t.Errorf("fill_segs buckets sum %d != count %d", bucketSum, h.Count)
+			}
+			if inclusive {
+				if cnt["ccache.victim_drop_writeback"] != 0 {
+					t.Errorf("inclusive run wrote back %d dirty victims; victims must stay clean", cnt["ccache.victim_drop_writeback"])
+				}
+			} else if s.Writebacks > 0 && cnt["ccache.victim_drop_writeback"] == 0 {
+				t.Error("non-inclusive run never exercised the dirty-victim path")
+			}
+
+			// The ring must tell the same story as the counters.
+			if ring.Dropped() != 0 {
+				t.Fatalf("ring dropped %d events; enlarge the test ring", ring.Dropped())
+			}
+			evs := ring.Events()
+			if got := countKind(evs, "victim-retain"); got != s.VictimInserts {
+				t.Errorf("ring victim-retain = %d, want %d", got, s.VictimInserts)
+			}
+			if got := countKind(evs, "victim-promote"); got != s.VictimHits {
+				t.Errorf("ring victim-promote = %d, want %d", got, s.VictimHits)
+			}
+			if got := countKind(evs, "fill"); got != s.Fills {
+				t.Errorf("ring fill = %d, want %d", got, s.Fills)
+			}
+			if got := countReason(evs, "victim-reject", "nofit"); got != s.VictimInsertFail {
+				t.Errorf("ring victim-reject/nofit = %d, want %d", got, s.VictimInsertFail)
+			}
+			if got := countReason(evs, "victim-drop", "partner-fill"); got != s.PartnerEvictions {
+				t.Errorf("ring victim-drop/partner-fill = %d, want %d", got, s.PartnerEvictions)
+			}
+			if inclusive {
+				if got := countReason(evs, "back-inval", "victim-clean"); got != s.BackInvals {
+					t.Errorf("ring back-inval/victim-clean = %d, want %d", got, s.BackInvals)
+				}
+			}
+		})
+	}
+}
+
+func TestUncompressedObsReconcilesWithStats(t *testing.T) {
+	cfg := Config{SizeBytes: 16 << 10, Ways: 4, Policy: policy.NewNRU}
+	c, err := NewUncompressed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, ring := driveObserved(t, c, 50_000)
+	s := c.Stats()
+	cnt := reg.Snapshot().Counters
+	if cnt["ccache.base_hits"] != s.BaseHits || cnt["ccache.misses"] != s.Misses {
+		t.Errorf("hits/misses = %d/%d, want %d/%d", cnt["ccache.base_hits"], cnt["ccache.misses"], s.BaseHits, s.Misses)
+	}
+	if cnt["ccache.backinval_evict"] != s.BackInvals {
+		t.Errorf("backinval_evict = %d, want %d", cnt["ccache.backinval_evict"], s.BackInvals)
+	}
+	if h := reg.Snapshot().Histograms["ccache.fill_segs"]; h.Count != s.Fills {
+		t.Errorf("fill_segs count = %d, want %d", h.Count, s.Fills)
+	}
+	if got := countKind(ring.Events(), "base-evict"); got != s.Evictions {
+		t.Errorf("ring base-evict = %d, want %d", got, s.Evictions)
+	}
+}
+
+// TestObsDoesNotPerturbSimulation is the bit-identity contract at the
+// cache level: the same stream with and without instrumentation must
+// produce identical Stats.
+func TestObsDoesNotPerturbSimulation(t *testing.T) {
+	cfg := Config{SizeBytes: 16 << 10, Ways: 4, Policy: policy.NewNRU, Inclusive: true}
+	plain, err := NewBaseVictim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := NewBaseVictim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := func(org Org) {
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 50_000; i++ {
+			addr := rng.Uint64() % 2048
+			write := rng.Intn(4) == 0
+			segs := rng.Intn(WaySegments + 1)
+			if !org.Access(addr, write, segs).Hit {
+				org.Fill(addr, segs, write)
+			}
+		}
+	}
+	observed.Observe(obs.NewRegistry(), obs.NewRing(1024))
+	drive(plain)
+	drive(observed)
+	if *plain.Stats() != *observed.Stats() {
+		t.Fatalf("instrumentation changed simulation:\nplain:    %+v\nobserved: %+v", *plain.Stats(), *observed.Stats())
+	}
+}

@@ -20,6 +20,7 @@ type Uncompressed struct {
 	pol   policy.Policy
 	stats Stats
 	res   Result
+	hooks llcHooks // obs instrumentation; zero value = disabled
 }
 
 // NewUncompressed builds the baseline organization.
@@ -90,6 +91,7 @@ func (c *Uncompressed) Access(lineAddr uint64, write bool, segs int) *Result {
 	if way, ok := c.find(lineAddr); ok {
 		c.stats.Hits++
 		c.stats.BaseHits++
+		c.hooks.baseHits.Inc()
 		t := c.tagAt(set, way)
 		if write {
 			t.dirty = true
@@ -99,6 +101,7 @@ func (c *Uncompressed) Access(lineAddr uint64, write bool, segs int) *Result {
 		return &c.res
 	}
 	c.stats.Misses++
+	c.hooks.misses.Inc()
 	if mo, ok := c.pol.(policy.MissObserver); ok {
 		mo.OnMiss(set)
 	}
@@ -109,6 +112,10 @@ func (c *Uncompressed) Access(lineAddr uint64, write bool, segs int) *Result {
 func (c *Uncompressed) Fill(lineAddr uint64, segs int, dirty bool) *Result {
 	c.res.reset()
 	c.stats.Fills++
+	// The baseline stores every line raw, so its size-class histogram
+	// is a single spike at WaySegments — kept so fill counts reconcile
+	// across organizations.
+	c.hooks.fillSegs.Observe(WaySegments)
 	set := c.set(lineAddr)
 	way := -1
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -132,6 +139,10 @@ func (c *Uncompressed) evictLine(t *tag) {
 	c.res.Evicted = append(c.res.Evicted, t.addr)
 	c.res.BackInvals = append(c.res.BackInvals, t.addr)
 	c.stats.BackInvals++
+	c.hooks.backinvalEviction.Inc()
+	c.hooks.ring.Record(obsEvent{
+		Kind: "base-evict", Addr: t.addr, Reason: "capacity", Dirty: t.dirty,
+	})
 	if t.dirty {
 		c.res.Writebacks = append(c.res.Writebacks, t.addr)
 		c.stats.Writebacks++

@@ -79,6 +79,7 @@ type Core struct {
 	robHead    int
 	robLen     int
 	lastRetire uint64
+	hooks      coreHooks // obs instrumentation; zero value = disabled
 }
 
 // New builds a core.
@@ -153,6 +154,9 @@ func (c *Core) RunCtx(ctx context.Context, s trace.Stream, maxIns uint64) (Resul
 				break
 			}
 		}
+		if c.hooks.sample && ins%samplePeriod == 0 {
+			c.sampleWindow(ins, cycle)
+		}
 		op, ok := s.Next()
 		if !ok {
 			break
@@ -173,6 +177,7 @@ func (c *Core) RunCtx(ctx context.Context, s trace.Stream, maxIns uint64) (Resul
 			// L1I hit latency is pipeline-hidden; anything slower
 			// stalls the front end.
 			if hidden := cycle + 3; fetchDone > hidden {
+				c.hooks.stallFetch.Add(fetchDone - hidden)
 				cycle = fetchDone - 3
 			}
 		}
@@ -181,6 +186,7 @@ func (c *Core) RunCtx(ctx context.Context, s trace.Stream, maxIns uint64) (Resul
 		// instruction retires.
 		if c.robLen == len(c.rob) {
 			if done := c.retireOldest(); done > cycle {
+				c.hooks.stallROB.Add(done - cycle)
 				cycle = done
 				slots = 1
 			}
@@ -193,6 +199,7 @@ func (c *Core) RunCtx(ctx context.Context, s trace.Stream, maxIns uint64) (Resul
 			if op.Dep && done > cycle {
 				// Dependence-critical load: consumers cannot even
 				// dispatch until the value arrives.
+				c.hooks.stallLoad.Add(done - cycle)
 				cycle = done
 				slots = 1
 			}

@@ -1,0 +1,78 @@
+package cpu
+
+import "basevictim/internal/obs"
+
+// coreHooks carries the core's obs handles. The zero value is the
+// disabled path: stall attribution degrades to nil-receiver no-ops
+// inside branches the model already takes, and window sampling is
+// gated on the single `sample` bool, so an unobserved run pays one
+// predictable branch per sample interval — the cancel-poll contract.
+type coreHooks struct {
+	sample bool
+
+	// Stall-cycle attribution: cycles the dispatch stage lost to a
+	// slow instruction fetch, a full ROB, or a dependence-critical
+	// load. The three causes are disjoint by construction (each Add
+	// sits in a distinct stall branch of RunCtx).
+	stallFetch *obs.Counter
+	stallROB   *obs.Counter
+	stallLoad  *obs.Counter
+
+	// Window samples, taken every samplePeriod instructions: ROB
+	// occupancy, and memory-level parallelism measured as the number
+	// of in-flight ROB entries still waiting on long-latency (>L2)
+	// completions.
+	robOcc *obs.Histogram
+	mlp    *obs.Histogram
+
+	// job, when set, receives retired-instruction updates each sample
+	// so the live progress page can show MIPS and ETA. It is the only
+	// hook that is not a metric: it never feeds a Snapshot.
+	job *obs.Job
+}
+
+// samplePeriod is the instruction interval between window samples. It
+// matches cancelPollEvery so the instrumented loop adds no new modulo.
+const samplePeriod = cancelPollEvery
+
+// mlpLatencyFloor classifies a pending ROB completion as a
+// long-latency memory operation: anything still more than an L2 hit
+// away from completing is miss-level parallelism.
+const mlpLatencyFloor = 16
+
+// Observe attaches metric hooks and an optional live-progress job to
+// the core. Samples and stall attribution are functions of simulated
+// state only, so observed and unobserved runs retire identical
+// instruction streams.
+func (c *Core) Observe(reg *obs.Registry, job *obs.Job) {
+	if reg == nil && job == nil {
+		c.hooks = coreHooks{}
+		return
+	}
+	robBounds := []uint64{16, 32, 64, 96, 128, 160, 192, 223}
+	mlpBounds := []uint64{0, 1, 2, 4, 8, 16, 32}
+	c.hooks = coreHooks{
+		sample:     true,
+		stallFetch: reg.Counter("cpu.stall_fetch_cycles"),
+		stallROB:   reg.Counter("cpu.stall_rob_cycles"),
+		stallLoad:  reg.Counter("cpu.stall_load_cycles"),
+		robOcc:     reg.Histogram("cpu.rob_occupancy", robBounds),
+		mlp:        reg.Histogram("cpu.mlp", mlpBounds),
+		job:        job,
+	}
+}
+
+// sampleWindow records one ROB-occupancy and MLP sample at the given
+// cycle and pushes a live-progress update. Only called when
+// observation is enabled.
+func (c *Core) sampleWindow(ins, cycle uint64) {
+	c.hooks.robOcc.Observe(uint64(c.robLen))
+	inflight := uint64(0)
+	for i := 0; i < c.robLen; i++ {
+		if done := c.rob[(c.robHead+i)%len(c.rob)]; done > cycle+mlpLatencyFloor {
+			inflight++
+		}
+	}
+	c.hooks.mlp.Observe(inflight)
+	c.hooks.job.Advance(ins)
+}

@@ -8,6 +8,8 @@
 // at 800 MHz, so one DRAM cycle is five CPU cycles.
 package dram
 
+import "basevictim/internal/obs"
+
 // Timing and geometry constants for the paper's configuration.
 const (
 	// CPUCyclesPerDRAMCycle converts the 800 MHz DRAM command clock to
@@ -65,9 +67,10 @@ type channel struct {
 // System is a two-channel DDR3 timing model. It is not safe for
 // concurrent use.
 type System struct {
-	cfg   Config
-	chans []channel
-	Stats Stats
+	cfg     Config
+	chans   []channel
+	Stats   Stats
+	readLat *obs.Histogram // obs instrumentation; nil = disabled
 }
 
 // New builds a memory system.
@@ -173,6 +176,7 @@ func (s *System) Access(now uint64, lineAddr uint64, write bool) uint64 {
 	// The bank can take another command once the column access and
 	// burst complete.
 	b.readyAt = done
+	s.readLat.Observe(done - now)
 	return done
 }
 

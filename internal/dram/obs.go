@@ -1,0 +1,37 @@
+package dram
+
+import "basevictim/internal/obs"
+
+// Observe attaches a read-latency histogram to the memory system:
+// every demand read records its queued+serviced latency in CPU
+// cycles. Row-state and traffic counters are exported from Stats at
+// end of run by ExportObs, so they reconcile with Stats by
+// construction; only the latency distribution — which Stats cannot
+// recover — is sampled inline.
+func (s *System) Observe(reg *obs.Registry) {
+	if reg == nil {
+		s.readLat = nil
+		return
+	}
+	// Unloaded row hit is 95 CPU cycles (tCL+tBurst at 5:1); the tail
+	// buckets capture bank queueing and row conflicts.
+	s.readLat = reg.Histogram("dram.read_latency_cycles", []uint64{
+		100, 150, 200, 300, 400, 600, 800, 1200, 1600, 3200,
+	})
+}
+
+// ExportObs folds the system's cumulative Stats into the registry as
+// counters. Call once, after the run completes.
+func (s *System) ExportObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("dram.reads").Add(s.Stats.Reads)
+	reg.Counter("dram.writes").Add(s.Stats.Writes)
+	reg.Counter("dram.row_hits").Add(s.Stats.RowHits)
+	reg.Counter("dram.row_misses").Add(s.Stats.RowMisses)
+	reg.Counter("dram.row_conflicts").Add(s.Stats.RowConflicts)
+	reg.Counter("dram.activations").Add(s.Stats.Activations)
+	reg.Counter("dram.precharges").Add(s.Stats.Precharges)
+	reg.Counter("dram.busy_cycles").Add(s.Stats.BusyCycles)
+}

@@ -6,6 +6,7 @@ import (
 
 	"basevictim/internal/area"
 	"basevictim/internal/energy"
+	"basevictim/internal/obs"
 	"basevictim/internal/sim"
 	"basevictim/internal/stats"
 	"basevictim/internal/workload"
@@ -308,7 +309,7 @@ func (s *Session) Fig13(ctx context.Context) (Table, error) {
 			return err
 		}
 		grid[mi][ci] = r
-		s.logf("mix %d config %d done", mi, ci)
+		s.emit(obs.Progress{Level: obs.LevelInfo, Msg: fmt.Sprintf("mix %d config %d done", mi, ci)})
 		return nil
 	})
 	if err != nil {

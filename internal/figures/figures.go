@@ -17,6 +17,7 @@ import (
 
 	"basevictim/internal/compress"
 
+	"basevictim/internal/obs"
 	"basevictim/internal/sim"
 	"basevictim/internal/stats"
 	"basevictim/internal/workload"
@@ -134,11 +135,21 @@ type Session struct {
 	// a store opened in resume mode satisfies repeat runs from disk so
 	// an interrupted suite re-simulates only what never finished.
 	Store *Store
-	// Progress, when non-nil, receives one line per completed run.
-	// With Workers > 1 it is called from multiple goroutines; the
-	// session serializes the calls, so the callback itself needs no
-	// locking and lines never interleave.
-	Progress func(format string, args ...any)
+	// Progress, when non-nil, receives one structured record per
+	// completed run (see obs.Progress: level, trace, org, IPC, ...).
+	// Renderers turn records into text (obs.TextProgress) or JSONL
+	// (obs.JSONProgress). With Workers > 1 it is called from multiple
+	// goroutines; the session serializes the calls, so the callback
+	// itself needs no locking and output never interleaves.
+	Progress obs.ProgressFunc
+	// Obs, when non-nil, aggregates observability across the session:
+	// every completed (or resumed) run's metrics snapshot is merged
+	// into the collector, and each in-flight simulation registers a
+	// live job on the collector's Monitor for the -obs-listen progress
+	// page. Attaching a collector does not change simulated results —
+	// runs get a private per-run registry whose counters are functions
+	// of simulated state only.
+	Obs *obs.Collector
 
 	all []workload.Profile
 
@@ -186,10 +197,10 @@ func NewSession(instructions uint64) *Session {
 	}
 }
 
-func (s *Session) logf(format string, args ...any) {
+func (s *Session) emit(p obs.Progress) {
 	if s.Progress != nil {
 		s.progressMu.Lock()
-		s.Progress(format, args...)
+		s.Progress(p)
 		s.progressMu.Unlock()
 	}
 }
@@ -242,14 +253,23 @@ func (s *Session) run(ctx context.Context, p workload.Profile, cfg sim.Config) (
 		if r, ok := s.Store.loadRun(key); ok {
 			e.res = r
 			close(e.done)
-			s.logf("ckpt %-16s %-12s IPC=%.3f (resumed, not re-simulated)", p.Name, cfg.Org, r.IPC)
+			if s.Obs != nil && r.Obs != nil {
+				s.Obs.MergeRun(*r.Obs)
+			}
+			s.emit(obs.Progress{
+				Level: obs.LevelProgress, Trace: p.Name, Org: string(cfg.Org),
+				IPC: r.IPC, Resumed: true,
+			})
 			return r, nil
 		}
 	}
 	e.res, e.err = s.simulate(ctx, p, cfg)
 	if e.err == nil && s.Store != nil {
 		if perr := s.Store.saveRun(key, e.res); perr != nil {
-			s.logf("checkpoint write failed for %s on %s: %v", p.Name, cfg.Org, perr)
+			s.emit(obs.Progress{
+				Level: obs.LevelWarn,
+				Msg:   fmt.Sprintf("checkpoint write failed for %s on %s: %v", p.Name, cfg.Org, perr),
+			})
 		}
 	}
 	close(e.done)
@@ -272,11 +292,22 @@ func (s *Session) simulate(ctx context.Context, p workload.Profile, cfg sim.Conf
 	if runFn == nil {
 		runFn = sim.RunSingleCtx
 	}
+	if s.Obs != nil {
+		job := s.Obs.Monitor.StartJob(p.Name+" "+string(cfg.Org), cfg.Instructions)
+		defer job.Done()
+		ctx = sim.WithObserver(ctx, &sim.Observer{Registry: obs.NewRegistry(), Job: job})
+	}
 	r, err := runFn(ctx, p, cfg)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("figures: %s on %s: %w", p.Name, cfg.Org, err)
 	}
-	s.logf("ran %-16s %-12s IPC=%.3f dramReads=%d", p.Name, cfg.Org, r.IPC, r.DemandDRAMReads)
+	if s.Obs != nil && r.Obs != nil {
+		s.Obs.MergeRun(*r.Obs)
+	}
+	s.emit(obs.Progress{
+		Level: obs.LevelProgress, Trace: p.Name, Org: string(cfg.Org),
+		IPC: r.IPC, DRAMReads: r.DemandDRAMReads, Instructions: r.Instructions,
+	})
 	return r, nil
 }
 
@@ -301,7 +332,13 @@ func (s *Session) runMix(ctx context.Context, mix [4]workload.Profile, cfg sim.C
 	label := strings.Join(key.traces[:], "+")
 	if s.Store != nil {
 		if r, ok := s.Store.loadMix(key); ok {
-			s.logf("ckpt mix %s on %s (resumed, not re-simulated)", label, cfg.Org)
+			if s.Obs != nil && r.Obs != nil {
+				s.Obs.MergeRun(*r.Obs)
+			}
+			s.emit(obs.Progress{
+				Level: obs.LevelProgress,
+				Msg:   fmt.Sprintf("ckpt mix %s on %s (resumed, not re-simulated)", label, cfg.Org),
+			})
 			return r, nil
 		}
 	}
@@ -311,13 +348,26 @@ func (s *Session) runMix(ctx context.Context, mix [4]workload.Profile, cfg sim.C
 		ctx, cancel = context.WithTimeout(ctx, s.RunTimeout)
 		defer cancel()
 	}
+	if s.Obs != nil {
+		// Mixes run four threads; the scheduler advances the job with the
+		// summed retired count, so total is scaled to match.
+		job := s.Obs.Monitor.StartJob("mix "+label, 4*cfg.Instructions)
+		defer job.Done()
+		ctx = sim.WithObserver(ctx, &sim.Observer{Registry: obs.NewRegistry(), Job: job})
+	}
 	r, err := sim.RunMixCtx(ctx, mix, cfg)
 	if err != nil {
 		return sim.MultiResult{}, fmt.Errorf("figures: mix %s on %s: %w", label, cfg.Org, err)
 	}
+	if s.Obs != nil && r.Obs != nil {
+		s.Obs.MergeRun(*r.Obs)
+	}
 	if s.Store != nil {
 		if perr := s.Store.saveMix(key, r); perr != nil {
-			s.logf("checkpoint write failed for mix %s on %s: %v", label, cfg.Org, perr)
+			s.emit(obs.Progress{
+				Level: obs.LevelWarn,
+				Msg:   fmt.Sprintf("checkpoint write failed for mix %s on %s: %v", label, cfg.Org, perr),
+			})
 		}
 	}
 	return r, nil

@@ -4,6 +4,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"basevictim/internal/obs"
 )
 
 // quickSession keeps experiment smoke tests fast: few instructions,
@@ -105,7 +107,7 @@ func TestCachingAvoidsRerun(t *testing.T) {
 	}
 	s := quickSession()
 	runs := 0
-	s.Progress = func(string, ...any) { runs++ }
+	s.Progress = func(obs.Progress) { runs++ }
 	if _, err := s.Fig6(context.Background()); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,74 @@
+package figures
+
+import (
+	"context"
+	"testing"
+
+	"basevictim/internal/obs"
+)
+
+// TestSessionCollectsObservability runs one real figure with a
+// collector attached and checks the session-level contract: every
+// completed run's snapshot is merged, the aggregate carries the cache
+// counters, and the produced table is byte-identical to an
+// observability-off session.
+func TestSessionCollectsObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	plainTab, err := quickSession().Fig6(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := quickSession()
+	s.Obs = obs.NewCollector()
+	tab, err := s.Fig6(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tab.Format(), plainTab.Format(); got != want {
+		t.Fatalf("collector changed the table:\nwith obs:\n%s\nwithout:\n%s", got, want)
+	}
+
+	if runs := s.Obs.MergedRuns(); runs == 0 {
+		t.Fatal("collector saw no runs")
+	}
+	snap := s.Obs.Snapshot()
+	if snap.Counters["ccache.base_hits"] == 0 {
+		t.Error("aggregate missing ccache.base_hits")
+	}
+	if snap.Counters["dram.reads"] == 0 {
+		t.Error("aggregate missing dram.reads")
+	}
+	// Every job registered during the figure must have unregistered.
+	if jobs := s.Obs.Monitor.Status(); len(jobs) != 0 {
+		t.Errorf("monitor still tracks %d jobs after the figure finished", len(jobs))
+	}
+}
+
+// TestProgressRecordsCarryRunDetail asserts the structured progress
+// contract: per-run records arrive with trace, org and IPC filled in,
+// rendering to the classic "ran ..." line.
+func TestProgressRecordsCarryRunDetail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	s := quickSession()
+	var recs []obs.Progress
+	s.Progress = func(p obs.Progress) { recs = append(recs, p) }
+	if _, err := s.Fig6(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no progress records")
+	}
+	for _, p := range recs {
+		if p.Level != obs.LevelProgress {
+			t.Errorf("unexpected level %v in %+v", p.Level, p)
+		}
+		if p.Trace == "" || p.Org == "" || p.IPC == 0 {
+			t.Errorf("record missing run detail: %+v", p)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"basevictim/internal/check"
+	"basevictim/internal/obs"
 	"basevictim/internal/sim"
 	"basevictim/internal/workload"
 )
@@ -199,7 +200,7 @@ func TestProgressSerialized(t *testing.T) {
 	countingRunFn(s)
 	inCallback := false
 	lines := 0
-	s.Progress = func(format string, args ...any) {
+	s.Progress = func(obs.Progress) {
 		if inCallback {
 			t.Error("Progress reentered concurrently")
 		}

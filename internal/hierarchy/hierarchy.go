@@ -171,6 +171,13 @@ func MustNew(cfg Config, llc ccache.Org, mem *dram.System, sizer Sizer) *Hierarc
 	return h
 }
 
+// Prefetchers exposes the per-level prefetch engines (nil when
+// prefetching is disabled), in L1, L2, LLC order, so observability can
+// export their statistics without the hierarchy owning metric names.
+func (h *Hierarchy) Prefetchers() (l1, l2, llc *prefetch.Prefetcher) {
+	return h.pfL1, h.pfL2, h.pfLLC
+}
+
 func (h *Hierarchy) segsOf(line uint64) int {
 	return h.sizer.Segments(line, h.gen[line])
 }

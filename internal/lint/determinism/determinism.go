@@ -18,6 +18,14 @@
 //
 // cmd/* binaries, examples/, and the non-simulation support packages
 // (atomicio, cliexit, the lint tree itself) are out of scope.
+//
+// The obs package is exempt from the wall-clock check ONLY: its
+// Monitor legitimately reads time.Now to render live MIPS/ETA, and
+// nothing it computes from the clock feeds back into simulated state.
+// The rand and map-iteration checks still apply there in full —
+// metrics snapshots are part of the determinism contract (same config,
+// byte-identical snapshot), so randomized iteration order in a
+// snapshot or merge would be a real bug.
 package determinism
 
 import (
@@ -41,25 +49,28 @@ func run(pass *analysis.Pass) error {
 		astscope.HasSegment(pass.Pkg.Path(), "cmd", "examples", "atomicio", "cliexit", "lint") {
 		return nil
 	}
+	// The observability package may read the wall clock (and nothing
+	// else on the banned list): see the package doc for the rationale.
+	wallClockOK := astscope.HasSegment(pass.Pkg.Path(), "obs")
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd)
+			checkFunc(pass, fd, wallClockOK)
 		}
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, wallClockOK bool) {
 	sorted := sortedObjects(pass, fd)
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkCall(pass, n)
+			checkCall(pass, n, wallClockOK)
 		case *ast.RangeStmt:
 			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
 				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
@@ -71,7 +82,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	})
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, wallClockOK bool) {
 	fn := pass.CalleeFunc(call)
 	if fn == nil || fn.Pkg() == nil {
 		return
@@ -81,6 +92,9 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	}
 	switch fn.Pkg().Path() {
 	case "time":
+		if wallClockOK {
+			return
+		}
 		switch fn.Name() {
 		case "Now", "Since", "Until":
 			pass.Reportf(call.Pos(),

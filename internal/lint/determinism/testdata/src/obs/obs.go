@@ -1,0 +1,44 @@
+// Golden data for the wall-clock allowlist boundary: a package whose
+// import path contains an "obs" segment may read the wall clock (the
+// live monitor renders MIPS and ETA from it), but the other two
+// determinism checks apply in full — metrics snapshots promise
+// byte-identical output for the same config, so global rand and
+// order-sensitive map iteration are still bugs here.
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// The monitor's legitimate use: elapsed wall time for throughput.
+func elapsedSeconds(start time.Time) float64 {
+	return time.Now().Sub(start).Seconds()
+}
+
+func sinceStart(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Global rand stays banned: a jittered sample period would make two
+// identical runs disagree on their histograms.
+func jitter() int {
+	return rand.Intn(4) // want `global rand\.Intn is process-seeded`
+}
+
+// Order-sensitive map iteration stays banned: rendering a snapshot by
+// raw map order would break byte-identical output.
+func render(counters map[string]uint64) {
+	for k, v := range counters { // want `map iteration order is random`
+		fmt.Println(k, v)
+	}
+}
+
+// The commutative forms allowed everywhere stay allowed here too —
+// merging snapshots folds counters keyed by name.
+func merge(dst, src map[string]uint64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Monitor tracks live per-worker job state for the introspection
+// server's progress page: which trace each worker is simulating, how
+// many instructions it has retired, its MIPS and ETA.
+//
+// This is the one place in the simulator where wall-clock time is
+// legitimate — rates and ETAs are human-facing operational telemetry,
+// never part of a deterministic Snapshot or a simulated result. The
+// determinism analyzer's allowlist (internal/lint/determinism) pins
+// wall-clock use to this package.
+type Monitor struct {
+	mu     sync.Mutex
+	nextID uint64
+	jobs   map[uint64]*Job
+
+	// now is swappable for tests.
+	now func() time.Time
+}
+
+// NewMonitor builds an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{jobs: make(map[uint64]*Job), now: time.Now}
+}
+
+// Job is one in-flight simulation being watched. Workers call Advance
+// from the run's goroutine; the server reads via Status.
+type Job struct {
+	m  *Monitor
+	id uint64
+
+	mu      sync.Mutex
+	label   string // "fig6/soplex.p1 basevictim"
+	total   uint64 // target instructions (0 = unknown)
+	retired uint64
+	start   time.Time
+}
+
+// StartJob registers a job with a display label and a target
+// instruction count. A nil monitor returns a nil job, and every Job
+// method is nil-safe, so callers need no enablement checks.
+func (m *Monitor) StartJob(label string, totalInstructions uint64) *Job {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	j := &Job{m: m, id: m.nextID, label: label, total: totalInstructions, start: m.now()}
+	m.jobs[j.id] = j
+	return j
+}
+
+// Advance reports the job's current retired-instruction count.
+func (j *Job) Advance(retired uint64) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.retired = retired
+	j.mu.Unlock()
+}
+
+// Done unregisters the job.
+func (j *Job) Done() {
+	if j == nil {
+		return
+	}
+	j.m.mu.Lock()
+	delete(j.m.jobs, j.id)
+	j.m.mu.Unlock()
+}
+
+// JobStatus is a point-in-time view of one job for the progress page.
+type JobStatus struct {
+	Label        string  `json:"label"`
+	Instructions uint64  `json:"instructions"`
+	Total        uint64  `json:"total,omitempty"`
+	Elapsed      float64 `json:"elapsed_seconds"`
+	MIPS         float64 `json:"mips"`
+	ETA          float64 `json:"eta_seconds,omitempty"`
+}
+
+// Status returns the live jobs sorted by label (stable page order).
+func (m *Monitor) Status() []JobStatus {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	now := m.now()
+	m.mu.Unlock()
+	// Labels are written once, before the job enters the map, so they
+	// can be read unlocked here.
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].label < jobs[k].label })
+
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		s := JobStatus{Label: j.label, Instructions: j.retired, Total: j.total}
+		elapsed := now.Sub(j.start).Seconds()
+		j.mu.Unlock()
+		if elapsed > 0 {
+			s.Elapsed = elapsed
+			s.MIPS = float64(s.Instructions) / elapsed / 1e6
+			if s.Total > s.Instructions && s.Instructions > 0 {
+				s.ETA = elapsed * float64(s.Total-s.Instructions) / float64(s.Instructions)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,386 @@
+// Package obs is the simulator's zero-dependency observability layer:
+// a per-run metrics registry (typed counters, gauges and fixed-bucket
+// histograms), a bounded decision-event ring buffer, structured
+// progress records, and a live-introspection HTTP server (pprof,
+// expvar, per-worker progress).
+//
+// Two contracts shape every type here:
+//
+//   - Disabled observability costs one predictable branch. Every
+//     mutator is a nil-receiver no-op, so instrumented code calls
+//     counter.Inc()/hist.Observe() unconditionally and an
+//     un-instrumented run pays only the nil check — the same contract
+//     as cpu.RunCtx's cancellation polling.
+//
+//   - Metrics are deterministic. Counters and histograms record only
+//     simulated quantities (accesses, cycles, segments), never wall
+//     clock, so the same config produces byte-identical snapshots on
+//     every run and at every worker count. Wall-clock time exists only
+//     in the Monitor (MIPS/ETA reporting), which is explicitly outside
+//     the deterministic surface and never feeds a Snapshot.
+//
+// A Registry is owned by exactly one simulation goroutine and is not
+// safe for concurrent use; completed runs are folded into a Collector,
+// which is.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// usable; a nil Counter discards all updates.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time level (e.g. final occupancy). A nil Gauge
+// discards all updates.
+type Gauge struct{ v int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add moves the level by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v += delta
+	}
+}
+
+// Value returns the current level (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram over uint64 samples. Bucket i
+// counts samples <= bounds[i]; one implicit overflow bucket counts the
+// rest. Bounds are fixed at registration so two runs of the same
+// config bucket identically. A nil Histogram discards all samples.
+type Histogram struct {
+	bounds []uint64
+	counts []uint64 // len(bounds)+1, last = overflow
+	sum    uint64
+	n      uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.n++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry is a named set of metrics allocated for one run. Lookups
+// are get-or-create, so two subsystems naming the same metric share
+// it. A Registry belongs to a single goroutine; fold completed runs
+// into a Collector for concurrent readers.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry allocates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (discarding) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending upper bounds on first use. Later calls for the same name
+// return the existing histogram regardless of bounds.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: append([]uint64(nil), bounds...)}
+		h.counts = make([]uint64, len(h.bounds)+1)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the serializable state of one histogram.
+type HistogramSnapshot struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"` // len(Bounds)+1, last = overflow
+	Sum    uint64   `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Snapshot is a registry's state at one instant. encoding/json sorts
+// map keys, so the JSON form is deterministic; Format gives the same
+// guarantee for text.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state. A nil registry
+// yields the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.v
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.v
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = HistogramSnapshot{
+				Bounds: append([]uint64(nil), h.bounds...),
+				Counts: append([]uint64(nil), h.counts...),
+				Sum:    h.sum,
+				Count:  h.n,
+			}
+		}
+	}
+	return s
+}
+
+// Merge folds other into s (counters and gauges add; histograms with
+// identical bounds add bucket-wise, first-seen bounds win otherwise).
+// All combining operations commute, so merge order cannot make an
+// aggregate nondeterministic.
+func (s *Snapshot) Merge(other Snapshot) {
+	if s.Counters == nil && len(other.Counters) > 0 {
+		s.Counters = make(map[string]uint64, len(other.Counters))
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	if s.Gauges == nil && len(other.Gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(other.Gauges))
+	}
+	for name, v := range other.Gauges {
+		s.Gauges[name] += v
+	}
+	if s.Histograms == nil && len(other.Histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(other.Histograms))
+	}
+	for name, h := range other.Histograms {
+		s.Histograms[name] = mergeHist(s.Histograms[name], h)
+	}
+}
+
+// mergeHist folds one histogram into the accumulated value for its
+// name (the zero HistogramSnapshot means "not seen yet"). Neither
+// input is aliased by the result.
+func mergeHist(prev, h HistogramSnapshot) HistogramSnapshot {
+	if prev.Counts == nil {
+		return HistogramSnapshot{
+			Bounds: append([]uint64(nil), h.Bounds...),
+			Counts: append([]uint64(nil), h.Counts...),
+			Sum:    h.Sum,
+			Count:  h.Count,
+		}
+	}
+	if len(prev.Bounds) != len(h.Bounds) || len(prev.Counts) != len(h.Counts) {
+		return prev // incompatible shapes; keep the first
+	}
+	merged := HistogramSnapshot{
+		Bounds: prev.Bounds,
+		Counts: append([]uint64(nil), prev.Counts...),
+		Sum:    prev.Sum + h.Sum,
+		Count:  prev.Count + h.Count,
+	}
+	for i, c := range h.Counts {
+		merged.Counts[i] += c
+	}
+	return merged
+}
+
+// Format renders the snapshot as sorted "name value" lines — the
+// canonical text form used by the CLIs and the byte-identity tests.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-40s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-40s %d\n", name, s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "%-40s count=%d sum=%d buckets=", name, h.Count, h.Sum)
+		for i, c := range h.Counts {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(&b, "le%d:%d", h.Bounds[i], c)
+			} else {
+				fmt.Fprintf(&b, "inf:%d", c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Collector aggregates completed runs' snapshots for a whole session
+// or process. It is safe for concurrent use: workers merge finished
+// runs while the introspection server reads the aggregate.
+type Collector struct {
+	mu   sync.Mutex
+	agg  Snapshot
+	runs uint64
+
+	// Monitor tracks live per-worker job state (wall clock, MIPS,
+	// ETA) for the progress page.
+	Monitor *Monitor
+}
+
+// NewCollector builds an empty collector with a live monitor.
+func NewCollector() *Collector {
+	return &Collector{Monitor: NewMonitor()}
+}
+
+// MergeRun folds one completed run's snapshot into the aggregate. A
+// nil collector discards it.
+func (c *Collector) MergeRun(s Snapshot) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.agg.Merge(s)
+	c.runs++
+}
+
+// Snapshot returns a deep copy of the aggregate.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out Snapshot
+	out.Merge(c.agg)
+	return out
+}
+
+// MergedRuns reports how many run snapshots have been merged.
+func (c *Collector) MergedRuns() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}

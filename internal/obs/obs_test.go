@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	// The disabled path is a nil receiver all the way down: every
+	// mutator and accessor must be callable without a registry.
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d, want 0", c.Value())
+	}
+	g := r.Gauge("x")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %d, want 0", g.Value())
+	}
+	h := r.Histogram("x", []uint64{1, 2})
+	h.Observe(9)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram count=%d sum=%d, want 0,0", h.Count(), h.Sum())
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var coll *Collector
+	coll.MergeRun(Snapshot{Counters: map[string]uint64{"a": 1}})
+	if coll.MergedRuns() != 0 {
+		t.Fatal("nil collector counted a run")
+	}
+	var m *Monitor
+	j := m.StartJob("x", 10)
+	j.Advance(5)
+	j.Done()
+	if got := m.Status(); got != nil {
+		t.Fatalf("nil monitor status = %v, want nil", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a, b := r.Counter("hits"), r.Counter("hits")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	b.Add(2)
+	if a.Value() != 3 {
+		t.Fatalf("shared counter = %d, want 3", a.Value())
+	}
+	h1 := r.Histogram("h", []uint64{1, 2, 4})
+	h2 := r.Histogram("h", []uint64{9}) // later bounds ignored
+	if h1 != h2 {
+		t.Fatal("same name returned distinct histograms")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("segs", []uint64{2, 4, 8})
+	for _, v := range []uint64{0, 2, 3, 4, 8, 9, 1000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["segs"]
+	want := []uint64{2, 2, 1, 2} // <=2: {0,2}; <=4: {3,4}; <=8: {8}; overflow: {9,1000}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("counts len = %d, want %d", len(s.Counts), len(want))
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], want[i], s.Counts)
+		}
+	}
+	if s.Count != 7 || s.Sum != 0+2+3+4+8+9+1000 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+}
+
+func fillRegistry(r *Registry) {
+	r.Counter("b.hits").Add(3)
+	r.Counter("a.misses").Add(1)
+	r.Gauge("g.level").Set(-4)
+	h := r.Histogram("h.lat", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+}
+
+func TestSnapshotDeterministicMarshal(t *testing.T) {
+	// Two registries populated identically (in different orders) must
+	// marshal to the same bytes — the property the byte-identity CI
+	// check and checkpoint records rely on.
+	r1 := NewRegistry()
+	fillRegistry(r1)
+	r2 := NewRegistry()
+	r2.Histogram("h.lat", []uint64{10, 100}).Observe(500)
+	r2.Gauge("g.level").Set(-4)
+	r2.Counter("a.misses").Inc()
+	r2.Counter("b.hits").Add(3)
+	r2.Histogram("h.lat", nil).Observe(5)
+	r2.Histogram("h.lat", nil).Observe(50)
+
+	j1, err := json.Marshal(r1.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(r2.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("snapshots differ:\n%s\n%s", j1, j2)
+	}
+	if f1, f2 := r1.Snapshot().Format(), r2.Snapshot().Format(); f1 != f2 {
+		t.Fatalf("formats differ:\n%s\n%s", f1, f2)
+	}
+}
+
+func TestSnapshotMergeCommutes(t *testing.T) {
+	mk := func(hits, misses uint64, obs []uint64) Snapshot {
+		r := NewRegistry()
+		r.Counter("hits").Add(hits)
+		r.Counter("misses").Add(misses)
+		h := r.Histogram("lat", []uint64{10})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	a := mk(1, 2, []uint64{3, 30})
+	b := mk(10, 0, []uint64{7})
+
+	var ab Snapshot
+	ab.Merge(a)
+	ab.Merge(b)
+	var ba Snapshot
+	ba.Merge(b)
+	ba.Merge(a)
+
+	ja, _ := json.Marshal(ab)
+	jb, _ := json.Marshal(ba)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("merge order changed aggregate:\n%s\n%s", ja, jb)
+	}
+	if ab.Counters["hits"] != 11 || ab.Counters["misses"] != 2 {
+		t.Fatalf("bad merged counters: %v", ab.Counters)
+	}
+	h := ab.Histograms["lat"]
+	if h.Count != 3 || h.Sum != 40 || h.Counts[0] != 2 || h.Counts[1] != 1 {
+		t.Fatalf("bad merged histogram: %+v", h)
+	}
+}
+
+func TestSnapshotMergeDoesNotAliasSource(t *testing.T) {
+	r := NewRegistry()
+	fillRegistry(r)
+	src := r.Snapshot()
+	var agg Snapshot
+	agg.Merge(src)
+	agg.Merge(src)
+	if got := agg.Histograms["h.lat"].Counts[0]; got != 2 {
+		t.Fatalf("double-merged bucket = %d, want 2", got)
+	}
+	// The first merge deep-copies; the second must not have mutated
+	// the source snapshot through a shared slice.
+	if got := src.Histograms["h.lat"].Counts[0]; got != 1 {
+		t.Fatalf("source bucket mutated by merge: %d, want 1", got)
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector()
+	r := NewRegistry()
+	r.Counter("x").Add(2)
+	c.MergeRun(r.Snapshot())
+	c.MergeRun(r.Snapshot())
+	if c.MergedRuns() != 2 {
+		t.Fatalf("runs = %d, want 2", c.MergedRuns())
+	}
+	if got := c.Snapshot().Counters["x"]; got != 4 {
+		t.Fatalf("aggregate x = %d, want 4", got)
+	}
+	// Snapshot must be a copy: mutating it cannot leak back.
+	s := c.Snapshot()
+	s.Counters["x"] = 999
+	if got := c.Snapshot().Counters["x"]; got != 4 {
+		t.Fatalf("collector aggregate mutated through snapshot copy: %d", got)
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Level classifies a progress record.
+type Level int
+
+const (
+	// LevelProgress is routine forward motion (a run finished, a
+	// checkpoint was resumed). Suppressed by -quiet.
+	LevelProgress Level = iota
+	// LevelInfo is notable but non-routine (cache store summary).
+	// Suppressed by -quiet.
+	LevelInfo
+	// LevelWarn is a recoverable anomaly (corrupt checkpoint record
+	// discarded). Never suppressed.
+	LevelWarn
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelProgress:
+		return "progress"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// MarshalJSON encodes the level as its name.
+func (l Level) MarshalJSON() ([]byte, error) { return json.Marshal(l.String()) }
+
+// UnmarshalJSON decodes a level name.
+func (l *Level) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "progress":
+		*l = LevelProgress
+	case "info":
+		*l = LevelInfo
+	case "warn":
+		*l = LevelWarn
+	default:
+		return fmt.Errorf("obs: unknown progress level %q", s)
+	}
+	return nil
+}
+
+// Progress is one structured progress record from the experiment
+// engine. Msg is always set; the remaining fields are populated when
+// the record describes a specific simulation run, so machine consumers
+// (and the -progress-json mode) never have to parse free text.
+type Progress struct {
+	Level        Level   `json:"level"`
+	Msg          string  `json:"msg,omitempty"`
+	Experiment   string  `json:"experiment,omitempty"`
+	Trace        string  `json:"trace,omitempty"`
+	Org          string  `json:"org,omitempty"`
+	IPC          float64 `json:"ipc,omitempty"`
+	DRAMReads    uint64  `json:"dram_reads,omitempty"`
+	Instructions uint64  `json:"instructions,omitempty"`
+	Resumed      bool    `json:"resumed,omitempty"`
+}
+
+// Text renders the record in the engine's traditional one-line form.
+func (p Progress) Text() string {
+	if p.Trace != "" {
+		verb := "ran "
+		suffix := fmt.Sprintf(" IPC=%.3f", p.IPC)
+		if p.Resumed {
+			verb = "ckpt"
+			suffix += " (resumed, not re-simulated)"
+		} else if p.DRAMReads > 0 {
+			suffix += fmt.Sprintf(" dramReads=%d", p.DRAMReads)
+		}
+		return fmt.Sprintf("%s %-16s %-12s%s", verb, p.Trace, p.Org, suffix)
+	}
+	return p.Msg
+}
+
+// ProgressFunc consumes progress records. Implementations must accept
+// concurrent calls when the producer runs parallel workers (the
+// figures Session serializes calls itself, so plain writers are fine
+// there).
+type ProgressFunc func(Progress)
+
+// TextProgress returns a ProgressFunc writing one line per record to
+// w, skipping records below min. Calls are serialized.
+func TextProgress(w io.Writer, min Level) ProgressFunc {
+	var mu sync.Mutex
+	return func(p Progress) {
+		if p.Level < min {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintln(w, p.Text())
+	}
+}
+
+// JSONProgress returns a ProgressFunc writing one JSON object per
+// record to w, skipping records below min. Calls are serialized, so
+// concurrent workers cannot interleave partial lines.
+func JSONProgress(w io.Writer, min Level) ProgressFunc {
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	return func(p Progress) {
+		if p.Level < min {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(p) //nolint:errcheck // progress output is best-effort
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTextProgressFiltersAndFormats(t *testing.T) {
+	var buf bytes.Buffer
+	emit := TextProgress(&buf, LevelInfo)
+	emit(Progress{Level: LevelProgress, Msg: "suppressed"})
+	emit(Progress{Level: LevelInfo, Msg: "kept info"})
+	emit(Progress{Level: LevelWarn, Msg: "kept warn"})
+	out := buf.String()
+	if strings.Contains(out, "suppressed") {
+		t.Fatalf("below-min record emitted: %q", out)
+	}
+	if !strings.Contains(out, "kept info") || !strings.Contains(out, "kept warn") {
+		t.Fatalf("records missing: %q", out)
+	}
+}
+
+func TestProgressTextRunLine(t *testing.T) {
+	p := Progress{
+		Level: LevelProgress, Trace: "soplex.p1", Org: "basevictim",
+		IPC: 1.234, DRAMReads: 567,
+	}
+	got := p.Text()
+	want := "ran  soplex.p1        basevictim   IPC=1.234 dramReads=567"
+	if got != want {
+		t.Fatalf("run line:\n got %q\nwant %q", got, want)
+	}
+	p.Resumed = true
+	got = p.Text()
+	if !strings.HasPrefix(got, "ckpt soplex.p1") || !strings.Contains(got, "(resumed, not re-simulated)") {
+		t.Fatalf("resumed line = %q", got)
+	}
+}
+
+func TestJSONProgressIsOneObjectPerLine(t *testing.T) {
+	var buf bytes.Buffer
+	emit := JSONProgress(&buf, LevelProgress)
+	emit(Progress{Level: LevelProgress, Msg: "a", Trace: "t1", IPC: 0.5})
+	emit(Progress{Level: LevelWarn, Msg: "b"})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", len(lines), buf.String())
+	}
+	var first Progress
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0: %v", err)
+	}
+	if first.Msg != "a" || first.Trace != "t1" || first.IPC != 0.5 {
+		t.Fatalf("decoded = %+v", first)
+	}
+	if !strings.Contains(lines[0], `"level":"progress"`) || !strings.Contains(lines[1], `"level":"warn"`) {
+		t.Fatalf("level names missing: %q", lines)
+	}
+}
+
+func TestLevelRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		l    Level
+		name string
+	}{{LevelProgress, "progress"}, {LevelInfo, "info"}, {LevelWarn, "warn"}} {
+		if tc.l.String() != tc.name {
+			t.Fatalf("%d.String() = %q", tc.l, tc.l.String())
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"basevictim/internal/atomicio"
+)
+
+// Event is one structured cache decision. Kind names the decision
+// (fill, base-evict, victim-retain, victim-reject, victim-promote,
+// back-inval, ...); Reason qualifies it when one kind has several
+// causes (e.g. a victim dropped for "partner-grow" vs "displaced").
+// Seq is assigned by the ring in record order, so a flushed trace is
+// a causal history even after wraparound.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Addr   uint64 `json:"addr"`
+	Set    int    `json:"set"`
+	Way    int    `json:"way"`
+	Segs   int    `json:"segs,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	Dirty  bool   `json:"dirty,omitempty"`
+}
+
+// Ring is a bounded buffer of the most recent decision events. When
+// full, the oldest events are overwritten; Dropped reports how many
+// were lost. The zero-capacity and nil rings discard everything, so
+// instrumentation can call Record unconditionally.
+//
+// Like Registry, a Ring belongs to the run's single goroutine.
+type Ring struct {
+	buf  []Event
+	next uint64 // total events ever recorded
+}
+
+// NewRing builds a ring holding the last capacity events. A
+// non-positive capacity yields a discarding ring.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return &Ring{}
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, overwriting the oldest if full. The
+// event's Seq field is overwritten with the ring's sequence number.
+func (r *Ring) Record(e Event) {
+	if r == nil || cap(r.buf) == 0 {
+		return
+	}
+	e.Seq = r.next
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next%uint64(cap(r.buf))] = e
+	}
+	r.next++
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever recorded.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next
+}
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next - uint64(len(r.buf))
+}
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	if r == nil || len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	start := r.next % uint64(cap(r.buf))
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out
+}
+
+// WriteJSONL flushes the retained events, oldest-first, to path as one
+// JSON object per line via an atomic write-temp-fsync-rename, so a
+// crash mid-flush never leaves a truncated trace. A header line
+// records totals so forensics can tell how much history was lost.
+func (r *Ring) WriteJSONL(path string) error {
+	f, err := atomicio.Create(path, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	type header struct {
+		Kind     string `json:"kind"`
+		Total    uint64 `json:"total"`
+		Retained int    `json:"retained"`
+		Dropped  uint64 `json:"dropped"`
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(header{Kind: "ring-header", Total: r.Total(), Retained: r.Len(), Dropped: r.Dropped()}); err != nil {
+		return fmt.Errorf("obs: encode ring header: %w", err)
+	}
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("obs: encode ring event %d: %w", e.Seq, err)
+		}
+	}
+	return f.Commit()
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRingNilAndZeroCapacityDiscard(t *testing.T) {
+	var nilRing *Ring
+	nilRing.Record(Event{Kind: "fill"})
+	if nilRing.Len() != 0 || nilRing.Total() != 0 || nilRing.Events() != nil {
+		t.Fatal("nil ring retained something")
+	}
+	z := NewRing(0)
+	z.Record(Event{Kind: "fill"})
+	if z.Len() != 0 || z.Total() != 0 {
+		t.Fatalf("zero-capacity ring retained: len=%d total=%d", z.Len(), z.Total())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: "fill", Addr: uint64(i)})
+	}
+	if r.Total() != 10 || r.Len() != 4 || r.Dropped() != 6 {
+		t.Fatalf("total=%d len=%d dropped=%d, want 10,4,6", r.Total(), r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events len = %d", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(6 + i) // oldest retained is #6
+		if e.Seq != wantSeq || e.Addr != wantSeq {
+			t.Fatalf("event %d: seq=%d addr=%d, want %d", i, e.Seq, e.Addr, wantSeq)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 3; i++ {
+		r.Record(Event{Addr: uint64(i)})
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].Seq != 0 || evs[2].Seq != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestRingWriteJSONL(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: "victim-reject", Addr: uint64(0x40 * i), Set: i, Reason: "nofit"})
+	}
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := r.WriteJSONL(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+
+	if !sc.Scan() {
+		t.Fatal("missing header line")
+	}
+	var hdr struct {
+		Kind     string `json:"kind"`
+		Total    uint64 `json:"total"`
+		Retained int    `json:"retained"`
+		Dropped  uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if hdr.Kind != "ring-header" || hdr.Total != 5 || hdr.Retained != 3 || hdr.Dropped != 2 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	var seqs []uint64
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("event line %q: %v", sc.Text(), err)
+		}
+		if e.Kind != "victim-reject" || e.Reason != "nofit" {
+			t.Fatalf("event = %+v", e)
+		}
+		seqs = append(seqs, e.Seq)
+	}
+	if fmt.Sprint(seqs) != "[2 3 4]" {
+		t.Fatalf("seqs = %v, want oldest-first [2 3 4]", seqs)
+	}
+}
+
+func TestRingWriteJSONLIsAtomic(t *testing.T) {
+	// A flush over an existing file must be all-or-nothing: no temp
+	// residue after success, and the destination fully replaced.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	r1 := NewRing(2)
+	r1.Record(Event{Kind: "fill", Addr: 1})
+	if err := r1.WriteJSONL(path); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRing(2)
+	r2.Record(Event{Kind: "back-inval", Addr: 2})
+	r2.Record(Event{Kind: "back-inval", Addr: 3})
+	if err := r2.WriteJSONL(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"fill"`) {
+		t.Fatal("old contents survived rewrite")
+	}
+	if got := strings.Count(string(data), "back-inval"); got != 2 {
+		t.Fatalf("want 2 events in rewritten file, got %d:\n%s", got, data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp residue after commit: %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+// The process-global handlers below are registered exactly once:
+// expvar.Publish and http.HandleFunc panic on duplicate names, and a
+// test (or bvsim -compare after a retry) may start several Servers in
+// one process. The handlers indirect through the active collector, so
+// each Serve call just swaps which collector the fixed endpoints read.
+var (
+	registerOnce sync.Once
+	activeMu     sync.Mutex
+	activeColl   *Collector
+)
+
+func setActive(c *Collector) {
+	activeMu.Lock()
+	activeColl = c
+	activeMu.Unlock()
+}
+
+func active() *Collector {
+	activeMu.Lock()
+	defer activeMu.Unlock()
+	return activeColl
+}
+
+func registerHandlers() {
+	expvar.Publish("obs", expvar.Func(func() any { return active().Snapshot() }))
+	expvar.Publish("obs_runs", expvar.Func(func() any { return active().MergedRuns() }))
+	http.HandleFunc("/progress", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct { //nolint:errcheck // best-effort page
+			Runs uint64      `json:"runs_completed"`
+			Jobs []JobStatus `json:"jobs"`
+		}{Runs: active().MergedRuns(), Jobs: active().Monitor.Status()})
+	})
+	http.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "basevictim observability\n\n"+
+			"  /progress      live per-worker job status (JSON)\n"+
+			"  /debug/vars    expvar registry snapshot (see \"obs\")\n"+
+			"  /debug/pprof/  runtime profiles (cpu, heap, goroutine, ...)\n")
+	})
+}
+
+// Server is a live-introspection HTTP server bound to one Collector.
+// It serves net/http/pprof profiles, expvar (including the "obs"
+// registry aggregate), and a /progress page of in-flight jobs.
+type Server struct {
+	Collector *Collector
+	ln        net.Listener
+}
+
+// Serve starts an introspection server for c on addr (e.g.
+// "localhost:6060", or "localhost:0" to pick a free port). The server
+// runs until the process exits or Close is called. The most recently
+// started server's collector backs the process-global endpoints.
+func Serve(addr string, c *Collector) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	registerOnce.Do(registerHandlers)
+	setActive(c)
+	srv := &Server{Collector: c, ln: ln}
+	go http.Serve(ln, nil) //nolint:errcheck // dies with the process
+	return srv, nil
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections.
+func (s *Server) Close() error { return s.ln.Close() }

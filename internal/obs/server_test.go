@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	c := NewCollector()
+	c.Monitor.now = func() time.Time { return time.Unix(100, 0) }
+	r := NewRegistry()
+	r.Counter("ccache.base_hits").Add(42)
+	c.MergeRun(r.Snapshot())
+	job := c.Monitor.StartJob("fig6/soplex.p1 basevictim", 1_000_000)
+	job.Advance(250_000)
+	c.Monitor.now = func() time.Time { return time.Unix(110, 0) }
+
+	srv, err := Serve("localhost:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/"); code != 200 || !strings.Contains(body, "/debug/pprof/") {
+		t.Fatalf("index: code=%d body=%q", code, body)
+	}
+
+	code, body := get(t, base+"/debug/vars")
+	if code != 200 {
+		t.Fatalf("expvar code = %d", code)
+	}
+	var vars struct {
+		Obs     Snapshot `json:"obs"`
+		ObsRuns uint64   `json:"obs_runs"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar body: %v\n%s", err, body)
+	}
+	if vars.Obs.Counters["ccache.base_hits"] != 42 || vars.ObsRuns != 1 {
+		t.Fatalf("expvar obs = %+v runs = %d", vars.Obs, vars.ObsRuns)
+	}
+
+	code, body = get(t, base+"/progress")
+	if code != 200 {
+		t.Fatalf("progress code = %d", code)
+	}
+	var prog struct {
+		Runs uint64      `json:"runs_completed"`
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("progress body: %v\n%s", err, body)
+	}
+	if prog.Runs != 1 || len(prog.Jobs) != 1 {
+		t.Fatalf("progress = %+v", prog)
+	}
+	j := prog.Jobs[0]
+	if j.Label != "fig6/soplex.p1 basevictim" || j.Instructions != 250_000 {
+		t.Fatalf("job = %+v", j)
+	}
+	// 250k instructions in 10 fake seconds = 0.025 MIPS; 7.5e5 left
+	// at that rate = 30s ETA.
+	if j.Elapsed != 10 || j.MIPS != 0.025 || j.ETA != 30 {
+		t.Fatalf("job rates = %+v", j)
+	}
+
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof code = %d", code)
+	}
+
+	// A second Serve in the same process must not panic on duplicate
+	// expvar/mux registration, and swaps the active collector.
+	c2 := NewCollector()
+	srv2, err := Serve("localhost:0", c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if _, body := get(t, "http://"+srv2.Addr()+"/progress"); !strings.Contains(body, `"runs_completed": 0`) {
+		t.Fatalf("second server not backed by fresh collector: %s", body)
+	}
+}
+
+func TestMonitorDone(t *testing.T) {
+	m := NewMonitor()
+	j := m.StartJob("a", 0)
+	if len(m.Status()) != 1 {
+		t.Fatal("job not registered")
+	}
+	j.Done()
+	if len(m.Status()) != 0 {
+		t.Fatal("job not unregistered")
+	}
+}

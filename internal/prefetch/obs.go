@@ -1,0 +1,18 @@
+package prefetch
+
+import "basevictim/internal/obs"
+
+// ExportObs folds the prefetcher's cumulative Stats into the registry
+// under the given level prefix (e.g. "prefetch.l2"). Call once, after
+// the run completes: the export is a pure copy of deterministic
+// counts, so it keeps the hot Advise path untouched while still
+// reconciling with Stats exactly.
+func (p *Prefetcher) ExportObs(reg *obs.Registry, prefix string) {
+	if p == nil || reg == nil {
+		return
+	}
+	reg.Counter(prefix + ".trains").Add(p.Stats.Trains)
+	reg.Counter(prefix + ".issued").Add(p.Stats.Issued)
+	reg.Counter(prefix + ".stream_allocs").Add(p.Stats.Streams)
+	reg.Counter(prefix + ".confirms").Add(p.Stats.Confirms)
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"context"
+
+	"basevictim/internal/ccache"
+	"basevictim/internal/cpu"
+	"basevictim/internal/dram"
+	"basevictim/internal/hierarchy"
+	"basevictim/internal/obs"
+)
+
+// Observer carries the observability hooks for one simulation run:
+// the per-run metrics registry, an optional decision-event ring, and
+// an optional live-progress job. It rides the context rather than
+// Config on purpose — Config is the run-cache and checkpoint key, and
+// observability must never alias or split cache entries.
+//
+// Allocate a fresh Registry (and Ring) per run: both are
+// single-goroutine and cumulative. A nil Observer, or nil fields,
+// disable the corresponding hooks at nil-check cost.
+type Observer struct {
+	Registry *obs.Registry
+	Ring     *obs.Ring
+	Job      *obs.Job
+}
+
+type observerKey struct{}
+
+// WithObserver returns a context carrying the observer for the runs
+// beneath it. Passing nil detaches any inherited observer (used to
+// keep a baseline leg of a comparison out of the primary's metrics).
+func WithObserver(ctx context.Context, o *Observer) context.Context {
+	return context.WithValue(ctx, observerKey{}, o)
+}
+
+// ObserverFrom returns the context's observer, or nil.
+func ObserverFrom(ctx context.Context) *Observer {
+	o, _ := ctx.Value(observerKey{}).(*Observer)
+	return o
+}
+
+// attach wires the observer into a run's components. The hooks go on
+// the root organization — below any checker or injector wrapper — so
+// the lockstep checker's reference cache never double-counts, and the
+// counters describe the organization actually being measured.
+func (o *Observer) attach(org ccache.Org, mem *dram.System, core *cpu.Core) {
+	if o == nil {
+		return
+	}
+	if ob, ok := ccache.Root(org).(ccache.Observable); ok {
+		ob.Observe(o.Registry, o.Ring)
+	}
+	mem.Observe(o.Registry)
+	core.Observe(o.Registry, o.Job)
+}
+
+// finish exports the end-of-run aggregates (DRAM traffic, prefetcher
+// activity, final cache occupancy) into the registry and returns the
+// run's snapshot for Result.Obs. Returns nil without a registry.
+func (o *Observer) finish(org ccache.Org, mem *dram.System, hiers ...*hierarchy.Hierarchy) *obs.Snapshot {
+	if o == nil || o.Registry == nil {
+		return nil
+	}
+	mem.ExportObs(o.Registry)
+	for _, h := range hiers {
+		l1, l2, llc := h.Prefetchers()
+		l1.ExportObs(o.Registry, "prefetch.l1")
+		l2.ExportObs(o.Registry, "prefetch.l2")
+		llc.ExportObs(o.Registry, "prefetch.llc")
+	}
+	root := ccache.Root(org)
+	o.Registry.Gauge("ccache.final_logical_lines").Set(int64(root.LogicalLines()))
+	o.Registry.Gauge("ccache.final_physical_lines").Set(int64(root.Sets() * root.Ways()))
+	s := o.Registry.Snapshot()
+	return &s
+}

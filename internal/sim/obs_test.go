@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"basevictim/internal/obs"
+	"basevictim/internal/workload"
+)
+
+func obsTestConfig() Config {
+	cfg := Default()
+	cfg.Instructions = 120_000
+	return cfg
+}
+
+func obsTestProfile(t *testing.T) workload.Profile {
+	t.Helper()
+	p, ok := workload.ByName(workload.Suite(), "soplex.p1")
+	if !ok {
+		t.Fatal("soplex.p1 missing from suite")
+	}
+	return p
+}
+
+func runObserved(t *testing.T, cfg Config) Result {
+	t.Helper()
+	o := &Observer{Registry: obs.NewRegistry(), Ring: obs.NewRing(4096)}
+	res, err := RunSingleCtx(WithObserver(context.Background(), o), obsTestProfile(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil {
+		t.Fatal("observed run returned nil Obs snapshot")
+	}
+	return res
+}
+
+// TestObservedRunsAreDeterministic is the tentpole's metrics contract:
+// the same config must produce byte-identical registry snapshots.
+func TestObservedRunsAreDeterministic(t *testing.T) {
+	cfg := obsTestConfig()
+	a := runObserved(t, cfg)
+	b := runObserved(t, cfg)
+	ja, err := json.Marshal(a.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("snapshots differ between identical runs:\n%s\n%s", ja, jb)
+	}
+	if len(a.Obs.Counters) == 0 || len(a.Obs.Histograms) == 0 {
+		t.Fatalf("snapshot suspiciously empty: %+v", a.Obs)
+	}
+}
+
+// TestObservabilityDoesNotPerturbResults is the bit-identity contract:
+// with and without an observer, every simulated quantity is identical.
+func TestObservabilityDoesNotPerturbResults(t *testing.T) {
+	cfg := obsTestConfig()
+	plain, err := RunSingle(obsTestProfile(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := runObserved(t, cfg)
+	observed.Obs = nil // the snapshot is the only permitted difference
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("observer changed simulated results:\nplain:    %+v\nobserved: %+v", plain, observed)
+	}
+}
+
+// TestObsSnapshotReconcilesWithResult cross-checks the obs counters
+// against the independently accumulated Result fields.
+func TestObsSnapshotReconcilesWithResult(t *testing.T) {
+	res := runObserved(t, obsTestConfig())
+	cnt := res.Obs.Counters
+	if cnt["ccache.base_hits"] != res.LLC.BaseHits {
+		t.Errorf("ccache.base_hits = %d, want %d", cnt["ccache.base_hits"], res.LLC.BaseHits)
+	}
+	if cnt["ccache.victim_hits"] != res.LLC.VictimHits {
+		t.Errorf("ccache.victim_hits = %d, want %d", cnt["ccache.victim_hits"], res.LLC.VictimHits)
+	}
+	if cnt["ccache.victim_retained"] != res.LLC.VictimInserts {
+		t.Errorf("ccache.victim_retained = %d, want %d", cnt["ccache.victim_retained"], res.LLC.VictimInserts)
+	}
+	if cnt["ccache.backinval_victim_clean"] != res.LLC.BackInvals {
+		t.Errorf("ccache.backinval_victim_clean = %d, want %d", cnt["ccache.backinval_victim_clean"], res.LLC.BackInvals)
+	}
+	if h := res.Obs.Histograms["ccache.fill_segs"]; h.Count != res.LLC.Fills {
+		t.Errorf("fill_segs count = %d, want %d", h.Count, res.LLC.Fills)
+	}
+	if cnt["dram.reads"] != res.DRAMReads {
+		t.Errorf("dram.reads = %d, want %d", cnt["dram.reads"], res.DRAMReads)
+	}
+	if cnt["dram.writes"] != res.DRAMWrites {
+		t.Errorf("dram.writes = %d, want %d", cnt["dram.writes"], res.DRAMWrites)
+	}
+	if h := res.Obs.Histograms["dram.read_latency_cycles"]; h.Count != res.DRAMReads {
+		t.Errorf("dram.read_latency_cycles count = %d, want %d", h.Count, res.DRAMReads)
+	}
+	if g := res.Obs.Gauges["ccache.final_logical_lines"]; g != int64(res.LLCLogicalLines) {
+		t.Errorf("final_logical_lines = %d, want %d", g, res.LLCLogicalLines)
+	}
+	if cnt["prefetch.l2.trains"] == 0 {
+		t.Error("prefetch metrics missing from snapshot")
+	}
+	if cnt["cpu.stall_load_cycles"] == 0 {
+		t.Error("cpu stall attribution missing from snapshot")
+	}
+}
+
+// TestObserverCoversOnlyPrimaryInPair: the baseline leg of a pair must
+// not leak into the primary's registry.
+func TestObserverCoversOnlyPrimaryInPair(t *testing.T) {
+	cfg := obsTestConfig()
+	o := &Observer{Registry: obs.NewRegistry()}
+	pair, err := RunPairCtx(WithObserver(context.Background(), o), obsTestProfile(t), cfg, cfg.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Run.Obs == nil {
+		t.Fatal("primary run missing snapshot")
+	}
+	if pair.Base.Obs != nil {
+		t.Fatal("baseline leg was observed; it must run detached")
+	}
+	// An uncompressed baseline would have bumped backinval_evict; its
+	// absence shows the registry holds only the primary run.
+	if c := pair.Run.Obs.Counters["ccache.backinval_evict"]; c != 0 {
+		t.Fatalf("baseline metrics leaked into primary registry (backinval_evict=%d)", c)
+	}
+}
+
+// TestObservedMixProducesSnapshot covers the multi-program path.
+func TestObservedMixProducesSnapshot(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Instructions = 30_000
+	mix := [4]workload.Profile{
+		obsTestProfile(t), obsTestProfile(t),
+		obsTestProfile(t), obsTestProfile(t),
+	}
+	o := &Observer{Registry: obs.NewRegistry()}
+	res, err := RunMixCtx(WithObserver(context.Background(), o), mix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil {
+		t.Fatal("mix missing snapshot")
+	}
+	if res.Obs.Counters["ccache.base_hits"] != res.LLCStat.BaseHits {
+		t.Errorf("mix base_hits = %d, want %d", res.Obs.Counters["ccache.base_hits"], res.LLCStat.BaseHits)
+	}
+	plain, err := RunMix(mix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.LLCStat != res.LLCStat || plain.PerIPC != res.PerIPC {
+		t.Fatalf("observer perturbed mix results:\nplain:    %+v\nobserved: %+v", plain, res)
+	}
+}

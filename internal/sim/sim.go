@@ -17,6 +17,7 @@ import (
 	"basevictim/internal/dram"
 	"basevictim/internal/energy"
 	"basevictim/internal/hierarchy"
+	"basevictim/internal/obs"
 	"basevictim/internal/policy"
 	"basevictim/internal/trace"
 	"basevictim/internal/workload"
@@ -256,6 +257,12 @@ type Result struct {
 	// CheckNotices carries non-fatal notices from the lockstep checker
 	// (e.g. the full->cheap downgrade); empty with checking off.
 	CheckNotices []string
+
+	// Obs is the run's metrics snapshot when an Observer with a
+	// registry was attached via WithObserver, nil otherwise. It is
+	// deterministic (same Config, same snapshot) and rides into
+	// checkpoint records; old records without it decode with Obs nil.
+	Obs *obs.Snapshot `json:",omitempty"`
 }
 
 // sizerFor builds the trace's value model under the configured
@@ -308,6 +315,8 @@ func RunSingleCtx(ctx context.Context, p workload.Profile, cfg Config) (_ Result
 		return Result{}, err
 	}
 	core := cpu.MustNew(cpu.DefaultConfig(), h)
+	o := ObserverFrom(ctx)
+	o.attach(org, mem, core)
 	res, runErr := core.RunCtx(ctx, p.Stream(), cfg.Instructions)
 	if runErr != nil {
 		return Result{}, fmt.Errorf("sim: %s on %s aborted after %d instructions: %w",
@@ -330,6 +339,7 @@ func RunSingleCtx(ctx context.Context, p workload.Profile, cfg Config) (_ Result
 		LLCLogicalLines:  org.LogicalLines(),
 		LLCPhysicalLines: org.Sets() * org.Ways(),
 		CheckNotices:     checkNotices(ck),
+		Obs:              o.finish(org, mem, h),
 	}, nil
 }
 
@@ -355,6 +365,8 @@ func RunStreamCtx(ctx context.Context, s trace.Stream, sizer hierarchy.Sizer, cf
 		return Result{}, err
 	}
 	core := cpu.MustNew(cpu.DefaultConfig(), h)
+	o := ObserverFrom(ctx)
+	o.attach(org, mem, core)
 	res, runErr := core.RunCtx(ctx, s, cfg.Instructions)
 	if runErr != nil {
 		return Result{}, fmt.Errorf("sim: stream on %s aborted after %d instructions: %w",
@@ -377,6 +389,7 @@ func RunStreamCtx(ctx context.Context, s trace.Stream, sizer hierarchy.Sizer, cf
 		LLCLogicalLines:  org.LogicalLines(),
 		LLCPhysicalLines: org.Sets() * org.Ways(),
 		CheckNotices:     checkNotices(ck),
+		Obs:              o.finish(org, mem, h),
 	}, nil
 }
 
@@ -407,13 +420,16 @@ func RunPair(p workload.Profile, cfg, base Config) (Pair, error) {
 	return RunPairCtx(context.Background(), p, cfg, base)
 }
 
-// RunPairCtx is RunPair under a cancellable context.
+// RunPairCtx is RunPair under a cancellable context. Any attached
+// observer covers only the primary run: the baseline leg runs
+// detached, so the pair's metrics describe the organization under
+// study rather than a sum of the two.
 func RunPairCtx(ctx context.Context, p workload.Profile, cfg, base Config) (Pair, error) {
 	r, err := RunSingleCtx(ctx, p, cfg)
 	if err != nil {
 		return Pair{}, err
 	}
-	b, err := RunSingleCtx(ctx, p, base)
+	b, err := RunSingleCtx(WithObserver(ctx, nil), p, base)
 	if err != nil {
 		return Pair{}, err
 	}
@@ -426,6 +442,10 @@ type MultiResult struct {
 	PerIPC  [4]float64
 	Cycles  [4]uint64 // cycle count when each thread finished its phase
 	LLCStat ccache.Stats
+
+	// Obs is the mix's metrics snapshot when an Observer was attached;
+	// all four cores share one registry, so per-core contributions sum.
+	Obs *obs.Snapshot `json:",omitempty"`
 }
 
 // RunMix executes a 4-thread multi-program mix on a shared LLC. Each
@@ -474,6 +494,19 @@ func RunMixCtx(ctx context.Context, mix [4]workload.Profile, cfg Config) (_ Mult
 		res.Mix[i] = p.Name
 	}
 	hierarchy.ShareLLC(hiers)
+	o := ObserverFrom(ctx)
+	if o != nil {
+		if ob, ok := ccache.Root(org).(ccache.Observable); ok {
+			ob.Observe(o.Registry, o.Ring)
+		}
+		mem.Observe(o.Registry)
+		for i := range cores {
+			// Cores share the registry (their contributions sum); the
+			// live-progress job is advanced by the scheduler below,
+			// since per-quantum core counters restart at zero.
+			cores[i].Observe(o.Registry, nil)
+		}
+	}
 
 	const quantum = 2000
 	for {
@@ -502,6 +535,9 @@ func RunMixCtx(ctx context.Context, mix [4]workload.Profile, cfg Config) (_ Mult
 		if allDone {
 			break
 		}
+		if o != nil {
+			o.Job.Advance(retired[0] + retired[1] + retired[2] + retired[3])
+		}
 		// Contention traffic from finished threads.
 		for i := range cores {
 			if doneAt[i] != 0 {
@@ -513,6 +549,7 @@ func RunMixCtx(ctx context.Context, mix [4]workload.Profile, cfg Config) (_ Mult
 		return MultiResult{}, err
 	}
 	res.LLCStat = *org.Stats()
+	res.Obs = o.finish(org, mem, hiers...)
 	return res, nil
 }
 
