@@ -220,6 +220,15 @@ func NewCheckpointStore(dir string, resume bool) (*CheckpointStore, error) {
 	return figures.NewStore(dir, resume)
 }
 
+// VerifyCheckpointDir decodes and checks every checkpoint record in
+// dir, returning the record count; any truncated or corrupt record is
+// an error naming the file. `figures -cache-dir DIR -verify` exposes
+// it on the command line, so CI can prove an interrupted suite (or a
+// drained bvsimd) left only complete records behind.
+func VerifyCheckpointDir(dir string) (int, error) {
+	return figures.VerifyDir(dir)
+}
+
 // CacheConfig configures a standalone LLC organization for direct use
 // (no timing, no hierarchy) — useful for cache-behaviour studies.
 type CacheConfig = ccache.Config

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -202,5 +203,22 @@ func TestReplayMissingFile(t *testing.T) {
 	code, _, stderr := runCLI("-replay", filepath.Join(t.TempDir(), "nope.bvtr"))
 	if code != 1 || !strings.Contains(stderr, "nope.bvtr") {
 		t.Fatalf("code=%d stderr=%q, want 1 naming the file", code, stderr)
+	}
+}
+
+// TestObsListenBindFailureExitsFive: a dead -obs-listen address is a
+// bind failure (exit 5), distinct from a simulation failure (exit 1).
+func TestObsListenBindFailureExitsFive(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer ln.Close()
+	code, _, stderr := runCLI("-obs-listen", ln.Addr().String(), "-ins", "1000")
+	if code != 5 {
+		t.Fatalf("exit code %d, want 5 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "cannot bind/serve") {
+		t.Fatalf("stderr does not name the bind failure:\n%s", stderr)
 	}
 }

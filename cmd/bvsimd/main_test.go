@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer makes the run() output buffers safe to read while the
+// service goroutine is still writing to them.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func runCLI(ctx context.Context, args ...string) (code int, stdout, stderr string) {
+	var out, errb syncBuffer
+	code = run(ctx, args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuchflag"},
+		{"unexpected", "argument"},
+	} {
+		code, _, _ := runCLI(context.Background(), args...)
+		if code != 2 {
+			t.Errorf("args %v: exit code %d, want 2 (usage)", args, code)
+		}
+	}
+}
+
+// TestBadChaosSpecExitsUsageless: a malformed -chaos spec is caught by
+// serve.New before any socket opens; it is an ordinary failure (1),
+// named in stderr.
+func TestBadChaosSpec(t *testing.T) {
+	code, _, stderr := runCLI(context.Background(), "-chaos", "explode@1")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "chaos") {
+		t.Fatalf("stderr does not name the chaos spec:\n%s", stderr)
+	}
+}
+
+// TestBindFailureExitsFive: an occupied -listen address exits 5, the
+// shared bind/serve code — consistent with -obs-listen in the other
+// CLIs.
+func TestBindFailureExitsFive(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer ln.Close()
+	code, _, stderr := runCLI(context.Background(), "-listen", ln.Addr().String())
+	if code != 5 {
+		t.Fatalf("exit code %d, want 5 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "cannot bind/serve") {
+		t.Fatalf("stderr does not name the bind failure:\n%s", stderr)
+	}
+}
+
+// TestSignalDrainsCleanly: the full CLI lifecycle — serve, answer a
+// request, then a "signal" (cancelled context) drains and exits 0.
+func TestSignalDrainsCleanly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, []string{"-listen", "127.0.0.1:0", "-inprocess"}, &out, &errb) }()
+
+	// The serving line names the bound port.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no serving line (stdout %q, stderr %q)", out.String(), errb.String())
+		}
+		if s := out.String(); strings.Contains(s, "serving on ") {
+			addr = strings.Fields(strings.SplitAfter(s, "serving on ")[1])[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	body, err := json.Marshal(map[string]any{"trace": "mcf.p1", "instructions": 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d (%s)", resp.StatusCode, rb)
+	}
+
+	cancel() // the signal
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0 (stderr: %s)", code, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("drain did not complete (stderr: %s)", errb.String())
+	}
+	if !strings.Contains(errb.String(), "drained cleanly") {
+		t.Fatalf("stderr does not confirm the drain:\n%s", errb.String())
+	}
+}

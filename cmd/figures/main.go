@@ -64,6 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 0, "per-simulation deadline (0 = unbounded), e.g. 90s")
 		cacheDir = fs.String("cache-dir", "", "checkpoint completed runs into this directory")
 		resume   = fs.Bool("resume", false, "load completed runs from -cache-dir instead of re-simulating")
+		verify   = fs.Bool("verify", false, "verify every record in -cache-dir (CRC, schema) and exit; no simulation")
 		verbose  = fs.Bool("v", false, "print per-run progress to stderr")
 		quiet    = fs.Bool("quiet", false, "suppress progress and summaries; keep tables and errors")
 		progJSON = fs.Bool("progress-json", false, "emit progress records as JSON lines instead of text")
@@ -94,6 +95,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *resume && *cacheDir == "" {
 		fmt.Fprintln(stderr, "figures: -resume requires -cache-dir")
 		return cliexit.Usage
+	}
+	if *verify {
+		if *cacheDir == "" {
+			fmt.Fprintln(stderr, "figures: -verify requires -cache-dir")
+			return cliexit.Usage
+		}
+		n, err := basevictim.VerifyCheckpointDir(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return cliexit.Failure
+		}
+		fmt.Fprintf(stdout, "%s: %d checkpoint records, all complete and CRC-valid\n", *cacheDir, n)
+		return cliexit.OK
 	}
 	if *quiet && *verbose {
 		fmt.Fprintln(stderr, "figures: -quiet and -v are mutually exclusive")
@@ -133,8 +147,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		coll := obs.NewCollector()
 		srv, err := obs.Serve(*obsAddr, coll)
 		if err != nil {
-			fmt.Fprintln(stderr, "figures:", err)
-			return cliexit.Failure
+			fmt.Fprintln(stderr, "figures:", cliexit.Describe(err))
+			return cliexit.Code(err)
 		}
 		defer srv.Close()
 		session.Obs = coll

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"net"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -133,5 +135,67 @@ func TestCacheDirResumeIdenticalOutput(t *testing.T) {
 	}
 	if !strings.Contains(stderr, " 0 written") || strings.Contains(stderr, " 0 loaded") {
 		t.Fatalf("resume should load everything and write nothing: %s", stderr)
+	}
+}
+
+// TestObsListenBindFailureExitsFive: a dead -obs-listen address is a
+// bind failure (exit 5) before any experiment burns cycles.
+func TestObsListenBindFailureExitsFive(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer ln.Close()
+	code, _, stderr := runCLI("-obs-listen", ln.Addr().String(), "-ins", "1000", "-traces", "1", "-exp", "table1")
+	if code != 5 {
+		t.Fatalf("exit code %d, want 5 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "cannot bind/serve") {
+		t.Fatalf("stderr does not name the bind failure:\n%s", stderr)
+	}
+}
+
+// TestVerifyFlag: -verify reports a healthy directory (exit 0 with the
+// record count), catches a bit-flipped record (exit 1 naming the
+// file), and demands -cache-dir (exit 2).
+func TestVerifyFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	code, _, _ := runCLI("-verify")
+	if code != 2 {
+		t.Fatalf("-verify without -cache-dir: exit %d, want 2", code)
+	}
+
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if code, _, stderr := runCLI("-exp", "fig6", "-ins", "40000", "-traces", "2", "-cache-dir", dir); code != 0 {
+		t.Fatalf("seed run exit %d: %s", code, stderr)
+	}
+	code, stdout, stderr := runCLI("-cache-dir", dir, "-verify")
+	if code != 0 {
+		t.Fatalf("verify exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "complete and CRC-valid") {
+		t.Fatalf("verify output: %q", stdout)
+	}
+
+	ckpts, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil || len(ckpts) == 0 {
+		t.Fatalf("no checkpoint files: %v %v", ckpts, err)
+	}
+	raw, err := os.ReadFile(ckpts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(ckpts[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI("-cache-dir", dir, "-verify")
+	if code != 1 {
+		t.Fatalf("verify of a corrupt dir: exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, filepath.Base(ckpts[0])) {
+		t.Fatalf("verify error does not name the corrupt file: %s", stderr)
 	}
 }

@@ -10,8 +10,12 @@
 package atomicio
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"time"
 )
 
 // WriteFile atomically replaces path with data: write to a temp file
@@ -106,4 +110,58 @@ func (w *File) discard() {
 	w.f.Close()
 	os.Remove(w.tmp)
 	w.tmp = ""
+}
+
+// ErrLocked reports that TryLock lost: another process (or goroutine)
+// holds the lockfile. Callers poll — typically waiting for the
+// artifact the lock protects to appear — and retry.
+var ErrLocked = errors.New("atomicio: already locked")
+
+// A Lock is a held advisory lockfile. Release removes it; releasing a
+// lock that a peer has already stolen (see TryLock's staleness rule)
+// is harmless — the steal replaces the file, and at worst both
+// processes redo idempotent work, which the atomic-rename write path
+// keeps safe.
+type Lock struct {
+	path string
+}
+
+// TryLock attempts to claim an advisory lockfile with O_CREATE|O_EXCL,
+// the only primitive that is atomic on every local filesystem. On
+// success the file holds the claimant's PID (forensics, not protocol)
+// and the caller owns the lock until Release.
+//
+// On contention it returns ErrLocked — after first checking the
+// holder's age: a lockfile whose mtime is older than staleAfter is
+// presumed orphaned by a crashed process and removed, so the *next*
+// TryLock attempt can win. Steal-then-fail (rather than steal-then-win)
+// keeps the race window honest: two stealers both retry through the
+// same O_EXCL gate rather than both assuming victory. staleAfter <= 0
+// disables stealing.
+//
+// Any other error (permissions, missing directory) is returned as-is;
+// callers treat lock infrastructure failure as "proceed unlocked",
+// since the artifacts the lock guards are atomically written and
+// idempotent anyway.
+func TryLock(path string, staleAfter time.Duration) (*Lock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err == nil {
+		f.WriteString(strconv.Itoa(os.Getpid())) //nolint:errcheck // advisory content
+		f.Close()
+		return &Lock{path: path}, nil
+	}
+	if !errors.Is(err, os.ErrExist) {
+		return nil, err
+	}
+	if staleAfter > 0 {
+		if fi, serr := os.Stat(path); serr == nil && time.Since(fi.ModTime()) > staleAfter {
+			os.Remove(path)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrLocked, path)
+}
+
+// Release removes the lockfile. Safe to call once per held lock.
+func (l *Lock) Release() error {
+	return os.Remove(l.path)
 }

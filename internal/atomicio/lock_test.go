@@ -1,0 +1,105 @@
+package atomicio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTryLockExcludes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.lock")
+	l1, err := TryLock(path, 0)
+	if err != nil {
+		t.Fatalf("first TryLock: %v", err)
+	}
+	if _, err := TryLock(path, 0); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second TryLock err = %v, want ErrLocked", err)
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	l2, err := TryLock(path, 0)
+	if err != nil {
+		t.Fatalf("TryLock after release: %v", err)
+	}
+	l2.Release()
+}
+
+func TestTryLockStaleSteal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.lock")
+	if _, err := TryLock(path, time.Minute); err != nil {
+		t.Fatalf("TryLock: %v", err)
+	}
+	// Backdate the lock far past the staleness horizon: the next
+	// attempt must remove it (but still report ErrLocked, so both of
+	// two racing stealers re-contend through O_EXCL)...
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatalf("Chtimes: %v", err)
+	}
+	if _, err := TryLock(path, time.Minute); !errors.Is(err, ErrLocked) {
+		t.Fatalf("stealing TryLock err = %v, want ErrLocked", err)
+	}
+	// ...and the attempt after the steal wins.
+	l, err := TryLock(path, time.Minute)
+	if err != nil {
+		t.Fatalf("TryLock after steal: %v", err)
+	}
+	l.Release()
+}
+
+func TestTryLockFreshNotStolen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.lock")
+	if _, err := TryLock(path, time.Minute); err != nil {
+		t.Fatalf("TryLock: %v", err)
+	}
+	if _, err := TryLock(path, time.Minute); !errors.Is(err, ErrLocked) {
+		t.Fatalf("err = %v, want ErrLocked", err)
+	}
+	// A fresh lock must survive contention attempts.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("fresh lock was removed: %v", err)
+	}
+}
+
+// TestTryLockMutualExclusion hammers one lockfile from many goroutines
+// and verifies the lock really is a lock: the critical section is
+// never concurrently occupied.
+func TestTryLockMutualExclusion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.lock")
+	var (
+		inside   int32
+		violated bool
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l, err := TryLock(path, 0)
+				if err != nil {
+					continue // lost; try again next iteration
+				}
+				mu.Lock()
+				inside++
+				if inside != 1 {
+					violated = true
+				}
+				mu.Unlock()
+				mu.Lock()
+				inside--
+				mu.Unlock()
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if violated {
+		t.Fatal("two goroutines held the lock at once")
+	}
+}

@@ -9,12 +9,16 @@
 //	   hardware broke an invariant (or an injected fault was caught)
 //	4  interrupted: the run was cancelled (SIGINT/SIGTERM) or a
 //	   deadline (-timeout) expired before it finished
+//	5  bind/serve failure: a network listener could not be
+//	   established (-obs-listen, bvsimd -listen): address in use,
+//	   permission denied, or an unresolvable address
 package cliexit
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 
 	"basevictim/internal/check"
 )
@@ -26,6 +30,7 @@ const (
 	Usage     = 2
 	Violation = 3
 	Cancelled = 4
+	Bind      = 5
 )
 
 // Code classifies an error into its exit code. Cancellation wins over
@@ -40,6 +45,8 @@ func Code(err error) int {
 		return Cancelled
 	case isViolation(err):
 		return Violation
+	case isBind(err):
+		return Bind
 	default:
 		return Failure
 	}
@@ -48,6 +55,16 @@ func Code(err error) int {
 func isViolation(err error) bool {
 	var v *check.Violation
 	return errors.As(err, &v)
+}
+
+// isBind recognizes a failure to establish a network listener: every
+// net.Listen path surfaces a *net.OpError with Op "listen" (address in
+// use, bad address, permission), so any CLI that wraps its listen
+// error with %w classifies to Bind without naming cliexit itself —
+// the obs server and bvsimd both stay free of a cliexit dependency.
+func isBind(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "listen"
 }
 
 // Describe renders an error as the single line the CLIs print before
@@ -63,6 +80,8 @@ func Describe(err error) string {
 		return fmt.Sprintf("interrupted (signal or cancellation): %v", err)
 	case isViolation(err):
 		return fmt.Sprintf("verification failure: %v", err)
+	case isBind(err):
+		return fmt.Sprintf("cannot bind/serve: %v", err)
 	default:
 		return err.Error()
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"testing"
 
@@ -11,27 +12,65 @@ import (
 	"basevictim/internal/sim"
 )
 
+// TestCode is the single table covering the FULL exit-code contract:
+// every code the four CLIs (bvsim, figures, bench, tracegen) and the
+// bvsimd service can return, with wrapped and bare causes for each.
+// A new exit code is not "in the contract" until it has rows here.
 func TestCode(t *testing.T) {
 	viol := &check.Violation{Kind: "tag-mismatch", Org: "basevictim", OpIndex: 7}
+	bind := &net.OpError{Op: "listen", Net: "tcp", Err: errors.New("address already in use")}
+	dial := &net.OpError{Op: "dial", Net: "tcp", Err: errors.New("connection refused")}
 	cases := []struct {
 		name string
 		err  error
 		want int
 	}{
+		// 0 — success
 		{"nil", nil, OK},
+		// 1 — ordinary failure
 		{"plain", errors.New("boom"), Failure},
 		{"wrapped plain", fmt.Errorf("figures: %w", errors.New("boom")), Failure},
+		{"run panic", &sim.RunPanicError{Trace: "mcf.p1", Value: "x"}, Failure},
+		{"dial op error is not a bind failure", fmt.Errorf("client: %w", dial), Failure},
+		// 2 — usage errors never reach Code (CLIs return Usage from
+		// flag validation); a plain error stays 1, proving nothing
+		// aliases into 2.
+		// 3 — verification failure
 		{"violation", viol, Violation},
 		{"wrapped violation", fmt.Errorf("figures: mcf.p1: %w", viol), Violation},
+		// 4 — interrupted or deadline
 		{"cancelled", context.Canceled, Cancelled},
 		{"wrapped cancelled", fmt.Errorf("sim: aborted: %w", context.Canceled), Cancelled},
 		{"deadline", fmt.Errorf("sim: aborted: %w", context.DeadlineExceeded), Cancelled},
-		{"run panic", &sim.RunPanicError{Trace: "mcf.p1", Value: "x"}, Failure},
+		// 5 — bind/serve failure
+		{"bind", bind, Bind},
+		{"wrapped bind", fmt.Errorf("obs: listen :6060: %w", bind), Bind},
 	}
 	for _, c := range cases {
 		if got := Code(c.err); got != c.want {
 			t.Errorf("Code(%s) = %d, want %d", c.name, got, c.want)
 		}
+	}
+}
+
+// TestCodeRealListenError: the classifier recognizes what net.Listen
+// actually returns, not just a hand-built OpError.
+func TestCodeRealListenError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen at all: %v", err)
+	}
+	defer ln.Close()
+	_, err = net.Listen("tcp", ln.Addr().String())
+	if err == nil {
+		t.Fatal("second listen on the same address succeeded")
+	}
+	wrapped := fmt.Errorf("obs: listen %s: %w", ln.Addr(), err)
+	if got := Code(wrapped); got != Bind {
+		t.Fatalf("Code(real listen error) = %d, want %d (err: %v)", got, Bind, err)
+	}
+	if s := Describe(wrapped); !strings.Contains(s, "cannot bind/serve") {
+		t.Fatalf("Describe does not name the bind failure: %q", s)
 	}
 }
 

@@ -1,0 +1,188 @@
+package figures
+
+// Tests for the cross-process checkpoint claim (Store.claimRun): many
+// sessions sharing one -cache-dir, each standing in for a separate
+// process (separate in-memory caches, separate Store instances), must
+// simulate every key exactly once between them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"basevictim/internal/sim"
+	"basevictim/internal/workload"
+)
+
+// claimSession builds one "process": its own Session and Store over a
+// shared dir, with claim timing tightened for tests, and a fake runner
+// that counts into total and returns a deterministic result.
+func claimSession(t *testing.T, dir string, total *atomic.Int64) *Session {
+	t.Helper()
+	st, err := NewStore(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.lockPoll = 2 * time.Millisecond
+	s := NewSession(0)
+	s.Store = st
+	s.SetRunner(func(ctx context.Context, p workload.Profile, cfg sim.Config) (sim.Result, error) {
+		total.Add(1)
+		// Long enough that racing claimants really do overlap the
+		// critical section rather than winning by luck of scheduling.
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-ctx.Done():
+			return sim.Result{}, ctx.Err()
+		}
+		return sim.Result{
+			Trace: p.Name, Org: cfg.Org, IPC: 1.5,
+			Instructions: cfg.Instructions, Cycles: 2 * cfg.Instructions,
+		}, nil
+	})
+	return s
+}
+
+// TestClaimRunHammer: 8 stores x 4 keys x 4 goroutines per store all
+// racing on one directory; every key must be simulated exactly once
+// across all stores, and every caller must see the same result.
+func TestClaimRunHammer(t *testing.T) {
+	dir := t.TempDir()
+	var total atomic.Int64
+	const stores, callersPer = 8, 4
+
+	cfgs := make([]sim.Config, 4)
+	for i := range cfgs {
+		c := bvDefault()
+		c.Instructions = uint64(1000 * (i + 1))
+		cfgs[i] = c
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results = map[string][]sim.Result{}
+		errs    []error
+	)
+	for p := 0; p < stores; p++ {
+		s := claimSession(t, dir, &total)
+		for c := 0; c < callersPer; c++ {
+			for i, cfg := range cfgs {
+				wg.Add(1)
+				go func(i int, cfg sim.Config) {
+					defer wg.Done()
+					r, err := s.Run(context.Background(), "mcf.p1", cfg)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						errs = append(errs, err)
+						return
+					}
+					k := fmt.Sprintf("k%d", i)
+					results[k] = append(results[k], r)
+				}(i, cfg)
+			}
+		}
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatalf("%d callers failed, first: %v", len(errs), errs[0])
+	}
+	if got := total.Load(); got != int64(len(cfgs)) {
+		t.Fatalf("simulated %d times, want exactly %d (one per key)", got, len(cfgs))
+	}
+	for k, rs := range results {
+		if len(rs) != stores*callersPer {
+			t.Fatalf("key %s: %d results, want %d", k, len(rs), stores*callersPer)
+		}
+		for _, r := range rs[1:] {
+			if !reflect.DeepEqual(r, rs[0]) {
+				t.Fatalf("key %s: divergent results: %+v vs %+v", k, rs[0], r)
+			}
+		}
+	}
+	// The losers must have loaded the winner's record, not re-run it.
+	if n, err := VerifyDir(dir); err != nil || n != len(cfgs) {
+		t.Fatalf("VerifyDir = (%d, %v), want (%d, nil)", n, err, len(cfgs))
+	}
+	// No claim lockfiles may survive a clean finish.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".lock") {
+			t.Fatalf("leaked lockfile %s", e.Name())
+		}
+	}
+}
+
+// TestClaimRunStaleLockStolen: a lockfile orphaned by a crashed
+// process must not wedge the key forever — once it passes the
+// staleness horizon it is stolen and the key simulates.
+func TestClaimRunStaleLockStolen(t *testing.T) {
+	dir := t.TempDir()
+	var total atomic.Int64
+	s := claimSession(t, dir, &total)
+	s.Store.lockStale = 50 * time.Millisecond
+
+	cfg := bvDefault()
+	cfg.Instructions = 1000
+	lock := s.Store.keyPath("run", "mcf.p1", cfg) + ".lock"
+	if err := os.WriteFile(lock, []byte("99999"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := s.Run(ctx, "mcf.p1", cfg); err != nil {
+		t.Fatalf("Run under orphaned lock: %v", err)
+	}
+	if total.Load() != 1 {
+		t.Fatalf("simulated %d times, want 1", total.Load())
+	}
+}
+
+// TestClaimRunWaiterCancelled: a process waiting on another's claim
+// honors its context instead of polling forever.
+func TestClaimRunWaiterCancelled(t *testing.T) {
+	dir := t.TempDir()
+	var total atomic.Int64
+	s := claimSession(t, dir, &total)
+
+	cfg := bvDefault()
+	cfg.Instructions = 1000
+	// A live (fresh) foreign lock that will never produce a record.
+	lock := s.Store.keyPath("run", "mcf.p1", cfg) + ".lock"
+	if err := os.WriteFile(lock, []byte("1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := s.Run(ctx, "mcf.p1", cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if total.Load() != 0 {
+		t.Fatalf("simulated %d times under a foreign lock, want 0", total.Load())
+	}
+	// The key must not be poisoned: once the foreign lock clears, the
+	// same session serves it (cancellation uncaches the entry).
+	if err := os.Remove(lock); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), "mcf.p1", cfg); err != nil {
+		t.Fatalf("Run after lock cleared: %v", err)
+	}
+	if total.Load() != 1 {
+		t.Fatalf("simulated %d times after recovery, want 1", total.Load())
+	}
+}

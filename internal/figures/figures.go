@@ -10,6 +10,7 @@ package figures
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -228,7 +229,11 @@ func (s *Session) sensitive() []workload.Profile {
 // simulating, and a completed simulation is checkpointed before its
 // waiters are released.
 func (s *Session) run(ctx context.Context, p workload.Profile, cfg sim.Config) (sim.Result, error) {
-	cfg.Instructions = s.Instructions
+	// A session budget overrides the request's; a zero budget (bvsimd
+	// serves per-request budgets) leaves cfg.Instructions in charge.
+	if s.Instructions > 0 {
+		cfg.Instructions = s.Instructions
+	}
 	if s.Check != "" {
 		cfg.Check = s.Check
 	}
@@ -249,21 +254,56 @@ func (s *Session) run(ctx context.Context, p workload.Profile, cfg sim.Config) (
 	e := &cacheEntry{done: make(chan struct{})}
 	s.cache[key] = e
 	s.mu.Unlock()
+	// fromStore publishes a checkpointed result to this entry's waiters.
+	fromStore := func(r sim.Result) (sim.Result, error) {
+		e.res = r
+		close(e.done)
+		if s.Obs != nil && r.Obs != nil {
+			s.Obs.MergeRun(*r.Obs)
+		}
+		s.emit(obs.Progress{
+			Level: obs.LevelProgress, Trace: p.Name, Org: string(cfg.Org),
+			IPC: r.IPC, Resumed: true,
+		})
+		return r, nil
+	}
+	// uncache drops the entry so a later request retries: used for
+	// outcomes that are facts about this attempt (interruption), not
+	// about the configuration. Waiters still see this attempt's error.
+	uncache := func() {
+		s.mu.Lock()
+		delete(s.cache, key)
+		s.mu.Unlock()
+	}
 	if s.Store != nil {
 		if r, ok := s.Store.loadRun(key); ok {
-			e.res = r
+			return fromStore(r)
+		}
+		// Cross-process claim (resume mode): if another process sharing
+		// this cache directory is already simulating the key, wait for
+		// its record instead of duplicating the run.
+		release, r, ok, cerr := s.Store.claimRun(ctx, key)
+		switch {
+		case cerr != nil:
+			uncache()
+			e.err = cerr
 			close(e.done)
-			if s.Obs != nil && r.Obs != nil {
-				s.Obs.MergeRun(*r.Obs)
-			}
-			s.emit(obs.Progress{
-				Level: obs.LevelProgress, Trace: p.Name, Org: string(cfg.Org),
-				IPC: r.IPC, Resumed: true,
-			})
-			return r, nil
+			return sim.Result{}, cerr
+		case ok:
+			return fromStore(r)
+		case release != nil:
+			defer release()
 		}
 	}
 	e.res, e.err = s.simulate(ctx, p, cfg)
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// An interrupted run is not a property of the configuration:
+		// caching it would poison the key for every later caller of a
+		// long-lived session (one disconnecting bvsimd client would
+		// wedge the key for everyone). Deterministic failures — checker
+		// violations, contained panics, bad configs — stay cached.
+		uncache()
+	}
 	if e.err == nil && s.Store != nil {
 		if perr := s.Store.saveRun(key, e.res); perr != nil {
 			s.emit(obs.Progress{
@@ -274,6 +314,32 @@ func (s *Session) run(ctx context.Context, p workload.Profile, cfg sim.Config) (
 	}
 	close(e.done)
 	return e.res, e.err
+}
+
+// Run simulates one named trace of the suite under cfg, through the
+// session's full stack: the in-memory singleflight cache, then the
+// checkpoint store (when attached, with the cross-process claim), then
+// the runner. It is the entry point the bvsimd service backend uses.
+// cfg is taken as-is — including its instruction budget — except that
+// a non-zero Session.Instructions still overrides, as it does for the
+// figure experiments.
+func (s *Session) Run(ctx context.Context, traceName string, cfg sim.Config) (sim.Result, error) {
+	p, ok := workload.ByName(s.all, traceName)
+	if !ok {
+		return sim.Result{}, fmt.Errorf("figures: unknown trace %q", traceName)
+	}
+	return s.run(ctx, p, cfg)
+}
+
+// SetRunner replaces the simulation entry point invoked on a cache and
+// checkpoint miss (nil restores the in-process default,
+// sim.RunSingleCtx). bvsimd points it at the supervised worker-process
+// pool, so runs dispatched over the network still flow through the
+// session's dedupe and persistence layers. Panics from the runner are
+// contained like the simulator's own (*sim.RunPanicError), and the
+// session's RunTimeout still applies around it.
+func (s *Session) SetRunner(fn func(context.Context, workload.Profile, sim.Config) (sim.Result, error)) {
+	s.runFn = fn
 }
 
 // simulate performs the actual run (no caching) and reports progress.

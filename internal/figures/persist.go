@@ -26,14 +26,18 @@ package figures
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"time"
 
 	"basevictim/internal/atomicio"
 	"basevictim/internal/sim"
@@ -109,10 +113,19 @@ type Store struct {
 	dir    string
 	resume bool
 
+	// Cross-process claim tuning (see claimRun): how long a lockfile
+	// may sit untouched before it is presumed orphaned by a crashed
+	// process, and how often a waiting loser re-checks for the record.
+	// Tests shorten both; the defaults are set in NewStore.
+	lockStale time.Duration
+	lockPoll  time.Duration
+
 	mu        sync.Mutex
 	loaded    int
 	discarded int
 	written   int
+	claimed   int   // claims won (we simulated under the lock)
+	waited    int   // claims lost (another process simulated the key)
 	writeErr  error // first write failure; later ones are counted only
 	failed    int
 }
@@ -125,7 +138,12 @@ func NewStore(dir string, resume bool) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	return &Store{dir: dir, resume: resume}, nil
+	return &Store{
+		dir:       dir,
+		resume:    resume,
+		lockStale: 10 * time.Minute,
+		lockPoll:  25 * time.Millisecond,
+	}, nil
 }
 
 // Dir returns the store's directory.
@@ -199,6 +217,59 @@ func (st *Store) saveRun(key runKey, r sim.Result) error {
 		record{Trace: key.trace, Config: key.cfg, Result: &r})
 }
 
+// claimRun serializes simulation of one key across processes sharing
+// the cache directory (resume mode only — a non-resume store wants its
+// own fresh records, and its atomic same-content writes are race-free
+// anyway). Exactly one of the return modes holds:
+//
+//   - release != nil: the claim was won; the caller simulates, saves,
+//     then calls release. A caller that crashes instead leaves a
+//     lockfile that goes stale (lockStale) and is stolen.
+//   - ok == true: another process finished the key while we waited;
+//     r is its (verified) record.
+//   - err != nil: ctx ended while waiting on the other process.
+//   - all zero: no claim infrastructure available (lockfile creation
+//     failed for a reason other than contention) — the caller proceeds
+//     unlocked, trading possible duplicate work for availability.
+func (st *Store) claimRun(ctx context.Context, key runKey) (release func(), r sim.Result, ok bool, err error) {
+	if !st.resume {
+		return nil, sim.Result{}, false, nil
+	}
+	path := st.keyPath("run", key.trace, key.cfg)
+	for {
+		lk, lerr := atomicio.TryLock(path+".lock", st.lockStale)
+		if lerr == nil {
+			// Won. Re-check under the lock: the record may have landed
+			// between our miss and this claim.
+			if r, ok := st.loadRun(key); ok {
+				lk.Release()
+				return nil, r, true, nil
+			}
+			st.mu.Lock()
+			st.claimed++
+			st.mu.Unlock()
+			return func() { lk.Release() }, sim.Result{}, false, nil
+		}
+		if !errors.Is(lerr, atomicio.ErrLocked) {
+			return nil, sim.Result{}, false, nil
+		}
+		// Another process holds the key. Poll for its record (or for
+		// the lock to clear — a failed or crashed holder loops us back
+		// to contend again, stealing the lock once it goes stale).
+		select {
+		case <-ctx.Done():
+			return nil, sim.Result{}, false, ctx.Err()
+		case <-time.After(st.lockPoll):
+		}
+		if r, ok := st.loadRun(key); ok {
+			st.mu.Lock()
+			st.waited++
+			st.mu.Unlock()
+			return nil, r, true, nil
+		}
+	}
+}
+
 // loadMix and saveMix are the multi-program equivalents, keyed by the
 // four trace names plus the config.
 func (st *Store) loadMix(key mixKey) (sim.MultiResult, bool) {
@@ -226,6 +297,34 @@ func (st *Store) saveMix(key mixKey, r sim.MultiResult) error {
 	name := key.traces[0] + "+" + key.traces[1] + "+" + key.traces[2] + "+" + key.traces[3]
 	return st.save(st.keyPath("mix", name, key.cfg),
 		record{Mix: key.traces[:], Config: key.cfg, MixResult: &r})
+}
+
+// VerifyDir decodes and checks every checkpoint record in dir,
+// returning the record count. Any truncated, bit-flipped, stale-schema
+// or otherwise corrupt record fails the verification with an error
+// naming the file. Leftover atomicio temp files and claim lockfiles
+// are ignored — both are inert by design. The graceful-drain tests and
+// the CI chaos job use this to prove that a service killed mid-suite
+// leaves only complete, CRC-valid records behind.
+func VerifyDir(dir string) (records int, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".ckpt") {
+			continue
+		}
+		b, rerr := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if rerr != nil {
+			return records, fmt.Errorf("checkpoint: %s: %w", ent.Name(), rerr)
+		}
+		if _, derr := decodeRecord(b); derr != nil {
+			return records, fmt.Errorf("checkpoint: %s: %w", ent.Name(), derr)
+		}
+		records++
+	}
+	return records, nil
 }
 
 // Stats reports checkpoint activity: records loaded on resume, corrupt

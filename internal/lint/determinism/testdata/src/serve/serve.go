@@ -1,0 +1,57 @@
+// Golden data for the serve side of the wall-clock allowlist: a
+// package whose import path contains a "serve" segment may read the
+// wall clock — token-bucket refill, retry backoff, and liveness
+// watchdogs are inherently about real time, and none of it feeds
+// simulated state — but the other two determinism checks apply in
+// full. Retry jitter must come from a seeded local generator, and
+// anything rendered to a client (status documents, quota tables) must
+// not leak map iteration order.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// The admission layer's legitimate use: elapsed wall time drives
+// token-bucket refill.
+func refillTokens(last time.Time, rate float64) float64 {
+	return time.Since(last).Seconds() * rate
+}
+
+func deadlineFrom(d time.Duration) time.Time {
+	return time.Now().Add(d)
+}
+
+// Global rand stays banned: retry jitter from the process-seeded
+// generator would make chaos schedules unreproducible.
+func jitterFactor() float64 {
+	return 0.5 + rand.Float64() // want `global rand\.Float64 is process-seeded`
+}
+
+// A seeded local generator is the sanctioned form.
+func seededJitter(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return 0.5 + r.Float64()
+}
+
+// Order-sensitive map iteration stays banned: a status document built
+// in raw map order would differ between identical servers.
+func renderQuarantine(q map[string]error) {
+	for k, v := range q { // want `map iteration order is random`
+		fmt.Println(k, v)
+	}
+}
+
+// The append-then-sort idiom allowed everywhere stays allowed here —
+// eviction scans collect keys and order them before acting.
+func idleClients(buckets map[string]time.Time) []string {
+	var keys []string
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

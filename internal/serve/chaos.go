@@ -1,0 +1,94 @@
+package serve
+
+// Deterministic fault injection for the service's chaos harness. A
+// chaos spec names which worker launches misbehave, by 1-based launch
+// index, so a test (or the CI chaos job) can script an exact failure
+// sequence and assert the recovery path — no sleeps, no probability.
+//
+// Grammar: comma-separated directives.
+//
+//	kill@N    SIGKILL the Nth worker launch after its first heartbeat
+//	stall@N   the Nth launch heartbeats once, then hangs forever
+//	          (the supervisor's hung-run detector must kill it)
+//	kill%N    kill every Nth launch (kill%1 = kill them all)
+//	stall%N   stall every Nth launch
+//
+// Directives compose: "kill@1,stall@2" fails the first two launches
+// in different ways; the third, clean, launch must then succeed.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type chaosAction int
+
+const (
+	chaosNone chaosAction = iota
+	chaosKill
+	chaosStall
+)
+
+type chaosSpec struct {
+	killAt     map[int]bool
+	stallAt    map[int]bool
+	killEvery  int
+	stallEvery int
+}
+
+// parseChaos parses a spec; "" yields nil (no chaos).
+func parseChaos(s string) (*chaosSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	spec := &chaosSpec{killAt: map[int]bool{}, stallAt: map[int]bool{}}
+	for _, d := range strings.Split(s, ",") {
+		d = strings.TrimSpace(d)
+		var (
+			verb string
+			at   bool
+		)
+		switch {
+		case strings.Contains(d, "@"):
+			at = true
+			verb, d, _ = strings.Cut(d, "@")
+		case strings.Contains(d, "%"):
+			verb, d, _ = strings.Cut(d, "%")
+		default:
+			return nil, fmt.Errorf("chaos: directive %q: want verb@N or verb%%N", d)
+		}
+		n, err := strconv.Atoi(d)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("chaos: directive index %q: want a positive integer", d)
+		}
+		switch {
+		case verb == "kill" && at:
+			spec.killAt[n] = true
+		case verb == "stall" && at:
+			spec.stallAt[n] = true
+		case verb == "kill":
+			spec.killEvery = n
+		case verb == "stall":
+			spec.stallEvery = n
+		default:
+			return nil, fmt.Errorf("chaos: unknown verb %q (want kill or stall)", verb)
+		}
+	}
+	return spec, nil
+}
+
+// action reports what (if anything) should go wrong with the given
+// worker launch. Kill wins when both verbs match one launch.
+func (c *chaosSpec) action(launch int) chaosAction {
+	if c == nil {
+		return chaosNone
+	}
+	if c.killAt[launch] || (c.killEvery > 0 && launch%c.killEvery == 0) {
+		return chaosKill
+	}
+	if c.stallAt[launch] || (c.stallEvery > 0 && launch%c.stallEvery == 0) {
+		return chaosStall
+	}
+	return chaosNone
+}

@@ -1,0 +1,107 @@
+package serve
+
+// Service metrics, kept in an obs.Registry so they render with the
+// same deterministic snapshot/format machinery as the simulator's own
+// counters. The process-global expvar endpoint ("serve" under
+// /debug/vars) is registered once and indirects through the active
+// server, mirroring the obs package's pattern — tests start many
+// servers in one process and expvar.Publish panics on duplicates.
+
+import (
+	"expvar"
+	"sync"
+
+	"basevictim/internal/obs"
+)
+
+type metrics struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+
+	admitted     *obs.Counter // requests accepted into the queue
+	completed    *obs.Counter // runs delivered to a client (ok or error)
+	shedQueue    *obs.Counter // 429: queue full
+	shedQuota    *obs.Counter // 429: client over its token bucket
+	shedDrain    *obs.Counter // 503: refused while draining
+	clientGone   *obs.Counter // request context ended before delivery
+	runsExecuted *obs.Counter // runner invocations (cache misses)
+	retries      *obs.Counter // worker re-launches after a retryable fault
+	restarts     *obs.Counter // worker processes that died without a result
+	hungKills    *obs.Counter // workers killed by the heartbeat watchdog
+	chaosKills   *obs.Counter // workers killed by injected chaos
+	quarantined  *obs.Counter // keys poisoned after MaxAttempts failures
+
+	queueDepth    *obs.Gauge // current queued jobs
+	queueDepthMax *obs.Gauge // high-water mark of the queue
+	inflight      *obs.Gauge // jobs currently simulating
+	draining      *obs.Gauge // 1 once drain has begun
+
+	attempts *obs.Histogram // launches needed per successful pool run
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg:           reg,
+		admitted:      reg.Counter("serve.admitted"),
+		completed:     reg.Counter("serve.completed"),
+		shedQueue:     reg.Counter("serve.shed_queue_full"),
+		shedQuota:     reg.Counter("serve.shed_quota"),
+		shedDrain:     reg.Counter("serve.shed_draining"),
+		clientGone:    reg.Counter("serve.client_disconnects"),
+		runsExecuted:  reg.Counter("serve.runs_executed"),
+		retries:       reg.Counter("serve.worker_retries"),
+		restarts:      reg.Counter("serve.worker_restarts"),
+		hungKills:     reg.Counter("serve.worker_hung_kills"),
+		chaosKills:    reg.Counter("serve.worker_chaos_kills"),
+		quarantined:   reg.Counter("serve.quarantined"),
+		queueDepth:    reg.Gauge("serve.queue_depth"),
+		queueDepthMax: reg.Gauge("serve.queue_depth_max"),
+		inflight:      reg.Gauge("serve.inflight"),
+		draining:      reg.Gauge("serve.draining"),
+		attempts:      reg.Histogram("serve.run_attempts", []uint64{1, 2, 3, 4, 8}),
+	}
+}
+
+// snapshot returns a deterministic copy of the registry state. The
+// registry itself is single-goroutine by contract, so every touch —
+// counter increments included — happens under mu; see touch().
+func (m *metrics) snapshot() obs.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Snapshot()
+}
+
+// touch runs f with the metrics lock held. All counter/gauge updates
+// go through here: obs.Registry instruments a single simulation
+// goroutine and is deliberately unsynchronized, while a server updates
+// metrics from every handler and dispatcher at once.
+func (m *metrics) touch(f func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f()
+}
+
+var (
+	expvarOnce sync.Once
+	activeMu   sync.Mutex
+	activeSrv  *Server
+)
+
+func setActive(s *Server) {
+	activeMu.Lock()
+	activeSrv = s
+	activeMu.Unlock()
+}
+
+func publishExpvar() {
+	expvar.Publish("serve", expvar.Func(func() any {
+		activeMu.Lock()
+		s := activeSrv
+		activeMu.Unlock()
+		if s == nil {
+			return nil
+		}
+		return s.status()
+	}))
+}

@@ -1,0 +1,310 @@
+package serve
+
+// The supervisor side of the worker-process pool. Each simulation
+// dispatched here runs in a child process (the service's own binary
+// re-exec'd with BVSIMD_WORKER=1), so a crash — a segfault, an OOM
+// kill, a chaos SIGKILL — costs one attempt, never the service. The
+// supervisor:
+//
+//   - watches the heartbeat stream and SIGKILLs a worker that goes
+//     silent past the hung-run horizon (livelock detection);
+//   - retries crashed and hung attempts with capped exponential
+//     backoff and seeded jitter (deterministic under test);
+//   - never retries structured failures (checker violations,
+//     contained panics, bad configs) — those are deterministic
+//     properties of the key, so the first answer is the answer;
+//   - quarantines a key after MaxAttempts crash-type failures:
+//     later requests fail fast with a structured error instead of
+//     burning worker slots on a poison run.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"basevictim/internal/sim"
+	"basevictim/internal/workload"
+)
+
+// RunError is a structured, client-visible run failure. Kind is one of
+// "violation", "panic", "error", or "quarantined"; the HTTP layer maps
+// it to a status code and the JSON error body, so no fault class ever
+// degenerates into an opaque 500 string — and never into a silently
+// wrong table.
+type RunError struct {
+	Kind     string `json:"kind"`
+	Msg      string `json:"error"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+func (e *RunError) Error() string { return e.Msg }
+
+const kindQuarantined = "quarantined"
+
+type poolConfig struct {
+	argv        []string      // worker command line (the service binary itself)
+	heartbeat   time.Duration // worker heartbeat period
+	hungAfter   time.Duration // silence horizon before a worker is presumed hung
+	maxAttempts int           // launches per key before quarantine
+	backoffBase time.Duration // first retry delay (pre-jitter)
+	backoffCap  time.Duration // retry delay ceiling
+	seed        uint64        // jitter seed: chaos tests replay exact schedules
+	chaos       *chaosSpec    // injected faults, nil for none
+}
+
+type pool struct {
+	cfg poolConfig
+	m   *metrics
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	// launches counts worker process starts, service-wide; the chaos
+	// spec addresses faults by this index.
+	launches atomic.Int64
+
+	mu          sync.Mutex
+	quarantined map[string]*RunError
+}
+
+func newPool(cfg poolConfig, m *metrics) *pool {
+	if cfg.heartbeat <= 0 {
+		cfg.heartbeat = 250 * time.Millisecond
+	}
+	if cfg.hungAfter <= 0 {
+		cfg.hungAfter = 10 * cfg.heartbeat
+	}
+	if cfg.maxAttempts <= 0 {
+		cfg.maxAttempts = 3
+	}
+	if cfg.backoffBase <= 0 {
+		cfg.backoffBase = 50 * time.Millisecond
+	}
+	if cfg.backoffCap <= 0 {
+		cfg.backoffCap = 2 * time.Second
+	}
+	seed := cfg.seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &pool{
+		cfg:         cfg,
+		m:           m,
+		jitter:      rand.New(rand.NewSource(int64(seed))),
+		quarantined: make(map[string]*RunError),
+	}
+}
+
+func quarantineKey(trace string, cfg sim.Config) string {
+	return fmt.Sprintf("%s|%#v", trace, cfg)
+}
+
+func (pl *pool) quarantineFor(key string) *RunError {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.quarantined[key]
+}
+
+func (pl *pool) quarantineCount() int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return len(pl.quarantined)
+}
+
+// run is the figures.Session runner: it executes one (trace, config)
+// in a supervised worker process, retrying transient faults. It is
+// called on cache and checkpoint misses only, so every retry here is
+// work that genuinely has to happen.
+func (pl *pool) run(ctx context.Context, p workload.Profile, cfg sim.Config) (sim.Result, error) {
+	key := quarantineKey(p.Name, cfg)
+	if re := pl.quarantineFor(key); re != nil {
+		return sim.Result{}, re
+	}
+	var lastCrash error
+	for attempt := 1; attempt <= pl.cfg.maxAttempts; attempt++ {
+		if attempt > 1 {
+			pl.m.touch(pl.m.retries.Inc)
+			if err := sleepCtx(ctx, pl.backoff(attempt)); err != nil {
+				return sim.Result{}, err
+			}
+		}
+		res, retryable, err := pl.attempt(ctx, p.Name, cfg)
+		switch {
+		case err == nil:
+			pl.m.touch(func() { pl.m.attempts.Observe(uint64(attempt)) })
+			return res, nil
+		case !retryable:
+			return sim.Result{}, err
+		}
+		lastCrash = err
+		pl.m.touch(pl.m.restarts.Inc)
+	}
+	re := &RunError{
+		Kind: kindQuarantined,
+		Msg: fmt.Sprintf("%s on %s quarantined after %d failed attempts (last: %v)",
+			p.Name, cfg.Org, pl.cfg.maxAttempts, lastCrash),
+		Attempts: pl.cfg.maxAttempts,
+	}
+	pl.mu.Lock()
+	pl.quarantined[key] = re
+	pl.mu.Unlock()
+	pl.m.touch(pl.m.quarantined.Inc)
+	return sim.Result{}, re
+}
+
+// backoff computes the pre-attempt delay: capped exponential in the
+// attempt number, scaled by seeded jitter in [0.5, 1.5) so a thundering
+// herd of retries decorrelates — deterministically, given the seed.
+func (pl *pool) backoff(attempt int) time.Duration {
+	d := pl.cfg.backoffBase << uint(attempt-2)
+	if d <= 0 || d > pl.cfg.backoffCap {
+		d = pl.cfg.backoffCap
+	}
+	pl.jitterMu.Lock()
+	f := 0.5 + pl.jitter.Float64()
+	pl.jitterMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// attempt launches one worker process and shepherds it to an outcome.
+// retryable marks faults worth another launch (crash, hang); structured
+// simulation failures and context cancellation are terminal.
+func (pl *pool) attempt(ctx context.Context, trace string, cfg sim.Config) (res sim.Result, retryable bool, err error) {
+	launch := int(pl.launches.Add(1))
+	act := pl.cfg.chaos.action(launch)
+
+	cmd := exec.CommandContext(ctx, pl.cfg.argv[0], pl.cfg.argv[1:]...)
+	cmd.Env = append(os.Environ(), workerEnvVar+"=1")
+	var errBuf bytes.Buffer
+	cmd.Stderr = &errBuf
+	stdout, perr := cmd.StdoutPipe()
+	if perr != nil {
+		return sim.Result{}, true, fmt.Errorf("worker pipe: %w", perr)
+	}
+	stdin, perr := cmd.StdinPipe()
+	if perr != nil {
+		return sim.Result{}, true, fmt.Errorf("worker pipe: %w", perr)
+	}
+	if serr := cmd.Start(); serr != nil {
+		return sim.Result{}, true, fmt.Errorf("worker start: %w", serr)
+	}
+	env := jobEnvelope{
+		Trace:       trace,
+		Config:      cfg,
+		HeartbeatMS: int(pl.cfg.heartbeat / time.Millisecond),
+		Stall:       act == chaosStall,
+	}
+	json.NewEncoder(stdin).Encode(env) //nolint:errcheck // a dead child surfaces as EOF-without-result below
+	stdin.Close()
+
+	// One goroutine owns stdout; the supervisor loop below owns the
+	// watchdog. Lines flow over an unbuffered channel so a heartbeat is
+	// observed the moment it arrives.
+	lines := make(chan workerLine)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			var ln workerLine
+			if json.Unmarshal(sc.Bytes(), &ln) != nil {
+				continue // stray stdout noise neither feeds nor resets the watchdog
+			}
+			lines <- ln
+		}
+	}()
+	// reap drains the reader goroutine and collects the process; every
+	// exit path must go through it or the pipe goroutine leaks.
+	reap := func() error {
+		go stdout.Close() //nolint:errcheck // unblocks the scanner if the worker never closes its end
+		for range lines {
+		}
+		return cmd.Wait()
+	}
+
+	killed := false
+	kill := func() {
+		if !killed {
+			killed = true
+			cmd.Process.Kill() //nolint:errcheck // already-dead is fine
+		}
+	}
+	watchdog := time.NewTimer(pl.cfg.hungAfter)
+	defer watchdog.Stop()
+	sawHeartbeat := false
+	for {
+		select {
+		case <-ctx.Done():
+			kill()
+			reap() //nolint:errcheck // the context error is the story
+			return sim.Result{}, false, ctx.Err()
+		case <-watchdog.C:
+			kill()
+			reap() //nolint:errcheck // the hang is the story
+			pl.m.touch(pl.m.hungKills.Inc)
+			return sim.Result{}, true, fmt.Errorf(
+				"worker hung on %s (launch %d): no heartbeat within %v; killed",
+				trace, launch, pl.cfg.hungAfter)
+		case ln, ok := <-lines:
+			if !ok {
+				werr := reap()
+				msg := strings.TrimSpace(errBuf.String())
+				if msg != "" {
+					msg = "; stderr: " + msg
+				}
+				return sim.Result{}, true, fmt.Errorf(
+					"worker for %s (launch %d) exited without a result: %v%s",
+					trace, launch, werr, msg)
+			}
+			if !watchdog.Stop() {
+				select {
+				case <-watchdog.C:
+				default:
+				}
+			}
+			watchdog.Reset(pl.cfg.hungAfter)
+			switch {
+			case ln.Result != nil:
+				reap() //nolint:errcheck // result already in hand
+				return *ln.Result, false, nil
+			case ln.Error != "":
+				reap() //nolint:errcheck // structured error already in hand
+				kind := ln.Kind
+				if kind == "" {
+					kind = kindError
+				}
+				return sim.Result{}, false, &RunError{Kind: kind, Msg: ln.Error}
+			default: // heartbeat
+				if act == chaosKill && !sawHeartbeat {
+					// Chaos: the worker dies right after proving it was
+					// alive — the harshest crash point, since the
+					// supervisor cannot tell it from a mid-run segfault.
+					pl.m.touch(pl.m.chaosKills.Inc)
+					kill()
+				}
+				sawHeartbeat = true
+			}
+		}
+	}
+}

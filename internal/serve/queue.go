@@ -1,0 +1,87 @@
+package serve
+
+// The bounded admission queue between HTTP handlers and dispatcher
+// workers. Admission is all-or-nothing per request — a sweep's jobs
+// either all fit or none do, so a shed sweep holds no partial claim on
+// capacity — and refusal is immediate (tryPush never blocks): the
+// backpressure signal is a 429 now, not a client parked on a socket.
+
+import (
+	"context"
+	"sync"
+
+	"basevictim/internal/sim"
+)
+
+// job is one queued simulation request.
+type job struct {
+	ctx   context.Context
+	trace string
+	cfg   sim.Config
+	// done receives exactly one result; buffered so a dispatcher never
+	// blocks on a client that stopped listening.
+	done chan jobResult
+}
+
+type jobResult struct {
+	res sim.Result
+	err error
+}
+
+type queue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	items    []*job
+	capacity int
+	closed   bool
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{capacity: capacity}
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// tryPush enqueues all of js, or none: false means the queue lacks
+// room (or intake has closed) and the caller must shed.
+func (q *queue) tryPush(js ...*job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items)+len(js) > q.capacity {
+		return false
+	}
+	q.items = append(q.items, js...)
+	q.notEmpty.Broadcast()
+	return true
+}
+
+// pop blocks for the next job. After close it keeps returning queued
+// jobs until the queue is empty — that is what lets a drain finish the
+// accepted work — then reports false forever.
+func (q *queue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j := q.items[0]
+	q.items = q.items[1:]
+	return j, true
+}
+
+// close stops intake and wakes every waiting dispatcher.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+}
+
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,124 @@
+package serve
+
+// Per-client admission quotas: a classic token bucket per client ID,
+// refilled by wall clock. The service is still deterministic where it
+// matters — simulated results never depend on time — but admission is
+// allowed to be temporal, which is why the bvlint determinism
+// analyzer allowlists this package for wall-clock reads (and still
+// bans global math/rand here like everywhere else).
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotaTable tracks one token bucket per client. A nil table admits
+// everything (quotas disabled).
+type quotaTable struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu         sync.Mutex
+	buckets    map[string]*bucket
+	maxClients int
+}
+
+// newQuotaTable builds a table admitting rate requests/second with the
+// given burst per client; rate <= 0 disables quotas (nil table).
+func newQuotaTable(rate float64, burst int) *quotaTable {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotaTable{
+		rate:       rate,
+		burst:      float64(burst),
+		now:        time.Now,
+		buckets:    make(map[string]*bucket),
+		maxClients: 4096,
+	}
+}
+
+// take tries to spend n tokens for client. On refusal it reports how
+// long the client should wait before the bucket holds n tokens — the
+// value served in the 429 Retry-After header. A request larger than
+// the burst can never be admitted; its retry-after names the time to
+// fill the whole bucket so clients see a finite (if hopeless) number,
+// and the server-side caller rejects such sweeps up front.
+func (q *quotaTable) take(client string, n int) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	need := float64(n)
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[client]
+	if b == nil {
+		q.evictIdle()
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(q.burst, b.tokens+dt*q.rate)
+		b.last = now
+	}
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	missing := math.Min(need, q.burst) - b.tokens
+	if missing < 0 {
+		missing = 0
+	}
+	wait := time.Duration(math.Ceil(missing/q.rate*1000)) * time.Millisecond
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// evictIdle bounds the table against client-ID churn (every spoofed ID
+// would otherwise leak a bucket forever). Called with q.mu held, only
+// on the new-client path. Full buckets belong to idle clients — losing
+// one costs nothing, the client would re-enter at full burst anyway.
+// If every bucket is mid-drain (an adversarial 4096-client burst), the
+// oldest-stamped half is dropped: those clients regain burst early,
+// which errs on admitting rather than wedging the table.
+func (q *quotaTable) evictIdle() {
+	if len(q.buckets) < q.maxClients {
+		return
+	}
+	for id, b := range q.buckets {
+		if b.tokens >= q.burst {
+			delete(q.buckets, id)
+		}
+	}
+	if len(q.buckets) < q.maxClients {
+		return
+	}
+	ids := make([]string, 0, len(q.buckets))
+	for id := range q.buckets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		bi, bj := q.buckets[ids[i]], q.buckets[ids[j]]
+		if !bi.last.Equal(bj.last) {
+			return bi.last.Before(bj.last)
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids[:len(ids)/2] {
+		delete(q.buckets, id)
+	}
+}

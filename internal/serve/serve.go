@@ -1,0 +1,338 @@
+// Package serve is the bvsimd simulation service: an HTTP/JSON front
+// end over the figures session (in-memory singleflight dedupe), the
+// durable checkpoint store (SHA-256-keyed, CRC-verified records, with
+// the cross-process claim), and a supervised pool of worker processes.
+//
+// The design goal is fault tolerance with honest failure modes. Every
+// fault class has a defined client-visible outcome (see DESIGN.md §12
+// for the full matrix): worker crashes and hangs retry with capped
+// exponential backoff and quarantine; overload sheds load with 429 +
+// Retry-After against a bounded queue and per-client token buckets;
+// client disconnects cancel the run without poisoning the cache;
+// SIGTERM drains — finish the accepted work, persist it, refuse new
+// work — so a restarted service answers the same questions from disk,
+// byte-identically. The one outcome that can never happen is a
+// silently wrong table.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"basevictim/internal/figures"
+	"basevictim/internal/obs"
+	"basevictim/internal/sim"
+	"basevictim/internal/workload"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// serving default, and chaos is off.
+type Config struct {
+	// Workers is the number of concurrent simulations (dispatcher
+	// goroutines, each driving at most one worker process). Default 2.
+	Workers int
+	// QueueDepth bounds the admission queue; a request that does not
+	// fit is shed with 429, never parked. Default 64.
+	QueueDepth int
+	// QuotaRate and QuotaBurst shape the per-client token bucket
+	// (requests/second and bucket size). Rate 0 disables quotas.
+	QuotaRate  float64
+	QuotaBurst int
+	// DefaultTimeout applies to requests that name no deadline;
+	// MaxTimeout caps what a client may ask for. Defaults 2m / 10m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxInstructions caps the per-request instruction budget.
+	// Default 200M (the paper's full-length runs).
+	MaxInstructions uint64
+	// MaxAttempts is worker launches per run before quarantine;
+	// BackoffBase/BackoffCap and Seed shape the retry schedule.
+	MaxAttempts int
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	Seed        uint64
+	// Heartbeat and HungAfter tune the worker liveness protocol.
+	Heartbeat time.Duration
+	HungAfter time.Duration
+	// ReadHeaderTimeout bounds how long a (possibly malicious) slow
+	// client may dribble request headers. Default 10s.
+	ReadHeaderTimeout time.Duration
+	// CacheDir, when set, attaches the durable checkpoint store in
+	// resume mode: completed runs persist across restarts, and several
+	// bvsimd processes may share the directory (cross-process claim).
+	CacheDir string
+	// Chaos is a deterministic fault-injection spec (see chaos.go);
+	// "" disables injection.
+	Chaos string
+	// WorkerArgv overrides the worker command line. Default: this
+	// executable (re-exec'd with BVSIMD_WORKER=1).
+	WorkerArgv []string
+	// InProcess runs simulations in the service process instead of
+	// workers — no crash isolation, no retries, but no exec either.
+	InProcess bool
+	// Runner, when non-nil, replaces the execution backend entirely
+	// (tests use it to script timing without real simulations).
+	Runner func(context.Context, workload.Profile, sim.Config) (sim.Result, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.QuotaBurst <= 0 {
+		c.QuotaBurst = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxInstructions == 0 {
+		c.MaxInstructions = 200_000_000
+	}
+	if c.ReadHeaderTimeout <= 0 {
+		c.ReadHeaderTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server is one bvsimd instance.
+type Server struct {
+	cfg     Config
+	m       *metrics
+	q       *queue
+	quota   *quotaTable
+	session *figures.Session
+	store   *figures.Store
+	pool    *pool // nil when InProcess or Runner is set
+
+	http *http.Server
+	ln   net.Listener
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	wg        sync.WaitGroup // dispatchers
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainErr  error
+}
+
+// New builds a server. It validates the chaos spec and opens the
+// checkpoint directory, but does not bind a socket — see Listen.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	spec, err := parseChaos(cfg.Chaos)
+	if err != nil {
+		return nil, fmt.Errorf("bvsimd: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		m:       newMetrics(),
+		q:       newQueue(cfg.QueueDepth),
+		quota:   newQuotaTable(cfg.QuotaRate, cfg.QuotaBurst),
+		session: figures.NewSession(0),
+	}
+	if cfg.CacheDir != "" {
+		s.store, err = figures.NewStore(cfg.CacheDir, true)
+		if err != nil {
+			return nil, fmt.Errorf("bvsimd: %w", err)
+		}
+		s.session.Store = s.store
+	}
+	runner := cfg.Runner
+	if runner == nil && !cfg.InProcess {
+		argv := cfg.WorkerArgv
+		if len(argv) == 0 {
+			exe, err := os.Executable()
+			if err != nil {
+				return nil, fmt.Errorf("bvsimd: cannot locate own binary for workers: %w", err)
+			}
+			argv = []string{exe}
+		}
+		s.pool = newPool(poolConfig{
+			argv:        argv,
+			heartbeat:   cfg.Heartbeat,
+			hungAfter:   cfg.HungAfter,
+			maxAttempts: cfg.MaxAttempts,
+			backoffBase: cfg.BackoffBase,
+			backoffCap:  cfg.BackoffCap,
+			seed:        cfg.Seed,
+			chaos:       spec,
+		}, s.m)
+		runner = s.pool.run
+	}
+	if runner != nil {
+		inner := runner
+		runner = func(ctx context.Context, p workload.Profile, c sim.Config) (sim.Result, error) {
+			s.m.touch(s.m.runsExecuted.Inc)
+			return inner(ctx, p, c)
+		}
+		s.session.SetRunner(runner)
+	} else {
+		s.session.SetRunner(func(ctx context.Context, p workload.Profile, c sim.Config) (sim.Result, error) {
+			s.m.touch(s.m.runsExecuted.Inc)
+			return sim.RunSingleCtx(ctx, p, c)
+		})
+	}
+	return s, nil
+}
+
+// Listen binds addr, starts the dispatchers and the HTTP front end,
+// and returns. ctx is the server's lifetime: cancelling it (or a
+// forced Drain) cancels every in-flight request and run. A bind
+// failure comes back wrapped so cliexit classifies it as exit code 5.
+func (s *Server) Listen(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("bvsimd: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.baseCtx, s.cancelBase = context.WithCancel(ctx)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.dispatch()
+	}
+	s.http = &http.Server{
+		Handler:           s.mux(),
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		BaseContext:       func(net.Listener) context.Context { return s.baseCtx },
+	}
+	go s.http.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Drain/Close
+	setActive(s)
+	expvarOnce.Do(publishExpvar)
+	return nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Session exposes the underlying figures session (tests reach through
+// it to pre-warm or inspect the cache layers).
+func (s *Server) Session() *figures.Session { return s.session }
+
+// Drain is the graceful shutdown: stop admitting (new requests shed
+// with 503), let the dispatchers finish and persist every already
+// accepted job, deliver those responses, then stop. If ctx expires
+// first the remaining runs are cancelled — workers killed, their keys
+// simply absent from the checkpoint directory, never half-written.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		s.m.touch(func() { s.m.draining.Set(1) })
+		s.q.close()
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.cancelBase() // cancels every request ctx, which kills the workers
+			<-done
+			s.drainErr = ctx.Err()
+		}
+		if s.http != nil {
+			if err := s.http.Shutdown(ctx); err != nil {
+				s.http.Close() //nolint:errcheck // hard stop after a failed graceful one
+				if s.drainErr == nil {
+					s.drainErr = err
+				}
+			}
+		}
+		s.cancelBase()
+	})
+	return s.drainErr
+}
+
+// Close is the unceremonious stop (tests, fatal errors): everything
+// cancelled, no grace.
+func (s *Server) Close() {
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(expired) //nolint:errcheck // an already-expired ctx makes this the forced path
+}
+
+// dispatch is one worker loop: pull a job, run it through the session
+// (cache → checkpoint claim → runner), deliver the result.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.m.touch(func() { s.m.queueDepth.Set(int64(s.q.depth())) })
+		if j.ctx.Err() != nil {
+			// The client gave up (or timed out) while queued; skip the
+			// work entirely rather than simulating for nobody.
+			j.done <- jobResult{err: j.ctx.Err()}
+			continue
+		}
+		s.m.touch(func() { s.m.inflight.Add(1) })
+		res, err := s.session.Run(j.ctx, j.trace, j.cfg)
+		s.m.touch(func() {
+			s.m.inflight.Add(-1)
+			s.m.completed.Inc()
+		})
+		j.done <- jobResult{res: res, err: err}
+	}
+}
+
+// statusInfo is the /statusz (and expvar "serve") document.
+type statusInfo struct {
+	Draining    bool         `json:"draining"`
+	QueueDepth  int          `json:"queue_depth"`
+	Quarantined int          `json:"quarantined"`
+	Checkpoints *ckptInfo    `json:"checkpoints,omitempty"`
+	Metrics     obs.Snapshot `json:"metrics"`
+	Workers     int          `json:"workers"`
+	QueueCap    int          `json:"queue_capacity"`
+}
+
+type ckptInfo struct {
+	Dir       string `json:"dir"`
+	Loaded    int    `json:"loaded"`
+	Discarded int    `json:"discarded"`
+	Written   int    `json:"written"`
+}
+
+func (s *Server) status() statusInfo {
+	st := statusInfo{
+		Draining:   s.draining.Load(),
+		QueueDepth: s.q.depth(),
+		Metrics:    s.m.snapshot(),
+		Workers:    s.cfg.Workers,
+		QueueCap:   s.cfg.QueueDepth,
+	}
+	if s.pool != nil {
+		st.Quarantined = s.pool.quarantineCount()
+	}
+	if s.store != nil {
+		loaded, discarded, written := s.store.Stats()
+		st.Checkpoints = &ckptInfo{Dir: s.store.Dir(), Loaded: loaded, Discarded: discarded, Written: written}
+	}
+	return st
+}
+
+// errIsCancel reports whether err is (or wraps) a context ending.
+func errIsCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
