@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt vet bvlint fuzz-smoke
+.PHONY: all build test race lint fmt vet bvlint fuzz-smoke perf-smoke
 
 all: build test lint
 
@@ -32,3 +32,12 @@ bvlint:
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzBDIRoundTrip -fuzztime=5s ./internal/compress/
+
+# perf-smoke takes a quick benchmark snapshot and gates it against the
+# newest checked-in BENCH_*.json. The 75% allowance absorbs host
+# differences (CI runners vs the snapshot's machine) while still
+# catching order-of-magnitude hot-path regressions.
+perf-smoke:
+	$(GO) run ./cmd/bench -ins 20000 -traces 2 -mips-ins 2000000 -out /tmp/BENCH_ci.json
+	base=$$(ls BENCH_*.json | sort | tail -1); \
+	$(GO) run ./cmd/bench -compare -max-regress 75 $$base /tmp/BENCH_ci.json

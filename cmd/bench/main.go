@@ -19,13 +19,21 @@
 //
 //	bench                        # writes BENCH_YYYY-MM-DD.json
 //	bench -ins 100000 -traces 4 -out BENCH.json
+//	bench -compare old.json new.json -max-regress 10
+//
+// Compare mode prints a benchstat-style delta table between two
+// snapshots and exits non-zero if any throughput entry regressed by
+// more than -max-regress percent, which is what the CI perf-smoke job
+// runs against the checked-in baseline.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -38,7 +46,17 @@ import (
 	"basevictim/internal/cliexit"
 	"basevictim/internal/obs"
 	"basevictim/internal/sim"
+	"basevictim/internal/trace"
 )
+
+// decodeStat captures how well trace decoding batched: mean ops per
+// refill near trace.BatchOps means per-record reader overhead was
+// fully amortized.
+type decodeStat struct {
+	Batches   uint64  `json:"batches"`
+	Ops       uint64  `json:"ops"`
+	MeanBatch float64 `json:"mean_batch"`
+}
 
 type throughputStat struct {
 	Trace        string  `json:"trace"`
@@ -46,6 +64,18 @@ type throughputStat struct {
 	Instructions uint64  `json:"instructions"`
 	Seconds      float64 `json:"seconds"`
 	MIPS         float64 `json:"mips"`
+	// AllocObjects counts heap allocations during the measured run
+	// (setup + warmup + steady state); AllocsPerAccess divides by the
+	// instructions processed — every instruction accesses the hierarchy
+	// at least once (fetch), so this is an upper bound on steady-state
+	// garbage per access. With the arena-backed run state it should be
+	// ~0.001 or less; drift upward means the hot path regained an
+	// allocation (TestSteadyStateZeroAllocs pins the sharp version).
+	AllocObjects    uint64  `json:"alloc_objects"`
+	AllocsPerAccess float64 `json:"allocs_per_access"`
+	// Decode is set on the decode-batch entry only: the raw BatchReader
+	// decode measurement over an in-memory recording of the same trace.
+	Decode *decodeStat `json:"decode,omitempty"`
 	// Metrics is the run's deterministic observability snapshot —
 	// cache decision counters, stall attribution, DRAM latency buckets
 	// — so a throughput regression can be correlated with a behavior
@@ -133,13 +163,21 @@ func main() {
 func run(ctx context.Context) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		out    = fs.String("out", "", "output path (default BENCH_<date>.json)")
-		ins    = fs.Uint64("ins", 60_000, "instructions per thread for the experiment passes")
-		traces = fs.Int("traces", 3, "trace cap per experiment")
-		mipsN  = fs.Uint64("mips-ins", 1_000_000, "instructions for the raw throughput measurement")
+		out        = fs.String("out", "", "output path (default BENCH_<date>.json)")
+		ins        = fs.Uint64("ins", 60_000, "instructions per thread for the experiment passes")
+		traces     = fs.Int("traces", 3, "trace cap per experiment")
+		mipsN      = fs.Uint64("mips-ins", 1_000_000, "instructions for the raw throughput measurement")
+		compare    = fs.Bool("compare", false, "compare two snapshots: bench -compare old.json new.json")
+		maxRegress = fs.Float64("max-regress", 10, "with -compare, fail if any throughput entry drops by more than this percent")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare takes exactly two snapshot paths, got %d", fs.NArg())
+		}
+		return compareSnapshots(os.Stdout, fs.Arg(0), fs.Arg(1), *maxRegress)
 	}
 
 	rep := report{
@@ -172,8 +210,14 @@ func run(ctx context.Context) error {
 			return err
 		}
 		rep.Throughput = append(rep.Throughput, st)
-		fmt.Fprintf(os.Stderr, "  %-13s %6.2f MIPS\n", org, st.MIPS)
+		fmt.Fprintf(os.Stderr, "  %-13s %6.2f MIPS  %.4f allocs/access\n", org, st.MIPS, st.AllocsPerAccess)
 	}
+	st, err := decodeThroughput("soplex.p1", *mipsN)
+	if err != nil {
+		return err
+	}
+	rep.Throughput = append(rep.Throughput, st)
+	fmt.Fprintf(os.Stderr, "  %-13s %6.2f Mrec/s  mean batch %.0f ops\n", st.Org, st.MIPS, st.Decode.MeanBatch)
 
 	fmt.Fprintf(os.Stderr, "experiments: ins=%d traces=%d (serial, fresh session each)\n", *ins, *traces)
 	for _, id := range basevictim.Experiments() {
@@ -211,7 +255,9 @@ func run(ctx context.Context) error {
 }
 
 // throughput times one raw simulation and reports millions of
-// simulated instructions per wall-clock second.
+// simulated instructions per wall-clock second, plus the heap
+// allocation count over the same run (Mallocs is a cumulative
+// counter, so the delta is GC-independent).
 func throughput(ctx context.Context, traceName, org string, ins uint64) (throughputStat, error) {
 	tr, err := basevictim.TraceByName(traceName)
 	if err != nil {
@@ -220,19 +266,92 @@ func throughput(ctx context.Context, traceName, org string, ins uint64) (through
 	cfg := basevictim.BaseVictimConfig()
 	cfg.Org = basevictim.OrgKind(org)
 	ctx = sim.WithObserver(ctx, &sim.Observer{Registry: obs.NewRegistry()})
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	res, err := basevictim.RunContext(ctx, tr, cfg, ins)
 	if err != nil {
 		return throughputStat{}, err
 	}
 	sec := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
 	return throughputStat{
-		Trace:        traceName,
-		Org:          org,
-		Instructions: res.Instructions,
-		Seconds:      sec,
-		MIPS:         float64(res.Instructions) / sec / 1e6,
-		Metrics:      res.Obs,
+		Trace:           traceName,
+		Org:             org,
+		Instructions:    res.Instructions,
+		Seconds:         sec,
+		MIPS:            float64(res.Instructions) / sec / 1e6,
+		AllocObjects:    allocs,
+		AllocsPerAccess: float64(allocs) / float64(res.Instructions),
+		Metrics:         res.Obs,
+	}, nil
+}
+
+// decodeThroughput measures the batched trace decoder alone: it
+// records ops from the named trace's generator into an in-memory
+// .bvtr image, then times a BatchReader pass over it. The entry's
+// MIPS field is millions of records decoded per second, and Decode
+// carries the batch statistics.
+func decodeThroughput(traceName string, ops uint64) (throughputStat, error) {
+	tr, err := basevictim.TraceByName(traceName)
+	if err != nil {
+		return throughputStat{}, err
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		return throughputStat{}, err
+	}
+	stream := tr.Stream()
+	for i := uint64(0); i < ops; i++ {
+		op, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(op); err != nil {
+			return throughputStat{}, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return throughputStat{}, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	r, err := trace.NewBatchReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return throughputStat{}, err
+	}
+	var decoded uint64
+	for {
+		batch, err := r.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return throughputStat{}, err
+		}
+		decoded += uint64(len(batch))
+	}
+	sec := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	bs := r.Stats()
+	return throughputStat{
+		Trace:           traceName,
+		Org:             "decode-batch",
+		Instructions:    decoded,
+		Seconds:         sec,
+		MIPS:            float64(decoded) / sec / 1e6,
+		AllocObjects:    allocs,
+		AllocsPerAccess: float64(allocs) / float64(decoded),
+		Decode: &decodeStat{
+			Batches:   bs.Batches,
+			Ops:       bs.Ops,
+			MeanBatch: float64(bs.Ops) / float64(bs.Batches),
+		},
 	}, nil
 }
 
@@ -295,4 +414,110 @@ func suiteComparison(ctx context.Context, ins uint64, traces int) (suiteStat, er
 		Speedup:         serialSec / parSec,
 		TablesIdentical: serialTab == parTab,
 	}, nil
+}
+
+// loadReport reads one BENCH snapshot.
+func loadReport(path string) (report, error) {
+	var rep report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// pctDelta renders a benchstat-style signed percentage, or "new"/"gone"
+// when the metric exists on only one side.
+func pctDelta(old, new float64, haveOld, haveNew bool) string {
+	switch {
+	case !haveOld && !haveNew:
+		return ""
+	case !haveOld:
+		return "new"
+	case !haveNew:
+		return "gone"
+	case old == 0:
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+// compareSnapshots prints a delta table between two BENCH snapshots
+// and fails when any throughput entry present in both regressed by
+// more than maxRegress percent. Only throughput MIPS gates: experiment
+// wall-clock and suite timings are printed for context but are too
+// noisy on shared CI hosts to block on.
+func compareSnapshots(w io.Writer, oldPath, newPath string, maxRegress float64) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	if oldRep.Host.NumCPU != newRep.Host.NumCPU || oldRep.Host.GoVersion != newRep.Host.GoVersion {
+		fmt.Fprintf(w, "note: hosts differ (%s/%d cpu vs %s/%d cpu); deltas include host effects\n",
+			oldRep.Host.GoVersion, oldRep.Host.NumCPU, newRep.Host.GoVersion, newRep.Host.NumCPU)
+	}
+
+	type key struct{ trace, org string }
+	oldTP := make(map[key]throughputStat)
+	for _, st := range oldRep.Throughput {
+		oldTP[key{st.Trace, st.Org}] = st
+	}
+	fmt.Fprintf(w, "%-42s %10s %10s %9s\n", "throughput (MIPS)", "old", "new", "delta")
+	var regressions []string
+	seen := make(map[key]bool)
+	for _, st := range newRep.Throughput {
+		k := key{st.Trace, st.Org}
+		seen[k] = true
+		old, ok := oldTP[k]
+		fmt.Fprintf(w, "%-42s %10.2f %10.2f %9s\n",
+			st.Trace+"/"+st.Org, old.MIPS, st.MIPS, pctDelta(old.MIPS, st.MIPS, ok, true))
+		if ok && old.MIPS > 0 && (old.MIPS-st.MIPS)/old.MIPS*100 > maxRegress {
+			regressions = append(regressions,
+				fmt.Sprintf("%s/%s: %.2f -> %.2f MIPS (%.1f%% > %.1f%% allowed)",
+					st.Trace, st.Org, old.MIPS, st.MIPS, (old.MIPS-st.MIPS)/old.MIPS*100, maxRegress))
+		}
+	}
+	for _, st := range oldRep.Throughput {
+		if k := (key{st.Trace, st.Org}); !seen[k] {
+			fmt.Fprintf(w, "%-42s %10.2f %10s %9s\n", st.Trace+"/"+st.Org, st.MIPS, "-", "gone")
+		}
+	}
+
+	fmt.Fprintf(w, "%-42s %10s %10s %9s\n", "allocs/access", "old", "new", "delta")
+	for _, st := range newRep.Throughput {
+		old, ok := oldTP[key{st.Trace, st.Org}]
+		fmt.Fprintf(w, "%-42s %10.4f %10.4f %9s\n", st.Trace+"/"+st.Org,
+			old.AllocsPerAccess, st.AllocsPerAccess,
+			pctDelta(old.AllocsPerAccess, st.AllocsPerAccess, ok, true))
+	}
+
+	oldExp := make(map[string]expStat)
+	for _, st := range oldRep.Experiments {
+		oldExp[st.ID] = st
+	}
+	fmt.Fprintf(w, "%-42s %10s %10s %9s\n", "experiment (seconds)", "old", "new", "delta")
+	for _, st := range newRep.Experiments {
+		old, ok := oldExp[st.ID]
+		fmt.Fprintf(w, "%-42s %10.2f %10.2f %9s\n", st.ID, old.Seconds, st.Seconds,
+			pctDelta(old.Seconds, st.Seconds, ok, true))
+	}
+	fmt.Fprintf(w, "%-42s %10.2f %10.2f %9s\n", "suite/serial (seconds)",
+		oldRep.Suite.SerialSeconds, newRep.Suite.SerialSeconds,
+		pctDelta(oldRep.Suite.SerialSeconds, newRep.Suite.SerialSeconds, true, true))
+	fmt.Fprintf(w, "%-42s %10.2f %10.2f %9s\n", "suite/parallel (seconds)",
+		oldRep.Suite.ParallelSeconds, newRep.Suite.ParallelSeconds,
+		pctDelta(oldRep.Suite.ParallelSeconds, newRep.Suite.ParallelSeconds, true, true))
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("throughput regressed past -max-regress %.1f%%:\n  %s",
+			maxRegress, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }

@@ -1,0 +1,112 @@
+// Package arena provides slab allocation for per-run simulator state.
+//
+// A simulation run allocates a few dozen large, flat arrays (tag
+// stores, replacement-policy metadata, prefetch tables, value-model
+// memos) at setup and then must not allocate at all in steady state.
+// An Arena turns those setup allocations into carve-outs from a small
+// number of reusable chunks: one run's worth of state costs a handful
+// of heap objects instead of hundreds, and a pooled Arena reused
+// across runs (see internal/sim) costs none after the first.
+//
+// Arenas are deliberately dumb: grow-only typed slabs with a wholesale
+// Reset. There is no per-object free, which is exactly the lifetime
+// per-run state has. Every slice handed out is zeroed, so a reused
+// Arena is indistinguishable from fresh heap memory and simulation
+// determinism is preserved.
+//
+// An Arena is not safe for concurrent use; parallel sessions give each
+// run its own (internal/sim pools them).
+package arena
+
+import "reflect"
+
+// chunkElems is the minimum chunk size, in elements, a slab grows by.
+// Large enough to merge the simulator's many small setup slices into
+// few chunks, small enough that an over-provisioned slab wastes little.
+const chunkElems = 4096
+
+// slab is the non-generic view of a typed slab, used for Reset.
+type slab interface {
+	reset()
+}
+
+// typedSlab carves []T allocations out of grow-only chunks.
+type typedSlab[T any] struct {
+	chunks [][]T
+	ci     int // chunk being carved
+	off    int // carve offset within chunks[ci]
+}
+
+func (s *typedSlab[T]) reset() { s.ci, s.off = 0, 0 }
+
+func (s *typedSlab[T]) alloc(n int) []T {
+	for s.ci < len(s.chunks) {
+		if c := s.chunks[s.ci]; len(c)-s.off >= n {
+			out := c[s.off : s.off+n : s.off+n]
+			s.off += n
+			// Reused chunks hold a previous run's state; zero the
+			// carve-out so determinism does not depend on pool history.
+			clear(out)
+			return out
+		}
+		s.ci++
+		s.off = 0
+	}
+	size := n
+	if size < chunkElems {
+		size = chunkElems
+	}
+	c := make([]T, size) // fresh chunks are already zero
+	s.chunks = append(s.chunks, c)
+	s.ci = len(s.chunks) - 1
+	s.off = n
+	return c[:n:n]
+}
+
+// Arena hands out typed slices with slab allocation and wholesale
+// reuse. The zero Arena is not usable; call New.
+type Arena struct {
+	byType map[reflect.Type]slab
+	// order keeps a deterministic Reset sequence (map iteration order
+	// is randomized; resets are independent, but a fixed order keeps
+	// the arena boring to reason about).
+	order []slab
+}
+
+// New returns an empty arena.
+func New() *Arena {
+	return &Arena{byType: make(map[reflect.Type]slab)}
+}
+
+// Reset recycles every slab: existing chunks are kept and re-carved by
+// subsequent Make calls. Slices handed out before Reset must no longer
+// be used; they will be zeroed and recycled.
+func (a *Arena) Reset() {
+	for _, s := range a.order {
+		s.reset()
+	}
+}
+
+// Make returns a zeroed []T of length (and capacity) n carved from the
+// arena. A nil arena degrades to plain make, so code paths can thread
+// an optional arena without branching at every call site.
+func Make[T any](a *Arena, n int) []T {
+	if a == nil {
+		return make([]T, n)
+	}
+	if n < 0 {
+		// Mirrors the runtime's own contract for make([]T, n): a
+		// negative length is a programming error at the call site, not
+		// a runtime condition an error return could help with.
+		//lint:allow exitcode same panic the builtin make would raise
+		panic("arena: negative length")
+	}
+	key := reflect.TypeFor[T]()
+	s, ok := a.byType[key].(*typedSlab[T])
+	if !ok {
+		s = &typedSlab[T]{}
+		a.byType[key] = s
+		a.order = append(a.order, s)
+	}
+	return s.alloc(n)
+}

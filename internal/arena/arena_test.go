@@ -1,0 +1,127 @@
+package arena
+
+import (
+	"testing"
+)
+
+func TestNilArenaFallsBackToMake(t *testing.T) {
+	s := Make[int]((*Arena)(nil), 7)
+	if len(s) != 7 || cap(s) != 7 {
+		t.Fatalf("nil arena Make: len=%d cap=%d, want 7/7", len(s), cap(s))
+	}
+	for i, v := range s {
+		if v != 0 {
+			t.Fatalf("nil arena Make: s[%d]=%d, want 0", i, v)
+		}
+	}
+}
+
+func TestMakeZeroedAndSized(t *testing.T) {
+	a := New()
+	s := Make[uint64](a, 100)
+	if len(s) != 100 || cap(s) != 100 {
+		t.Fatalf("len=%d cap=%d, want 100/100", len(s), cap(s))
+	}
+	for i := range s {
+		if s[i] != 0 {
+			t.Fatalf("s[%d]=%d, want 0", i, s[i])
+		}
+		s[i] = uint64(i) + 1
+	}
+}
+
+func TestCarveOutsDoNotOverlap(t *testing.T) {
+	a := New()
+	s1 := Make[int32](a, 10)
+	s2 := Make[int32](a, 10)
+	for i := range s1 {
+		s1[i] = 1
+	}
+	for i := range s2 {
+		if s2[i] != 0 {
+			t.Fatalf("s2 overlaps s1 at %d", i)
+		}
+	}
+	// Appending to a carve-out must not clobber the next one.
+	s1 = append(s1, 99)
+	if s2[0] != 0 {
+		t.Fatal("append to s1 clobbered s2 (capacity not clamped)")
+	}
+}
+
+func TestResetReusesAndZeroes(t *testing.T) {
+	a := New()
+	s := Make[uint64](a, chunkElems)
+	base := &s[0]
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+	a.Reset()
+	s2 := Make[uint64](a, chunkElems)
+	if &s2[0] != base {
+		t.Fatal("Reset did not reuse the existing chunk")
+	}
+	for i := range s2 {
+		if s2[i] != 0 {
+			t.Fatalf("reused chunk not zeroed at %d", i)
+		}
+	}
+}
+
+func TestOversizedAllocationGetsOwnChunk(t *testing.T) {
+	a := New()
+	big := Make[byte](a, 3*chunkElems)
+	if len(big) != 3*chunkElems {
+		t.Fatalf("len=%d", len(big))
+	}
+	// A small allocation after a big one still works.
+	small := Make[byte](a, 8)
+	if len(small) != 8 {
+		t.Fatalf("len=%d", len(small))
+	}
+}
+
+func TestDistinctTypesDistinctSlabs(t *testing.T) {
+	a := New()
+	ints := Make[int](a, 4)
+	floats := Make[float64](a, 4)
+	ints[0] = 42
+	if floats[0] != 0 {
+		t.Fatal("typed slabs alias")
+	}
+}
+
+func TestReuseIsAllocationFree(t *testing.T) {
+	a := New()
+	warm := func() {
+		Make[uint64](a, 512)
+		Make[int32](a, 512)
+		Make[byte](a, 2048)
+		a.Reset()
+	}
+	warm()
+	allocs := testing.AllocsPerRun(100, warm)
+	if allocs != 0 {
+		t.Fatalf("arena reuse allocates: %v allocs/run, want 0", allocs)
+	}
+}
+
+func TestManySmallAllocationsShareChunks(t *testing.T) {
+	a := New()
+	var slices [][]uint32
+	for i := 0; i < 64; i++ {
+		slices = append(slices, Make[uint32](a, 32))
+	}
+	for i, s := range slices {
+		for j := range s {
+			s[j] = uint32(i)
+		}
+	}
+	for i, s := range slices {
+		for j := range s {
+			if s[j] != uint32(i) {
+				t.Fatalf("slice %d stomped at %d", i, j)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ package cache
 import (
 	"fmt"
 
+	"basevictim/internal/arena"
 	"basevictim/internal/policy"
 )
 
@@ -49,7 +50,9 @@ func (g Geometry) Validate() error {
 	return nil
 }
 
-// Line is one tag-store entry.
+// Line is one tag-store entry, as exposed to callers (LineState,
+// DumpSet). Internally the store is kept as parallel flat arrays; this
+// struct is the exchange format.
 type Line struct {
 	Tag        uint64 // full line address; valid only if Valid
 	Valid      bool
@@ -85,29 +88,69 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// invalidTag marks an empty way. Line addresses are byte addresses
+// shifted right by 6, so the all-ones value is unreachable; this lets
+// the hit scan compare tags without a separate valid check. Address 0
+// remains a perfectly valid line.
+const invalidTag = ^uint64(0)
+
+// Per-line flag bits, stored one byte per way alongside the tag array.
+const (
+	metaDirty uint8 = 1 << iota
+	metaReused
+	metaPrefetched
+)
+
 // Cache is a set-associative tag store with a pluggable replacement
 // policy.
+//
+// The tag store is structure-of-arrays: the per-access hit scan walks
+// a dense uint64 tag array (one cache line covers an 8-way set) and
+// the flag bytes are only touched on the way that matters. The policy
+// interface is devirtualized where it counts: the LRU case (every
+// private level in the shipped hierarchy) is detected at construction
+// and called concretely, and the MissObserver capability is resolved
+// once instead of per miss.
 type Cache struct {
-	geom  Geometry
-	sets  int
-	lines []Line // [set*ways + way]
-	pol   policy.Policy
-	Stats Stats
+	geom   Geometry
+	sets   int
+	ways   int
+	tags   []uint64 // [set*ways + way]; invalidTag = empty
+	meta   []uint8  // [set*ways + way] flag bits
+	pol    policy.Policy
+	lru    *policy.LRU         // non-nil when pol is plain LRU: direct calls
+	onMiss policy.MissObserver // cached capability; nil if not implemented
+	Stats  Stats
 }
 
 // New builds a cache with the given geometry and replacement policy
 // factory.
 func New(geom Geometry, newPolicy policy.Factory) (*Cache, error) {
+	return NewIn(nil, geom, newPolicy)
+}
+
+// NewIn is New with the tag store carved from the arena (nil falls
+// back to the heap). The policy still allocates normally; factories
+// are external code.
+func NewIn(a *arena.Arena, geom Geometry, newPolicy policy.Factory) (*Cache, error) {
 	if err := geom.Validate(); err != nil {
 		return nil, err
 	}
 	sets := geom.Sets()
-	return &Cache{
-		geom:  geom,
-		sets:  sets,
-		lines: make([]Line, sets*geom.Ways),
-		pol:   newPolicy(sets, geom.Ways),
-	}, nil
+	c := &Cache{
+		geom: geom,
+		sets: sets,
+		ways: geom.Ways,
+		tags: arena.Make[uint64](a, sets*geom.Ways),
+		meta: arena.Make[uint8](a, sets*geom.Ways),
+		pol:  newPolicy(sets, geom.Ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	c.lru, _ = c.pol.(*policy.LRU)
+	c.onMiss, _ = c.pol.(policy.MissObserver)
+	return c, nil
 }
 
 // MustNew is New but panics on error; for tests and fixed configs.
@@ -131,15 +174,13 @@ func (c *Cache) Policy() policy.Policy { return c.pol }
 // SetIndex returns the set for a line address.
 func (c *Cache) SetIndex(lineAddr uint64) int { return int(lineAddr & uint64(c.sets-1)) }
 
-func (c *Cache) line(set, way int) *Line { return &c.lines[set*c.geom.Ways+way] }
-
 // Probe reports whether the line is present, without touching
 // replacement state or statistics. Used for inclusion checks and
 // prefetch filtering.
 func (c *Cache) Probe(lineAddr uint64) (way int, hit bool) {
-	set := c.SetIndex(lineAddr)
-	for w := 0; w < c.geom.Ways; w++ {
-		if l := c.line(set, w); l.Valid && l.Tag == lineAddr {
+	base := c.SetIndex(lineAddr) * c.ways
+	for w, t := range c.tags[base : base+c.ways] {
+		if t == lineAddr {
 			return w, true
 		}
 	}
@@ -149,23 +190,32 @@ func (c *Cache) Probe(lineAddr uint64) (way int, hit bool) {
 // Access performs a demand read or write lookup. On a hit the
 // replacement state is updated and a write marks the line dirty. The
 // caller handles the miss path (fetch + Fill).
+//
+//bv:steadystate
 func (c *Cache) Access(lineAddr uint64, write bool) bool {
 	c.Stats.Accesses++
 	set := c.SetIndex(lineAddr)
-	if way, hit := c.Probe(lineAddr); hit {
-		c.Stats.Hits++
-		l := c.line(set, way)
-		l.Reused = true
-		l.Prefetched = false
-		if write {
-			l.Dirty = true
+	base := set * c.ways
+	for w, t := range c.tags[base : base+c.ways] {
+		if t == lineAddr {
+			c.Stats.Hits++
+			m := &c.meta[base+w]
+			f := (*m | metaReused) &^ metaPrefetched
+			if write {
+				f |= metaDirty
+			}
+			*m = f
+			if c.lru != nil {
+				c.lru.OnHit(set, w)
+			} else {
+				c.pol.OnHit(set, w)
+			}
+			return true
 		}
-		c.pol.OnHit(set, way)
-		return true
 	}
 	c.Stats.Misses++
-	if mo, ok := c.pol.(policy.MissObserver); ok {
-		mo.OnMiss(set)
+	if c.onMiss != nil {
+		c.onMiss.OnMiss(set)
 	}
 	return false
 }
@@ -174,38 +224,63 @@ func (c *Cache) Access(lineAddr uint64, write bool) bool {
 // eviction. Invalid ways are used before the policy is consulted.
 // dirty marks the new line dirty (e.g. a writeback allocation);
 // prefetched marks it as brought in by a prefetcher.
+//
+//bv:steadystate
 func (c *Cache) Fill(lineAddr uint64, dirty, prefetched bool) Eviction {
 	c.Stats.Fills++
 	set := c.SetIndex(lineAddr)
-	// Refill over an existing copy just updates flags (can happen when
-	// a prefetch races a demand fill in the simplified timing model).
-	if way, hit := c.Probe(lineAddr); hit {
-		l := c.line(set, way)
-		if dirty {
-			l.Dirty = true
+	base := set * c.ways
+	// One fused scan finds both an existing copy and the first empty
+	// way.
+	invalid := -1
+	for w, t := range c.tags[base : base+c.ways] {
+		if t == lineAddr {
+			// Refill over an existing copy just updates flags (can
+			// happen when a prefetch races a demand fill in the
+			// simplified timing model).
+			if dirty {
+				c.meta[base+w] |= metaDirty
+			}
+			if c.lru != nil {
+				c.lru.OnFill(set, w)
+			} else {
+				c.pol.OnFill(set, w)
+			}
+			return Eviction{}
 		}
-		c.pol.OnFill(set, way)
-		return Eviction{}
-	}
-	way := -1
-	for w := 0; w < c.geom.Ways; w++ {
-		if !c.line(set, w).Valid {
-			way = w
-			break
+		if t == invalidTag && invalid < 0 {
+			invalid = w
 		}
 	}
+	way := invalid
 	var ev Eviction
 	if way < 0 {
-		way = c.pol.Victim(set)
-		old := c.line(set, way)
-		ev = Eviction{Addr: old.Tag, Dirty: old.Dirty, Reused: old.Reused, Valid: true}
+		if c.lru != nil {
+			way = c.lru.Victim(set)
+		} else {
+			way = c.pol.Victim(set)
+		}
+		m := c.meta[base+way]
+		ev = Eviction{Addr: c.tags[base+way], Dirty: m&metaDirty != 0, Reused: m&metaReused != 0, Valid: true}
 		c.Stats.Evictions++
-		if old.Dirty {
+		if m&metaDirty != 0 {
 			c.Stats.Writebacks++
 		}
 	}
-	*c.line(set, way) = Line{Tag: lineAddr, Valid: true, Dirty: dirty, Prefetched: prefetched}
-	c.pol.OnFill(set, way)
+	c.tags[base+way] = lineAddr
+	var m uint8
+	if dirty {
+		m = metaDirty
+	}
+	if prefetched {
+		m |= metaPrefetched
+	}
+	c.meta[base+way] = m
+	if c.lru != nil {
+		c.lru.OnFill(set, way)
+	} else {
+		c.pol.OnFill(set, way)
+	}
 	return ev
 }
 
@@ -217,11 +292,9 @@ func (c *Cache) Writeback(lineAddr uint64) bool {
 	if !hit {
 		return false
 	}
-	l := c.line(c.SetIndex(lineAddr), way)
-	l.Dirty = true
 	// A writeback proves the level above used the line; that liveness
 	// feeds the L2 eviction hints.
-	l.Reused = true
+	c.meta[c.SetIndex(lineAddr)*c.ways+way] |= metaDirty | metaReused
 	return true
 }
 
@@ -234,18 +307,34 @@ func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
 	if !hit {
 		return false, false
 	}
-	l := c.line(set, way)
-	dirty = l.Dirty
-	*l = Line{}
+	i := set*c.ways + way
+	dirty = c.meta[i]&metaDirty != 0
+	c.tags[i] = invalidTag
+	c.meta[i] = 0
 	c.Stats.Invalidates++
 	c.pol.OnInvalidate(set, way)
 	return true, dirty
 }
 
+// lineAt materializes the exchange struct for one way.
+func (c *Cache) lineAt(i int) Line {
+	if c.tags[i] == invalidTag {
+		return Line{}
+	}
+	m := c.meta[i]
+	return Line{
+		Tag:        c.tags[i],
+		Valid:      true,
+		Dirty:      m&metaDirty != 0,
+		Reused:     m&metaReused != 0,
+		Prefetched: m&metaPrefetched != 0,
+	}
+}
+
 // LineState returns a copy of the tag-store entry holding lineAddr.
 func (c *Cache) LineState(lineAddr uint64) (Line, bool) {
 	if way, hit := c.Probe(lineAddr); hit {
-		return *c.line(c.SetIndex(lineAddr), way), true
+		return c.lineAt(c.SetIndex(lineAddr)*c.ways + way), true
 	}
 	return Line{}, false
 }
@@ -253,15 +342,18 @@ func (c *Cache) LineState(lineAddr uint64) (Line, bool) {
 // DumpSet appends a copy of one set's lines, indexed by way, to dst;
 // the lockstep shadow comparison in internal/check reads sets this way.
 func (c *Cache) DumpSet(set int, dst []Line) []Line {
-	return append(dst, c.lines[set*c.geom.Ways:(set+1)*c.geom.Ways]...)
+	for i := set * c.ways; i < (set+1)*c.ways; i++ {
+		dst = append(dst, c.lineAt(i))
+	}
+	return dst
 }
 
 // Occupancy returns the number of valid lines (for tests and capacity
 // studies).
 func (c *Cache) Occupancy() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].Valid {
+	for _, t := range c.tags {
+		if t != invalidTag {
 			n++
 		}
 	}
@@ -270,9 +362,9 @@ func (c *Cache) Occupancy() int {
 
 // ForEachValid visits every valid line; used by inclusion checks.
 func (c *Cache) ForEachValid(fn func(lineAddr uint64, dirty bool)) {
-	for i := range c.lines {
-		if c.lines[i].Valid {
-			fn(c.lines[i].Tag, c.lines[i].Dirty)
+	for i, t := range c.tags {
+		if t != invalidTag {
+			fn(t, c.meta[i]&metaDirty != 0)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package ccache
 import (
 	"fmt"
 
+	"basevictim/internal/arena"
 	"basevictim/internal/policy"
 )
 
@@ -28,9 +29,11 @@ import (
 type BaseVictim struct {
 	cfg    Config
 	sets   int
-	base   []tag // [set*ways+way]
-	victim []tag
+	base   tagStore // [set*ways+way]
+	victim tagStore
 	pol    policy.Policy
+	onMiss policy.MissObserver // cached capability; nil if not implemented
+	hinter policy.Hinter       // cached capability; nil if not implemented
 	sel    policy.VictimSelector
 	stats  Stats
 	res    Result
@@ -49,15 +52,18 @@ func NewBaseVictim(cfg Config) (*BaseVictim, error) {
 	if sel == nil {
 		sel = func(sets, ways int) policy.VictimSelector { return policy.NewECMVictim() }
 	}
-	return &BaseVictim{
+	c := &BaseVictim{
 		cfg:    cfg,
 		sets:   sets,
-		base:   make([]tag, sets*cfg.Ways),
-		victim: make([]tag, sets*cfg.Ways),
+		base:   newTagStore(cfg.Arena, sets*cfg.Ways),
+		victim: newTagStore(cfg.Arena, sets*cfg.Ways),
 		pol:    cfg.Policy(sets, cfg.Ways),
 		sel:    sel(sets, cfg.Ways),
-		cands:  make([]policy.Candidate, 0, cfg.Ways),
-	}, nil
+		cands:  arena.Make[policy.Candidate](cfg.Arena, cfg.Ways)[:0],
+	}
+	c.onMiss, _ = c.pol.(policy.MissObserver)
+	c.hinter, _ = c.pol.(policy.Hinter)
+	return c, nil
 }
 
 // Name implements Org.
@@ -77,27 +83,14 @@ func (c *BaseVictim) Policy() policy.Policy { return c.pol }
 
 func (c *BaseVictim) set(lineAddr uint64) int { return int(lineAddr & uint64(c.sets-1)) }
 
-func (c *BaseVictim) baseAt(set, way int) *tag   { return &c.base[set*c.cfg.Ways+way] }
-func (c *BaseVictim) victimAt(set, way int) *tag { return &c.victim[set*c.cfg.Ways+way] }
-
 func (c *BaseVictim) findBase(lineAddr uint64) (way int, ok bool) {
-	set := c.set(lineAddr)
-	for w := 0; w < c.cfg.Ways; w++ {
-		if t := c.baseAt(set, w); t.valid && t.addr == lineAddr {
-			return w, true
-		}
-	}
-	return -1, false
+	w := c.base.find(c.set(lineAddr)*c.cfg.Ways, c.cfg.Ways, lineAddr)
+	return w, w >= 0
 }
 
 func (c *BaseVictim) findVictim(lineAddr uint64) (way int, ok bool) {
-	set := c.set(lineAddr)
-	for w := 0; w < c.cfg.Ways; w++ {
-		if t := c.victimAt(set, w); t.valid && t.addr == lineAddr {
-			return w, true
-		}
-	}
-	return -1, false
+	w := c.victim.find(c.set(lineAddr)*c.cfg.Ways, c.cfg.Ways, lineAddr)
+	return w, w >= 0
 }
 
 // Contains implements Org.
@@ -110,45 +103,28 @@ func (c *BaseVictim) Contains(lineAddr uint64) bool {
 }
 
 // LogicalLines implements Org.
-func (c *BaseVictim) LogicalLines() int {
-	n := 0
-	for i := range c.base {
-		if c.base[i].valid {
-			n++
-		}
-		if c.victim[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (c *BaseVictim) LogicalLines() int { return c.base.count() + c.victim.count() }
 
 // VictimOccupancy returns the number of resident victim lines.
-func (c *BaseVictim) VictimOccupancy() int {
-	n := 0
-	for i := range c.victim {
-		if c.victim[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (c *BaseVictim) VictimOccupancy() int { return c.victim.count() }
 
 // Access implements Org. Reads that hit the Victim Cache are promoted
 // into the Baseline Cache exactly as if they had been fetched from
 // memory, so the Baseline Cache keeps mirroring the uncompressed cache.
+//
+//bv:steadystate
 func (c *BaseVictim) Access(lineAddr uint64, write bool, segs int) *Result {
 	c.res.reset()
 	c.stats.Accesses++
 	set := c.set(lineAddr)
+	root := set * c.cfg.Ways
 
-	if way, ok := c.findBase(lineAddr); ok {
+	if way := c.base.find(root, c.cfg.Ways, lineAddr); way >= 0 {
 		c.stats.Hits++
 		c.stats.BaseHits++
 		c.hooks.baseHits.Inc()
 		c.res.Hit = true
-		t := c.baseAt(set, way)
-		if needsDecompression(t.segs) {
+		if needsDecompression(int(c.base.segs[root+way])) {
 			c.res.Decompress = true
 			c.stats.Decompressions++
 		}
@@ -162,11 +138,11 @@ func (c *BaseVictim) Access(lineAddr uint64, write bool, segs int) *Result {
 	// The access misses the Baseline Cache: the mirrored uncompressed
 	// cache misses here, so its policy sees a miss regardless of
 	// whether the Victim Cache saves us a memory trip.
-	if mo, ok := c.pol.(policy.MissObserver); ok {
-		mo.OnMiss(set)
+	if c.onMiss != nil {
+		c.onMiss.OnMiss(set)
 	}
 
-	if vway, ok := c.findVictim(lineAddr); ok {
+	if vway := c.victim.find(root, c.cfg.Ways, lineAddr); vway >= 0 {
 		if write && c.cfg.Inclusive && c.fault == nil {
 			// Inclusive victim lines are clean and absent from the
 			// inner caches, so the L2 cannot write one back
@@ -180,14 +156,13 @@ func (c *BaseVictim) Access(lineAddr uint64, write bool, segs int) *Result {
 		c.hooks.victimHits.Inc()
 		c.res.Hit = true
 		c.res.VictimHit = true
-		vt := c.victimAt(set, vway)
-		if needsDecompression(vt.segs) {
+		promoted := c.victim.get(root + vway)
+		if needsDecompression(promoted.segs) {
 			c.res.Decompress = true
 			c.stats.Decompressions++
 		}
 		c.sel.OnHit(set, vway)
-		promoted := *vt
-		vt.valid = false
+		c.victim.invalidate(root + vway)
 		c.sel.OnInvalidate(set, vway)
 		if write {
 			promoted.dirty = true
@@ -214,14 +189,14 @@ func (c *BaseVictim) Access(lineAddr uint64, write bool, segs int) *Result {
 // line's compressed size changes, and the victim partner is silently
 // dropped if the pair no longer fits (Section IV.B.5).
 func (c *BaseVictim) baseWrite(set, way, segs int) {
-	t := c.baseAt(set, way)
-	t.dirty = true
-	t.segs = clampSegs(segs)
-	v := c.victimAt(set, way)
-	if v.valid && t.segs+v.segs > WaySegments {
+	i := set*c.cfg.Ways + way
+	c.base.dirty[i] = true
+	newSegs := clampSegs(segs)
+	c.base.segs[i] = uint8(newSegs)
+	if c.victim.valid(i) && newSegs+int(c.victim.segs[i]) > WaySegments {
 		c.silentEvict(set, way, dropReasonPartnerGrow)
 	}
-	if c.victimAt(set, way).valid {
+	if c.victim.valid(i) {
 		c.res.PartnerWrite = true
 		c.stats.PartnerWrites++
 	}
@@ -231,7 +206,8 @@ func (c *BaseVictim) baseWrite(set, way, segs int) {
 // inclusive mode this is free: the line is clean and absent above. In
 // non-inclusive mode a dirty victim is written back first.
 func (c *BaseVictim) silentEvict(set, way int, reason string) {
-	v := c.victimAt(set, way)
+	i := set*c.cfg.Ways + way
+	v := c.victim.get(i)
 	if v.dirty {
 		c.res.Writebacks = append(c.res.Writebacks, v.addr)
 		c.stats.Writebacks++
@@ -246,7 +222,7 @@ func (c *BaseVictim) silentEvict(set, way int, reason string) {
 		Kind: "victim-drop", Addr: v.addr, Set: set, Way: way,
 		Segs: v.segs, Reason: reason, Dirty: v.dirty,
 	})
-	v.valid = false
+	c.victim.invalidate(i)
 	c.sel.OnInvalidate(set, way)
 }
 
@@ -266,19 +242,14 @@ func (c *BaseVictim) Fill(lineAddr uint64, segs int, dirty bool) *Result {
 // baseline victim into the Victim Cache when it fits, exactly as
 // Sections IV.B.1 and IV.B.2 describe. It appends events to c.res.
 func (c *BaseVictim) installBase(set int, incoming tag) {
+	root := set * c.cfg.Ways
 	// Prefer an invalid base way (cold sets), like the uncompressed
 	// baseline would.
-	way := -1
-	for w := 0; w < c.cfg.Ways; w++ {
-		if !c.baseAt(set, w).valid {
-			way = w
-			break
-		}
-	}
+	way := c.base.firstInvalid(root, c.cfg.Ways)
 	var displaced tag
 	if way < 0 {
 		way = c.pol.Victim(set)
-		displaced = *c.baseAt(set, way)
+		displaced = c.base.get(root + way)
 	}
 
 	if displaced.valid {
@@ -309,15 +280,15 @@ func (c *BaseVictim) installBase(set int, incoming tag) {
 
 	// Step 3: the way's current victim partner survives only if it
 	// still fits beside the incoming line.
-	if v := c.victimAt(set, way); v.valid && incoming.segs+v.segs > WaySegments {
+	if c.victim.valid(root+way) && incoming.segs+int(c.victim.segs[root+way]) > WaySegments {
 		c.stats.PartnerEvictions++
 		c.silentEvict(set, way, dropReasonPartnerFill)
 	}
 
 	// Step 4: install the incoming line.
-	*c.baseAt(set, way) = incoming
+	c.base.put(root+way, incoming)
 	c.pol.OnFill(set, way)
-	if c.victimAt(set, way).valid {
+	if c.victim.valid(root + way) {
 		c.res.PartnerWrite = true
 		c.stats.PartnerWrites++
 	}
@@ -332,12 +303,12 @@ func (c *BaseVictim) installBase(set int, incoming tag) {
 // insertVictim tries to place a (clean) baseline victim into any way
 // with enough free segments, using the configured victim selector.
 func (c *BaseVictim) insertVictim(set int, line tag) {
+	root := set * c.cfg.Ways
 	c.cands = c.cands[:0]
 	for w := 0; w < c.cfg.Ways; w++ {
-		b := c.baseAt(set, w)
 		baseSegs := 0
-		if b.valid {
-			baseSegs = b.segs
+		if c.base.valid(root + w) {
+			baseSegs = int(c.base.segs[root+w])
 		}
 		if baseSegs+line.segs > WaySegments {
 			continue
@@ -345,7 +316,7 @@ func (c *BaseVictim) insertVictim(set int, line tag) {
 		c.cands = append(c.cands, policy.Candidate{
 			Way:         w,
 			PartnerSegs: baseSegs,
-			Occupied:    c.victimAt(set, w).valid,
+			Occupied:    c.victim.valid(root + w),
 		})
 	}
 	if len(c.cands) == 0 {
@@ -367,10 +338,10 @@ func (c *BaseVictim) insertVictim(set int, line tag) {
 		return
 	}
 	choice := c.cands[c.sel.Select(set, c.cands)]
-	if c.victimAt(set, choice.Way).valid {
+	if c.victim.valid(root + choice.Way) {
 		c.silentEvict(set, choice.Way, dropReasonDisplaced)
 	}
-	*c.victimAt(set, choice.Way) = line
+	c.victim.put(root+choice.Way, line)
 	c.sel.OnFill(set, choice.Way)
 	c.stats.VictimInserts++
 	c.hooks.retained.Inc()
@@ -382,7 +353,7 @@ func (c *BaseVictim) insertVictim(set int, line tag) {
 	// read and write.
 	c.res.DataMoves++
 	c.stats.DataMoves++
-	if c.baseAt(set, choice.Way).valid {
+	if c.base.valid(root + choice.Way) {
 		c.res.PartnerWrite = true
 		c.stats.PartnerWrites++
 	}
@@ -392,12 +363,11 @@ func (c *BaseVictim) insertVictim(set int, line tag) {
 // listens (CHAR). Hints only apply to Baseline Cache residents, exactly
 // as in the mirrored uncompressed cache.
 func (c *BaseVictim) HintEviction(lineAddr uint64, dead bool) {
-	h, ok := c.pol.(policy.Hinter)
-	if !ok {
+	if c.hinter == nil {
 		return
 	}
 	if way, found := c.findBase(lineAddr); found {
-		h.OnEvictionHint(c.set(lineAddr), way, dead)
+		c.hinter.OnEvictionHint(c.set(lineAddr), way, dead)
 	}
 }
 
@@ -405,7 +375,7 @@ func (c *BaseVictim) HintEviction(lineAddr uint64, dead bool) {
 func (c *BaseVictim) dumpBase(set int) []tag {
 	out := make([]tag, c.cfg.Ways)
 	for w := 0; w < c.cfg.Ways; w++ {
-		out[w] = *c.baseAt(set, w)
+		out[w] = c.base.get(set*c.cfg.Ways + w)
 	}
 	return out
 }

@@ -22,6 +22,7 @@ package ccache
 import (
 	"fmt"
 
+	"basevictim/internal/arena"
 	"basevictim/internal/policy"
 )
 
@@ -45,6 +46,11 @@ type Config struct {
 	Inclusive bool
 	// Seed perturbs randomized policies.
 	Seed uint64
+	// Arena, when non-nil, backs the organization's tag arrays so a
+	// run's state can be freed wholesale. Nil allocates from the heap.
+	// Arena does not affect simulation results and is deliberately
+	// excluded from configuration keys.
+	Arena *arena.Arena
 }
 
 // DefaultConfig returns the paper's main single-thread configuration:
@@ -97,12 +103,18 @@ type Result struct {
 	PartnerWrite bool
 }
 
+// reset clears the result in place, field by field: assigning a fresh
+// composite literal here compiles to a bulk copy that shows up in the
+// access-path profile.
 func (r *Result) reset() {
-	*r = Result{
-		Writebacks: r.Writebacks[:0],
-		BackInvals: r.BackInvals[:0],
-		Evicted:    r.Evicted[:0],
-	}
+	r.Hit = false
+	r.VictimHit = false
+	r.Decompress = false
+	r.Writebacks = r.Writebacks[:0]
+	r.BackInvals = r.BackInvals[:0]
+	r.Evicted = r.Evicted[:0]
+	r.DataMoves = 0
+	r.PartnerWrite = false
 }
 
 // Stats aggregates LLC events across a run.

@@ -273,10 +273,10 @@ func TestBaseVictimFigure4(t *testing.T) {
 	// Park victims by filling conflicting lines and pulling them back.
 	// Easier: install victims directly by evicting bases. Instead we
 	// assemble the paper state by hand.
-	*bv.victimAt(0, 0) = tag{addr: addrInSet(sets, 0, 10), valid: true, segs: 6} // F
-	*bv.victimAt(0, 1) = tag{addr: addrInSet(sets, 0, 11), valid: true, segs: 8} // E
-	*bv.victimAt(0, 2) = tag{addr: addrInSet(sets, 0, 12), valid: true, segs: 4} // X
-	*bv.victimAt(0, 3) = tag{addr: addrInSet(sets, 0, 13), valid: true, segs: 6} // Y
+	bv.putVictim(0, 0, tag{addr: addrInSet(sets, 0, 10), valid: true, segs: 6}) // F
+	bv.putVictim(0, 1, tag{addr: addrInSet(sets, 0, 11), valid: true, segs: 8}) // E
+	bv.putVictim(0, 2, tag{addr: addrInSet(sets, 0, 12), valid: true, segs: 4}) // X
+	bv.putVictim(0, 3, tag{addr: addrInSet(sets, 0, 13), valid: true, segs: 6}) // Y
 	mustIntegrity(t, bv)
 	// Touch bases so LRU order is A,C,D (MRU..) and B is LRU.
 	bv.Access(d, false, 12)
@@ -309,13 +309,13 @@ func TestBaseVictimFigure4(t *testing.T) {
 		t.Fatalf("Y not evicted; evicted=%v", r.Evicted)
 	}
 	// Z sits in base way 3.
-	if bt := bv.baseAt(0, 3); !bt.valid || bt.addr != z {
+	if bt := bv.baseTag(0, 3); !bt.valid || bt.addr != z {
 		t.Fatalf("base way3 = %+v, want Z", bt)
 	}
 	// B (6 segs) fits in ways 0 (A=8) and 1 (C=8), not 2 (D=12) or 3
 	// (Z=12). ECM takes the largest base partner; tie -> way 0,
 	// silently evicting F.
-	if vt := bv.victimAt(0, 0); !vt.valid || vt.addr != b {
+	if vt := bv.victimTag(0, 0); !vt.valid || vt.addr != b {
 		t.Fatalf("victim way0 = %+v, want B", vt)
 	}
 	if bv.Contains(addrInSet(sets, 0, 10)) {
@@ -345,8 +345,8 @@ func TestBaseVictimFigure5(t *testing.T) {
 	bv.Fill(cAddr, 8, false)
 	bv.Fill(d, 12, false)
 	bv.Fill(b, 6, true) // B dirty this time
-	*bv.victimAt(0, 1) = tag{addr: e, valid: true, segs: 8}
-	*bv.victimAt(0, 3) = tag{addr: y, valid: true, segs: 6}
+	bv.putVictim(0, 1, tag{addr: e, valid: true, segs: 8})
+	bv.putVictim(0, 3, tag{addr: y, valid: true, segs: 6})
 	bv.Access(d, false, 12)
 	bv.Access(cAddr, false, 8)
 	bv.Access(a, false, 8)
@@ -364,15 +364,15 @@ func TestBaseVictimFigure5(t *testing.T) {
 		t.Fatalf("backinvals = %v, want [B]", r.BackInvals)
 	}
 	// E promoted into base way 3; Y (6) fits beside E (8): kept.
-	if bt := bv.baseAt(0, 3); !bt.valid || bt.addr != e {
+	if bt := bv.baseTag(0, 3); !bt.valid || bt.addr != e {
 		t.Fatalf("base way3 = %+v, want E", bt)
 	}
-	if vt := bv.victimAt(0, 3); !vt.valid || vt.addr != y {
+	if vt := bv.victimTag(0, 3); !vt.valid || vt.addr != y {
 		t.Fatalf("victim way3 = %+v, want Y kept", vt)
 	}
 	// B (6) was parked in the Victim Cache, clean. Free candidates are
 	// ways 0 and 1 (equal base sizes); the ECM tie-break takes way 0.
-	if vt := bv.victimAt(0, 0); !vt.valid || vt.addr != b || vt.dirty {
+	if vt := bv.victimTag(0, 0); !vt.valid || vt.addr != b || vt.dirty {
 		t.Fatalf("victim way0 = %+v, want clean B", vt)
 	}
 	// A subsequent base hit on E must not be a victim hit.
@@ -389,7 +389,7 @@ func TestBaseVictimWriteGrowthEvictsPartner(t *testing.T) {
 	sets := bv.Sets()
 	x, v := addrInSet(sets, 0, 1), addrInSet(sets, 0, 2)
 	bv.Fill(x, 4, false)
-	*bv.victimAt(0, 0) = tag{addr: v, valid: true, segs: 8}
+	bv.putVictim(0, 0, tag{addr: v, valid: true, segs: 8})
 	mustIntegrity(t, bv)
 	// Write X with a size that still fits: partner survives.
 	bv.Access(x, true, 8)
@@ -468,7 +468,7 @@ func TestBaseVictimInclusiveVictimWriteRecordsFault(t *testing.T) {
 	bv, _ := NewBaseVictim(cfg)
 	sets := bv.Sets()
 	addr := addrInSet(sets, 0, 9)
-	*bv.victimAt(0, 0) = tag{addr: addr, valid: true, segs: 4}
+	bv.putVictim(0, 0, tag{addr: addr, valid: true, segs: 4})
 	if bv.Fault() != nil {
 		t.Fatal("fault recorded before any access")
 	}

@@ -1,0 +1,10 @@
+package ccache
+
+// Test-only accessors for the SoA tag stores: the production code never
+// hands out pointers into them, but the scenario tests assemble paper
+// figures by planting victim lines directly.
+
+func (c *BaseVictim) baseTag(set, way int) tag   { return c.base.get(set*c.cfg.Ways + way) }
+func (c *BaseVictim) victimTag(set, way int) tag { return c.victim.get(set*c.cfg.Ways + way) }
+
+func (c *BaseVictim) putVictim(set, way int, t tag) { c.victim.put(set*c.cfg.Ways+way, t) }

@@ -146,10 +146,16 @@ func corruptTag(tags []tag, idx int, xor uint64) bool {
 	return true
 }
 
+// infoAt is infoOf over a tagStore slot.
+func infoAt(s *tagStore, i int) LineInfo {
+	t := s.get(i)
+	return LineInfo{Addr: t.addr, Valid: t.valid, Dirty: t.dirty, Segs: t.segs}
+}
+
 // InspectSet implements Inspector.
 func (c *Uncompressed) InspectSet(set int, base, victim []LineInfo) ([]LineInfo, []LineInfo) {
 	for w := 0; w < c.cfg.Ways; w++ {
-		base = append(base, infoOf(c.tagAt(set, w)))
+		base = append(base, infoAt(&c.tags, set*c.cfg.Ways+w))
 	}
 	return base, victim
 }
@@ -164,15 +170,15 @@ func (c *Uncompressed) CorruptTag(set, slot int, xor uint64) bool {
 	if slot < 0 || slot >= c.cfg.Ways {
 		return false
 	}
-	return corruptTag(c.tags, set*c.cfg.Ways+slot, xor)
+	return c.tags.corrupt(set*c.cfg.Ways+slot, xor)
 }
 
 // InspectSet implements Inspector: base ways first, then the victim
 // lines sharing them, both indexed by physical way.
 func (c *BaseVictim) InspectSet(set int, base, victim []LineInfo) ([]LineInfo, []LineInfo) {
 	for w := 0; w < c.cfg.Ways; w++ {
-		base = append(base, infoOf(c.baseAt(set, w)))
-		victim = append(victim, infoOf(c.victimAt(set, w)))
+		base = append(base, infoAt(&c.base, set*c.cfg.Ways+w))
+		victim = append(victim, infoAt(&c.victim, set*c.cfg.Ways+w))
 	}
 	return base, victim
 }
@@ -188,9 +194,9 @@ func (c *BaseVictim) Integrity() error {
 func (c *BaseVictim) CorruptTag(set, slot int, xor uint64) bool {
 	switch {
 	case slot >= 0 && slot < c.cfg.Ways:
-		return corruptTag(c.base, set*c.cfg.Ways+slot, xor)
+		return c.base.corrupt(set*c.cfg.Ways+slot, xor)
 	case slot >= c.cfg.Ways && slot < 2*c.cfg.Ways:
-		return corruptTag(c.victim, set*c.cfg.Ways+slot-c.cfg.Ways, xor)
+		return c.victim.corrupt(set*c.cfg.Ways+slot-c.cfg.Ways, xor)
 	default:
 		return false
 	}

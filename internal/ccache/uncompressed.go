@@ -3,6 +3,8 @@ package ccache
 import "basevictim/internal/policy"
 
 // tag is one logical-line tag entry shared by all organizations here.
+// For the SoA organizations (Uncompressed, BaseVictim) it is the
+// exchange format of tagStore; twotag and vsc store it directly.
 type tag struct {
 	addr  uint64
 	valid bool
@@ -14,13 +16,15 @@ type tag struct {
 // compression. It is also the reference model the Base-Victim
 // organization's Baseline Cache must mirror exactly.
 type Uncompressed struct {
-	cfg   Config
-	sets  int
-	tags  []tag // [set*ways+way]
-	pol   policy.Policy
-	stats Stats
-	res   Result
-	hooks llcHooks // obs instrumentation; zero value = disabled
+	cfg    Config
+	sets   int
+	tags   tagStore // [set*ways+way]
+	pol    policy.Policy
+	onMiss policy.MissObserver // cached capability; nil if not implemented
+	hinter policy.Hinter       // cached capability; nil if not implemented
+	stats  Stats
+	res    Result
+	hooks  llcHooks // obs instrumentation; zero value = disabled
 }
 
 // NewUncompressed builds the baseline organization.
@@ -29,12 +33,15 @@ func NewUncompressed(cfg Config) (*Uncompressed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Uncompressed{
+	c := &Uncompressed{
 		cfg:  cfg,
 		sets: sets,
-		tags: make([]tag, sets*cfg.Ways),
+		tags: newTagStore(cfg.Arena, sets*cfg.Ways),
 		pol:  cfg.Policy(sets, cfg.Ways),
-	}, nil
+	}
+	c.onMiss, _ = c.pol.(policy.MissObserver)
+	c.hinter, _ = c.pol.(policy.Hinter)
+	return c, nil
 }
 
 // Name implements Org.
@@ -54,16 +61,9 @@ func (c *Uncompressed) Policy() policy.Policy { return c.pol }
 
 func (c *Uncompressed) set(lineAddr uint64) int { return int(lineAddr & uint64(c.sets-1)) }
 
-func (c *Uncompressed) tagAt(set, way int) *tag { return &c.tags[set*c.cfg.Ways+way] }
-
 func (c *Uncompressed) find(lineAddr uint64) (way int, ok bool) {
-	set := c.set(lineAddr)
-	for w := 0; w < c.cfg.Ways; w++ {
-		if t := c.tagAt(set, w); t.valid && t.addr == lineAddr {
-			return w, true
-		}
-	}
-	return -1, false
+	w := c.tags.find(c.set(lineAddr)*c.cfg.Ways, c.cfg.Ways, lineAddr)
+	return w, w >= 0
 }
 
 // Contains implements Org.
@@ -73,28 +73,20 @@ func (c *Uncompressed) Contains(lineAddr uint64) bool {
 }
 
 // LogicalLines implements Org.
-func (c *Uncompressed) LogicalLines() int {
-	n := 0
-	for i := range c.tags {
-		if c.tags[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (c *Uncompressed) LogicalLines() int { return c.tags.count() }
 
 // Access implements Org.
 func (c *Uncompressed) Access(lineAddr uint64, write bool, segs int) *Result {
 	c.res.reset()
 	c.stats.Accesses++
 	set := c.set(lineAddr)
-	if way, ok := c.find(lineAddr); ok {
+	base := set * c.cfg.Ways
+	if way := c.tags.find(base, c.cfg.Ways, lineAddr); way >= 0 {
 		c.stats.Hits++
 		c.stats.BaseHits++
 		c.hooks.baseHits.Inc()
-		t := c.tagAt(set, way)
 		if write {
-			t.dirty = true
+			c.tags.dirty[base+way] = true
 		}
 		c.res.Hit = true
 		c.pol.OnHit(set, way)
@@ -102,8 +94,8 @@ func (c *Uncompressed) Access(lineAddr uint64, write bool, segs int) *Result {
 	}
 	c.stats.Misses++
 	c.hooks.misses.Inc()
-	if mo, ok := c.pol.(policy.MissObserver); ok {
-		mo.OnMiss(set)
+	if c.onMiss != nil {
+		c.onMiss.OnMiss(set)
 	}
 	return &c.res
 }
@@ -117,48 +109,44 @@ func (c *Uncompressed) Fill(lineAddr uint64, segs int, dirty bool) *Result {
 	// across organizations.
 	c.hooks.fillSegs.Observe(WaySegments)
 	set := c.set(lineAddr)
-	way := -1
-	for w := 0; w < c.cfg.Ways; w++ {
-		if !c.tagAt(set, w).valid {
-			way = w
-			break
-		}
-	}
+	base := set * c.cfg.Ways
+	way := c.tags.firstInvalid(base, c.cfg.Ways)
 	if way < 0 {
 		way = c.pol.Victim(set)
-		old := c.tagAt(set, way)
-		c.evictLine(old)
+		c.evictLine(base + way)
 	}
-	*c.tagAt(set, way) = tag{addr: lineAddr, valid: true, dirty: dirty, segs: WaySegments}
+	c.tags.addrs[base+way] = lineAddr
+	c.tags.dirty[base+way] = dirty
+	c.tags.segs[base+way] = WaySegments
 	c.pol.OnFill(set, way)
 	return &c.res
 }
 
-func (c *Uncompressed) evictLine(t *tag) {
+func (c *Uncompressed) evictLine(i int) {
+	addr, wasDirty := c.tags.addrs[i], c.tags.dirty[i]
 	c.stats.Evictions++
-	c.res.Evicted = append(c.res.Evicted, t.addr)
-	c.res.BackInvals = append(c.res.BackInvals, t.addr)
+	c.res.Evicted = append(c.res.Evicted, addr)
+	c.res.BackInvals = append(c.res.BackInvals, addr)
 	c.stats.BackInvals++
 	c.hooks.backinvalEviction.Inc()
 	c.hooks.ring.Record(obsEvent{
-		Kind: "base-evict", Addr: t.addr, Reason: "capacity", Dirty: t.dirty,
+		Kind: "base-evict", Addr: addr, Reason: "capacity", Dirty: wasDirty,
 	})
-	if t.dirty {
-		c.res.Writebacks = append(c.res.Writebacks, t.addr)
+	if wasDirty {
+		c.res.Writebacks = append(c.res.Writebacks, addr)
 		c.stats.Writebacks++
 	}
-	t.valid = false
+	c.tags.invalidate(i)
 }
 
 // HintEviction forwards an L2 reuse hint to the replacement policy if
 // it listens (CHAR).
 func (c *Uncompressed) HintEviction(lineAddr uint64, dead bool) {
-	h, ok := c.pol.(policy.Hinter)
-	if !ok {
+	if c.hinter == nil {
 		return
 	}
 	if way, found := c.find(lineAddr); found {
-		h.OnEvictionHint(c.set(lineAddr), way, dead)
+		c.hinter.OnEvictionHint(c.set(lineAddr), way, dead)
 	}
 }
 
@@ -166,7 +154,7 @@ func (c *Uncompressed) HintEviction(lineAddr uint64, dead bool) {
 func (c *Uncompressed) dumpBase(set int) []tag {
 	out := make([]tag, c.cfg.Ways)
 	for w := 0; w < c.cfg.Ways; w++ {
-		out[w] = *c.tagAt(set, w)
+		out[w] = c.tags.get(set*c.cfg.Ways + w)
 	}
 	return out
 }

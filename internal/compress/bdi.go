@@ -85,17 +85,17 @@ func storeElem(line []byte, i, width int, v uint64) {
 // deltaFits reports whether v-base fits in a signed deltaBytes integer
 // when both are interpreted as baseBytes-wide two's-complement values.
 func deltaFits(v, base uint64, baseBytes, deltaBytes int) bool {
-	// Compute the difference modulo 2^(8*baseBytes), then check it
-	// sign-extends from deltaBytes to baseBytes.
 	width := uint(8 * baseBytes)
-	diff := (v - base) & maskBits(width)
 	dw := uint(8 * deltaBytes)
 	if dw >= width {
 		return true
 	}
-	// Sign-extend the low dw bits of diff and compare.
-	ext := signExtend(diff&maskBits(dw), dw) & maskBits(width)
-	return ext == diff
+	// The difference (mod 2^width) sign-extends from dw bits iff it
+	// lies in [-2^(dw-1), 2^(dw-1)) as a signed width-bit value. Adding
+	// 2^(dw-1) shifts that window onto the contiguous unsigned range
+	// [0, 2^dw), turning the test into one add, one mask and one
+	// compare.
+	return ((v-base)+(uint64(1)<<(dw-1)))&maskBits(width) < uint64(1)<<dw
 }
 
 func maskBits(bits uint) uint64 {
@@ -168,52 +168,114 @@ func fitsMode(line []byte, m bdiMode) bool {
 	return true
 }
 
-// fitsDeltas evaluates every delta width of one base width in a single
-// pass, loading each element once instead of once per (base, delta)
-// mode. Each delta width tracks its own base selection, mirroring
-// fitsMode's semantics exactly; the pass stops early once every delta
-// width has failed.
-func fitsDeltas(line []byte, baseBytes int, deltaBytes []int) (fits [3]bool) {
-	n := LineSize / baseBytes
-	var (
-		ok       [3]bool
-		haveBase [3]bool
-		base     [3]uint64
-	)
-	live := len(deltaBytes)
-	for d := range deltaBytes {
-		ok[d] = true
-	}
-	for i := 0; i < n && live > 0; i++ {
-		v := loadElem(line, i, baseBytes)
-		for d, db := range deltaBytes {
-			if !ok[d] {
-				continue
-			}
+// fitsDeltas8/4/2 evaluate every delta width of one base width in a
+// single pass, loading each element once instead of once per
+// (base, delta) mode. Each delta width tracks its own base selection,
+// mirroring fitsMode's semantics exactly; the pass stops early once
+// every delta width has failed. One specialized function per base
+// width keeps the element loads and the sign-extension range checks
+// (see deltaFits) at the element's native integer width, with no mask
+// or per-element mode-table iteration.
+
+// fitsDeltas8 covers B8D1/B8D2/B8D4; fits is indexed {1, 2, 4}-byte
+// deltas. Arithmetic on uint64 wraps mod 2^64, which IS the base
+// width, so no masking is needed.
+func fitsDeltas8(line []byte) (fits [3]bool) {
+	ok1, ok2, ok4 := true, true, true
+	var have1, have2, have4 bool
+	var base1, base2, base4 uint64
+	for i := 0; i < LineSize; i += 8 {
+		v := binary.LittleEndian.Uint64(line[i:])
+		if ok1 {
 			switch {
-			case deltaFits(v, 0, baseBytes, db):
-			case !haveBase[d]:
-				haveBase[d] = true
-				base[d] = v
-			case deltaFits(v, base[d], baseBytes, db):
+			case v+(1<<7) < 1<<8: // immediate: fits against the zero base
+			case !have1:
+				have1, base1 = true, v
+			case v-base1+(1<<7) < 1<<8:
 			default:
-				ok[d] = false
-				live--
+				ok1 = false
 			}
 		}
+		if ok2 {
+			switch {
+			case v+(1<<15) < 1<<16:
+			case !have2:
+				have2, base2 = true, v
+			case v-base2+(1<<15) < 1<<16:
+			default:
+				ok2 = false
+			}
+		}
+		if ok4 {
+			switch {
+			case v+(1<<31) < 1<<32:
+			case !have4:
+				have4, base4 = true, v
+			case v-base4+(1<<31) < 1<<32:
+			default:
+				ok4 = false
+			}
+		}
+		if !ok1 && !ok2 && !ok4 {
+			break
+		}
 	}
-	for d := range deltaBytes {
-		fits[d] = ok[d]
-	}
-	return fits
+	return [3]bool{ok1, ok2, ok4}
 }
 
-// Per-width delta lists for fitsDeltas, matching bdiModes' coverage.
-var (
-	bdiDeltas8 = []int{1, 2, 4} // B8D1, B8D2, B8D4
-	bdiDeltas4 = []int{1, 2}    // B4D1, B4D2
-	bdiDeltas2 = []int{1}       // B2D1
-)
+// fitsDeltas4 covers B4D1/B4D2; fits is indexed {1, 2}-byte deltas.
+// uint32 arithmetic wraps mod 2^32, the base width.
+func fitsDeltas4(line []byte) (fits [2]bool) {
+	ok1, ok2 := true, true
+	var have1, have2 bool
+	var base1, base2 uint32
+	for i := 0; i < LineSize; i += 4 {
+		v := binary.LittleEndian.Uint32(line[i:])
+		if ok1 {
+			switch {
+			case v+(1<<7) < 1<<8:
+			case !have1:
+				have1, base1 = true, v
+			case v-base1+(1<<7) < 1<<8:
+			default:
+				ok1 = false
+			}
+		}
+		if ok2 {
+			switch {
+			case v+(1<<15) < 1<<16:
+			case !have2:
+				have2, base2 = true, v
+			case v-base2+(1<<15) < 1<<16:
+			default:
+				ok2 = false
+			}
+		}
+		if !ok1 && !ok2 {
+			break
+		}
+	}
+	return [2]bool{ok1, ok2}
+}
+
+// fitsDeltas2 covers B2D1 (1-byte deltas). uint16 arithmetic wraps
+// mod 2^16, the base width.
+func fitsDeltas2(line []byte) bool {
+	var have bool
+	var base uint16
+	for i := 0; i < LineSize; i += 2 {
+		v := binary.LittleEndian.Uint16(line[i:])
+		switch {
+		case v+(1<<7) < 1<<8:
+		case !have:
+			have, base = true, v
+		case v-base+(1<<7) < 1<<8:
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 // Compress implements Compressor.
 func (*BDI) Compress(line []byte) ([]byte, error) {
@@ -332,11 +394,11 @@ func (c *BDI) CompressedSize(line []byte) int {
 	if _, ok := repeated8(line); ok {
 		return 8
 	}
-	f8 := fitsDeltas(line, 8, bdiDeltas8)
+	f8 := fitsDeltas8(line)
 	if f8[0] {
 		return bdiModes[0].payloadSize() // B8D1
 	}
-	f4 := fitsDeltas(line, 4, bdiDeltas4)
+	f4 := fitsDeltas4(line)
 	switch {
 	case f4[0]:
 		return bdiModes[1].payloadSize() // B4D1
@@ -345,7 +407,7 @@ func (c *BDI) CompressedSize(line []byte) int {
 	case f4[1]:
 		return bdiModes[3].payloadSize() // B4D2
 	}
-	if f2 := fitsDeltas(line, 2, bdiDeltas2); f2[0] {
+	if fitsDeltas2(line) {
 		return bdiModes[4].payloadSize() // B2D1
 	}
 	if f8[2] {

@@ -400,3 +400,30 @@ func BenchmarkCPackCompress(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCompressedSize measures the sizing hot path (what the
+// hierarchy's sizer runs on every fill) for each compressor over a
+// mildly compressible line. All of these must stay allocation-free.
+func BenchmarkCompressedSize(b *testing.B) {
+	line := lineFrom(0x40000000, 0x40000001, 0xAABBCC02, 0, 0, 0x7F, 0x10000, 0xAABBCC99)
+	for _, c := range allCompressors() {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.CompressedSize(line)
+			}
+		})
+	}
+}
+
+// TestCompressedSizeDoesNotAllocate guards the sizing path against
+// regressing to the encode-then-measure implementation.
+func TestCompressedSizeDoesNotAllocate(t *testing.T) {
+	line := lineFrom(0x40000000, 0x40000001, 0xAABBCC02, 0, 0, 0x7F, 0x10000, 0xAABBCC99)
+	for _, c := range allCompressors() {
+		c := c
+		if allocs := testing.AllocsPerRun(50, func() { c.CompressedSize(line) }); allocs != 0 {
+			t.Errorf("%s: CompressedSize allocates %v objects per call, want 0", c.Name(), allocs)
+		}
+	}
+}

@@ -171,12 +171,40 @@ func (*CPack) Decompress(enc []byte) ([]byte, error) {
 }
 
 // CompressedSize implements Compressor (payload bytes, header excluded).
+//
+// Single-pass, allocation-free bit count mirroring Compress's pattern
+// selection, including the FIFO dictionary updates (the dictionary
+// state feeds back into later match decisions, so the count must run
+// the dictionary exactly as the encoder does). TestCompressedSizeMatchesEncoding
+// pins the equivalence to len(Compress(line))-1.
 func (c *CPack) CompressedSize(line []byte) int {
-	enc, err := c.Compress(line)
-	if err != nil {
+	if len(line) != LineSize {
 		return LineSize
 	}
-	n := len(enc) - 1
+	bits := 0
+	var dict cpackDict
+	for i := 0; i < LineSize/4; i++ {
+		v := binary.LittleEndian.Uint32(line[i*4:])
+		switch _, nb, ok := dict.match(v); {
+		case v == 0:
+			bits += 2 // zzzz
+		case v&0xFFFFFF00 == 0:
+			bits += 2 + 2 + 8 // zzzx
+			dict.push(v)
+		case ok && nb == 4:
+			bits += 2 + 4 // mmmm
+		case ok && nb == 3:
+			bits += 2 + 2 + 4 + 8 // mmmx
+			dict.push(v)
+		case ok && nb == 2:
+			bits += 2 + 2 + 4 + 16 // mmxx
+			dict.push(v)
+		default:
+			bits += 2 + 32 // xxxx
+			dict.push(v)
+		}
+	}
+	n := (bits + 7) / 8
 	if n > LineSize {
 		n = LineSize
 	}

@@ -165,12 +165,48 @@ func (*FPC) Decompress(enc []byte) ([]byte, error) {
 // whole bytes (header excluded). FPC sizes are bit-granular in hardware;
 // rounding to bytes matches how the cache's segment quantization
 // consumes them.
+//
+// This is a single-pass, allocation-free bit count over the same
+// pattern classification Compress performs; the sizing path is the
+// per-access hot path (the sizer runs on every fill), so it must not
+// materialize the encoding. TestCompressedSizeMatchesEncoding pins the
+// equivalence to len(Compress(line))-1.
 func (c *FPC) CompressedSize(line []byte) int {
-	enc, err := c.Compress(line)
-	if err != nil {
+	if len(line) != LineSize {
 		return LineSize
 	}
-	n := len(enc) - 1
+	bits := 0
+	nwords := LineSize / 4
+	for i := 0; i < nwords; {
+		v := binary.LittleEndian.Uint32(line[i*4:])
+		if v == 0 {
+			run := 1
+			for i+run < nwords && run < 8 && binary.LittleEndian.Uint32(line[(i+run)*4:]) == 0 {
+				run++
+			}
+			bits += 3 + 3
+			i += run
+			continue
+		}
+		switch {
+		case fitsSigned(v, 4):
+			bits += 3 + 4
+		case fitsSigned(v, 8):
+			bits += 3 + 8
+		case fitsSigned(v, 16):
+			bits += 3 + 16
+		case v&0xFFFF == 0:
+			bits += 3 + 16
+		case fitsSigned(v&0xFFFF, 8) && fitsSigned(v>>16, 8):
+			bits += 3 + 16
+		case isRepByte(v):
+			bits += 3 + 8
+		default:
+			bits += 3 + 32
+		}
+		i++
+	}
+	n := (bits + 7) / 8
 	if n > LineSize {
 		n = LineSize
 	}

@@ -17,7 +17,10 @@ import (
 	"context"
 	"fmt"
 
+	"basevictim/internal/arena"
+	"basevictim/internal/hierarchy"
 	"basevictim/internal/trace"
+	"basevictim/internal/workload"
 )
 
 // cancelPollEvery is the amortized cancellation poll interval in
@@ -75,6 +78,15 @@ type Core struct {
 	cfg Config
 	mem MemSystem
 
+	// hier is the fast-path binding, resolved once at construction:
+	// when the memory system is the shipped hierarchy the per-
+	// instruction Load/Store/Fetch calls go through this concrete
+	// pointer instead of the MemSystem interface. Both paths run the
+	// same code, so results are identical; DisableFastPath forces the
+	// interface path for the differential test.
+	hier   *hierarchy.Hierarchy
+	noFast bool // set by DisableFastPath; also disables stream devirt
+
 	rob        []uint64 // completion times, ring buffer
 	robHead    int
 	robLen     int
@@ -84,6 +96,12 @@ type Core struct {
 
 // New builds a core.
 func New(cfg Config, mem MemSystem) (*Core, error) {
+	return NewIn(nil, cfg, mem)
+}
+
+// NewIn is New with the reorder buffer carved from the arena (nil
+// falls back to the heap).
+func NewIn(a *arena.Arena, cfg Config, mem MemSystem) (*Core, error) {
 	if cfg.Width <= 0 || cfg.ROB <= 0 || mem == nil {
 		return nil, fmt.Errorf("cpu: bad config %+v", cfg)
 	}
@@ -93,16 +111,32 @@ func New(cfg Config, mem MemSystem) (*Core, error) {
 	if cfg.CodeFootprint < 64 {
 		cfg.CodeFootprint = 64
 	}
-	return &Core{cfg: cfg, mem: mem, rob: make([]uint64, cfg.ROB)}, nil
+	c := &Core{cfg: cfg, mem: mem, rob: arena.Make[uint64](a, cfg.ROB)}
+	c.hier, _ = mem.(*hierarchy.Hierarchy)
+	return c, nil
 }
 
 // MustNew is New but panics on error.
 func MustNew(cfg Config, mem MemSystem) *Core {
-	c, err := New(cfg, mem)
+	return MustNewIn(nil, cfg, mem)
+}
+
+// MustNewIn is NewIn but panics on error.
+func MustNewIn(a *arena.Arena, cfg Config, mem MemSystem) *Core {
+	c, err := NewIn(a, cfg, mem)
 	if err != nil {
 		panic(err)
 	}
 	return c
+}
+
+// DisableFastPath forces memory and trace-stream calls through their
+// interfaces, as if the memory system were not the shipped hierarchy.
+// Timing results are identical either way; the differential test in
+// internal/sim flips this to prove it.
+func (c *Core) DisableFastPath() {
+	c.hier = nil
+	c.noFast = true
 }
 
 // retireOldest pops the oldest ROB entry, honoring in-order
@@ -113,13 +147,19 @@ func (c *Core) retireOldest() uint64 {
 		done = c.lastRetire
 	}
 	c.lastRetire = done
-	c.robHead = (c.robHead + 1) % len(c.rob)
+	if c.robHead++; c.robHead == len(c.rob) {
+		c.robHead = 0
+	}
 	c.robLen--
 	return done
 }
 
 func (c *Core) push(done uint64) {
-	c.rob[(c.robHead+c.robLen)%len(c.rob)] = done
+	i := c.robHead + c.robLen
+	if i >= len(c.rob) {
+		i -= len(c.rob)
+	}
+	c.rob[i] = done
 	c.robLen++
 }
 
@@ -146,7 +186,18 @@ func (c *Core) RunCtx(ctx context.Context, s trace.Stream, maxIns uint64) (Resul
 		pc     uint64
 		poll   = ctx.Done() != nil
 		ctxErr error
+		// fetchTick tracks ins mod FetchEvery incrementally so the hot
+		// loop avoids a variable-divisor modulo per instruction.
+		fetchTick int
 	)
+	// Stream and memory fast paths, resolved once per Run: the shipped
+	// generator and hierarchy get direct (inlinable) calls, anything
+	// else goes through the interfaces.
+	hier := c.hier
+	var gen *workload.Generator
+	if !c.noFast {
+		gen, _ = s.(*workload.Generator)
+	}
 	for ins < maxIns {
 		if poll && ins%cancelPollEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -157,7 +208,13 @@ func (c *Core) RunCtx(ctx context.Context, s trace.Stream, maxIns uint64) (Resul
 		if c.hooks.sample && ins%samplePeriod == 0 {
 			c.sampleWindow(ins, cycle)
 		}
-		op, ok := s.Next()
+		var op trace.Op
+		var ok bool
+		if gen != nil {
+			op, ok = gen.Next()
+		} else {
+			op, ok = s.Next()
+		}
 		if !ok {
 			break
 		}
@@ -170,10 +227,18 @@ func (c *Core) RunCtx(ctx context.Context, s trace.Stream, maxIns uint64) (Resul
 			cycle++
 		}
 		slots++
-		if ins%uint64(c.cfg.FetchEvery) == 1 {
+		if fetchTick++; fetchTick == c.cfg.FetchEvery {
+			fetchTick = 0
+		}
+		if fetchTick == 1 {
 			addr := c.cfg.CodeBase + pc%c.cfg.CodeFootprint
 			pc += 64
-			fetchDone := c.mem.Fetch(cycle, addr)
+			var fetchDone uint64
+			if hier != nil {
+				fetchDone = hier.Fetch(cycle, addr)
+			} else {
+				fetchDone = c.mem.Fetch(cycle, addr)
+			}
 			// L1I hit latency is pipeline-hidden; anything slower
 			// stalls the front end.
 			if hidden := cycle + 3; fetchDone > hidden {
@@ -195,7 +260,11 @@ func (c *Core) RunCtx(ctx context.Context, s trace.Stream, maxIns uint64) (Resul
 		var done uint64
 		switch op.Kind {
 		case trace.Load:
-			done = c.mem.Load(cycle, op.Addr)
+			if hier != nil {
+				done = hier.Load(cycle, op.Addr)
+			} else {
+				done = c.mem.Load(cycle, op.Addr)
+			}
 			if op.Dep && done > cycle {
 				// Dependence-critical load: consumers cannot even
 				// dispatch until the value arrives.
@@ -206,7 +275,11 @@ func (c *Core) RunCtx(ctx context.Context, s trace.Stream, maxIns uint64) (Resul
 		case trace.Store:
 			// Stores complete into the store buffer; the hierarchy
 			// handles the data movement.
-			c.mem.Store(cycle, op.Addr)
+			if hier != nil {
+				hier.Store(cycle, op.Addr)
+			} else {
+				c.mem.Store(cycle, op.Addr)
+			}
 			done = cycle + c.cfg.ExecLat
 		default:
 			done = cycle + c.cfg.ExecLat

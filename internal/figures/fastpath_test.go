@@ -1,0 +1,46 @@
+package figures
+
+import (
+	"context"
+	"testing"
+
+	"basevictim/internal/sim"
+)
+
+// TestFigureTablesFastPathLockstep renders experiments on the
+// devirtualized fast path and again with every run forced through the
+// interface path, and requires byte-identical formatted tables. The
+// per-run differential lives in internal/sim; this test extends the
+// contract to the level users actually consume — published figure
+// tables — across an experiment's whole span of configurations
+// (multiple organizations, sizes and both single and mix runs).
+func TestFigureTablesFastPathLockstep(t *testing.T) {
+	// fig12 spans organizations; fig13 exercises the multi-program
+	// mixes. Both are among the cheapest experiments.
+	for _, id := range []string{"fig12", "fig13"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var run func(*Session, context.Context) (Table, error)
+			for _, e := range Experiments() {
+				if e.ID == id {
+					run = e.Run
+				}
+			}
+			if run == nil {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			fast, err := run(quickSession(), context.Background())
+			if err != nil {
+				t.Fatalf("fast path: %v", err)
+			}
+			slow, err := run(quickSession(), sim.WithInterfacePath(context.Background()))
+			if err != nil {
+				t.Fatalf("interface path: %v", err)
+			}
+			if fast.Format() != slow.Format() {
+				t.Errorf("%s diverges between fast and interface paths:\nfast:\n%s\ninterface:\n%s",
+					id, fast.Format(), slow.Format())
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package flatmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := New[int](0)
+	if _, ok := m.Get(7); ok {
+		t.Fatal("empty map reports a key")
+	}
+	m.Put(7, 70)
+	m.Put(9, 90)
+	m.Put(7, 71) // replace
+	if v, ok := m.Get(7); !ok || v != 71 {
+		t.Fatalf("Get(7) = %d,%v, want 71,true", v, ok)
+	}
+	if v, ok := m.Get(9); !ok || v != 90 {
+		t.Fatalf("Get(9) = %d,%v, want 90,true", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	m := New[string](4)
+	if _, ok := m.Get(0); ok {
+		t.Fatal("zero key present before insertion")
+	}
+	m.Put(0, "zero")
+	if v, ok := m.Get(0); !ok || v != "zero" {
+		t.Fatalf("Get(0) = %q,%v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestMatchesBuiltinMap(t *testing.T) {
+	m := New[uint32](1)
+	ref := map[uint64]uint32{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200000; i++ {
+		// Small key space forces replacements; large keys force growth.
+		var k uint64
+		if rng.Intn(2) == 0 {
+			k = uint64(rng.Intn(512))
+		} else {
+			k = rng.Uint64()
+		}
+		switch rng.Intn(8) {
+		case 0, 1:
+			gotV, gotOK := m.Get(k)
+			refV, refOK := ref[k]
+			if gotV != refV || gotOK != refOK {
+				t.Fatalf("Get(%d) = %d,%v, reference %d,%v", k, gotV, gotOK, refV, refOK)
+			}
+		case 2, 3:
+			m.Del(k)
+			delete(ref, k)
+		default:
+			v := rng.Uint32()
+			m.Put(k, v)
+			ref[k] = v
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, reference %d", m.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("final Get(%d) = %d,%v, want %d,true", k, got, ok, v)
+		}
+	}
+}
+
+func TestGetDoesNotAllocate(t *testing.T) {
+	m := New[uint32](1024)
+	for i := uint64(0); i < 1000; i++ {
+		m.Put(i*977, uint32(i))
+	}
+	var k uint64
+	if allocs := testing.AllocsPerRun(500, func() {
+		m.Get(k * 977)
+		k++
+	}); allocs != 0 {
+		t.Fatalf("Get allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	m := New[uint32](1 << 16)
+	for i := uint64(1); i <= 1<<16; i++ {
+		m.Put(i*2654435761, uint32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(uint64(i%(1<<16)+1) * 2654435761)
+	}
+}
+
+func BenchmarkGetMiss(b *testing.B) {
+	m := New[uint32](1 << 16)
+	for i := uint64(1); i <= 1<<16; i++ {
+		m.Put(i*2654435761, uint32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(uint64(i) | 1<<63)
+	}
+}

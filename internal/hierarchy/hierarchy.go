@@ -17,10 +17,12 @@ package hierarchy
 import (
 	"fmt"
 
+	"basevictim/internal/arena"
 	"basevictim/internal/cache"
 	"basevictim/internal/ccache"
 	"basevictim/internal/dram"
 	"basevictim/internal/energy"
+	"basevictim/internal/flatmap"
 	"basevictim/internal/policy"
 	"basevictim/internal/prefetch"
 )
@@ -99,10 +101,35 @@ type Hierarchy struct {
 	LLC          ccache.Org
 	Mem          *dram.System
 
+	// Fast-path devirtualization, resolved once at construction: when
+	// the LLC is a bare shipped organization (no checker or injector
+	// wrapper) the hot loop calls it through a concrete pointer, so the
+	// per-access Access/Fill/ContainsBase calls are direct instead of
+	// interface dispatch. Wrapped or exotic organizations leave both
+	// pointers nil and every call takes the interface path. The two
+	// paths run the same code against the same state, so results are
+	// identical by construction; the lockstep differential test in
+	// internal/sim enforces that end to end.
+	llcBV *ccache.BaseVictim
+	llcUn *ccache.Uncompressed
+
+	hinter     ccache.EvictionHinter // cached capability of LLC; nil if none
+	tagPenalty uint64                // llcTagPenalty, resolved at construction
+
 	pfL1, pfL2, pfLLC *prefetch.Prefetcher
 
 	sizer Sizer
-	gen   map[uint64]uint32
+	gen   *flatmap.Map[uint32]
+	// genFilter is a one-hash Bloom filter over gen's keys: most lines
+	// are never written back from the L2, so most segsOf calls can
+	// prove gen == 0 from one bit instead of a map lookup. Bits are
+	// only ever set (no deletion), so a clear bit is authoritative.
+	genFilter []uint64
+	// segsLine/segsVal is a direct-mapped cache of segsOf answers,
+	// kept current by writebackToLLC (see segsOf). An all-ones line is
+	// unreachable and marks an empty slot.
+	segsLine []uint64
+	segsVal  []int8
 
 	// AddrOffset shifts this core's addresses so multi-program cores
 	// do not alias in the shared LLC (distinct address spaces).
@@ -127,11 +154,18 @@ func ShareLLC(cores []*Hierarchy) {
 
 // New builds a hierarchy around the given LLC organization and memory.
 func New(cfg Config, llc ccache.Org, mem *dram.System, sizer Sizer) (*Hierarchy, error) {
+	return NewIn(nil, cfg, llc, mem, sizer)
+}
+
+// NewIn is New with the private caches' and prefetchers' state carved
+// from the arena, so a run's hierarchy can be freed wholesale (nil
+// falls back to the heap).
+func NewIn(a *arena.Arena, cfg Config, llc ccache.Org, mem *dram.System, sizer Sizer) (*Hierarchy, error) {
 	if llc == nil || mem == nil || sizer == nil {
 		return nil, fmt.Errorf("hierarchy: llc, mem and sizer are required")
 	}
 	mk := func(size, ways int) (*cache.Cache, error) {
-		return cache.New(cache.Geometry{SizeBytes: size, Ways: ways}, policy.NewLRU)
+		return cache.NewIn(a, cache.Geometry{SizeBytes: size, Ways: ways}, policy.NewLRU)
 	}
 	l1i, err := mk(cfg.L1ISize, cfg.L1IWays)
 	if err != nil {
@@ -148,18 +182,78 @@ func New(cfg Config, llc ccache.Org, mem *dram.System, sizer Sizer) (*Hierarchy,
 	h := &Hierarchy{
 		cfg: cfg, L1I: l1i, L1D: l1d, L2: l2,
 		LLC: llc, Mem: mem, sizer: sizer,
-		gen: make(map[uint64]uint32, 1<<12),
+		gen:       flatmap.New[uint32](1 << 12),
+		genFilter: arena.Make[uint64](a, genFilterWords),
+		segsLine:  arena.Make[uint64](a, segsCacheSize),
+		segsVal:   arena.Make[int8](a, segsCacheSize),
+	}
+	for i := range h.segsLine {
+		h.segsLine[i] = ^uint64(0)
+	}
+	switch o := llc.(type) {
+	case *ccache.BaseVictim:
+		h.llcBV = o
+	case *ccache.Uncompressed:
+		h.llcUn = o
+	}
+	h.hinter, _ = llc.(ccache.EvictionHinter)
+	if _, ok := ccache.Root(llc).(*ccache.Uncompressed); !ok {
+		h.tagPenalty = cfg.ExtraTagCycles
 	}
 	// Single-core hierarchies snoop only themselves; ShareLLC replaces
 	// this for multi-program runs. Pre-binding the group here keeps
 	// consume allocation-free on the per-access path.
 	h.snoop = []*Hierarchy{h}
 	if cfg.EnablePrefetch {
-		h.pfL1 = prefetch.New(prefetch.DefaultL1())
-		h.pfL2 = prefetch.New(prefetch.DefaultL2())
-		h.pfLLC = prefetch.New(prefetch.DefaultLLC())
+		h.pfL1 = prefetch.NewIn(a, prefetch.DefaultL1())
+		h.pfL2 = prefetch.NewIn(a, prefetch.DefaultL2())
+		h.pfLLC = prefetch.NewIn(a, prefetch.DefaultLLC())
 	}
 	return h, nil
+}
+
+// DisableFastPath forces every LLC call through the ccache.Org
+// interface, as if the organization were wrapped. Simulation results
+// are identical either way; the differential test flips this to prove
+// it, and it gives a clean A/B lever for profiling dispatch overhead.
+func (h *Hierarchy) DisableFastPath() {
+	h.llcBV = nil
+	h.llcUn = nil
+}
+
+// llcAccess dispatches an LLC demand access through the fast path when
+// one is bound.
+func (h *Hierarchy) llcAccess(line uint64, write bool, segs int) *ccache.Result {
+	if h.llcBV != nil {
+		return h.llcBV.Access(line, write, segs)
+	}
+	if h.llcUn != nil {
+		return h.llcUn.Access(line, write, segs)
+	}
+	return h.LLC.Access(line, write, segs)
+}
+
+// llcFillOp dispatches an LLC fill through the fast path when bound.
+func (h *Hierarchy) llcFillOp(line uint64, segs int, dirty bool) *ccache.Result {
+	if h.llcBV != nil {
+		return h.llcBV.Fill(line, segs, dirty)
+	}
+	if h.llcUn != nil {
+		return h.llcUn.Fill(line, segs, dirty)
+	}
+	return h.LLC.Fill(line, segs, dirty)
+}
+
+// llcContainsBase dispatches ContainsBase through the fast path when
+// bound.
+func (h *Hierarchy) llcContainsBase(line uint64) bool {
+	if h.llcBV != nil {
+		return h.llcBV.ContainsBase(line)
+	}
+	if h.llcUn != nil {
+		return h.llcUn.ContainsBase(line)
+	}
+	return h.LLC.ContainsBase(line)
 }
 
 // MustNew is New but panics on error.
@@ -178,8 +272,59 @@ func (h *Hierarchy) Prefetchers() (l1, l2, llc *prefetch.Prefetcher) {
 	return h.pfL1, h.pfL2, h.pfLLC
 }
 
+// genFilterWords sizes the written-back filter: 2^16 bits (8 KB) keeps
+// the false-positive rate negligible for the tens of thousands of
+// distinct written-back lines a typical run produces.
+const genFilterWords = 1 << 10
+
+// genBit returns the filter word index and mask for a line.
+func genBit(line uint64) (int, uint64) {
+	hash := (line * 0x9E3779B97F4A7C15) >> 48
+	return int(hash >> 6), 1 << (hash & 63)
+}
+
+// genOf returns how many times the line has been written back from the
+// L2, consulting the map only when the filter says it might be nonzero.
+//
+//bv:steadystate
+func (h *Hierarchy) genOf(line uint64) uint32 {
+	w, m := genBit(line)
+	if h.genFilter[w]&m == 0 {
+		return 0
+	}
+	g, _ := h.gen.Get(line)
+	return g
+}
+
+// segsCacheSize is the direct-mapped compressed-size cache: 2^16
+// entries comfortably cover the LLC's line working set, so the common
+// "size this line again" query is one array probe instead of a filter
+// check, a generation lookup and a sizer memo lookup.
+const (
+	segsCacheBits = 18
+	segsCacheSize = 1 << segsCacheBits
+)
+
+// segsIdx maps a line to its segs-cache slot.
+func segsIdx(line uint64) int {
+	return int((line * 0x9E3779B97F4A7C15) >> (64 - segsCacheBits))
+}
+
+// segsOf returns the compressed size of the line's current contents.
+// The answer is cached per line; writebackToLLC is the only event that
+// changes a line's generation and it rewrites the entry, so a cache
+// hit is always current.
+//
+//bv:steadystate
 func (h *Hierarchy) segsOf(line uint64) int {
-	return h.sizer.Segments(line, h.gen[line])
+	i := segsIdx(line)
+	if h.segsLine[i] == line {
+		return int(h.segsVal[i])
+	}
+	s := h.sizer.Segments(line, h.genOf(line))
+	h.segsLine[i] = line
+	h.segsVal[i] = int8(s)
+	return s
 }
 
 // Load performs a demand data read of addr at time now, returning the
@@ -209,6 +354,7 @@ func (h *Hierarchy) Fetch(now uint64, addr uint64) uint64 {
 	return done
 }
 
+//bv:steadystate
 func (h *Hierarchy) dataAccess(now uint64, addr uint64, write bool) uint64 {
 	addr += h.AddrOffset
 	line := cache.LineAddr(addr)
@@ -227,6 +373,8 @@ func (h *Hierarchy) dataAccess(now uint64, addr uint64, write bool) uint64 {
 
 // innerMiss handles an L1 miss: L2, then LLC, then memory. It returns
 // the completion time and leaves the line present in the L2.
+//
+//bv:steadystate
 func (h *Hierarchy) innerMiss(now uint64, line uint64, write bool) uint64 {
 	// L1 misses become reads at L2: even a store only needs ownership,
 	// the dirty data stays in the L1 until eviction.
@@ -244,8 +392,8 @@ func (h *Hierarchy) innerMiss(now uint64, line uint64, write bool) uint64 {
 	// hardware pins it in an MSHR. Re-establish base residency before
 	// filling inward so inclusion and the victim-lines-never-above
 	// invariant hold.
-	if !h.LLC.ContainsBase(line) {
-		r := h.LLC.Access(line, false, 0)
+	if !h.llcContainsBase(line) {
+		r := h.llcAccess(line, false, 0)
 		hit := r.Hit
 		h.consume(r)
 		if hit {
@@ -271,12 +419,12 @@ func (h *Hierarchy) llcDemand(now uint64, line uint64) uint64 {
 	// preserves the hit-rate guarantee end to end). Prefetch fills are
 	// issued before the demand access so the replacement policy sees
 	// the same event order in every organization.
-	if h.pfLLC != nil && !h.LLC.ContainsBase(line) {
+	if h.pfLLC != nil && !h.llcContainsBase(line) {
 		for _, p := range h.pfLLC.Advise(line << 6) {
 			h.prefetchInto(now, p, 3)
 		}
 	}
-	r := h.LLC.Access(line, false, 0)
+	r := h.llcAccess(line, false, 0)
 	hit, decompress := r.Hit, r.Decompress
 	h.consume(r)
 	if hit {
@@ -292,15 +440,10 @@ func (h *Hierarchy) llcDemand(now uint64, line uint64) uint64 {
 	return done
 }
 
-// llcTagPenalty is the doubled-tag cycle for compressed organizations.
-// Root unwraps verification layers (internal/check), which must not
-// change timing.
-func (h *Hierarchy) llcTagPenalty() uint64 {
-	if _, ok := ccache.Root(h.LLC).(*ccache.Uncompressed); ok {
-		return 0
-	}
-	return h.cfg.ExtraTagCycles
-}
+// llcTagPenalty is the doubled-tag cycle for compressed organizations,
+// resolved once at construction (Root unwraps verification layers,
+// which must not change timing).
+func (h *Hierarchy) llcTagPenalty() uint64 { return h.tagPenalty }
 
 // llcFill installs a fetched line into the LLC and processes the
 // resulting evictions.
@@ -308,7 +451,7 @@ func (h *Hierarchy) llcFill(line uint64, dirty bool) {
 	segs := h.segsOf(line)
 	h.Stats.Compressions++
 	h.Stats.LLCDataWrites++
-	r := h.LLC.Fill(line, segs, dirty)
+	r := h.llcFillOp(line, segs, dirty)
 	h.consume(r)
 }
 
@@ -363,12 +506,12 @@ func (h *Hierarchy) fillL2(line uint64) {
 		inL1 = true
 		dirty = dirty || d
 	}
-	if hinter, ok := h.LLC.(ccache.EvictionHinter); ok {
+	if h.hinter != nil {
 		// A line is only plausibly dead if the L2 never saw it again
 		// AND the L1s no longer hold it: L1 hits are invisible to the
 		// L2, so L1 residency is the best liveness evidence available
 		// at this level.
-		hinter.HintEviction(ev.Addr, !ev.Reused && !inL1)
+		h.hinter.HintEviction(ev.Addr, !ev.Reused && !inL1)
 	}
 	if dirty {
 		h.writebackToLLC(ev.Addr)
@@ -377,13 +520,19 @@ func (h *Hierarchy) fillL2(line uint64) {
 
 // writebackToLLC delivers a dirty L2 eviction to the LLC. The data is
 // recompressed, so the line's size can change (Section IV.B.5).
+//
+//bv:steadystate
 func (h *Hierarchy) writebackToLLC(line uint64) {
-	g := h.gen[line] + 1
-	h.gen[line] = g
+	g := h.genOf(line) + 1
+	h.gen.Put(line, g)
+	w, m := genBit(line)
+	h.genFilter[w] |= m
 	segs := h.sizer.Segments(line, g)
+	h.segsLine[segsIdx(line)] = line
+	h.segsVal[segsIdx(line)] = int8(segs)
 	h.Stats.Compressions++
 	h.Stats.LLCDataWrites++
-	r := h.LLC.Access(line, true, segs)
+	r := h.llcAccess(line, true, segs)
 	h.consume(r)
 	if !r.Hit {
 		// Inclusion should make this unreachable; tolerate it so a
@@ -435,7 +584,7 @@ func (h *Hierarchy) prefetchInto(now uint64, line uint64, level int) {
 // needed. Prefetch lookups touch the LLC like demand lookups (they
 // train replacement state identically across organizations).
 func (h *Hierarchy) ensureLLC(now uint64, line uint64) {
-	r := h.LLC.Access(line, false, 0)
+	r := h.llcAccess(line, false, 0)
 	h.consume(r)
 	if r.Hit {
 		h.Stats.LLCDataReads++

@@ -262,7 +262,7 @@ func TestWritebackGenerationChangesSize(t *testing.T) {
 	for i := 1; i <= 20; i++ {
 		h.Load(uint64(i), uint64(i*32*64))
 	}
-	if h.gen[0] == 0 {
+	if g, _ := h.gen.Get(0); g == 0 {
 		t.Fatal("writeback generation never advanced")
 	}
 }

@@ -1,0 +1,153 @@
+// Package hotalloc keeps heap allocation out of designated
+// steady-state functions.
+//
+// The hot-path overhaul (DESIGN.md §13) arena-allocates all per-run
+// state so that steady-state simulation performs zero heap
+// allocations; sim's TestSteadyStateZeroAllocs proves that end to end
+// with testing.AllocsPerRun. That runtime guard tells you THAT an
+// allocation crept back in, but not where, and only for the
+// organizations the guard runs. This analyzer is the static
+// complement: functions marked with a
+//
+//	//bv:steadystate
+//
+// line in their doc comment are the per-access hot path, and inside
+// them (including nested closures) the analyzer reports every
+// construct that allocates or may allocate on the heap:
+//
+//   - make and new
+//   - slice and map composite literals, and &T{...} (which may escape)
+//   - append (growing the backing array)
+//   - func literals (closures capture onto the heap)
+//   - go statements
+//   - string <-> []byte / []rune conversions
+//
+// "May allocate" is deliberate: append into a capacity-stable reused
+// buffer is a legitimate steady-state idiom, and such sites carry a
+// //lint:allow hotalloc directive whose mandatory reason documents
+// why the allocation cannot recur after warmup. An allow without a
+// reason is itself a finding (the directive contract), so every
+// exception in the hot path is auditable.
+//
+// The analyzer is local and syntactic on purpose: it does not chase
+// callees (annotate them too) and it does not model escape analysis
+// (a flagged &T{...} that provably stays on the stack still earns its
+// allow-with-reason). The runtime guard remains the ground truth; this
+// check just points at the exact line before the benchmark run does.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"basevictim/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "functions marked //bv:steadystate must not contain " +
+		"heap-allocating constructs",
+	Run: run,
+}
+
+// Marker is the doc-comment line that designates a steady-state
+// function.
+const Marker = "//bv:steadystate"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !marked(fd.Doc) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func marked(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == Marker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, name)
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in steady-state function %s", name)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in steady-state function %s", name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal may escape to the heap in steady-state function %s", name)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "func literal allocates a closure in steady-state function %s", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates in steady-state function %s", name)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, name string) {
+	// Builtins: make, new and append resolve to *types.Builtin through
+	// a plain identifier.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in steady-state function %s", b.Name(), name)
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in steady-state function %s", name)
+			}
+			return
+		}
+	}
+	// Conversions between string and []byte/[]rune copy into a fresh
+	// heap buffer.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from := pass.TypesInfo.Types[call.Args[0]].Type
+		if from == nil {
+			return
+		}
+		if isString(to) && isByteOrRuneSlice(from.Underlying()) ||
+			isByteOrRuneSlice(to) && isString(from.Underlying()) {
+			pass.Reportf(call.Pos(), "string conversion allocates in steady-state function %s", name)
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+		e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}

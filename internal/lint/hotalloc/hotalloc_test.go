@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"basevictim/internal/lint/hotalloc"
+	"basevictim/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "a")
+}

@@ -1,0 +1,72 @@
+// Golden data for the hotalloc analyzer: heap allocation is banned
+// inside functions designated //bv:steadystate; everything else is
+// out of scope.
+package a
+
+// Unmarked functions may allocate freely.
+func unmarked() []int {
+	return make([]int, 8)
+}
+
+// access is hot.
+//
+//bv:steadystate
+func access(buf []uint64, line uint64) int {
+	s := make([]int, 4)     // want `make allocates in steady-state function access`
+	p := new(int)           // want `new allocates in steady-state function access`
+	buf = append(buf, line) // want `append may grow its backing array in steady-state function access`
+	_ = []byte("x")         // want `string conversion allocates in steady-state function access`
+	_ = []int{1, 2}         // want `slice literal allocates in steady-state function access`
+	m := map[int]int{}      // want `map literal allocates in steady-state function access`
+	_ = &point{1, 2}        // want `&composite literal may escape to the heap in steady-state function access`
+	f := func() {}          // want `func literal allocates a closure in steady-state function access`
+	go f()                  // want `go statement allocates in steady-state function access`
+	f()
+	return len(s) + len(m) + *p
+}
+
+type point struct{ x, y int }
+
+// Value composite literals of struct and array type stay on the
+// stack, and arithmetic obviously passes.
+//
+//bv:steadystate
+func clean(line uint64) uint64 {
+	pt := point{1, 2}
+	var tbl [4]uint64
+	tbl[line&3] = line
+	return line*0x9E3779B97F4A7C15 + uint64(pt.x) + tbl[0]
+}
+
+// An allow with a reason suppresses a finding; the reused-buffer
+// append is the canonical legitimate case.
+//
+//bv:steadystate
+func reusedBuffer(out []uint64, line uint64) []uint64 {
+	out = out[:0]
+	//lint:allow hotalloc cap is stable after warmup; append never grows
+	out = append(out, line)
+	return out
+}
+
+// The marker must be the whole comment line: a mention in prose does
+// not designate. bv:steadystate appearing mid-sentence is fine.
+func prose() []int {
+	return make([]int, 1)
+}
+
+// Nested closures inside a designated function are checked too.
+//
+//bv:steadystate
+func nested() func() []int {
+	return func() []int { // want `func literal allocates a closure in steady-state function nested`
+		return make([]int, 2) // want `make allocates in steady-state function nested`
+	}
+}
+
+// String conversions in both directions allocate.
+//
+//bv:steadystate
+func conv(b []byte, s string) (string, []byte) {
+	return string(b), []byte(s) // want `string conversion allocates in steady-state function conv` `string conversion allocates in steady-state function conv`
+}

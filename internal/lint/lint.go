@@ -10,6 +10,7 @@ import (
 	"basevictim/internal/lint/ctxflow"
 	"basevictim/internal/lint/determinism"
 	"basevictim/internal/lint/exitcode"
+	"basevictim/internal/lint/hotalloc"
 )
 
 // Analyzers returns the full suite, in reporting-name order.
@@ -20,6 +21,7 @@ func Analyzers() []*analysis.Analyzer {
 		ctxflow.Analyzer,
 		determinism.Analyzer,
 		exitcode.Analyzer,
+		hotalloc.Analyzer,
 	}
 }
 

@@ -73,25 +73,83 @@ func ByName(name string) (Factory, error) {
 	}
 }
 
-// LRU is true least-recently-used replacement, tracked with a global
-// access clock per cache.
+// LRU is true least-recently-used replacement. Historically it kept a
+// global access clock and per-way stamps, with Victim scanning for the
+// minimum stamp; it now keeps a per-set doubly-linked recency chain so
+// every operation, Victim included, is O(1). The two formulations are
+// exactly equivalent — TestLRUMatchesStampReference drives them in
+// lockstep — by this argument: stamps strictly increase, so the chain
+// order from LRU head to MRU tail is exactly ascending stamp order for
+// touched ways; untouched and invalidated ways (stamp 0 in the old
+// scheme) are kept at the head in ascending way order, reproducing the
+// scan's lowest-index tie-break among zero stamps.
 type LRU struct {
-	ways  int
-	clock uint64
-	stamp []uint64 // [set*ways+way]; 0 = never touched
+	ways int
+	// prev/next hold the within-set chain as flat slot indices
+	// (set*ways+way), -1 terminated. head is the set's LRU end, tail
+	// its MRU end.
+	prev, next []int32
+	head, tail []int32
+	// fresh marks ways that have never been touched since their last
+	// invalidation (the old scheme's stamp == 0).
+	fresh []bool
 }
 
 // NewLRU returns an LRU policy for the given geometry.
 func NewLRU(sets, ways int) Policy {
-	return &LRU{ways: ways, stamp: make([]uint64, sets*ways)}
+	p := &LRU{
+		ways:  ways,
+		prev:  make([]int32, sets*ways),
+		next:  make([]int32, sets*ways),
+		head:  make([]int32, sets),
+		tail:  make([]int32, sets),
+		fresh: make([]bool, sets*ways),
+	}
+	for s := 0; s < sets; s++ {
+		base := s * ways
+		for w := 0; w < ways; w++ {
+			p.prev[base+w] = int32(base + w - 1)
+			p.next[base+w] = int32(base + w + 1)
+			p.fresh[base+w] = true
+		}
+		p.prev[base] = -1
+		p.next[base+ways-1] = -1
+		p.head[s] = int32(base)
+		p.tail[s] = int32(base + ways - 1)
+	}
+	return p
 }
 
 // Name implements Policy.
 func (*LRU) Name() string { return "lru" }
 
+// unlink removes slot i from set's chain.
+func (p *LRU) unlink(set int, i int32) {
+	if p.prev[i] >= 0 {
+		p.next[p.prev[i]] = p.next[i]
+	} else {
+		p.head[set] = p.next[i]
+	}
+	if p.next[i] >= 0 {
+		p.prev[p.next[i]] = p.prev[i]
+	} else {
+		p.tail[set] = p.prev[i]
+	}
+}
+
+//bv:steadystate
 func (p *LRU) touch(set, way int) {
-	p.clock++
-	p.stamp[set*p.ways+way] = p.clock
+	i := int32(set*p.ways + way)
+	p.fresh[i] = false
+	if p.tail[set] == i {
+		return
+	}
+	p.unlink(set, i)
+	t := p.tail[set]
+	p.prev[i] = t
+	p.next[i] = -1
+	p.next[t] = i
+	p.tail[set] = i
 }
 
 // OnHit implements Policy.
@@ -100,33 +158,68 @@ func (p *LRU) OnHit(set, way int) { p.touch(set, way) }
 // OnFill implements Policy.
 func (p *LRU) OnFill(set, way int) { p.touch(set, way) }
 
-// OnInvalidate implements Policy.
-func (p *LRU) OnInvalidate(set, way int) { p.stamp[set*p.ways+way] = 0 }
-
-// Victim implements Policy: the way with the oldest stamp.
-func (p *LRU) Victim(set int) int {
-	victim, oldest := 0, ^uint64(0)
-	for w := 0; w < p.ways; w++ {
-		if s := p.stamp[set*p.ways+w]; s < oldest {
-			victim, oldest = w, s
-		}
+// OnInvalidate implements Policy. The way rejoins the fresh region at
+// the LRU head, inserted in ascending way order so Victim's tie-break
+// among fresh ways stays the lowest index, exactly as the stamp scan
+// tie-broke among zero stamps.
+func (p *LRU) OnInvalidate(set, way int) {
+	i := int32(set*p.ways + way)
+	if p.fresh[i] {
+		// Already in the fresh region, and fresh-region order is
+		// maintained on insertion: nothing to do.
+		return
 	}
-	return victim
+	p.unlink(set, i)
+	p.fresh[i] = true
+	at := p.head[set]
+	for at >= 0 && p.fresh[at] && at < i {
+		at = p.next[at]
+	}
+	if at < 0 { // chain exhausted: append at tail
+		t := p.tail[set]
+		p.prev[i] = t
+		p.next[i] = -1
+		if t >= 0 {
+			p.next[t] = i
+		} else { // ways == 1: the chain emptied on unlink
+			p.head[set] = i
+		}
+		p.tail[set] = i
+		return
+	}
+	// Insert before at.
+	p.prev[i] = p.prev[at]
+	p.next[i] = at
+	if p.prev[at] >= 0 {
+		p.next[p.prev[at]] = i
+	} else {
+		p.head[set] = i
+	}
+	p.prev[at] = i
 }
+
+// Victim implements Policy: the LRU end of the chain.
+func (p *LRU) Victim(set int) int { return int(p.head[set]) - set*p.ways }
 
 // StackOrder returns the ways of a set ordered from MRU to LRU. Used by
 // tests and by the VSC functional model, which replaces from the bottom
-// of the LRU stack.
+// of the LRU stack. Fresh ways sort after every touched way, in
+// ascending way order, matching the historical stable sort by
+// descending stamp.
 func (p *LRU) StackOrder(set int) []int {
-	order := make([]int, p.ways)
-	for i := range order {
-		order[i] = i
+	base := set * p.ways
+	order := make([]int, 0, p.ways)
+	for i := p.tail[set]; i >= 0; i = p.prev[i] {
+		order = append(order, int(i)-base)
 	}
-	// Insertion sort by descending stamp; associativity is small.
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && p.stamp[set*p.ways+order[j]] > p.stamp[set*p.ways+order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
+	// Walking MRU->LRU reverses the fresh region's ascending-order
+	// invariant; restore it.
+	lo := len(order)
+	for lo > 0 && p.fresh[base+order[lo-1]] {
+		lo--
+	}
+	for l, r := lo, len(order)-1; l < r; l, r = l+1, r-1 {
+		order[l], order[r] = order[r], order[l]
 	}
 	return order
 }

@@ -257,3 +257,95 @@ func TestDRRIPVictimAndHit(t *testing.T) {
 		t.Fatal("victim not reported as not-recent")
 	}
 }
+
+// refLRU is a verbatim reimplementation of the historical stamp-based
+// LRU: a global access clock, per-way stamps (0 = never touched or
+// invalidated), Victim by minimum-stamp scan with lowest-index ties,
+// and StackOrder by stable sort on descending stamp. The production
+// LRU replaced the scan with an O(1) recency chain; this reference
+// keeps the equivalence machine-checked.
+type refLRU struct {
+	ways  int
+	clock uint64
+	stamp []uint64
+}
+
+func newRefLRU(sets, ways int) *refLRU {
+	return &refLRU{ways: ways, stamp: make([]uint64, sets*ways)}
+}
+
+func (p *refLRU) touch(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+func (p *refLRU) invalidate(set, way int) { p.stamp[set*p.ways+way] = 0 }
+
+func (p *refLRU) victim(set int) int {
+	victim, oldest := 0, ^uint64(0)
+	for w := 0; w < p.ways; w++ {
+		if s := p.stamp[set*p.ways+w]; s < oldest {
+			victim, oldest = w, s
+		}
+	}
+	return victim
+}
+
+func (p *refLRU) stackOrder(set int) []int {
+	order := make([]int, p.ways)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && p.stamp[set*p.ways+order[j]] > p.stamp[set*p.ways+order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// TestLRUMatchesStampReference drives the chain LRU and the historical
+// stamp LRU through adversarial operation mixes (hits, fills and heavy
+// invalidation churn) and demands identical victims and stack orders
+// after every step — including while invalidated ways are present,
+// which is stricter than the Victim contract requires.
+func TestLRUMatchesStampReference(t *testing.T) {
+	for _, geom := range []struct{ sets, ways int }{{1, 1}, {1, 2}, {4, 4}, {8, 8}, {2, 16}} {
+		p := NewLRU(geom.sets, geom.ways).(*LRU)
+		ref := newRefLRU(geom.sets, geom.ways)
+		rng := uint64(0x9E3779B97F4A7C15 ^ uint64(geom.sets*31+geom.ways))
+		next := func(n int) int {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return int(rng % uint64(n))
+		}
+		for step := 0; step < 30000; step++ {
+			set, way := next(geom.sets), next(geom.ways)
+			switch next(4) {
+			case 0:
+				p.OnHit(set, way)
+				ref.touch(set, way)
+			case 1:
+				p.OnFill(set, way)
+				ref.touch(set, way)
+			case 2:
+				p.OnInvalidate(set, way)
+				ref.invalidate(set, way)
+			default:
+				// No mutation: pure observation step.
+			}
+			if got, want := p.Victim(set), ref.victim(set); got != want {
+				t.Fatalf("%dx%d step %d: victim(%d) = %d, reference %d", geom.sets, geom.ways, step, set, got, want)
+			}
+			if step%64 == 0 {
+				got, want := p.StackOrder(set), ref.stackOrder(set)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%dx%d step %d: stack order %v, reference %v", geom.sets, geom.ways, step, got, want)
+					}
+				}
+			}
+		}
+	}
+}

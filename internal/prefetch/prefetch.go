@@ -6,6 +6,8 @@
 // stream once a stride has been confirmed.
 package prefetch
 
+import "basevictim/internal/arena"
+
 // Config tunes one prefetcher instance.
 type Config struct {
 	Streams  int // tracked concurrent streams (table entries)
@@ -41,17 +43,32 @@ const invalidRegion = ^uint64(0)
 // Prefetcher is a multi-stream stride engine. It is not safe for
 // concurrent use; each cache level owns one.
 //
-// The per-stream region and last-use keys live in dedicated flat
-// arrays: the lookup and victim scans that run on every train touch
-// only those dense words instead of striding through the full stream
-// structs, which is where the profiler showed the time going.
+// The per-stream region keys live in a dedicated flat array so the
+// per-train lookup scan touches only dense words. Victim selection is
+// an intrusive doubly-linked recency chain (head = next victim,
+// tail = most recent) updated in O(1) on every touch. The chain starts
+// in slot-index order with every slot free, which makes "evict the
+// chain head" reproduce the historical first-free-then-least-recently-
+// used scan exactly: free slots are all older than any touched slot
+// and stay in index order among themselves, and once the table is
+// full the head is the unique least-recently-touched slot (the train
+// clock never ties). TestVictimMatchesScanReference pins this.
 type Prefetcher struct {
 	cfg     Config
 	regions []uint64 // stream key per slot; invalidRegion = free
-	lastUse []uint64 // LRU clock per slot; 0 = never used (free)
 	streams []stream
-	clock   uint64
-	out     []uint64 // reused output buffer
+	prev    []int32 // recency chain toward the victim end
+	next    []int32 // recency chain toward the MRU end
+	head    int32   // next victim
+	tail    int32   // most recently touched
+	lastHit int32   // slot that matched last train; checked before scanning
+	// slotIdx is a direct-mapped hint from a region hash to the slot
+	// that last held that region, verified against regions[] before
+	// use. It only short-circuits the table scan — the scan result is
+	// authoritative — so stale entries (evicted or remapped slots) are
+	// harmless and training behavior is unchanged.
+	slotIdx []int32
+	out     []uint64 // reused output buffer, capacity Degree
 
 	Stats Stats
 }
@@ -65,7 +82,11 @@ type Stats struct {
 }
 
 // New builds a prefetcher with the given configuration.
-func New(cfg Config) *Prefetcher {
+func New(cfg Config) *Prefetcher { return NewIn(nil, cfg) }
+
+// NewIn builds a prefetcher whose tables are carved from the arena
+// (nil falls back to the heap).
+func NewIn(a *arena.Arena, cfg Config) *Prefetcher {
 	if cfg.Streams <= 0 {
 		cfg.Streams = 16
 	}
@@ -77,24 +98,66 @@ func New(cfg Config) *Prefetcher {
 	}
 	p := &Prefetcher{
 		cfg:     cfg,
-		regions: make([]uint64, cfg.Streams),
-		lastUse: make([]uint64, cfg.Streams),
-		streams: make([]stream, cfg.Streams),
+		regions: arena.Make[uint64](a, cfg.Streams),
+		streams: arena.Make[stream](a, cfg.Streams),
+		prev:    arena.Make[int32](a, cfg.Streams),
+		next:    arena.Make[int32](a, cfg.Streams),
+		slotIdx: arena.Make[int32](a, slotIdxSize),
+		out:     arena.Make[uint64](a, cfg.Degree)[:0],
+	}
+	for i := range p.slotIdx {
+		p.slotIdx[i] = -1
 	}
 	for i := range p.regions {
 		p.regions[i] = invalidRegion
+		p.prev[i] = int32(i) - 1
+		p.next[i] = int32(i) + 1
 	}
+	p.next[cfg.Streams-1] = -1
+	p.head, p.tail = 0, int32(cfg.Streams-1)
 	return p
 }
 
 // confirmThreshold is how many same-stride observations arm a stream.
 const confirmThreshold = 2
 
+// slotIdxBits sizes the region-to-slot hint table (1 KB per instance).
+const (
+	slotIdxBits = 8
+	slotIdxSize = 1 << slotIdxBits
+)
+
+// slotIdxOf maps a region to its hint-table entry.
+func slotIdxOf(region uint64) int {
+	return int((region * 0x9E3779B97F4A7C15) >> (64 - slotIdxBits))
+}
+
+// touch moves slot i to the MRU end of the recency chain.
+//
+//bv:steadystate
+func (p *Prefetcher) touch(i int32) {
+	if p.tail == i {
+		return
+	}
+	pr, nx := p.prev[i], p.next[i]
+	if pr >= 0 {
+		p.next[pr] = nx
+	} else {
+		p.head = nx
+	}
+	p.prev[nx] = pr // nx is valid because i is not the tail
+	p.prev[i] = p.tail
+	p.next[i] = -1
+	p.next[p.tail] = i
+	p.tail = i
+}
+
 // Advise trains the prefetcher on a demand access (byte address) and
 // returns the line addresses to prefetch. The returned slice is valid
 // until the next call.
+//
+//bv:steadystate
 func (p *Prefetcher) Advise(addr uint64) []uint64 {
-	p.clock++
 	p.Stats.Trains++
 	line := addr >> 6
 	region := addr >> regionShift
@@ -102,15 +165,17 @@ func (p *Prefetcher) Advise(addr uint64) []uint64 {
 
 	idx := p.lookup(region)
 	if idx < 0 {
-		idx = p.victim()
+		idx = p.head
+		p.touch(idx)
+		p.lastHit = idx
 		p.regions[idx] = region
-		p.lastUse[idx] = p.clock
 		p.streams[idx] = stream{lastLine: line}
+		p.slotIdx[slotIdxOf(region)] = idx
 		p.Stats.Streams++
 		return p.out
 	}
 	s := &p.streams[idx]
-	p.lastUse[idx] = p.clock
+	p.touch(idx)
 	stride := int64(line) - int64(s.lastLine)
 	if stride == 0 {
 		return p.out // same line; nothing to learn
@@ -138,34 +203,35 @@ func (p *Prefetcher) Advise(addr uint64) []uint64 {
 		if target < 0 {
 			continue
 		}
+		// out was sized to Degree at construction and the loop issues
+		// at most Degree targets, so this never grows the backing array.
+		//lint:allow hotalloc cap is Degree from NewIn; append never exceeds it
 		p.out = append(p.out, uint64(target))
 		p.Stats.Issued++
 	}
 	return p.out
 }
 
-func (p *Prefetcher) lookup(region uint64) int {
+//bv:steadystate
+func (p *Prefetcher) lookup(region uint64) int32 {
+	// Streams are bursty: the slot that matched last time usually
+	// matches again, skipping the table scan entirely.
+	if p.regions[p.lastHit] == region {
+		return p.lastHit
+	}
+	// The hint table catches the interleaved-stream case the lastHit
+	// slot cannot; a verified hit is exact, a stale or aliased entry
+	// just falls through to the scan.
+	if s := p.slotIdx[slotIdxOf(region)]; s >= 0 && p.regions[s] == region {
+		p.lastHit = s
+		return s
+	}
 	for i, r := range p.regions {
 		if r == region {
-			return i
+			p.lastHit = int32(i)
+			p.slotIdx[slotIdxOf(region)] = int32(i)
+			return int32(i)
 		}
 	}
 	return -1
-}
-
-// victim picks the slot to reallocate: the first free slot, else the
-// least recently used one. Free slots have lastUse 0 and the clock
-// starts at 1, so a single min-scan with first-wins ties reproduces
-// the historical first-free-then-LRU selection exactly.
-func (p *Prefetcher) victim() int {
-	oldest := 0
-	for i, u := range p.lastUse {
-		if u == 0 {
-			return i
-		}
-		if u < p.lastUse[oldest] {
-			oldest = i
-		}
-	}
-	return oldest
 }

@@ -1,6 +1,9 @@
 package prefetch
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestStrideDetection(t *testing.T) {
 	p := New(Config{Streams: 4, Degree: 2, Distance: 4})
@@ -100,6 +103,167 @@ func TestConfigDefaultsSanitized(t *testing.T) {
 	p := New(Config{Streams: -1, Degree: 0, Distance: -5})
 	if got := p.Advise(0); got == nil && len(p.streams) == 0 {
 		t.Fatal("prefetcher unusable with sanitized config")
+	}
+}
+
+// refPrefetcher is a verbatim reimplementation of the historical
+// engine: linear lookup, per-slot lastUse clock, and a victim chosen
+// by first-free-then-minimum-lastUse scan with lowest-index ties. The
+// production Prefetcher replaced the scans with an O(1) recency chain;
+// this reference exists so the equivalence stays machine-checked.
+type refPrefetcher struct {
+	cfg     Config
+	regions []uint64
+	lastUse []uint64
+	streams []stream
+	clock   uint64
+	out     []uint64
+	stats   Stats
+}
+
+func newRef(cfg Config) *refPrefetcher {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 16
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 1
+	}
+	if cfg.Distance < cfg.Degree {
+		cfg.Distance = cfg.Degree
+	}
+	r := &refPrefetcher{
+		cfg:     cfg,
+		regions: make([]uint64, cfg.Streams),
+		lastUse: make([]uint64, cfg.Streams),
+		streams: make([]stream, cfg.Streams),
+	}
+	for i := range r.regions {
+		r.regions[i] = invalidRegion
+	}
+	return r
+}
+
+func (p *refPrefetcher) advise(addr uint64) []uint64 {
+	p.clock++
+	p.stats.Trains++
+	line := addr >> 6
+	region := addr >> regionShift
+	p.out = p.out[:0]
+
+	idx := -1
+	for i, r := range p.regions {
+		if r == region {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = 0
+		for i, u := range p.lastUse {
+			if u == 0 {
+				idx = i
+				break
+			}
+			if u < p.lastUse[idx] {
+				idx = i
+			}
+		}
+		p.regions[idx] = region
+		p.lastUse[idx] = p.clock
+		p.streams[idx] = stream{lastLine: line}
+		p.stats.Streams++
+		return p.out
+	}
+	s := &p.streams[idx]
+	p.lastUse[idx] = p.clock
+	stride := int64(line) - int64(s.lastLine)
+	if stride == 0 {
+		return p.out
+	}
+	if stride == s.stride {
+		if s.confirms < confirmThreshold {
+			s.confirms++
+			p.stats.Confirms++
+		}
+	} else {
+		s.stride = stride
+		s.confirms = 1
+	}
+	s.lastLine = line
+	if s.confirms < confirmThreshold {
+		return p.out
+	}
+	step := p.cfg.Distance / p.cfg.Degree
+	if step < 1 {
+		step = 1
+	}
+	for i := 1; i <= p.cfg.Degree; i++ {
+		target := int64(line) + s.stride*int64(i*step)
+		if target < 0 {
+			continue
+		}
+		p.out = append(p.out, uint64(target))
+		p.stats.Issued++
+	}
+	return p.out
+}
+
+// TestVictimMatchesScanReference drives the recency-chain engine and
+// the historical scan engine over adversarial address mixes (many
+// interleaved strided streams plus random region churn, so eviction
+// and retraining fire constantly) and demands identical advice and
+// stats at every step.
+func TestVictimMatchesScanReference(t *testing.T) {
+	configs := []Config{
+		{Streams: 2, Degree: 1, Distance: 1},
+		{Streams: 4, Degree: 2, Distance: 4},
+		DefaultL1(), DefaultL2(), DefaultLLC(),
+	}
+	for ci, cfg := range configs {
+		rng := rand.New(rand.NewSource(int64(ci + 1)))
+		p := New(cfg)
+		ref := newRef(cfg)
+		nstreams := cfg.Streams*2 + 3 // more streams than slots: constant eviction
+		pos := make([]uint64, nstreams)
+		strides := make([]int64, nstreams)
+		for i := range pos {
+			pos[i] = uint64(i) << 22
+			strides[i] = int64(rng.Intn(5)-2) * 64
+		}
+		for step := 0; step < 20000; step++ {
+			var addr uint64
+			if rng.Intn(8) == 0 {
+				addr = rng.Uint64() >> 8 // random churn
+			} else {
+				s := rng.Intn(nstreams)
+				addr = pos[s]
+				pos[s] = uint64(int64(pos[s]) + strides[s])
+			}
+			got := p.Advise(addr)
+			want := ref.advise(addr)
+			if len(got) != len(want) {
+				t.Fatalf("cfg %d step %d: advice %v, reference %v", ci, step, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("cfg %d step %d: advice %v, reference %v", ci, step, got, want)
+				}
+			}
+		}
+		if p.Stats != ref.stats {
+			t.Fatalf("cfg %d: stats %+v, reference %+v", ci, p.Stats, ref.stats)
+		}
+	}
+}
+
+func TestAdviseDoesNotAllocate(t *testing.T) {
+	p := New(DefaultLLC())
+	var i uint64
+	if allocs := testing.AllocsPerRun(200, func() {
+		p.Advise(i % 4096 * 64)
+		i++
+	}); allocs != 0 {
+		t.Fatalf("Advise allocates %v objects per call, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"context"
+	"sync"
+
+	"basevictim/internal/arena"
+)
+
+// interfacePathKey marks a context that forces every run beneath it
+// onto the interface dispatch path.
+type interfacePathKey struct{}
+
+// WithInterfacePath returns a context under which runs skip the
+// devirtualized fast paths (concrete LLC and memory-system calls in
+// internal/hierarchy and internal/cpu) and dispatch everything through
+// the interfaces instead. Results are bit-identical either way — the
+// differential test in this package enforces that — so the toggle
+// rides the context rather than Config on purpose: Config is the
+// run-cache and checkpoint key, and a pure performance lever must
+// never alias or split cache entries.
+func WithInterfacePath(ctx context.Context) context.Context {
+	return context.WithValue(ctx, interfacePathKey{}, true)
+}
+
+// interfacePathFrom reports whether the context forces the interface
+// path.
+func interfacePathFrom(ctx context.Context) bool {
+	on, _ := ctx.Value(interfacePathKey{}).(bool)
+	return on
+}
+
+// arenaPool recycles per-run arenas: a run's cache tag arrays, ROB and
+// prefetcher state are carved from one arena and returned here when
+// the run ends, so repeated runs (sweeps, pairs, parallel sessions)
+// stop exercising the heap for their largest allocations.
+var arenaPool = sync.Pool{New: func() any { return arena.New() }}
+
+// getArena takes an empty arena from the pool.
+func getArena() *arena.Arena { return arenaPool.Get().(*arena.Arena) }
+
+// putArena resets the arena and returns it to the pool. Callers must
+// not retain anything allocated from it; results that outlive the run
+// are copied by value before this point.
+func putArena(a *arena.Arena) {
+	a.Reset()
+	arenaPool.Put(a)
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"basevictim/internal/obs"
+	"basevictim/internal/workload"
+)
+
+// encodeResult marshals a result (including its obs snapshot) for the
+// byte-level lockstep comparison.
+func encodeResult(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+func observedCtx(ctx context.Context) context.Context {
+	return WithObserver(ctx, &Observer{
+		Registry: obs.NewRegistry(),
+		Ring:     obs.NewRing(256),
+	})
+}
+
+// TestFastPathLockstep is the differential test behind the fast-path
+// contract: for every shipped organization, a run on the devirtualized
+// fast path and a run forced through the interface path must produce
+// byte-identical results — simulated cycles, every statistic, and the
+// full observability snapshot including the decision-event ring. This
+// is what lets the fast path exist at all; any divergence is a bug in
+// whichever path changed.
+func TestFastPathLockstep(t *testing.T) {
+	p := sensitiveTrace(t)
+	for _, org := range OrgKinds() {
+		org := org
+		t.Run(org, func(t *testing.T) {
+			cfg := quickCfg(OrgKind(org))
+			fast, err := RunSingleCtx(observedCtx(context.Background()), p, cfg)
+			if err != nil {
+				t.Fatalf("fast path: %v", err)
+			}
+			slow, err := RunSingleCtx(observedCtx(WithInterfacePath(context.Background())), p, cfg)
+			if err != nil {
+				t.Fatalf("interface path: %v", err)
+			}
+			fb, sb := encodeResult(t, fast), encodeResult(t, slow)
+			if string(fb) != string(sb) {
+				t.Errorf("fast and interface paths diverge for %s:\nfast: %s\nslow: %s", org, fb, sb)
+			}
+			if fast.Obs == nil {
+				t.Fatalf("no obs snapshot attached; the comparison would be vacuous")
+			}
+		})
+	}
+}
+
+// TestFastPathLockstepChecked covers the wrapped-organization fall
+// back: with the lockstep checker on, the LLC seen by the hierarchy is
+// a *check.Checker, so the type switch must leave the fast path unbound
+// and both runs take the interface path — results still identical.
+func TestFastPathLockstepChecked(t *testing.T) {
+	p := sensitiveTrace(t)
+	cfg := quickCfg(OrgBaseVictim)
+	cfg.Check = "full"
+	fast, err := RunSingleCtx(observedCtx(context.Background()), p, cfg)
+	if err != nil {
+		t.Fatalf("fast path: %v", err)
+	}
+	slow, err := RunSingleCtx(observedCtx(WithInterfacePath(context.Background())), p, cfg)
+	if err != nil {
+		t.Fatalf("interface path: %v", err)
+	}
+	if fb, sb := encodeResult(t, fast), encodeResult(t, slow); string(fb) != string(sb) {
+		t.Errorf("checked runs diverge:\nfast: %s\nslow: %s", fb, sb)
+	}
+}
+
+// TestFastPathLockstepMix runs a 4-thread multi-program mix both ways:
+// shared-LLC contention, back-invalidation broadcast and per-core
+// address offsets all ride the fast path, so the mix is where a subtle
+// divergence would surface first.
+func TestFastPathLockstepMix(t *testing.T) {
+	suite := workload.Suite()
+	var mix [4]workload.Profile
+	for i, name := range []string{"mcf.p1", "soplex.p1", "lbm.p1", "milc.p1"} {
+		p, ok := workload.ByName(suite, name)
+		if !ok {
+			t.Fatalf("trace %s missing", name)
+		}
+		mix[i] = p
+	}
+	cfg := quickCfg(OrgBaseVictim)
+	cfg.Instructions = 60_000
+	fast, err := RunMixCtx(observedCtx(context.Background()), mix, cfg)
+	if err != nil {
+		t.Fatalf("fast path: %v", err)
+	}
+	slow, err := RunMixCtx(observedCtx(WithInterfacePath(context.Background())), mix, cfg)
+	if err != nil {
+		t.Fatalf("interface path: %v", err)
+	}
+	if fb, sb := encodeResult(t, fast), encodeResult(t, slow); string(fb) != string(sb) {
+		t.Errorf("mix runs diverge:\nfast: %s\nslow: %s", fb, sb)
+	}
+}

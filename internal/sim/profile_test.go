@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"os"
+	"testing"
+
+	"basevictim/internal/workload"
+)
+
+// TestLongRunProfile is the capture harness for the committed PGO
+// profiles (see EXPERIMENTS.md "Profiling the simulator"): one long
+// warm base-victim run whose steady state dominates the samples, so
+// the profile reflects the per-access hot path rather than setup.
+//
+//	BV_PROFILE_RUN=1 go test -run TestLongRunProfile \
+//	    -cpuprofile cpu.prof ./internal/sim/
+//
+// It is skipped by default: as a correctness test it asserts nothing
+// the fast suite does not already cover, and it runs for seconds.
+func TestLongRunProfile(t *testing.T) {
+	if os.Getenv("BV_PROFILE_RUN") == "" {
+		t.Skip("set BV_PROFILE_RUN=1 to run the profiling workload")
+	}
+	cfg := Default()
+	cfg.Instructions = 20_000_000
+	p, ok := workload.ByName(workload.Suite(), "soplex.p1")
+	if !ok {
+		t.Fatal("soplex.p1 missing from suite")
+	}
+	if _, err := RunSingle(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 
+	"basevictim/internal/arena"
 	"basevictim/internal/ccache"
 	"basevictim/internal/check"
 	"basevictim/internal/compress"
@@ -145,12 +146,14 @@ func ccacheConfig(c Config) (ccache.Config, error) {
 }
 
 // buildOrg constructs the configured LLC organization and returns the
-// organization config it was built with.
-func buildOrg(c Config) (ccache.Org, ccache.Config, error) {
+// organization config it was built with. A non-nil arena backs the
+// organization's (and any shadow checker's) tag arrays.
+func buildOrg(c Config, a *arena.Arena) (ccache.Org, ccache.Config, error) {
 	cc, err := ccacheConfig(c)
 	if err != nil {
 		return nil, ccache.Config{}, err
 	}
+	cc.Arena = a
 	var org ccache.Org
 	switch c.Org {
 	case OrgUncompressed:
@@ -202,8 +205,8 @@ func instrument(org ccache.Org, cc ccache.Config, c Config) (ccache.Org, *check.
 
 // buildLLC is the common construction path: organization plus the
 // configured verification layers.
-func buildLLC(c Config) (ccache.Org, *check.Checker, error) {
-	org, cc, err := buildOrg(c)
+func buildLLC(c Config, a *arena.Arena) (ccache.Org, *check.Checker, error) {
+	org, cc, err := buildOrg(c, a)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -301,7 +304,9 @@ func RunSingle(p workload.Profile, cfg Config) (Result, error) {
 // unwinding into the caller.
 func RunSingleCtx(ctx context.Context, p workload.Profile, cfg Config) (_ Result, err error) {
 	defer Contain(p.Name, cfg, &err)
-	org, ck, err := buildLLC(cfg)
+	a := getArena()
+	defer putArena(a)
+	org, ck, err := buildLLC(cfg, a)
 	if err != nil {
 		return Result{}, err
 	}
@@ -310,11 +315,15 @@ func RunSingleCtx(ctx context.Context, p workload.Profile, cfg Config) (_ Result
 		return Result{}, err
 	}
 	mem := dram.New(dram.DefaultConfig())
-	h, err := hierarchy.New(hierConfig(cfg), org, mem, sizer)
+	h, err := hierarchy.NewIn(a, hierConfig(cfg), org, mem, sizer)
 	if err != nil {
 		return Result{}, err
 	}
-	core := cpu.MustNew(cpu.DefaultConfig(), h)
+	core := cpu.MustNewIn(a, cpu.DefaultConfig(), h)
+	if interfacePathFrom(ctx) {
+		h.DisableFastPath()
+		core.DisableFastPath()
+	}
 	o := ObserverFrom(ctx)
 	o.attach(org, mem, core)
 	res, runErr := core.RunCtx(ctx, p.Stream(), cfg.Instructions)
@@ -355,16 +364,22 @@ func RunStream(s trace.Stream, sizer hierarchy.Sizer, cfg Config) (Result, error
 // panic-containment semantics as RunSingleCtx.
 func RunStreamCtx(ctx context.Context, s trace.Stream, sizer hierarchy.Sizer, cfg Config) (_ Result, err error) {
 	defer Contain("stream", cfg, &err)
-	org, ck, err := buildLLC(cfg)
+	a := getArena()
+	defer putArena(a)
+	org, ck, err := buildLLC(cfg, a)
 	if err != nil {
 		return Result{}, err
 	}
 	mem := dram.New(dram.DefaultConfig())
-	h, err := hierarchy.New(hierConfig(cfg), org, mem, sizer)
+	h, err := hierarchy.NewIn(a, hierConfig(cfg), org, mem, sizer)
 	if err != nil {
 		return Result{}, err
 	}
-	core := cpu.MustNew(cpu.DefaultConfig(), h)
+	core := cpu.MustNewIn(a, cpu.DefaultConfig(), h)
+	if interfacePathFrom(ctx) {
+		h.DisableFastPath()
+		core.DisableFastPath()
+	}
 	o := ObserverFrom(ctx)
 	o.attach(org, mem, core)
 	res, runErr := core.RunCtx(ctx, s, cfg.Instructions)
@@ -462,7 +477,9 @@ func RunMix(mix [4]workload.Profile, cfg Config) (MultiResult, error) {
 // traces.
 func RunMixCtx(ctx context.Context, mix [4]workload.Profile, cfg Config) (_ MultiResult, err error) {
 	defer Contain(mixLabel(mix), cfg, &err)
-	org, ck, err := buildLLC(cfg)
+	a := getArena()
+	defer putArena(a)
+	org, ck, err := buildLLC(cfg, a)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -481,7 +498,7 @@ func RunMixCtx(ctx context.Context, mix [4]workload.Profile, cfg Config) (_ Mult
 		if err != nil {
 			return MultiResult{}, err
 		}
-		h, err := hierarchy.New(hierConfig(cfg), org, mem, sizer)
+		h, err := hierarchy.NewIn(a, hierConfig(cfg), org, mem, sizer)
 		if err != nil {
 			return MultiResult{}, err
 		}
@@ -489,7 +506,11 @@ func RunMixCtx(ctx context.Context, mix [4]workload.Profile, cfg Config) (_ Mult
 		hiers[i] = h
 		ccfg := cpu.DefaultConfig()
 		ccfg.CodeBase = uint64(i+1)<<44 | 1<<40
-		cores[i] = cpu.MustNew(ccfg, h)
+		cores[i] = cpu.MustNewIn(a, ccfg, h)
+		if interfacePathFrom(ctx) {
+			h.DisableFastPath()
+			cores[i].DisableFastPath()
+		}
 		streams[i] = p.Stream()
 		res.Mix[i] = p.Name
 	}

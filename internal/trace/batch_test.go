@@ -1,0 +1,285 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+	"testing/quick"
+)
+
+// drainScalar decodes everything the scalar Reader yields, returning
+// the ops and the terminal error (nil for clean EOF).
+func drainScalar(data []byte) ([]Op, error, error) {
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	var ops []Op
+	for {
+		op, ok := r.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+	}
+	return ops, r.Err(), nil
+}
+
+// drainBatch does the same through BatchReader.Next over the given
+// reader (which lets tests inject pathological read patterns).
+func drainBatch(r io.Reader) ([]Op, error, error) {
+	br, err := NewBatchReader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ops []Op
+	for {
+		op, ok := br.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+	}
+	return ops, br.Err(), nil
+}
+
+// checkAgree asserts BatchReader and Reader produced identical results
+// for the same input.
+func checkAgree(t *testing.T, data []byte, batchReader io.Reader) {
+	t.Helper()
+	wantOps, wantErr, wantHdrErr := drainScalar(data)
+	gotOps, gotErr, gotHdrErr := drainBatch(batchReader)
+	if (wantHdrErr == nil) != (gotHdrErr == nil) {
+		t.Fatalf("header acceptance differs: scalar %v, batch %v", wantHdrErr, gotHdrErr)
+	}
+	if wantHdrErr != nil {
+		if wantHdrErr.Error() != gotHdrErr.Error() {
+			t.Fatalf("header error differs:\nscalar %q\nbatch  %q", wantHdrErr, gotHdrErr)
+		}
+		return
+	}
+	if len(gotOps) != len(wantOps) {
+		t.Fatalf("op count differs: scalar %d, batch %d", len(wantOps), len(gotOps))
+	}
+	for i := range wantOps {
+		if gotOps[i] != wantOps[i] {
+			t.Fatalf("op %d differs: scalar %+v, batch %+v", i, wantOps[i], gotOps[i])
+		}
+	}
+	switch {
+	case wantErr == nil && gotErr == nil:
+	case wantErr == nil || gotErr == nil:
+		t.Fatalf("terminal error differs: scalar %v, batch %v", wantErr, gotErr)
+	case wantErr.Error() != gotErr.Error():
+		t.Fatalf("terminal error differs:\nscalar %q\nbatch  %q", wantErr, gotErr)
+	}
+}
+
+func encodeOps(ops []Op) []byte {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, op := range ops {
+		w.Write(op)
+	}
+	w.Flush()
+	return buf.Bytes()
+}
+
+// TestBatchMatchesScalarOnValidTraces: property test over random valid
+// traces, larger than one batch so multiple fills are exercised.
+func TestBatchMatchesScalarOnValidTraces(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 3*BatchOps + int(uint64(seed)%1000)
+		data := encodeOps(randOps(seed, n))
+		checkAgree(t, data, bytes.NewReader(data))
+		// Byte-at-a-time reads force the refill/retry path on every op.
+		checkAgree(t, data, iotest.OneByteReader(bytes.NewReader(data)))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchMatchesScalarOnCorruptBodies: every corrupt-body class the
+// scalar reader distinguishes must come out identically, with valid
+// ops before the corruption still delivered.
+func TestBatchMatchesScalarOnCorruptBodies(t *testing.T) {
+	prefix := encodeOps(randOps(7, 100))
+	bodies := [][]byte{
+		{0x03},                         // bad kind
+		{0x90},                         // reserved bits
+		{0x01},                         // load without addr
+		{0x02},                         // store without addr
+		{0x09, 0x80},                   // truncated varint
+		{0x09},                         // header then nothing
+		bytes.Repeat([]byte{0x80}, 12), // varint overflow territory after 0x09
+	}
+	for i, body := range bodies {
+		data := append(append([]byte{}, prefix...), body...)
+		if i == len(bodies)-1 {
+			data = append(append([]byte{}, prefix...), append([]byte{0x09}, body...)...)
+		}
+		checkAgree(t, data, bytes.NewReader(data))
+		checkAgree(t, data, iotest.OneByteReader(bytes.NewReader(data)))
+	}
+}
+
+// TestBatchTruncatedEverywhere chops a valid trace at every byte
+// boundary near the end and checks batch/scalar parity at each cut.
+func TestBatchTruncatedEverywhere(t *testing.T) {
+	data := encodeOps(randOps(11, 64))
+	for cut := 0; cut <= len(data); cut++ {
+		checkAgree(t, data[:cut], bytes.NewReader(data[:cut]))
+	}
+}
+
+func TestBatchStickyError(t *testing.T) {
+	data := append(append([]byte{}, magic[:]...), formatVersion, 0x03)
+	br, err := NewBatchReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := br.Next(); ok {
+			t.Fatal("stream continued past corruption")
+		}
+	}
+	if br.Err() == nil || !errors.Is(br.Err(), ErrBadTrace) {
+		t.Fatalf("Err() = %v, want sticky ErrBadTrace", br.Err())
+	}
+	if _, err := br.NextBatch(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("NextBatch after corruption = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestNextBatchSemantics(t *testing.T) {
+	ops := randOps(5, BatchOps+123)
+	br, err := NewBatchReader(bytes.NewReader(encodeOps(ops)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Op
+	for {
+		batch, err := br.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 {
+			t.Fatal("NextBatch returned empty batch with nil error")
+		}
+		if len(batch) > BatchOps {
+			t.Fatalf("batch of %d exceeds BatchOps", len(batch))
+		}
+		got = append(got, batch...)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: got %+v want %+v", i, got[i], ops[i])
+		}
+	}
+	// Error after prefix: ops before the corruption arrive first, the
+	// error only on the following call.
+	data := append(encodeOps(ops[:4]), 0x90)
+	br, err = NewBatchReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := br.NextBatch()
+	if err != nil || len(batch) != 4 {
+		t.Fatalf("prefix batch: %d ops, err %v; want 4 ops, nil", len(batch), err)
+	}
+	if _, err := br.NextBatch(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("want ErrBadTrace after prefix, got %v", err)
+	}
+}
+
+func TestBatchStats(t *testing.T) {
+	n := 2*BatchOps + 10
+	br, err := NewBatchReader(bytes.NewReader(encodeOps(randOps(9, n))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := br.Next(); !ok {
+			break
+		}
+	}
+	st := br.Stats()
+	if st.Ops != uint64(n) {
+		t.Fatalf("stats ops = %d, want %d", st.Ops, n)
+	}
+	if st.Batches != 3 {
+		t.Fatalf("stats batches = %d, want 3", st.Batches)
+	}
+}
+
+func TestNextBatchMixesWithNext(t *testing.T) {
+	ops := randOps(13, 50)
+	br, err := NewBatchReader(bytes.NewReader(encodeOps(ops)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, ok := br.Next()
+	if !ok || op != ops[0] {
+		t.Fatalf("Next: %+v, %v", op, ok)
+	}
+	batch, err := br.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 49 || batch[0] != ops[1] {
+		t.Fatalf("NextBatch after Next: %d ops, first %+v", len(batch), batch[0])
+	}
+}
+
+// FuzzBatchReader: arbitrary bytes through both decoders must agree
+// exactly — same ops, same errors with the same text. Seeds mirror
+// FuzzReader's corpus so both fuzzers explore the same space.
+func FuzzBatchReader(f *testing.F) {
+	f.Add(encodeOps(randOps(3, 40)))
+	f.Add([]byte("BVTR\x01\x09\x80"))
+	f.Add([]byte("XXXX"))
+	f.Add(append(encodeOps(randOps(21, 5)), 0xFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkAgree(t, data, bytes.NewReader(data))
+	})
+}
+
+func BenchmarkReaderDecode(b *testing.B) {
+	data := encodeOps(randOps(1, 1<<16))
+	b.SetBytes(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _ := NewReader(bytes.NewReader(data))
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkBatchReaderDecode(b *testing.B) {
+	data := encodeOps(randOps(1, 1<<16))
+	b.SetBytes(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _ := NewBatchReader(bytes.NewReader(data))
+		for {
+			if _, err := r.NextBatch(); err != nil {
+				break
+			}
+		}
+	}
+}

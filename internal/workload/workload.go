@@ -146,6 +146,25 @@ type Generator struct {
 	hist    []uint64  // ring of recently accessed lines (reuse model)
 	histPos int
 	histLen int
+
+	// Integer decision thresholds. Historically every branch compared
+	// rng.float() < p; since float() is exactly k/2^53 for the 53-bit
+	// draw k, that comparison is equivalent to k < ceil(p*2^53)
+	// (scaling by a power of two is exact in float64), so the hot loop
+	// draws k once and compares integers. thresh pins the equivalence.
+	memT, storeT, depT    uint64
+	streamT, reuseT, hotT uint64 // cumulative pickLine cutoffs
+}
+
+// thresh converts a probability threshold to the equivalent integer
+// cutoff for a 53-bit rng draw: k < thresh(p) iff float64(k)/2^53 < p.
+func thresh(p float64) uint64 {
+	t := p * (1 << 53)
+	u := uint64(t)
+	if float64(u) < t {
+		u++
+	}
+	return u
 }
 
 // Stream returns a fresh deterministic generator for the profile.
@@ -157,13 +176,23 @@ func (p Profile) Stream() *Generator {
 	if p.ReuseWindow > 0 && p.ReuseFrac > 0 {
 		g.hist = make([]uint64, p.ReuseWindow)
 	}
+	g.memT = thresh(p.MemRatio)
+	g.storeT = thresh(p.StoreFrac)
+	g.depT = thresh(p.DepFrac)
+	// The cutoffs replicate pickLine's cumulative float64 sums exactly:
+	// the sums are evaluated in float64 first, then scaled.
+	g.streamT = thresh(p.StreamFrac)
+	g.reuseT = thresh(p.StreamFrac + p.ReuseFrac)
+	g.hotT = thresh(p.StreamFrac + p.ReuseFrac + p.HotFrac)
 	return g
 }
 
 // Next implements trace.Stream. The stream is infinite; the caller
 // bounds it (trace.Limit or the core's maxIns).
+//
+//bv:steadystate
 func (g *Generator) Next() (trace.Op, bool) {
-	if g.r.float() >= g.p.MemRatio {
+	if g.r.next()>>11 >= g.memT {
 		return trace.Op{Kind: trace.Exec}, true
 	}
 	line := g.pickLine()
@@ -175,25 +204,26 @@ func (g *Generator) Next() (trace.Op, bool) {
 		}
 	}
 	addr := line*64 + uint64(g.r.intn(8))*8
-	if g.r.float() < g.p.StoreFrac {
+	if g.r.next()>>11 < g.storeT {
 		return trace.Op{Kind: trace.Store, Addr: addr}, true
 	}
-	return trace.Op{Kind: trace.Load, Addr: addr, Dep: g.r.float() < g.p.DepFrac}, true
+	return trace.Op{Kind: trace.Load, Addr: addr, Dep: g.r.next()>>11 < g.depT}, true
 }
 
+//bv:steadystate
 func (g *Generator) pickLine() uint64 {
-	f := g.r.float()
+	k := g.r.next() >> 11
 	switch {
-	case f < g.p.StreamFrac:
+	case k < g.streamT:
 		i := g.r.intn(len(g.streams))
 		g.streams[i]++
 		if g.streams[i] >= uint64(g.p.TotalLines) {
 			g.streams[i] = 0
 		}
 		return g.streams[i]
-	case f < g.p.StreamFrac+g.p.ReuseFrac && g.histLen > 0:
+	case k < g.reuseT && g.histLen > 0:
 		return g.reuseLine()
-	case f < g.p.StreamFrac+g.p.ReuseFrac+g.p.HotFrac:
+	case k < g.hotT:
 		return uint64(g.r.intn(g.p.HotLines))
 	default:
 		return uint64(g.r.intn(g.p.TotalLines))
@@ -251,16 +281,47 @@ type Values struct {
 	// overwhelmingly common Segments query — in a flat slice (-1 =
 	// not yet sized), avoiding per-run map churn on the hot path.
 	gen0 []int8
-	// memo covers everything gen0 cannot: written lines (gen > 0) and
-	// lines outside the footprint (instruction fetches, offset
-	// multi-program address spaces).
-	memo map[valueKey]int8
-	buf  []byte
+	// memoKey/memoVal cover everything gen0 cannot: written lines
+	// (gen > 0) and lines outside the footprint (instruction fetches,
+	// offset multi-program address spaces). Keys are (line, gen) packed
+	// as line<<genBits | gen; every shipped address layout stays well
+	// under the line<2^44 bound (the widest is the multi-program
+	// AddrOffset at 4<<44 bytes, line ~2^40), and a generation would
+	// need a million write-backs of one line to overflow genBits, so
+	// out-of-range pairs are simply sized unmemoized. The cache is
+	// direct-mapped rather than an exact map: sizes are pure functions
+	// of the key, so a collision just recomputes, and a fixed footprint
+	// keeps the lookup one predictable probe instead of a growing
+	// open-addressed table that churn workloads push out of the host's
+	// caches. An all-ones key marks an empty slot (a real all-ones key
+	// would need line = 2^44-1 at gen = 2^20-1; it would merely never
+	// cache).
+	memoKey []uint64
+	memoVal []int8
+	buf     []byte
 }
 
-type valueKey struct {
-	line uint64
-	gen  uint32
+// memoCacheBits sizes the direct-mapped (line, gen) size cache.
+const (
+	memoCacheBits = 17
+	memoCacheSize = 1 << memoCacheBits
+)
+
+// memoIdx maps a packed key to its cache slot.
+func memoIdx(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> (64 - memoCacheBits))
+}
+
+// genBits is the width of the generation field in packed memo keys.
+const genBits = 20
+
+// packKey packs (line, gen) into a single memo key. ok is false when
+// the pair does not fit, in which case the caller skips memoization.
+func packKey(line uint64, gen uint32) (uint64, bool) {
+	if line >= 1<<(64-genBits) || gen >= 1<<genBits {
+		return 0, false
+	}
+	return line<<genBits | uint64(gen), true
 }
 
 // Values returns the profile's value model under BDI, the paper's
@@ -286,12 +347,17 @@ func (p Profile) ValuesWith(c compress.Compressor) *Values {
 	for i := range gen0 {
 		gen0[i] = -1
 	}
+	memoKey := make([]uint64, memoCacheSize)
+	for i := range memoKey {
+		memoKey[i] = ^uint64(0)
+	}
 	return &Values{
-		p:    p,
-		comp: c,
-		gen0: gen0,
-		memo: make(map[valueKey]int8, 256),
-		buf:  make([]byte, compress.LineSize),
+		p:       p,
+		comp:    c,
+		gen0:    gen0,
+		memoKey: memoKey,
+		memoVal: make([]int8, memoCacheSize),
+		buf:     make([]byte, compress.LineSize),
 	}
 }
 
@@ -323,6 +389,13 @@ func (v *Values) classOf(line uint64, gen uint32) ValueClass {
 // bytes being compressed.
 func (v *Values) FillLine(dst []byte, line uint64, gen uint32) ValueClass {
 	class := v.classOf(line, gen)
+	v.fillClass(dst, line, gen, class)
+	return class
+}
+
+// fillClass synthesizes the line contents for an already-resolved
+// class (so callers that need the class anyway pay for classOf once).
+func (v *Values) fillClass(dst []byte, line uint64, gen uint32, class ValueClass) {
 	r := newRNG(line ^ uint64(gen)<<40 ^ v.p.Seed<<1)
 	switch class {
 	case VZero:
@@ -349,11 +422,12 @@ func (v *Values) FillLine(dst []byte, line uint64, gen uint32) ValueClass {
 			binary.LittleEndian.PutUint64(dst[i*8:], r.next())
 		}
 	}
-	return class
 }
 
 // Segments implements the hierarchy's Sizer: the BDI-compressed size
 // of the line's current contents, in 4-byte segments.
+//
+//bv:steadystate
 func (v *Values) Segments(line uint64, gen uint32) int {
 	if gen == 0 && line < uint64(len(v.gen0)) {
 		if s := v.gen0[line]; s >= 0 {
@@ -363,18 +437,33 @@ func (v *Values) Segments(line uint64, gen uint32) int {
 		v.gen0[line] = int8(segs)
 		return segs
 	}
-	key := valueKey{line: line, gen: gen}
-	if s, ok := v.memo[key]; ok {
-		return int(s)
+	key, fits := packKey(line, gen)
+	if !fits {
+		return v.size(line, gen)
+	}
+	i := memoIdx(key)
+	if v.memoKey[i] == key {
+		return int(v.memoVal[i])
 	}
 	segs := v.size(line, gen)
-	v.memo[key] = int8(segs)
+	v.memoKey[i] = key
+	v.memoVal[i] = int8(segs)
 	return segs
 }
 
 // size synthesizes and compresses the line's contents (no memo).
 func (v *Values) size(line uint64, gen uint32) int {
-	v.FillLine(v.buf, line, gen)
+	class := v.classOf(line, gen)
+	if class == VZero {
+		// fillClass writes all zeros for VZero, so the path below
+		// would answer 0 through IsZeroLine; skip the synthesis and
+		// the compressor entirely.
+		return 0
+	}
+	v.fillClass(v.buf, line, gen, class)
+	// Non-zero classes can still (astronomically rarely) synthesize an
+	// all-zero line; IsZeroLine is part of the result's meaning, not
+	// an optimization (SegmentsFor maps a 0-byte encoding to 1).
 	if compress.IsZeroLine(v.buf) {
 		return 0
 	}

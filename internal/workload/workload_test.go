@@ -165,7 +165,8 @@ func TestValuesMemoized(t *testing.T) {
 	if v.gen0[42] != int8(a) {
 		t.Fatalf("gen-0 memo slot holds %d, want %d", v.gen0[42], a)
 	}
-	// Written lines and out-of-footprint lines take the map path.
+	// Written lines and out-of-footprint lines take the direct-mapped
+	// cache path.
 	w := v.Segments(42, 1)
 	if v.Segments(42, 1) != w {
 		t.Fatal("memoized written size changed")
@@ -175,8 +176,20 @@ func TestValuesMemoized(t *testing.T) {
 	if v.Segments(far, 0) != f {
 		t.Fatal("memoized out-of-footprint size changed")
 	}
-	if len(v.memo) != 2 {
-		t.Fatalf("memo has %d entries, want 2 (gen>0 and out-of-footprint)", len(v.memo))
+	for _, c := range []struct {
+		line uint64
+		gen  uint32
+		want int
+	}{{42, 1, w}, {far, 0, f}} {
+		key, ok := packKey(c.line, c.gen)
+		if !ok {
+			t.Fatalf("packKey(%d, %d) does not fit", c.line, c.gen)
+		}
+		i := memoIdx(key)
+		if v.memoKey[i] != key || v.memoVal[i] != int8(c.want) {
+			t.Fatalf("memo slot for (%d, %d) holds (key %#x, val %d), want (key %#x, val %d)",
+				c.line, c.gen, v.memoKey[i], v.memoVal[i], key, c.want)
+		}
 	}
 }
 
@@ -265,5 +278,34 @@ func TestValuesWithOtherCompressors(t *testing.T) {
 	}
 	if !differs {
 		t.Fatal("FPC produced identical sizes to BDI on every line")
+	}
+}
+
+// TestThreshMatchesFloat pins the integer-threshold equivalence the
+// generator relies on: k < thresh(p) iff float64(k)/2^53 < p, for the
+// full range of probabilities including exact dyadics and p >= 1.
+func TestThreshMatchesFloat(t *testing.T) {
+	r := newRNG(99)
+	ps := []float64{0, 1, 0.5, 0.25, 1.0 / 3, 0.05, 0.95, 1e-17, 1 - 1e-16}
+	for i := 0; i < 1000; i++ {
+		ps = append(ps, float64(r.next()>>11)/(1<<53))
+	}
+	for _, p := range ps {
+		u := thresh(p)
+		for j := 0; j < 200; j++ {
+			k := r.next() >> 11
+			if got, want := k < u, float64(k)/(1<<53) < p; got != want {
+				t.Fatalf("p=%v k=%d: integer says %v, float says %v", p, k, got, want)
+			}
+		}
+		// Probe the boundary draws exactly.
+		for _, k := range []uint64{u - 1, u, u + 1} {
+			if k >= 1<<53 {
+				continue
+			}
+			if got, want := k < u, float64(k)/(1<<53) < p; got != want {
+				t.Fatalf("boundary p=%v k=%d: integer says %v, float says %v", p, k, got, want)
+			}
+		}
 	}
 }
