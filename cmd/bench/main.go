@@ -22,9 +22,9 @@
 //	bench -compare old.json new.json -max-regress 10
 //
 // Compare mode prints a benchstat-style delta table between two
-// snapshots and exits non-zero if any throughput entry regressed by
-// more than -max-regress percent, which is what the CI perf-smoke job
-// runs against the checked-in baseline.
+// snapshots and exits with cliexit.Gate (6) if any throughput entry
+// regressed by more than -max-regress percent, which is what the CI
+// perf-smoke job runs against the checked-in baseline.
 package main
 
 import (
@@ -516,8 +516,9 @@ func compareSnapshots(w io.Writer, oldPath, newPath string, maxRegress float64) 
 		pctDelta(oldRep.Suite.ParallelSeconds, newRep.Suite.ParallelSeconds, true, true))
 
 	if len(regressions) > 0 {
-		return fmt.Errorf("throughput regressed past -max-regress %.1f%%:\n  %s",
-			maxRegress, strings.Join(regressions, "\n  "))
+		return &cliexit.GateError{Msg: fmt.Sprintf(
+			"throughput regressed past -max-regress %.1f%%:\n  %s",
+			maxRegress, strings.Join(regressions, "\n  "))}
 	}
 	return nil
 }

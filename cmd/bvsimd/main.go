@@ -6,9 +6,18 @@
 //	bvsimd -listen 127.0.0.1:8080 -cache-dir ckpt
 //	bvsimd -listen :0 -workers 4 -quota-rate 2 -quota-burst 16
 //	bvsimd -listen :8080 -chaos kill@1 -seed 7     # chaos harness
+//	bvsimd -listen :9001 -advertise 127.0.0.1:9001 \
+//	  -peers 127.0.0.1:9002,127.0.0.1:9003 -cache-dir shared  # cluster
 //
 // Endpoints (see internal/serve): POST /v1/run and /v1/sweep submit
-// work; GET /v1/traces, /healthz, /statusz and /debug/vars observe.
+// work; GET /v1/traces, /v1/cluster, /healthz, /statusz and
+// /debug/vars observe.
+//
+// With -peers, the node joins a consistent-hash cluster: each (trace,
+// config) key has one owner, misrouted requests forward to it, and a
+// dead owner's keys fail over along the ring (internal/cluster). All
+// peers should share one -cache-dir (or a mirrored copy of it) so any
+// node can serve any completed run byte-identically.
 // Admission is bounded (429 + Retry-After under overload or quota),
 // each simulation runs in a supervised worker process (crashes and
 // hangs retried with backoff, poison runs quarantined), and SIGTERM
@@ -31,10 +40,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"basevictim/internal/cliexit"
+	"basevictim/internal/cluster"
 	"basevictim/internal/serve"
 )
 
@@ -70,12 +81,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		chaos      = fs.String("chaos", "", "deterministic fault injection, e.g. kill@1,stall@2 (tests/CI)")
 		inProcess  = fs.Bool("inprocess", false, "simulate in-process instead of worker processes (no crash isolation)")
 		drainGrace = fs.Duration("drain-grace", 30*time.Second, "how long a SIGTERM drain may run before a hard stop")
+		peers      = fs.String("peers", "", "comma-separated peer addresses (host:port); enables cluster mode")
+		advertise  = fs.String("advertise", "", "address peers reach this node at (default: the bound address)")
+		probeEvery = fs.Duration("probe-interval", 500*time.Millisecond, "cluster heartbeat period per peer")
+		shedPoint  = fs.Int("shed-point", 0, "queue depth refusing dead-shard failover absorption (0 = 3/4 of queue-depth)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliexit.Usage
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "bvsimd: unexpected arguments: %v\n", fs.Args())
+		return cliexit.Usage
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) == 0 && *advertise != "" {
+		fmt.Fprintln(stderr, "bvsimd: -advertise without -peers does nothing; name the peer set")
 		return cliexit.Usage
 	}
 
@@ -94,6 +119,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		CacheDir:        *cacheDir,
 		Chaos:           *chaos,
 		InProcess:       *inProcess,
+		ShedPoint:       *shedPoint,
+		Cluster: cluster.Config{
+			Self:          *advertise,
+			Peers:         peerList,
+			ProbeInterval: *probeEvery,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "bvsimd: %s\n", cliexit.Describe(err))
@@ -106,6 +137,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return cliexit.Code(err)
 	}
 	fmt.Fprintf(stdout, "bvsimd: serving on %s (workers=%d queue=%d)\n", srv.Addr(), *workers, *queueDepth)
+	if len(peerList) > 0 {
+		fmt.Fprintf(stdout, "bvsimd: cluster mode: %d peers (%s)\n", len(peerList), strings.Join(peerList, ", "))
+	}
 	if *chaos != "" {
 		fmt.Fprintf(stdout, "bvsimd: CHAOS ACTIVE: %s (seed=%d)\n", *chaos, *seed)
 	}

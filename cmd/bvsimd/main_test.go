@@ -50,6 +50,76 @@ func TestUsageErrors(t *testing.T) {
 	}
 }
 
+// TestAdvertiseWithoutPeers: -advertise only means something relative
+// to a peer set; naming one without -peers is a usage error, caught
+// before any socket opens.
+func TestAdvertiseWithoutPeers(t *testing.T) {
+	code, _, stderr := runCLI(context.Background(), "-advertise", "127.0.0.1:9001")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "-advertise without -peers") {
+		t.Fatalf("stderr does not explain the flag misuse:\n%s", stderr)
+	}
+}
+
+// TestClusterModeAnnounced: with -peers the CLI enters cluster mode,
+// says so on stdout, serves /v1/cluster, and still drains cleanly —
+// even when every named peer is unreachable.
+func TestClusterModeAnnounced(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0", "-inprocess",
+			"-peers", "127.0.0.1:1, 127.0.0.1:2",
+			"-probe-interval", "50ms",
+		}, &out, &errb)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no serving line (stdout %q, stderr %q)", out.String(), errb.String())
+		}
+		if s := out.String(); strings.Contains(s, "serving on ") {
+			addr = strings.Fields(strings.SplitAfter(s, "serving on ")[1])[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if !strings.Contains(out.String(), "cluster mode: 2 peers") {
+		t.Fatalf("stdout does not announce cluster mode:\n%s", out.String())
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/cluster")
+	if err != nil {
+		t.Fatalf("GET /v1/cluster: %v", err)
+	}
+	var doc struct {
+		Enabled bool `json:"enabled"`
+		Members int  `json:"members"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if derr != nil || !doc.Enabled || doc.Members != 3 {
+		t.Fatalf("cluster document: %+v (err %v)", doc, derr)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0 (stderr: %s)", code, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("drain did not complete (stderr: %s)", errb.String())
+	}
+}
+
 // TestBadChaosSpecExitsUsageless: a malformed -chaos spec is caught by
 // serve.New before any socket opens; it is an ordinary failure (1),
 // named in stderr.

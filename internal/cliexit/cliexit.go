@@ -12,6 +12,10 @@
 //	5  bind/serve failure: a network listener could not be
 //	   established (-obs-listen, bvsimd -listen): address in use,
 //	   permission denied, or an unresolvable address
+//	6  quality gate failed: the run itself completed, but a measured
+//	   quantity crossed a configured threshold (bench -max-regress,
+//	   loadgen -max-error-rate) — distinct from Failure so CI can
+//	   tell "tool broke" from "numbers regressed"
 package cliexit
 
 import (
@@ -31,7 +35,18 @@ const (
 	Violation = 3
 	Cancelled = 4
 	Bind      = 5
+	Gate      = 6
 )
+
+// GateError marks a quality-gate breach: the measurement succeeded but
+// its value is out of bounds. Wrap (or return) one from any CLI whose
+// job is to enforce a threshold; Code maps it to Gate.
+type GateError struct {
+	// What measured quantity breached which threshold.
+	Msg string
+}
+
+func (e *GateError) Error() string { return e.Msg }
 
 // Code classifies an error into its exit code. Cancellation wins over
 // violation: a batch cancelled mid-flight can surface a wrapped
@@ -47,9 +62,16 @@ func Code(err error) int {
 		return Violation
 	case isBind(err):
 		return Bind
+	case isGate(err):
+		return Gate
 	default:
 		return Failure
 	}
+}
+
+func isGate(err error) bool {
+	var g *GateError
+	return errors.As(err, &g)
 }
 
 func isViolation(err error) bool {
@@ -82,6 +104,8 @@ func Describe(err error) string {
 		return fmt.Sprintf("verification failure: %v", err)
 	case isBind(err):
 		return fmt.Sprintf("cannot bind/serve: %v", err)
+	case isGate(err):
+		return fmt.Sprintf("quality gate failed: %v", err)
 	default:
 		return err.Error()
 	}

@@ -45,6 +45,9 @@ func TestCode(t *testing.T) {
 		// 5 — bind/serve failure
 		{"bind", bind, Bind},
 		{"wrapped bind", fmt.Errorf("obs: listen :6060: %w", bind), Bind},
+		// 6 — quality gate breached
+		{"gate", &GateError{Msg: "error rate 0.12 > max 0.01"}, Gate},
+		{"wrapped gate", fmt.Errorf("loadgen: %w", &GateError{Msg: "p99 regressed"}), Gate},
 	}
 	for _, c := range cases {
 		if got := Code(c.err); got != c.want {
@@ -98,6 +101,10 @@ func TestDescribeNamesCause(t *testing.T) {
 	viol := fmt.Errorf("w: %w", &check.Violation{Kind: "tag-mismatch", Org: "basevictim"})
 	if s := Describe(viol); !strings.Contains(s, "verification failure") {
 		t.Fatalf("violation description: %q", s)
+	}
+	gate := fmt.Errorf("loadgen: %w", &GateError{Msg: "error rate 0.12 exceeds -max-error-rate 0.01"})
+	if s := Describe(gate); !strings.Contains(s, "quality gate failed") {
+		t.Fatalf("gate description: %q", s)
 	}
 	if s := Describe(errors.New("plain")); s != "plain" {
 		t.Fatalf("plain description: %q", s)

@@ -1,0 +1,362 @@
+// Package cluster is the multi-host peer layer of bvsimd: each node
+// owns a consistent-hash slice of the (trace, config) key space,
+// misrouted requests are forwarded to their owner, and ownership fails
+// over along the ring when the owner dies.
+//
+// The package deliberately knows nothing about simulations. It answers
+// exactly one question — Route(key): serve locally, forward to this
+// peer (with this failover chain), or shed this shard — from three
+// inputs it maintains itself:
+//
+//   - a consistent-hash ring over the static peer set (ring.go), so
+//     every node computes the same owner for a key without
+//     coordination;
+//   - a heartbeat failure detector (detector.go) running the
+//     alive → suspect → dead state machine per peer on seeded,
+//     jittered probes, so membership reacts to peer loss without a
+//     central registrar;
+//   - a forwarding client (forward.go) with bounded retries,
+//     exponential seeded backoff, and one hedged request after a
+//     P99-derived delay, so one slow owner does not become every
+//     caller's tail latency.
+//
+// Correctness under failover does not depend on any of this being
+// right. Simulations are deterministic and the checkpoint store is
+// shared, so the worst a stale membership view can cause is duplicate
+// work — two peers re-executing the same key produce byte-identical
+// records, which the store asserts (figures.DivergenceError). The
+// ring, detector and forwarder are availability and placement
+// machinery, never correctness machinery.
+//
+// Wall-clock time is confined to probing, backoff and hedging; nothing
+// derived from the clock reaches simulated results. The bvlint
+// determinism analyzer allowlists this package for wall-clock reads
+// only — randomness still must come from the seeded local generator.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"basevictim/internal/obs"
+)
+
+// Config describes one node's view of the peer set. The zero value of
+// every tuning field has a serving default; Self and Peers are the
+// only required fields (a cluster of one is valid but pointless).
+type Config struct {
+	// Self is the address peers reach this node at (host:port). It is
+	// part of the ring, so every node must agree on every node's
+	// advertised address.
+	Self string
+	// Peers lists the other nodes' advertised addresses. Self may
+	// appear in the list (it is deduplicated); order does not matter.
+	Peers []string
+	// VNodes is the number of ring points per peer. More points smooth
+	// the key distribution at the cost of a larger ring. Default 64.
+	VNodes int
+	// Seed drives probe jitter and retry backoff jitter. Two nodes may
+	// share a seed; the jitter exists to decorrelate schedules within
+	// one node, not across nodes. Default 1.
+	Seed uint64
+	// ProbeInterval is the heartbeat period per peer; ProbeTimeout
+	// bounds one probe. Defaults 500ms / 250ms.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// SuspectAfter and DeadAfter are the consecutive probe failures at
+	// which a peer turns suspect and dead. Suspect peers still own
+	// their shards (gray: routed to, counted); dead peers are skipped
+	// and their shards fail over. Defaults 2 / 4.
+	SuspectAfter int
+	DeadAfter    int
+	// MaxForwardAttempts bounds sequential forwarding tries per
+	// request (the hedged request is not an attempt — it rides the
+	// first one). Default 3.
+	MaxForwardAttempts int
+	// BackoffBase and BackoffCap shape the retry delay between
+	// forwarding attempts (capped exponential, seeded jitter in
+	// [0.5, 1.5)). Defaults 25ms / 500ms.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// HedgeMin and HedgeMax clamp the hedge delay. The delay itself is
+	// the P99 of recent forward round-trips — a hedge should fire only
+	// when a request is already slower than (almost) every recent one.
+	// Defaults 20ms / 2s.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// UnavailableRetryAfter is the Retry-After served when a dead
+	// shard's work is shed (see Route). Default 5s.
+	UnavailableRetryAfter time.Duration
+	// Transport carries probes and forwards; tests inject partitions
+	// here. Default http.DefaultTransport.
+	Transport http.RoundTripper
+	// Probe overrides the liveness probe entirely (tests script peer
+	// health without sockets). Default: GET http://<peer>/healthz via
+	// Transport, healthy iff 200.
+	Probe func(ctx context.Context, peer string) error
+}
+
+// Enabled reports whether the config describes a real multi-node
+// cluster (at least one peer besides Self).
+func (c Config) Enabled() bool {
+	for _, p := range c.Peers {
+		if p != "" && p != c.Self {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval / 2
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 2
+	}
+	if c.MaxForwardAttempts <= 0 {
+		c.MaxForwardAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 500 * time.Millisecond
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 20 * time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 2 * time.Second
+	}
+	if c.UnavailableRetryAfter <= 0 {
+		c.UnavailableRetryAfter = 5 * time.Second
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	return c
+}
+
+// Key renders a (name, config) pair as the routed key. It feeds the
+// whole config value through %#v — the same aliasing-proof idiom as
+// the checkpoint store's file keys — so any config field difference
+// places the run independently on the ring.
+func Key(name string, cfg any) string {
+	return fmt.Sprintf("%s|%#v", name, cfg)
+}
+
+// Cluster is one node's live peer layer.
+type Cluster struct {
+	cfg  Config
+	ring *ring
+	det  *detector
+	fwd  *forwarder
+	reg  *obs.SyncRegistry
+
+	forwards     *obs.Counter // requests forwarded to an owner
+	forwardFails *obs.Counter // forwards that exhausted every attempt
+	retries      *obs.Counter // extra forwarding attempts after the first
+	hedges       *obs.Counter // hedged requests launched
+	hedgeWins    *obs.Counter // hedges that answered before the primary
+	failovers    *obs.Counter // keys rerouted off a dead owner
+	shardsShed   *obs.Counter // dead-shard requests shed past the shed point
+
+	startOnce sync.Once
+	stop      context.CancelFunc
+}
+
+// New validates the config and builds the node's ring and detector.
+// Probing does not begin until Start.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Self address is required")
+	}
+	members := []string{cfg.Self}
+	for _, p := range cfg.Peers {
+		if p != "" && p != cfg.Self {
+			members = append(members, p)
+		}
+	}
+	if len(members) < 2 {
+		return nil, errors.New("cluster: need at least one peer besides Self")
+	}
+	reg := obs.NewSyncRegistry()
+	c := &Cluster{
+		cfg:          cfg,
+		ring:         newRing(members, cfg.VNodes),
+		reg:          reg,
+		forwards:     reg.Counter("cluster.forwards"),
+		forwardFails: reg.Counter("cluster.forward_fails"),
+		retries:      reg.Counter("cluster.forward_retries"),
+		hedges:       reg.Counter("cluster.hedges"),
+		hedgeWins:    reg.Counter("cluster.hedge_wins"),
+		failovers:    reg.Counter("cluster.failovers"),
+		shardsShed:   reg.Counter("cluster.shard_shed"),
+	}
+	c.det = newDetector(cfg, reg)
+	c.fwd = newForwarder(cfg, c)
+	return c, nil
+}
+
+// Self returns the node's advertised address.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Members returns every ring member (self included), sorted.
+func (c *Cluster) Members() []string { return c.ring.members() }
+
+// Start launches the probe loops. ctx bounds their lifetime; Stop (or
+// cancelling ctx) ends them.
+func (c *Cluster) Start(ctx context.Context) {
+	c.startOnce.Do(func() {
+		ctx, c.stop = context.WithCancel(ctx)
+		c.det.start(ctx)
+	})
+}
+
+// Stop ends probing. Idempotent; safe before Start.
+func (c *Cluster) Stop() {
+	if c.stop != nil {
+		c.stop()
+	}
+}
+
+// RouteKind is the routing decision for one key.
+type RouteKind int
+
+const (
+	// RouteLocal: this node owns the key (primarily, or by failover).
+	RouteLocal RouteKind = iota
+	// RouteForward: another node owns the key; Targets[0] is it and
+	// any further targets are its failover/hedge chain.
+	RouteForward
+	// RouteUnavailable: the owning shard is dead and this node is past
+	// its shed point — serve 503 + Retry-After for this shard only.
+	RouteUnavailable
+)
+
+// Route is one routing decision.
+type Route struct {
+	Kind RouteKind
+	// Owner is the primary (ring) owner regardless of liveness.
+	Owner string
+	// Targets is the forward chain for RouteForward: alive candidates
+	// in ring order. Empty otherwise.
+	Targets []string
+	// Failover is set when the primary owner is dead and the key was
+	// rerouted (locally or to a successor).
+	Failover bool
+	// RetryAfter accompanies RouteUnavailable.
+	RetryAfter time.Duration
+}
+
+// Route decides where key runs. overloaded is the caller's local
+// admission state (queue depth past its shed point): an overloaded
+// node refuses to absorb a dead shard's keys — its own shard still
+// sheds through the normal queue-full path, scoped per shard either
+// way.
+func (c *Cluster) Route(key string, overloaded bool) Route {
+	succ := c.ring.successors(key)
+	owner := succ[0]
+	if owner == c.cfg.Self {
+		return Route{Kind: RouteLocal, Owner: owner}
+	}
+	if c.det.stateOf(owner) != StateDead {
+		return Route{Kind: RouteForward, Owner: owner, Targets: c.aliveChain(succ[1:], owner)}
+	}
+	// The owner is dead: walk its successors for the first live node.
+	for _, p := range succ[1:] {
+		if p == c.cfg.Self {
+			if overloaded {
+				c.reg.Touch(c.shardsShed.Inc)
+				return Route{Kind: RouteUnavailable, Owner: owner, Failover: true,
+					RetryAfter: c.cfg.UnavailableRetryAfter}
+			}
+			c.reg.Touch(c.failovers.Inc)
+			return Route{Kind: RouteLocal, Owner: owner, Failover: true}
+		}
+		if c.det.stateOf(p) != StateDead {
+			c.reg.Touch(c.failovers.Inc)
+			return Route{Kind: RouteForward, Owner: owner, Failover: true,
+				Targets: c.aliveChain(succ[1:], p)}
+		}
+	}
+	// Unreachable: Self is always in the successor walk and never dead
+	// to itself. Kept as a defensive shed rather than a panic.
+	return Route{Kind: RouteUnavailable, Owner: owner, Failover: true,
+		RetryAfter: c.cfg.UnavailableRetryAfter}
+}
+
+// aliveChain builds the forward target list: first, then every later
+// non-dead successor except self (forwarding to self is just local).
+func (c *Cluster) aliveChain(rest []string, first string) []string {
+	out := []string{first}
+	for _, p := range rest {
+		if p == first || p == c.cfg.Self || c.det.stateOf(p) == StateDead {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Metrics snapshots the cluster's own registry (forwarding, probing,
+// failover counters — per-peer probe counters included).
+func (c *Cluster) Metrics() obs.Snapshot { return c.reg.Snapshot() }
+
+// PeerStatus is one row of Status.
+type PeerStatus struct {
+	Addr        string  `json:"addr"`
+	Self        bool    `json:"self,omitempty"`
+	State       string  `json:"state"`
+	ConsecFails int     `json:"consec_fails,omitempty"`
+	Probes      uint64  `json:"probes,omitempty"`
+	Fails       uint64  `json:"fails,omitempty"`
+	LastRTTMS   float64 `json:"last_rtt_ms,omitempty"`
+}
+
+// Status is the /v1/cluster document body: the node's view of the
+// ring and every peer's detector state.
+type Status struct {
+	Self    string       `json:"self"`
+	Members int          `json:"members"`
+	VNodes  int          `json:"vnodes"`
+	Peers   []PeerStatus `json:"peers"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// Status reports this node's membership view. Peers are sorted by
+// address; Self is included with state "alive".
+func (c *Cluster) Status() Status {
+	st := Status{
+		Self:    c.cfg.Self,
+		Members: len(c.ring.members()),
+		VNodes:  c.cfg.VNodes,
+		Metrics: c.reg.Snapshot(),
+	}
+	for _, m := range c.ring.members() {
+		if m == c.cfg.Self {
+			st.Peers = append(st.Peers, PeerStatus{Addr: m, Self: true, State: StateAlive.String()})
+			continue
+		}
+		st.Peers = append(st.Peers, c.det.status(m))
+	}
+	return st
+}

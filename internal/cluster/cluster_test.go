@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scripted builds a cluster whose detector states are set directly,
+// bypassing the probe loops (never Started).
+func scripted(t *testing.T, self string, peers ...string) *Cluster {
+	t.Helper()
+	c, err := New(Config{Self: self, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// setState drives a peer to the given state through recorded probe
+// outcomes, the only mutation path the detector has.
+func setState(c *Cluster, peer string, s State) {
+	switch s {
+	case StateAlive:
+		c.det.record(peer, time.Millisecond, nil)
+	case StateSuspect:
+		c.det.record(peer, time.Millisecond, nil)
+		for i := 0; i < c.cfg.SuspectAfter; i++ {
+			c.det.record(peer, 0, errors.New("down"))
+		}
+	case StateDead:
+		for i := 0; i < c.cfg.DeadAfter; i++ {
+			c.det.record(peer, 0, errors.New("down"))
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"b:1"}}); err == nil {
+		t.Fatal("New accepted empty Self")
+	}
+	if _, err := New(Config{Self: "a:1"}); err == nil {
+		t.Fatal("New accepted a cluster of one")
+	}
+	if _, err := New(Config{Self: "a:1", Peers: []string{"a:1", ""}}); err == nil {
+		t.Fatal("New accepted a peer list that reduces to self")
+	}
+	c, err := New(Config{Self: "a:1", Peers: []string{"b:1", "a:1", "b:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Members(); len(got) != 2 {
+		t.Fatalf("members = %v, want 2 deduplicated", got)
+	}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{Self: "a:1", Peers: []string{"a:1", ""}}).Enabled() {
+		t.Fatal("Enabled with no real peers")
+	}
+	if !(Config{Self: "a:1", Peers: []string{"b:1"}}).Enabled() {
+		t.Fatal("not Enabled with a real peer")
+	}
+}
+
+// Key must place configs differing in any field on distinct keys (the
+// %#v idiom), and be stable for equal values.
+func TestKey(t *testing.T) {
+	type cfg struct{ A, B int }
+	if Key("t", cfg{1, 2}) != Key("t", cfg{1, 2}) {
+		t.Fatal("Key not stable for equal values")
+	}
+	if Key("t", cfg{1, 2}) == Key("t", cfg{1, 3}) {
+		t.Fatal("Key collided across differing configs")
+	}
+	if Key("t", cfg{1, 2}) == Key("u", cfg{1, 2}) {
+		t.Fatal("Key collided across differing names")
+	}
+	if !strings.HasPrefix(Key("t", cfg{1, 2}), "t|") {
+		t.Fatalf("Key = %q, want name-prefixed", Key("t", cfg{1, 2}))
+	}
+}
+
+// Routing with everyone alive: keys owned by self are local, keys
+// owned by a peer forward to that peer with the live chain behind it.
+func TestRouteHealthy(t *testing.T) {
+	members := testMembers(3)
+	c := scripted(t, members[0], members[1], members[2])
+
+	sawLocal, sawForward := false, false
+	for i := 0; i < 200; i++ {
+		key := Key("trace", i)
+		rt := c.Route(key, false)
+		owner := c.ring.successors(key)[0]
+		if rt.Owner != owner {
+			t.Fatalf("route owner %q, want ring owner %q", rt.Owner, owner)
+		}
+		if owner == c.Self() {
+			sawLocal = true
+			if rt.Kind != RouteLocal || rt.Failover {
+				t.Fatalf("self-owned key routed %+v", rt)
+			}
+			continue
+		}
+		sawForward = true
+		if rt.Kind != RouteForward || rt.Failover {
+			t.Fatalf("peer-owned key routed %+v", rt)
+		}
+		if len(rt.Targets) == 0 || rt.Targets[0] != owner {
+			t.Fatalf("targets %v, want owner %q first", rt.Targets, owner)
+		}
+		for _, tgt := range rt.Targets {
+			if tgt == c.Self() {
+				t.Fatalf("self appeared in forward targets %v", rt.Targets)
+			}
+		}
+	}
+	if !sawLocal || !sawForward {
+		t.Fatalf("route mix degenerate: local=%v forward=%v", sawLocal, sawForward)
+	}
+}
+
+// A suspect owner still owns its shard — only dead triggers failover.
+func TestRouteSuspectStillOwns(t *testing.T) {
+	members := testMembers(3)
+	c := scripted(t, members[0], members[1], members[2])
+	setState(c, members[1], StateSuspect)
+	for i := 0; i < 200; i++ {
+		key := Key("trace", i)
+		rt := c.Route(key, false)
+		if rt.Owner == members[1] && (rt.Kind != RouteForward || rt.Targets[0] != members[1]) {
+			t.Fatalf("suspect owner's key rerouted: %+v", rt)
+		}
+	}
+}
+
+// A dead owner's keys fail over: to self when self is next on the
+// ring, else forwarded to the first live successor; either way the
+// route is marked Failover and counted.
+func TestRouteFailover(t *testing.T) {
+	members := testMembers(3)
+	c := scripted(t, members[0], members[1], members[2])
+	setState(c, members[1], StateDead)
+
+	tookOver, forwarded := 0, 0
+	for i := 0; i < 300; i++ {
+		key := Key("trace", i)
+		rt := c.Route(key, false)
+		if rt.Owner != members[1] {
+			continue
+		}
+		if !rt.Failover {
+			t.Fatalf("dead owner's key not marked failover: %+v", rt)
+		}
+		switch rt.Kind {
+		case RouteLocal:
+			tookOver++
+		case RouteForward:
+			forwarded++
+			if rt.Targets[0] == members[1] {
+				t.Fatalf("failover forwarded to the dead owner: %+v", rt)
+			}
+		default:
+			t.Fatalf("dead owner's key shed while not overloaded: %+v", rt)
+		}
+	}
+	if tookOver == 0 || forwarded == 0 {
+		t.Fatalf("failover mix degenerate: local=%d forward=%d", tookOver, forwarded)
+	}
+	snap := c.Metrics()
+	if snap.Counters["cluster.failovers"] == 0 {
+		t.Fatal("failovers counter did not move")
+	}
+}
+
+// An overloaded node refuses to absorb a dead shard: those keys shed
+// with a Retry-After, scoped to the dead shard only (its own keys and
+// live peers' keys route normally).
+func TestRouteOverloadedShedsDeadShardOnly(t *testing.T) {
+	members := testMembers(3)
+	c := scripted(t, members[0], members[1], members[2])
+	setState(c, members[1], StateDead)
+
+	shed := 0
+	for i := 0; i < 300; i++ {
+		key := Key("trace", i)
+		rt := c.Route(key, true)
+		owner := c.ring.successors(key)[0]
+		if owner != members[1] {
+			if rt.Kind == RouteUnavailable {
+				t.Fatalf("live shard shed under overload: owner %q route %+v", owner, rt)
+			}
+			continue
+		}
+		if rt.Kind == RouteUnavailable {
+			shed++
+			if rt.RetryAfter <= 0 {
+				t.Fatalf("shed route missing Retry-After: %+v", rt)
+			}
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no dead-shard key was shed under overload")
+	}
+	if got := c.Metrics().Counters["cluster.shard_shed"]; got != uint64(shed) {
+		t.Fatalf("shard_shed counter %d, want %d", got, shed)
+	}
+}
+
+// With every other node dead, all keys land locally (total failover).
+func TestRouteAllPeersDead(t *testing.T) {
+	members := testMembers(3)
+	c := scripted(t, members[0], members[1], members[2])
+	setState(c, members[1], StateDead)
+	setState(c, members[2], StateDead)
+	for i := 0; i < 100; i++ {
+		rt := c.Route(Key("trace", i), false)
+		if rt.Kind != RouteLocal {
+			t.Fatalf("with all peers dead, key routed %+v", rt)
+		}
+	}
+}
+
+func TestStatusDocument(t *testing.T) {
+	members := testMembers(3)
+	c := scripted(t, members[0], members[1], members[2])
+	setState(c, members[1], StateDead)
+	st := c.Status()
+	if st.Self != members[0] || st.Members != 3 {
+		t.Fatalf("status header %+v", st)
+	}
+	states := map[string]string{}
+	selfSeen := false
+	for _, p := range st.Peers {
+		states[p.Addr] = p.State
+		if p.Self {
+			selfSeen = true
+		}
+	}
+	if !selfSeen || states[members[0]] != "alive" {
+		t.Fatalf("self row wrong: %+v", st.Peers)
+	}
+	if states[members[1]] != "dead" || states[members[2]] != "alive" {
+		t.Fatalf("peer states wrong: %v", states)
+	}
+}

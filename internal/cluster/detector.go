@@ -1,0 +1,216 @@
+package cluster
+
+// The heartbeat failure detector. One goroutine per peer probes on a
+// seeded, jittered schedule (jitter decorrelates probe bursts within a
+// node; the seed makes a node's schedule reproducible) and drives the
+// per-peer state machine:
+//
+//	alive --SuspectAfter consecutive fails--> suspect
+//	suspect --DeadAfter consecutive fails--> dead
+//	any state --one successful probe--> alive
+//
+// Suspect is a gray state: the peer still owns its shards and still
+// receives forwards (a single dropped probe must not trigger a
+// cluster-wide reshuffle), but the state is visible in /v1/cluster and
+// per-peer metrics so an operator can watch a peer decaying. Only dead
+// removes a peer from ownership, which is what makes failover a
+// two-threshold decision rather than a single missed packet.
+//
+// A probe is GET http://<peer>/healthz through the configured
+// transport; only a 200 counts as healthy. A draining peer answers 503
+// deliberately: it is alive as a process but leaving the cluster, so
+// probes failing it is the desired reading.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"basevictim/internal/obs"
+)
+
+// State is a peer's liveness as seen by the local detector.
+type State int
+
+const (
+	StateAlive State = iota
+	StateSuspect
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+type peerState struct {
+	state       State
+	consecFails int
+	lastRTT     time.Duration
+
+	probes *obs.Counter
+	fails  *obs.Counter
+	gauge  *obs.Gauge // 0 alive / 1 suspect / 2 dead
+}
+
+type detector struct {
+	cfg   Config
+	probe func(ctx context.Context, peer string) error
+	reg   *obs.SyncRegistry
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+
+	wg sync.WaitGroup
+}
+
+func newDetector(cfg Config, reg *obs.SyncRegistry) *detector {
+	d := &detector{
+		cfg:    cfg,
+		probe:  cfg.Probe,
+		reg:    reg,
+		jitter: rand.New(rand.NewSource(int64(cfg.Seed))),
+		peers:  make(map[string]*peerState),
+	}
+	if d.probe == nil {
+		client := &http.Client{Transport: cfg.Transport}
+		d.probe = func(ctx context.Context, peer string) error {
+			ctx, cancel := context.WithTimeout(ctx, cfg.ProbeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/healthz", nil)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("probe %s: status %d", peer, resp.StatusCode)
+			}
+			return nil
+		}
+	}
+	for _, p := range cfg.Peers {
+		if p == "" || p == cfg.Self {
+			continue
+		}
+		if _, ok := d.peers[p]; ok {
+			continue
+		}
+		d.peers[p] = &peerState{
+			probes: reg.Counter("cluster.peer." + p + ".probes"),
+			fails:  reg.Counter("cluster.peer." + p + ".probe_fails"),
+			gauge:  reg.Gauge("cluster.peer." + p + ".state"),
+		}
+	}
+	return d
+}
+
+func (d *detector) start(ctx context.Context) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// cfg.Peers, not the map: probe loops share the seeded jitter
+	// source, so spawn order must be deterministic.
+	for _, peer := range d.cfg.Peers {
+		if _, ok := d.peers[peer]; !ok {
+			continue
+		}
+		d.wg.Add(1)
+		go d.loop(ctx, peer)
+	}
+}
+
+// loop probes one peer until ctx ends. The sleep between probes is
+// ProbeInterval scaled by seeded jitter in [0.75, 1.25).
+func (d *detector) loop(ctx context.Context, peer string) {
+	defer d.wg.Done()
+	for {
+		start := time.Now()
+		err := d.probe(ctx, peer)
+		d.record(peer, time.Since(start), err)
+		d.jitterMu.Lock()
+		f := 0.75 + d.jitter.Float64()/2
+		d.jitterMu.Unlock()
+		t := time.NewTimer(time.Duration(float64(d.cfg.ProbeInterval) * f))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (d *detector) record(peer string, rtt time.Duration, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps := d.peers[peer]
+	if ps == nil {
+		return
+	}
+	if err == nil {
+		ps.consecFails = 0
+		ps.state = StateAlive
+		ps.lastRTT = rtt
+	} else {
+		ps.consecFails++
+		switch {
+		case ps.consecFails >= d.cfg.DeadAfter:
+			ps.state = StateDead
+		case ps.consecFails >= d.cfg.SuspectAfter:
+			ps.state = StateSuspect
+		}
+	}
+	state := ps.state
+	d.reg.Touch(func() {
+		ps.probes.Inc()
+		if err != nil {
+			ps.fails.Inc()
+		}
+		ps.gauge.Set(int64(state))
+	})
+}
+
+// stateOf reports a peer's current state. Unknown peers (including
+// Self) read as alive: the caller routing to itself must never treat
+// itself as failed.
+func (d *detector) stateOf(peer string) State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ps := d.peers[peer]; ps != nil {
+		return ps.state
+	}
+	return StateAlive
+}
+
+func (d *detector) status(peer string) PeerStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps := d.peers[peer]
+	if ps == nil {
+		return PeerStatus{Addr: peer, State: StateAlive.String()}
+	}
+	return PeerStatus{
+		Addr:        peer,
+		State:       ps.state.String(),
+		ConsecFails: ps.consecFails,
+		Probes:      ps.probes.Value(),
+		Fails:       ps.fails.Value(),
+		LastRTTMS:   float64(ps.lastRTT.Microseconds()) / 1000,
+	}
+}

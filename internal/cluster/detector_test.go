@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"basevictim/internal/obs"
+)
+
+func testConfig(self string, peers ...string) Config {
+	return Config{Self: self, Peers: peers}.withDefaults()
+}
+
+// Drive the state machine directly through record: alive until
+// SuspectAfter consecutive failures, dead at DeadAfter, and one
+// success resets from any state.
+func TestDetectorStateMachine(t *testing.T) {
+	cfg := testConfig("a:1", "b:1")
+	cfg.SuspectAfter, cfg.DeadAfter = 2, 4
+	d := newDetector(cfg, obs.NewSyncRegistry())
+
+	fail := errors.New("probe failed")
+	want := []State{StateAlive, StateSuspect, StateSuspect, StateDead, StateDead}
+	for i, w := range want {
+		d.record("b:1", 0, fail)
+		if got := d.stateOf("b:1"); got != w {
+			t.Fatalf("after %d failures: state %v, want %v", i+1, got, w)
+		}
+	}
+	d.record("b:1", time.Millisecond, nil)
+	if got := d.stateOf("b:1"); got != StateAlive {
+		t.Fatalf("after recovery: state %v, want alive", got)
+	}
+	st := d.status("b:1")
+	if st.Probes != 6 || st.Fails != 5 || st.ConsecFails != 0 {
+		t.Fatalf("status = %+v, want probes=6 fails=5 consec=0", st)
+	}
+}
+
+// Unknown peers (self included) must read alive: routing treats self
+// as always available.
+func TestDetectorUnknownPeerIsAlive(t *testing.T) {
+	d := newDetector(testConfig("a:1", "b:1"), obs.NewSyncRegistry())
+	if got := d.stateOf("a:1"); got != StateAlive {
+		t.Fatalf("self state %v, want alive", got)
+	}
+	if got := d.stateOf("nonsense:9"); got != StateAlive {
+		t.Fatalf("unknown peer state %v, want alive", got)
+	}
+}
+
+// End to end through the probe loop: a scripted probe flips from
+// healthy to failing and the state decays to dead, then recovers.
+func TestDetectorProbeLoop(t *testing.T) {
+	var mu sync.Mutex
+	healthy := true
+	cfg := testConfig("a:1", "b:1")
+	cfg.ProbeInterval = 2 * time.Millisecond
+	cfg.SuspectAfter, cfg.DeadAfter = 2, 4
+	cfg.Probe = func(ctx context.Context, peer string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if healthy {
+			return nil
+		}
+		return errors.New("down")
+	}
+	d := newDetector(cfg, obs.NewSyncRegistry())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d.start(ctx)
+
+	waitState := func(want State) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if d.stateOf("b:1") == want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("peer never reached state %v (now %v)", want, d.stateOf("b:1"))
+	}
+
+	waitState(StateAlive)
+	mu.Lock()
+	healthy = false
+	mu.Unlock()
+	waitState(StateDead)
+	mu.Lock()
+	healthy = true
+	mu.Unlock()
+	waitState(StateAlive)
+
+	cancel()
+	d.wg.Wait()
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{StateAlive: "alive", StateSuspect: "suspect", StateDead: "dead", State(9): "state(9)"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

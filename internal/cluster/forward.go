@@ -1,0 +1,299 @@
+package cluster
+
+// The forwarding client. A misrouted /v1 request is replayed to its
+// owner as-is (same method, path, body); the response streams back
+// byte-for-byte. Three tail-latency defenses:
+//
+//   - bounded retries: at most MaxForwardAttempts sequential tries,
+//     rotating through the route's target chain, with capped
+//     exponential backoff and seeded jitter between them;
+//   - one hedged request: if the first attempt has not answered after
+//     the P99 of recent forward round-trips (clamped to
+//     [HedgeMin, HedgeMax]), a single duplicate is sent to the next
+//     target in the chain and the first acceptable answer wins.
+//     Duplicated work is safe — runs are deterministic and the
+//     checkpoint store's claim protocol collapses racing executions;
+//   - loop prevention: every forwarded request carries ForwardedHeader,
+//     and a node always serves a request bearing it locally, so a
+//     stale ring view can cost one extra hop but never a cycle.
+//
+// A 503 from the target is retryable (a forwarded request never maps
+// to shard_down at the target, so 503 there means draining or a full
+// queue); every other HTTP status is the answer and passes through.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	// ForwardedHeader marks a request as one hop of cluster forwarding.
+	// Its value is the forwarding node's advertised address. Receivers
+	// must serve such requests locally.
+	ForwardedHeader = "X-BV-Forwarded"
+	// ServedByHeader is set on responses with the advertised address of
+	// the node that actually executed the request.
+	ServedByHeader = "X-BV-Served-By"
+)
+
+// ForwardResult is the owner's response, relayed verbatim.
+type ForwardResult struct {
+	Status      int
+	ContentType string
+	Body        []byte
+	// Target is the peer that answered; Hedged is set when the answer
+	// came from the hedged duplicate rather than the primary attempt.
+	Target   string
+	Hedged   bool
+	Attempts int
+}
+
+// rttWindow keeps the last N forward round-trips for the P99 hedge
+// delay. Fixed-size ring; older samples fall off.
+const rttWindow = 128
+
+// hedgeMinSamples gates hedging on having seen enough traffic for a
+// meaningful P99; below it the delay pins to HedgeMax.
+const hedgeMinSamples = 8
+
+type forwarder struct {
+	cfg    Config
+	c      *Cluster
+	client *http.Client
+
+	mu     sync.Mutex
+	jitter *rand.Rand
+	rtts   [rttWindow]time.Duration
+	rttN   int // total samples ever; ring position is rttN % rttWindow
+}
+
+func newForwarder(cfg Config, c *Cluster) *forwarder {
+	return &forwarder{
+		cfg: cfg,
+		c:   c,
+		// No Client.Timeout: the request ctx (the caller's deadline)
+		// bounds each attempt, and hedging needs slow attempts to stay
+		// cancellable rather than uniformly killed.
+		client: &http.Client{Transport: cfg.Transport},
+		jitter: rand.New(rand.NewSource(int64(cfg.Seed) + 1)),
+	}
+}
+
+// Forward replays the request along rt.Targets and returns the first
+// acceptable response. On total failure it returns the last HTTP
+// response seen (so a terminal 503 reaches the caller with its body)
+// or, with no response at all, the last transport error.
+func (c *Cluster) Forward(ctx context.Context, rt Route, method, path string, header http.Header, body []byte) (*ForwardResult, error) {
+	return c.fwd.forward(ctx, rt.Targets, method, path, header, body)
+}
+
+func (f *forwarder) forward(ctx context.Context, targets []string, method, path string, header http.Header, body []byte) (*ForwardResult, error) {
+	if len(targets) == 0 {
+		return nil, context.Canceled
+	}
+	f.c.reg.Touch(f.c.forwards.Inc)
+	var lastRes *ForwardResult
+	var lastErr error
+	for attempt := 0; attempt < f.cfg.MaxForwardAttempts; attempt++ {
+		if attempt > 0 {
+			f.c.reg.Touch(f.c.retries.Inc)
+			if err := f.sleep(ctx, f.backoff(attempt)); err != nil {
+				break
+			}
+		}
+		target := targets[attempt%len(targets)]
+		var res *ForwardResult
+		var err error
+		if attempt == 0 {
+			res, err = f.hedged(ctx, target, hedgeTarget(targets), method, path, header, body)
+		} else {
+			res, err = f.attempt(ctx, target, false, method, path, header, body)
+		}
+		if res != nil {
+			res.Attempts = attempt + 1
+		}
+		if err == nil && !retryableStatus(res.Status) {
+			return res, nil
+		}
+		if res != nil {
+			lastRes = res
+		}
+		if err != nil {
+			lastErr = err
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	f.c.reg.Touch(f.c.forwardFails.Inc)
+	if lastRes != nil {
+		return lastRes, nil
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
+	}
+	return nil, lastErr
+}
+
+// hedgeTarget picks where the hedged duplicate goes: the next distinct
+// target when the chain has one, else a plain duplicate of the primary
+// (still useful against a dropped connection).
+func hedgeTarget(targets []string) string {
+	if len(targets) > 1 {
+		return targets[1]
+	}
+	return targets[0]
+}
+
+// hedged runs the first attempt with one optional hedge. The first
+// acceptable response wins and cancels the other; if both finish
+// unacceptably, the first failure is returned.
+func (f *forwarder) hedged(ctx context.Context, primary, hedge, method, path string, header http.Header, body []byte) (*ForwardResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		res *ForwardResult
+		err error
+	}
+	ch := make(chan outcome, 2)
+	launch := func(target string, hedged bool) {
+		go func() {
+			res, err := f.attempt(ctx, target, hedged, method, path, header, body)
+			ch <- outcome{res, err}
+		}()
+	}
+	launch(primary, false)
+
+	timer := time.NewTimer(f.hedgeDelay())
+	defer timer.Stop()
+	pending := 1
+	var first *outcome
+	for {
+		select {
+		case o := <-ch:
+			pending--
+			if o.err == nil && !retryableStatus(o.res.Status) {
+				if o.res.Hedged {
+					f.c.reg.Touch(f.c.hedgeWins.Inc)
+				}
+				return o.res, nil
+			}
+			if first == nil {
+				first = &o
+			}
+			if pending == 0 {
+				return first.res, first.err
+			}
+		case <-timer.C:
+			f.c.reg.Touch(f.c.hedges.Inc)
+			pending++
+			launch(hedge, true)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt performs one forwarded HTTP exchange.
+func (f *forwarder) attempt(ctx context.Context, target string, hedged bool, method, path string, header http.Header, body []byte) (*ForwardResult, error) {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+target+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if header != nil {
+		req.Header = header.Clone()
+	}
+	req.Header.Set(ForwardedHeader, f.cfg.Self)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if !retryableStatus(resp.StatusCode) {
+		f.observe(time.Since(start))
+	}
+	return &ForwardResult{
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        b,
+		Target:      target,
+		Hedged:      hedged,
+	}, nil
+}
+
+// retryableStatus reports whether a forwarded response should be
+// retried rather than relayed. Only 503: at the target a forwarded
+// request is always local, so 503 means draining or queue-full —
+// transient by contract — while 4xx and other 5xx are real answers.
+func retryableStatus(status int) bool {
+	return status == http.StatusServiceUnavailable
+}
+
+func (f *forwarder) observe(rtt time.Duration) {
+	f.mu.Lock()
+	f.rtts[f.rttN%rttWindow] = rtt
+	f.rttN++
+	f.mu.Unlock()
+}
+
+// hedgeDelay is the P99 of the recorded round-trips, clamped to
+// [HedgeMin, HedgeMax]. With too few samples it pins to HedgeMax so a
+// cold node does not hedge on noise.
+func (f *forwarder) hedgeDelay() time.Duration {
+	f.mu.Lock()
+	n := f.rttN
+	if n > rttWindow {
+		n = rttWindow
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, f.rtts[:n])
+	f.mu.Unlock()
+	if len(samples) < hedgeMinSamples {
+		return f.cfg.HedgeMax
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	d := samples[len(samples)*99/100]
+	if d < f.cfg.HedgeMin {
+		d = f.cfg.HedgeMin
+	}
+	if d > f.cfg.HedgeMax {
+		d = f.cfg.HedgeMax
+	}
+	return d
+}
+
+// backoff is the delay before retry attempt n (n ≥ 1): capped
+// exponential with seeded jitter in [0.5, 1.5).
+func (f *forwarder) backoff(attempt int) time.Duration {
+	d := f.cfg.BackoffBase << (attempt - 1)
+	if d > f.cfg.BackoffCap {
+		d = f.cfg.BackoffCap
+	}
+	f.mu.Lock()
+	jit := 0.5 + f.jitter.Float64()
+	f.mu.Unlock()
+	return time.Duration(float64(d) * jit)
+}
+
+func (f *forwarder) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

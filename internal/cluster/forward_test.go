@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// peerServer is one fake owner: an httptest server whose handler the
+// test scripts, addressed by its host:port like a real peer.
+func peerServer(t *testing.T, handler http.HandlerFunc) string {
+	t.Helper()
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func forwardCluster(t *testing.T, self string, peers ...string) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Self:        self,
+		Peers:       peers,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+		// Tests that want hedging set their own delays; by default keep
+		// the hedge effectively off so retry tests see one path.
+		HedgeMin: time.Second,
+		HedgeMax: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestForwardRelaysRequestAndResponse(t *testing.T) {
+	var gotBody atomic.Value
+	var gotHop atomic.Value
+	peer := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		gotBody.Store(string(b))
+		gotHop.Store(r.Header.Get(ForwardedHeader))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, `{"ok":true}`)
+	})
+	c := forwardCluster(t, "self:1", peer)
+
+	hdr := http.Header{}
+	hdr.Set("X-Client-ID", "alice")
+	res, err := c.Forward(context.Background(), Route{Targets: []string{peer}},
+		http.MethodPost, "/v1/run", hdr, []byte(`{"trace":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 418 is not retryable: whatever the owner said is the answer.
+	if res.Status != http.StatusTeapot || string(res.Body) != `{"ok":true}` {
+		t.Fatalf("relayed %d %q", res.Status, res.Body)
+	}
+	if res.ContentType != "application/json" || res.Target != peer || res.Hedged {
+		t.Fatalf("result meta %+v", res)
+	}
+	if gotBody.Load() != `{"trace":"x"}` {
+		t.Fatalf("owner saw body %q", gotBody.Load())
+	}
+	if gotHop.Load() != "self:1" {
+		t.Fatalf("owner saw hop header %q, want self address", gotHop.Load())
+	}
+	if got := c.Metrics().Counters["cluster.forwards"]; got != 1 {
+		t.Fatalf("forwards counter %d, want 1", got)
+	}
+}
+
+// 503 from the target is transient (draining / queue full): retry the
+// chain until a real answer appears.
+func TestForwardRetriesOn503(t *testing.T) {
+	var calls atomic.Int64
+	peer := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "done")
+	})
+	c := forwardCluster(t, "self:1", peer)
+	res, err := c.Forward(context.Background(), Route{Targets: []string{peer}},
+		http.MethodPost, "/v1/run", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK || string(res.Body) != "done" {
+		t.Fatalf("got %d %q after retries", res.Status, res.Body)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", res.Attempts)
+	}
+	if got := c.Metrics().Counters["cluster.forward_retries"]; got != 2 {
+		t.Fatalf("retries counter %d, want 2", got)
+	}
+}
+
+// When every attempt yields 503, the last 503 is relayed (not an
+// error): the caller serves it with its Retry-After semantics.
+func TestForwardExhaustedRelays503(t *testing.T) {
+	peer := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	c := forwardCluster(t, "self:1", peer)
+	res, err := c.Forward(context.Background(), Route{Targets: []string{peer}},
+		http.MethodPost, "/v1/run", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 relayed", res.Status)
+	}
+	if got := c.Metrics().Counters["cluster.forward_fails"]; got != 1 {
+		t.Fatalf("forward_fails counter %d, want 1", got)
+	}
+}
+
+// A dead primary (transport error) falls over to the next target in
+// the chain on the retry attempts.
+func TestForwardFailsOverToChain(t *testing.T) {
+	alive := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "from-backup")
+	})
+	// Port 1 is never listening: dials fail immediately, which is the
+	// transport-error flavor of a dead primary.
+	c := forwardCluster(t, "self:1", "127.0.0.1:1", alive)
+	res, err := c.Forward(context.Background(),
+		Route{Targets: []string{"127.0.0.1:1", alive}},
+		http.MethodPost, "/v1/run", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != "from-backup" || res.Target != alive {
+		t.Fatalf("got %q from %q, want backup", res.Body, res.Target)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want ≥2", res.Attempts)
+	}
+}
+
+// Hedging: prime the RTT window with fast samples, then make the
+// primary hang — the hedge fires after the P99-derived delay and the
+// backup's answer wins.
+func TestForwardHedgeWins(t *testing.T) {
+	release := make(chan struct{})
+	var primaryCalls atomic.Int64
+	slow := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Warm") != "" {
+			io.WriteString(w, "warm")
+			return
+		}
+		primaryCalls.Add(1)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		io.WriteString(w, "slow")
+	})
+	fast := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "fast")
+	})
+	defer close(release)
+
+	c, err := New(Config{
+		Self:     "self:1",
+		Peers:    []string{slow, fast},
+		HedgeMin: 5 * time.Millisecond,
+		HedgeMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the sampler past hedgeMinSamples with fast round-trips.
+	warm := http.Header{}
+	warm.Set("X-Warm", "1")
+	for i := 0; i < hedgeMinSamples; i++ {
+		if _, err := c.Forward(context.Background(), Route{Targets: []string{slow}},
+			http.MethodPost, "/v1/run", warm, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := c.Forward(ctx, Route{Targets: []string{slow, fast}},
+		http.MethodPost, "/v1/run", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != "fast" || !res.Hedged || res.Target != fast {
+		t.Fatalf("hedge result %+v body %q, want fast hedged win", res, res.Body)
+	}
+	if primaryCalls.Load() != 1 {
+		t.Fatalf("primary called %d times, want 1 (hedge is not a retry)", primaryCalls.Load())
+	}
+	snap := c.Metrics()
+	if snap.Counters["cluster.hedges"] != 1 || snap.Counters["cluster.hedge_wins"] != 1 {
+		t.Fatalf("hedge counters %v", snap.Counters)
+	}
+}
+
+// The P99 delay clamps into [HedgeMin, HedgeMax] and pins to HedgeMax
+// until enough samples exist.
+func TestHedgeDelayClamp(t *testing.T) {
+	c := forwardCluster(t, "self:1", "b:1")
+	c.cfg.HedgeMin, c.cfg.HedgeMax = 10*time.Millisecond, 100*time.Millisecond
+	c.fwd.cfg = c.cfg
+	if got := c.fwd.hedgeDelay(); got != 100*time.Millisecond {
+		t.Fatalf("cold hedge delay %v, want HedgeMax", got)
+	}
+	for i := 0; i < rttWindow; i++ {
+		c.fwd.observe(time.Microsecond)
+	}
+	if got := c.fwd.hedgeDelay(); got != 10*time.Millisecond {
+		t.Fatalf("fast-samples hedge delay %v, want HedgeMin clamp", got)
+	}
+	for i := 0; i < rttWindow; i++ {
+		c.fwd.observe(time.Second)
+	}
+	if got := c.fwd.hedgeDelay(); got != 100*time.Millisecond {
+		t.Fatalf("slow-samples hedge delay %v, want HedgeMax clamp", got)
+	}
+}
+
+func TestBackoffCappedAndJittered(t *testing.T) {
+	c := forwardCluster(t, "self:1", "b:1")
+	base, cap := c.cfg.BackoffBase, c.cfg.BackoffCap
+	for attempt := 1; attempt <= 8; attempt++ {
+		d := c.fwd.backoff(attempt)
+		if d < base/2 {
+			t.Fatalf("attempt %d: backoff %v below base/2", attempt, d)
+		}
+		if d > cap*3/2 {
+			t.Fatalf("attempt %d: backoff %v above cap*1.5", attempt, d)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("10.0.0.%d:9000", i+1)
+	}
+	return m
+}
+
+// Every node must compute the same owner for a key from the same
+// member set, regardless of the order the members were listed in.
+func TestRingOwnerAgreement(t *testing.T) {
+	a := newRing([]string{"c:1", "a:1", "b:1"}, 64)
+	b := newRing([]string{"b:1", "c:1", "a:1", "a:1"}, 64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("trace-%d|cfg", i)
+		if got, want := a.successors(key)[0], b.successors(key)[0]; got != want {
+			t.Fatalf("key %q: owner %q vs %q across orderings", key, got, want)
+		}
+	}
+}
+
+// successors must enumerate every member exactly once, owner first.
+func TestRingSuccessorsComplete(t *testing.T) {
+	members := testMembers(5)
+	r := newRing(members, 64)
+	for i := 0; i < 200; i++ {
+		succ := r.successors(fmt.Sprintf("key-%d", i))
+		if len(succ) != len(members) {
+			t.Fatalf("successors returned %d members, want %d", len(succ), len(members))
+		}
+		seen := map[string]bool{}
+		for _, p := range succ {
+			if seen[p] {
+				t.Fatalf("duplicate member %q in successors", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// With vnodes, no shard should be grossly oversized. The bound here is
+// loose (3x the mean) — the test guards against a broken hash or a
+// missing sort, not against statistical wobble.
+func TestRingBalance(t *testing.T) {
+	members := testMembers(4)
+	r := newRing(members, 64)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.successors(fmt.Sprintf("trace-%d|%d", i, i*7))[0]]++
+	}
+	for _, m := range members {
+		if counts[m] == 0 {
+			t.Fatalf("member %s owns zero of %d keys", m, keys)
+		}
+		if counts[m] > 3*keys/len(members) {
+			t.Fatalf("member %s owns %d of %d keys (>3x mean)", m, counts[m], keys)
+		}
+	}
+}
+
+// Removing one member must only move the dead member's keys: everyone
+// else's ownership is untouched (the consistent-hashing property that
+// makes failover cheap).
+func TestRingStability(t *testing.T) {
+	members := testMembers(4)
+	full := newRing(members, 64)
+	reduced := newRing(members[:3], 64)
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was := full.successors(key)[0]
+		now := reduced.successors(key)[0]
+		if was == members[3] {
+			moved++
+			continue // this key had to move
+		}
+		if was != now {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; balance test should have caught this")
+	}
+}

@@ -121,6 +121,64 @@ func TestClaimRunHammer(t *testing.T) {
 	}
 }
 
+// TestClaimTwoPeersRaceSameKey is the cluster failover race in
+// miniature: two "hosts" (separate Stores and Sessions over one shared
+// directory, as two bvsimd peers sharing -cache-dir) submit the same
+// key concurrently. Exactly one may simulate; the loser must come back
+// with the winner's record — observed through the claim counters, the
+// runner count, and zero divergences.
+func TestClaimTwoPeersRaceSameKey(t *testing.T) {
+	dir := t.TempDir()
+	var total atomic.Int64
+	peerA := claimSession(t, dir, &total)
+	peerB := claimSession(t, dir, &total)
+
+	cfg := bvDefault()
+	cfg.Instructions = 1000
+
+	var wg sync.WaitGroup
+	results := make([]sim.Result, 2)
+	errs := make([]error, 2)
+	for i, s := range []*Session{peerA, peerB} {
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			results[i], errs[i] = s.Run(context.Background(), "mcf.p1", cfg)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	if total.Load() != 1 {
+		t.Fatalf("simulated %d times across two peers, want exactly 1", total.Load())
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatalf("peers disagree: %+v vs %+v", results[0], results[1])
+	}
+	// Claim accounting: one peer won the claim, and the loser either
+	// waited out the lock or loaded the record before contending (both
+	// are "observed the winner's record", never a re-simulation).
+	aClaimed, aWaited := peerA.Store.claimed, peerA.Store.waited
+	bClaimed, bWaited := peerB.Store.claimed, peerB.Store.waited
+	if aClaimed+bClaimed != 1 {
+		t.Fatalf("claims won = %d (A %d, B %d), want exactly 1", aClaimed+bClaimed, aClaimed, bClaimed)
+	}
+	if aWaited+bWaited > 1 {
+		t.Fatalf("waits = %d, want at most 1", aWaited+bWaited)
+	}
+	for name, st := range map[string]*Store{"A": peerA.Store, "B": peerB.Store} {
+		if _, divergent := st.Conflicts(); divergent != 0 {
+			t.Fatalf("peer %s saw %d divergences", name, divergent)
+		}
+	}
+	if n, err := VerifyDir(dir); err != nil || n != 1 {
+		t.Fatalf("VerifyDir = (%d, %v), want (1, nil)", n, err)
+	}
+}
+
 // TestClaimRunStaleLockStolen: a lockfile orphaned by a crashed
 // process must not wedge the key forever — once it passes the
 // staleness horizon it is stolen and the key simulates.

@@ -126,8 +126,26 @@ type Store struct {
 	written   int
 	claimed   int   // claims won (we simulated under the lock)
 	waited    int   // claims lost (another process simulated the key)
+	verified  int   // saves that matched an existing record byte-for-byte
+	divergent int   // saves that CONFLICTED with an existing record
 	writeErr  error // first write failure; later ones are counted only
 	failed    int
+}
+
+// DivergenceError reports the one impossible-by-contract checkpoint
+// outcome: a completed run tried to persist bytes different from the
+// valid record already on disk for the same key. Simulations are
+// deterministic, so two executions of one key — on one host or across
+// a cluster failover — must encode identically; a divergence means a
+// nondeterminism bug or mixed binary versions sharing a directory. The
+// existing record is kept (first-writer-wins keeps every reader
+// consistent) and the conflict is counted; see Conflicts.
+type DivergenceError struct {
+	Path string
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("checkpoint: divergent re-execution for %s (existing record kept)", e.Path)
 }
 
 // NewStore opens (creating if needed) a checkpoint directory. With
@@ -177,8 +195,45 @@ func (st *Store) load(path string) (record, bool) {
 	return rec, true
 }
 
+// sameKey reports whether two records describe the same run identity.
+func sameKey(a, b record) bool {
+	if a.Trace != b.Trace || a.Config != b.Config || len(a.Mix) != len(b.Mix) {
+		return false
+	}
+	for i := range a.Mix {
+		if a.Mix[i] != b.Mix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// save persists one record. In resume mode an existing valid record
+// for the same key is the byte-identity assertion point: a matching
+// re-execution is verified (no write), a mismatch is a divergence
+// (existing kept, DivergenceError returned). Non-resume stores
+// overwrite unconditionally — refreshing a directory across code
+// versions is legitimate there.
 func (st *Store) save(path string, rec record) error {
 	b, err := encodeRecord(rec)
+	if err == nil && st.resume {
+		if prev, rerr := os.ReadFile(path); rerr == nil {
+			if bytes.Equal(prev, b) {
+				st.mu.Lock()
+				st.verified++
+				st.mu.Unlock()
+				return nil
+			}
+			if old, derr := decodeRecord(prev); derr == nil && sameKey(old, rec) {
+				st.mu.Lock()
+				st.divergent++
+				st.mu.Unlock()
+				return &DivergenceError{Path: path}
+			}
+			// Corrupt or hash-colliding foreign record: overwriting it is
+			// the load path's discard, done at write time.
+		}
+	}
 	if err == nil {
 		err = atomicio.WriteFile(path, b, 0o644)
 	}
@@ -333,6 +388,16 @@ func (st *Store) Stats() (loaded, discarded, written int) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.loaded, st.discarded, st.written
+}
+
+// Conflicts reports the byte-identity assertion's tallies: verified
+// counts re-executions that matched the existing record exactly (the
+// expected outcome of every failover or claim race), divergent counts
+// conflicts (always a bug; the chaos suites assert it stays 0).
+func (st *Store) Conflicts() (verified, divergent int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.verified, st.divergent
 }
 
 // WriteErr reports checkpoint-write health: the number of failed

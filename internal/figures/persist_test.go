@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -236,4 +237,83 @@ func FuzzDecodeRecord(f *testing.F) {
 			t.Fatalf("round trip mismatch:\nfirst  %+v\nsecond %+v", rec, rec2)
 		}
 	})
+}
+
+// TestStoreVerifiesIdenticalResave: in resume mode, re-saving the
+// byte-identical record (a failover re-execution that matched) counts
+// as verified and rewrites nothing.
+func TestStoreVerifiesIdenticalResave(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewStore(dir, true)
+	key := runKey{trace: "mcf.p1", cfg: bvDefault()}
+	res := sim.Result{Trace: "mcf.p1", IPC: 1.25}
+	if err := st.saveRun(key, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.saveRun(key, res); err != nil {
+		t.Fatalf("identical re-save errored: %v", err)
+	}
+	verified, divergent := st.Conflicts()
+	if verified != 1 || divergent != 0 {
+		t.Fatalf("Conflicts = (%d, %d), want (1, 0)", verified, divergent)
+	}
+	_, _, written := st.Stats()
+	if written != 1 {
+		t.Fatalf("written = %d, want 1 (verified re-save must not rewrite)", written)
+	}
+}
+
+// TestStoreDetectsDivergentResave: a conflicting record for the same
+// key — the impossible-by-contract outcome — returns DivergenceError,
+// keeps the FIRST record (first-writer-wins), and counts the conflict.
+// Exercised across two stores because that is the failover shape: the
+// re-executing peer is never the one that wrote the original.
+func TestStoreDetectsDivergentResave(t *testing.T) {
+	dir := t.TempDir()
+	stA, _ := NewStore(dir, true)
+	stB, _ := NewStore(dir, true)
+	key := runKey{trace: "mcf.p1", cfg: bvDefault()}
+	if err := stA.saveRun(key, sim.Result{Trace: "mcf.p1", IPC: 1.25}); err != nil {
+		t.Fatal(err)
+	}
+	err := stB.saveRun(key, sim.Result{Trace: "mcf.p1", IPC: 9.99})
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("divergent re-save returned %v, want DivergenceError", err)
+	}
+	if _, divergent := stB.Conflicts(); divergent != 1 {
+		t.Fatalf("peer B divergent = %d, want 1", divergent)
+	}
+	got, ok := stA.loadRun(key)
+	if !ok || got.IPC != 1.25 {
+		t.Fatalf("record after conflict = (%+v, %v), want the first write kept", got, ok)
+	}
+}
+
+// TestStoreDivergenceSparesOtherKeys: a foreign record at a colliding
+// path (different key, e.g. after a config change that landed on the
+// same file only in a contrived test) is overwritten, not flagged.
+func TestStoreDivergenceSparesOtherKeys(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewStore(dir, true)
+	cfg := bvDefault()
+	key := runKey{trace: "mcf.p1", cfg: cfg}
+	path := st.keyPath("run", key.trace, key.cfg)
+	// Plant a valid record for a DIFFERENT trace at this key's path.
+	foreign, err := encodeRecord(record{Trace: "lbm.p2", Config: cfg, Result: &sim.Result{Trace: "lbm.p2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, foreign, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.saveRun(key, sim.Result{Trace: "mcf.p1", IPC: 2}); err != nil {
+		t.Fatalf("save over a foreign record errored: %v", err)
+	}
+	if _, divergent := st.Conflicts(); divergent != 0 {
+		t.Fatalf("foreign record miscounted as divergence")
+	}
+	if got, ok := st.loadRun(key); !ok || got.IPC != 2 {
+		t.Fatalf("record not refreshed over foreign occupant: (%+v, %v)", got, ok)
+	}
 }

@@ -19,17 +19,20 @@
 // cmd/* binaries, examples/, and the non-simulation support packages
 // (atomicio, cliexit, the lint tree itself) are out of scope.
 //
-// The obs and serve packages are exempt from the wall-clock check
-// ONLY: obs's Monitor legitimately reads time.Now to render live
-// MIPS/ETA, and serve's admission layer (token-bucket refill, retry
-// backoff, watchdog timers) is inherently about real time — and
-// nothing either computes from the clock feeds back into simulated
-// state, which runs in worker processes under this analyzer's full
-// rules. The rand and map-iteration checks still apply to both in
-// full — metrics snapshots are part of the determinism contract (same
-// config, byte-identical snapshot), and serve's retry jitter must
-// come from its seeded local generator, so global math/rand or
-// randomized iteration order reaching output would be a real bug.
+// The obs, serve, and cluster packages are exempt from the wall-clock
+// check ONLY: obs's Monitor legitimately reads time.Now to render live
+// MIPS/ETA, serve's admission layer (token-bucket refill, retry
+// backoff, watchdog timers) is inherently about real time, and
+// cluster's failure detector and forwarder (probe RTTs, hedge delays,
+// backoff) measure real network latency — and nothing any of them
+// computes from the clock feeds back into simulated state, which runs
+// in worker processes under this analyzer's full rules. The rand and
+// map-iteration checks still apply to all three in full — metrics
+// snapshots are part of the determinism contract (same config,
+// byte-identical snapshot), and serve's retry jitter and cluster's
+// probe/backoff jitter must come from their seeded local generators,
+// so global math/rand or randomized iteration order reaching output
+// would be a real bug.
 package determinism
 
 import (
@@ -56,7 +59,7 @@ func run(pass *analysis.Pass) error {
 	// The observability and service packages may read the wall clock
 	// (and nothing else on the banned list): see the package doc for
 	// the rationale.
-	wallClockOK := astscope.HasSegment(pass.Pkg.Path(), "obs", "serve")
+	wallClockOK := astscope.HasSegment(pass.Pkg.Path(), "obs", "serve", "cluster")
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)

@@ -8,5 +8,5 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
-	linttest.Run(t, determinism.Analyzer, "a", "obs", "serve")
+	linttest.Run(t, determinism.Analyzer, "a", "obs", "serve", "cluster")
 }

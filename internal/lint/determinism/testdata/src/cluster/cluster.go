@@ -1,0 +1,59 @@
+// Golden data for the cluster side of the wall-clock allowlist: a
+// package whose import path contains a "cluster" segment may read the
+// wall clock — probe RTT measurement, hedge delays, and retry backoff
+// are inherently about real network time, and none of it feeds
+// simulated state — but the other two determinism checks apply in
+// full. Probe and backoff jitter must come from a seeded local
+// generator, and anything rendered to a peer (status documents,
+// membership tables) must not leak map iteration order.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// The failure detector's legitimate use: probe round-trip time is a
+// real-clock measurement by definition.
+func probeRTT(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func hedgeDeadline(delay time.Duration) time.Time {
+	return time.Now().Add(delay)
+}
+
+// Global rand stays banned: probe jitter from the process-seeded
+// generator would make chaos schedules unreproducible.
+func probeJitter() float64 {
+	return 0.75 + rand.Float64()/2 // want `global rand\.Float64 is process-seeded`
+}
+
+// A seeded local generator is the sanctioned form — the detector and
+// forwarder both derive theirs from the configured seed.
+func seededJitter(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return 0.75 + r.Float64()/2
+}
+
+// Order-sensitive map iteration stays banned: a cluster status
+// document built in raw map order would differ between identical
+// nodes.
+func renderPeers(states map[string]int) {
+	for k, v := range states { // want `map iteration order is random`
+		fmt.Println(k, v)
+	}
+}
+
+// The append-then-sort idiom allowed everywhere stays allowed here —
+// the status document collects peer addresses and orders them.
+func peerAddrs(states map[string]int) []string {
+	var addrs []string
+	for k := range states {
+		addrs = append(addrs, k)
+	}
+	sort.Strings(addrs)
+	return addrs
+}

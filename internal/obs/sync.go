@@ -1,0 +1,71 @@
+package obs
+
+// SyncRegistry wraps a Registry for concurrent owners. The base
+// Registry is deliberately unsynchronized — one simulation goroutine,
+// zero lock traffic on the hot path — but service-layer subsystems
+// (admission queues, cluster peers, probe loops) mutate metrics from
+// many goroutines at HTTP rates, where a mutex is noise. serve grew a
+// private mutex+touch() wrapper for this; SyncRegistry is that pattern
+// promoted to obs so every concurrent subsystem shares one idiom.
+//
+// Handles are the plain Counter/Gauge/Histogram types. They are NOT
+// individually synchronized: every mutation must go through Touch,
+// which runs the closure under the registry lock. Reads via Snapshot
+// take the same lock, so a snapshot is a consistent cut.
+//
+// The determinism contract of the base Registry does not extend here:
+// a SyncRegistry records service-layer quantities (requests, probes,
+// retries) that legitimately depend on timing. Keep the two uses
+// separate — simulation metrics stay on Registry.
+
+import "sync"
+
+// SyncRegistry is a mutex-guarded Registry for multi-goroutine owners.
+type SyncRegistry struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+// NewSyncRegistry allocates an empty synchronized registry.
+func NewSyncRegistry() *SyncRegistry {
+	return &SyncRegistry{reg: NewRegistry()}
+}
+
+// Counter returns the named counter, creating it if needed. Mutate the
+// returned handle only inside Touch.
+func (s *SyncRegistry) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg.Counter(name)
+}
+
+// Gauge returns the named gauge, creating it if needed. Mutate the
+// returned handle only inside Touch.
+func (s *SyncRegistry) Gauge(name string) *Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg.Gauge(name)
+}
+
+// Histogram returns the named histogram, creating it if needed. Mutate
+// the returned handle only inside Touch.
+func (s *SyncRegistry) Histogram(name string, bounds []uint64) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg.Histogram(name, bounds)
+}
+
+// Touch runs f under the registry lock. All handle mutations — and any
+// reads that must be consistent with them — belong inside f.
+func (s *SyncRegistry) Touch(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+}
+
+// Snapshot returns a consistent copy of every metric.
+func (s *SyncRegistry) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg.Snapshot()
+}

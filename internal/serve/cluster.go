@@ -1,0 +1,232 @@
+package serve
+
+// Cluster glue: how one bvsimd node participates in a sharded peer
+// set. The cluster package decides where a key lives; this file maps
+// those decisions onto the HTTP surface:
+//
+//   - requests bearing the forward hop header are ALWAYS served
+//     locally (quota-exempt at this node — the edge already charged
+//     the client), which bounds any routing disagreement at one hop;
+//   - RouteLocal serves locally; RouteForward replays the request to
+//     the owner and relays its response verbatim; RouteUnavailable is
+//     a 503 "shard_down" + Retry-After scoped to the dead shard;
+//   - the shared checkpoint directory is the cluster's result cache:
+//     any node that executes (or re-executes, after failover) a key
+//     persists the identical record, so placement never changes
+//     results — only who computed them (X-BV-Served-By says who).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"basevictim/internal/cluster"
+	"basevictim/internal/sim"
+)
+
+// isForwarded reports whether the request already took its cluster
+// hop. Such requests are served locally unconditionally.
+func isForwarded(r *http.Request) bool {
+	return r.Header.Get(cluster.ForwardedHeader) != ""
+}
+
+// markServedBy stamps locally served responses with this node's
+// address (relayed responses carry the executing node's instead).
+func (s *Server) markServedBy(w http.ResponseWriter) {
+	if s.cluster != nil {
+		w.Header().Set(cluster.ServedByHeader, s.cluster.Self())
+	}
+}
+
+// overloaded is the admission state Route consults: past the shed
+// point this node refuses to absorb dead shards' keys.
+func (s *Server) overloaded() bool {
+	return s.q.depth() >= s.cfg.ShedPoint
+}
+
+// routeKey computes the ring key for one (trace, config) request —
+// the same whole-config %#v idiom as checkpoint file keys, so the
+// ring, the in-memory cache and the store all agree on identity.
+func routeKey(trace string, cfg sim.Config) string {
+	return cluster.Key(trace, cfg)
+}
+
+// maybeForward routes one decoded /v1/run-shaped request. It returns
+// true when the request was fully handled here (forwarded upstream or
+// shed); false means the caller should execute it locally. body is
+// re-marshalled for the forward hop, so mutating the decoded request
+// before calling is visible downstream.
+func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, trace string, cfg sim.Config, body any) bool {
+	if s.cluster == nil {
+		return false
+	}
+	w.Header().Set(cluster.ServedByHeader, s.cluster.Self())
+	if isForwarded(r) {
+		return false
+	}
+	rt := s.cluster.Route(routeKey(trace, cfg), s.overloaded())
+	switch rt.Kind {
+	case cluster.RouteLocal:
+		return false
+	case cluster.RouteUnavailable:
+		writeShed(w, http.StatusServiceUnavailable, "shard_down",
+			fmt.Sprintf("shard owner %s is down and this node is past its shed point", rt.Owner),
+			rt.RetryAfter)
+		return true
+	}
+	s.relayForward(w, r, rt, body)
+	return true
+}
+
+// relayForward replays the request to rt's targets and writes the
+// owner's response back verbatim.
+func (s *Server) relayForward(w http.ResponseWriter, r *http.Request, rt cluster.Route, body any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, kindError, err.Error())
+		return
+	}
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		hdr.Set("X-Client-ID", id)
+	}
+	res, err := s.cluster.Forward(r.Context(), rt, http.MethodPost, r.URL.Path, hdr, b)
+	if err != nil {
+		writeShed(w, http.StatusBadGateway, "forward_failed",
+			fmt.Sprintf("owner %s unreachable: %v", rt.Targets[0], err), time.Second)
+		return
+	}
+	w.Header().Set(cluster.ServedByHeader, res.Target)
+	if res.ContentType != "" {
+		w.Header().Set("Content-Type", res.ContentType)
+	}
+	// A relayed backpressure status keeps the Retry-After contract even
+	// though the original header did not survive the hop.
+	if res.Status == http.StatusTooManyRequests || res.Status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(res.Status)
+	w.Write(res.Body) //nolint:errcheck // a gone client cannot be answered harder
+}
+
+// forwardSweepRow executes one remote trace of a sweep as a forwarded
+// /v1/run and folds the answer into a sweep row.
+func (s *Server) forwardSweepRow(r *http.Request, req sweepRequest, trace string, rt cluster.Route) sweepRow {
+	body, err := json.Marshal(runRequest{
+		Trace:        trace,
+		Instructions: req.Instructions,
+		TimeoutMS:    req.TimeoutMS,
+		Config:       req.Config,
+		Class:        req.Class,
+	})
+	if err != nil {
+		return sweepRow{Trace: trace, Error: err.Error(), Kind: kindError}
+	}
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		hdr.Set("X-Client-ID", id)
+	}
+	res, err := s.cluster.Forward(r.Context(), rt, http.MethodPost, "/v1/run", hdr, body)
+	if err != nil {
+		return sweepRow{Trace: trace, Error: fmt.Sprintf("owner unreachable: %v", err), Kind: "forward_failed"}
+	}
+	if res.Status == http.StatusOK {
+		var rr runResponse
+		if err := json.Unmarshal(res.Body, &rr); err != nil {
+			return sweepRow{Trace: trace, Error: fmt.Sprintf("bad forwarded response: %v", err), Kind: kindError}
+		}
+		return sweepRow{Trace: trace, Result: &rr.Result}
+	}
+	var eb errorBody
+	if err := json.Unmarshal(res.Body, &eb); err != nil || eb.Kind == "" {
+		return sweepRow{Trace: trace, Error: fmt.Sprintf("owner answered %d", res.Status), Kind: kindError}
+	}
+	return sweepRow{Trace: trace, Error: eb.Error, Kind: eb.Kind, Attempts: eb.Attempts}
+}
+
+// clusterSweep runs a sweep across the ring: each trace routes
+// independently, local rows run through the admission queue (admitted
+// atomically, all-or-429), remote rows forward to their owners
+// concurrently, and dead-shard rows fail with "shard_down" — one down
+// shard costs its rows, never the whole sweep. Rows come back in
+// input order regardless of placement.
+func (s *Server) clusterSweep(ctx context.Context, w http.ResponseWriter, r *http.Request, req sweepRequest, traces []string, cfg sim.Config, cls class) {
+	rows := make([]sweepRow, len(traces))
+	var localJobs []*job
+	var localIdx []int
+	type remoteRow struct {
+		i  int
+		rt cluster.Route
+	}
+	var remotes []remoteRow
+	overloaded := s.overloaded()
+	for i, tr := range traces {
+		rt := s.cluster.Route(routeKey(tr, cfg), overloaded)
+		switch rt.Kind {
+		case cluster.RouteLocal:
+			localJobs = append(localJobs, &job{ctx: ctx, trace: tr, cfg: cfg, class: cls, done: make(chan jobResult, 1)})
+			localIdx = append(localIdx, i)
+		case cluster.RouteUnavailable:
+			rows[i] = sweepRow{Trace: tr,
+				Error: fmt.Sprintf("shard owner %s is down and this node is past its shed point", rt.Owner),
+				Kind:  "shard_down"}
+		case cluster.RouteForward:
+			remotes = append(remotes, remoteRow{i, rt})
+		}
+	}
+	if len(localJobs) > 0 && !s.admit(localJobs...) {
+		writeShed(w, http.StatusTooManyRequests, "overloaded",
+			fmt.Sprintf("admission queue cannot fit this node's %d sweep rows (capacity %d, %d queued)",
+				len(localJobs), s.cfg.QueueDepth, s.q.depth()), time.Second)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, rm := range remotes {
+		wg.Add(1)
+		go func(rm remoteRow) {
+			defer wg.Done()
+			rows[rm.i] = s.forwardSweepRow(r, req, traces[rm.i], rm.rt)
+		}(rm)
+	}
+	for k, j := range localJobs {
+		select {
+		case out := <-j.done:
+			rows[localIdx[k]] = runOutcomeRow(j.trace, out)
+		case <-ctx.Done():
+			// Forward goroutines share ctx and die with it; their row
+			// writes race nothing because nobody reads rows after this.
+			s.writeCtxEnd(w, ctx.Err())
+			return
+		}
+	}
+	wg.Wait()
+	resp := sweepResponse{Rows: rows}
+	for _, row := range rows {
+		if row.Result == nil {
+			resp.Failed++
+		}
+	}
+	status := http.StatusOK
+	if resp.Failed > 0 {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleCluster is GET /v1/cluster: this node's membership view. On a
+// single-host deployment it reports clustering disabled.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Enabled bool `json:"enabled"`
+		cluster.Status
+	}{true, s.cluster.Status()})
+}

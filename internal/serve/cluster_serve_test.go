@@ -1,0 +1,435 @@
+package serve
+
+// Service-level cluster tests: forwarding between two live nodes,
+// shard-scoped shedding, cross-node sweeps, request classes over HTTP,
+// and the admission gauges the cluster work exported.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"basevictim/internal/cluster"
+	"basevictim/internal/sim"
+	"basevictim/internal/workload"
+)
+
+// fastCluster is the probe/backoff tuning every in-process cluster
+// test uses: detection in tens of milliseconds, no hedging.
+func fastCluster(self string, peers []string) cluster.Config {
+	return cluster.Config{
+		Self:          self,
+		Peers:         peers,
+		Seed:          7,
+		ProbeInterval: 15 * time.Millisecond,
+		ProbeTimeout:  10 * time.Millisecond,
+		BackoffBase:   2 * time.Millisecond,
+		BackoffCap:    10 * time.Millisecond,
+		HedgeMin:      5 * time.Second,
+		HedgeMax:      5 * time.Second,
+	}
+}
+
+// twoNodes starts a connected pair of in-process nodes sharing one
+// checkpoint directory.
+func twoNodes(t *testing.T, mutate func(i int, cfg *Config)) (a, b *Server) {
+	t.Helper()
+	addrs := reserveAddrs(t, 2)
+	dir := t.TempDir()
+	nodes := make([]*Server, 2)
+	for i := range nodes {
+		cfg := Config{
+			Workers:    2,
+			QueueDepth: 16,
+			InProcess:  true,
+			CacheDir:   dir,
+			Seed:       uint64(10 + i),
+			Cluster:    fastCluster(addrs[i], addrs),
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Listen(context.Background(), addrs[i]); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		nodes[i] = s
+	}
+	return nodes[0], nodes[1]
+}
+
+// insOwnedBy scans instruction budgets until node src routes the key
+// with the wanted kind (RouteLocal = src owns it, RouteForward = the
+// other node does).
+func insOwnedBy(t *testing.T, src *Server, trace string, kind cluster.RouteKind) uint64 {
+	t.Helper()
+	for ins := uint64(20_000); ins < 20_000+512; ins++ {
+		cfg := sim.Default()
+		cfg.Instructions = ins
+		if src.cluster.Route(cluster.Key(trace, cfg), false).Kind == kind {
+			return ins
+		}
+	}
+	t.Fatalf("no budget in range routes %v from %s", kind, src.Addr())
+	return 0
+}
+
+// TestForwardServedByPeer: a run posted to the wrong node is executed
+// by its owner — the response comes back 200 through the edge node,
+// names the executor in X-BV-Served-By, and matches a direct run.
+func TestForwardServedByPeer(t *testing.T) {
+	a, b := twoNodes(t, nil)
+	ins := insOwnedBy(t, a, "mcf.p1", cluster.RouteForward)
+
+	body, _ := json.Marshal(runRequest{Trace: "mcf.p1", Instructions: ins})
+	res, err := http.Post("http://"+a.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr runResponse
+	decodeErr := json.NewDecoder(res.Body).Decode(&rr)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || decodeErr != nil {
+		t.Fatalf("forwarded run: status %d, decode %v", res.StatusCode, decodeErr)
+	}
+	if got := res.Header.Get("X-BV-Served-By"); got != b.Addr() {
+		t.Fatalf("X-BV-Served-By = %q, want the owner %q", got, b.Addr())
+	}
+	if n := a.cluster.Metrics().Counters["cluster.forwards"]; n == 0 {
+		t.Fatal("edge node's forward counter did not move")
+	}
+	if !reflect.DeepEqual(rr.Result, expectResult(t, "mcf.p1", ins)) {
+		t.Fatalf("forwarded result differs from ground truth: %+v", rr.Result)
+	}
+
+	// The same key posted to its owner is served locally and says so.
+	res2, err := http.Post("http://"+b.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if got := res2.Header.Get("X-BV-Served-By"); got != b.Addr() {
+		t.Fatalf("local X-BV-Served-By = %q, want %q", got, b.Addr())
+	}
+}
+
+// TestShardDownSheds503: when a shard's owner is dead and this node is
+// past its shed point, that shard's requests get a scoped 503
+// ("shard_down" + Retry-After) while the node's own shard still
+// queues normally.
+func TestShardDownSheds503(t *testing.T) {
+	addrs := reserveAddrs(t, 1)
+	deadPeer := "127.0.0.1:1" // reserved port: never listening
+	g := newGatedRunner()
+	s, err := New(Config{
+		Workers:    1,
+		QueueDepth: 8,
+		ShedPoint:  1,
+		Runner:     g.run,
+		Cluster:    fastCluster(addrs[0], []string{addrs[0], deadPeer}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(context.Background(), addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	// Wait for the detector to declare the absent peer dead.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.cluster.Status()
+		var state string
+		for _, p := range st.Peers {
+			if p.Addr == deadPeer {
+				state = p.State
+			}
+		}
+		if state == "dead" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("absent peer never marked dead (state %q)", state)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Fill the node past its shed point with its own work: one run in
+	// flight (gated) and one queued.
+	localIns := insOwnedBy(t, s, "mcf.p1", cluster.RouteLocal)
+	post := func(ins uint64) chan *http.Response {
+		ch := make(chan *http.Response, 1)
+		go func() {
+			body, _ := json.Marshal(runRequest{Trace: "mcf.p1", Instructions: ins})
+			res, err := http.Post("http://"+s.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+			if err == nil {
+				res.Body.Close()
+			}
+			ch <- res
+		}()
+		return ch
+	}
+	first := post(localIns)
+	waitStarted(t, g, 1)
+	second := post(localIns + 1)
+	for s.q.depth() < 1 {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A dead-shard key must now shed, scoped to that shard.
+	deadIns := uint64(0)
+	for ins := localIns + 2; ins < localIns+512; ins++ {
+		cfg := sim.Default()
+		cfg.Instructions = ins
+		rt := s.cluster.Route(cluster.Key("mcf.p1", cfg), true)
+		if rt.Kind == cluster.RouteUnavailable {
+			deadIns = ins
+			break
+		}
+	}
+	if deadIns == 0 {
+		t.Fatal("no budget in range lands on the dead shard")
+	}
+	body, _ := json.Marshal(runRequest{Trace: "mcf.p1", Instructions: deadIns})
+	res, err := http.Post("http://"+s.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	decodeErr := json.NewDecoder(res.Body).Decode(&eb)
+	res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable || decodeErr != nil {
+		t.Fatalf("dead-shard request: status %d (decode %v), want 503", res.StatusCode, decodeErr)
+	}
+	if eb.Kind != "shard_down" {
+		t.Fatalf("shed kind %q, want shard_down", eb.Kind)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Fatal("shard_down shed carries no Retry-After")
+	}
+
+	// The node's own shard was never shed: both queued local runs finish.
+	close(g.release)
+	for _, ch := range []chan *http.Response{first, second} {
+		select {
+		case r := <-ch:
+			if r == nil || r.StatusCode != http.StatusOK {
+				t.Fatalf("local run failed during dead-shard shedding: %+v", r)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("local run never completed")
+		}
+	}
+}
+
+// TestClusterSweepSpansNodes: a sweep posted to one node splits
+// per-trace across the ring, executes remote rows on their owners, and
+// still returns a complete table in input order.
+func TestClusterSweepSpansNodes(t *testing.T) {
+	a, _ := twoNodes(t, nil)
+	suite := workload.Suite()
+	if len(suite) < 4 {
+		t.Fatalf("workload suite too small: %d", len(suite))
+	}
+	var traces []string
+	for _, p := range suite[:4] {
+		traces = append(traces, p.Name)
+	}
+
+	// Find a budget where the traces split across both nodes, so the
+	// sweep genuinely exercises the remote path.
+	ins := uint64(0)
+	for try := uint64(20_000); try < 20_000+256; try++ {
+		locals, remotes := 0, 0
+		for _, tr := range traces {
+			cfg := sim.Default()
+			cfg.Instructions = try
+			if a.cluster.Route(cluster.Key(tr, cfg), false).Kind == cluster.RouteLocal {
+				locals++
+			} else {
+				remotes++
+			}
+		}
+		if locals > 0 && remotes > 0 {
+			ins = try
+			break
+		}
+	}
+	if ins == 0 {
+		t.Fatal("no budget in range splits the traces across the ring")
+	}
+
+	body, _ := json.Marshal(sweepRequest{Traces: traces, Instructions: ins})
+	res, rb := postJSON(t, "http://"+a.Addr()+"/v1/sweep", json.RawMessage(body))
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("cluster sweep: status %d (%s)", res.StatusCode, rb)
+	}
+	var sr sweepResponse
+	if err := json.Unmarshal(rb, &sr); err != nil {
+		t.Fatalf("bad sweep response: %v\n%s", err, rb)
+	}
+	if len(sr.Rows) != len(traces) || sr.Failed != 0 {
+		t.Fatalf("sweep rows = %d (failed %d), want %d complete", len(sr.Rows), sr.Failed, len(traces))
+	}
+	for i, row := range sr.Rows {
+		if row.Trace != traces[i] {
+			t.Fatalf("row %d is %q, want input order %q", i, row.Trace, traces[i])
+		}
+		if row.Result == nil {
+			t.Fatalf("row %d (%s) has no result: %+v", i, row.Trace, row)
+		}
+		if want := expectResult(t, row.Trace, ins); !reflect.DeepEqual(*row.Result, want) {
+			t.Fatalf("row %s: %+v, want %+v", row.Trace, *row.Result, want)
+		}
+	}
+	if n := a.cluster.Metrics().Counters["cluster.forwards"]; n == 0 {
+		t.Fatal("sweep never forwarded despite a split ring")
+	}
+}
+
+// TestBadClassRejected: an unknown request class is a 400 on both
+// endpoints, before any admission state is touched.
+func TestBadClassRejected(t *testing.T) {
+	s := startServer(t, Config{InProcess: true})
+	res, body := postJSON(t, "http://"+s.Addr()+"/v1/run",
+		map[string]any{"trace": "mcf.p1", "instructions": 10_000, "class": "bulk"})
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("run with bad class: %d (%s)", res.StatusCode, body)
+	}
+	res, body = postJSON(t, "http://"+s.Addr()+"/v1/sweep",
+		map[string]any{"traces": []string{"mcf.p1"}, "instructions": 10_000, "class": "bulk"})
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sweep with bad class: %d (%s)", res.StatusCode, body)
+	}
+	if got := counterValue(t, s, "serve.admitted"); got != 0 {
+		t.Fatalf("bad-class requests were admitted: %d", got)
+	}
+}
+
+// TestAdmissionGaugesReconcile: the per-class queue gauges and the
+// quota-client gauge reflect live admission state, and after a drain
+// the books balance — admitted == completed, every depth back to zero.
+func TestAdmissionGaugesReconcile(t *testing.T) {
+	g := newGatedRunner()
+	s := startServer(t, Config{
+		Workers: 1, QueueDepth: 8,
+		QuotaRate: 100, QuotaBurst: 100,
+		Runner: g.run,
+	})
+	submit := func(client, class string, ins uint64) chan *http.Response {
+		ch := make(chan *http.Response, 1)
+		go func() {
+			body, _ := json.Marshal(runRequest{Trace: "mcf.p1", Instructions: ins, Class: class})
+			req, _ := http.NewRequest(http.MethodPost, "http://"+s.Addr()+"/v1/run", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Client-ID", client)
+			res, err := http.DefaultClient.Do(req)
+			if err == nil {
+				res.Body.Close()
+			}
+			ch <- res
+		}()
+		return ch
+	}
+
+	// One run in flight, one interactive + two batch queued, from three
+	// distinct clients.
+	var waits []chan *http.Response
+	waits = append(waits, submit("c1", "interactive", 10_000))
+	waitStarted(t, g, 1)
+	waits = append(waits, submit("c1", "interactive", 10_001))
+	waits = append(waits, submit("c2", "batch", 10_002))
+	waits = append(waits, submit("c3", "batch", 10_003))
+	deadline := time.Now().Add(5 * time.Second)
+	for s.q.depth() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached depth 3 (now %d)", s.q.depth())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	st := s.status() // refreshes the quota gauge, like /statusz would
+	gauges := st.Metrics.Gauges
+	if gauges["serve.queue_depth"] != 3 ||
+		gauges["serve.queue_depth_interactive"] != 1 ||
+		gauges["serve.queue_depth_batch"] != 2 {
+		t.Fatalf("queue gauges = total %d / interactive %d / batch %d, want 3/1/2",
+			gauges["serve.queue_depth"], gauges["serve.queue_depth_interactive"],
+			gauges["serve.queue_depth_batch"])
+	}
+	if gauges["serve.quota_clients"] != 3 {
+		t.Fatalf("quota_clients = %d, want 3", gauges["serve.quota_clients"])
+	}
+
+	close(g.release)
+	for _, ch := range waits {
+		select {
+		case r := <-ch:
+			if r == nil || r.StatusCode != http.StatusOK {
+				t.Fatalf("run failed: %+v", r)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("run never completed")
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.m.snapshot()
+	if snap.Counters["serve.admitted"] != snap.Counters["serve.completed"] {
+		t.Fatalf("books do not balance after drain: admitted %d, completed %d",
+			snap.Counters["serve.admitted"], snap.Counters["serve.completed"])
+	}
+	if snap.Counters["serve.admitted"] != 4 {
+		t.Fatalf("admitted = %d, want 4", snap.Counters["serve.admitted"])
+	}
+	for _, gname := range []string{"serve.queue_depth", "serve.queue_depth_interactive", "serve.queue_depth_batch"} {
+		if v := snap.Gauges[gname]; v != 0 {
+			t.Fatalf("%s = %d after drain, want 0", gname, v)
+		}
+	}
+}
+
+// TestExpvarServesAdmissionState: /debug/vars on a cluster node
+// carries the "serve" document with this peer's address, shed point,
+// and admission metrics — the per-peer admission view the operators
+// scrape.
+func TestExpvarServesAdmissionState(t *testing.T) {
+	a, _ := twoNodes(t, nil)
+	res, body := getJSON(t, "http://"+a.Addr()+"/debug/vars")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/vars: %d", res.StatusCode)
+	}
+	var vars struct {
+		Serve *statusInfo `json:"serve"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("bad expvar document: %v", err)
+	}
+	if vars.Serve == nil {
+		t.Fatalf("expvar has no serve document:\n%.400s", body)
+	}
+	// The active-server indirection serves whichever node registered
+	// last; either way the document must name its peer and carry the
+	// admission gauges.
+	if vars.Serve.Cluster == "" {
+		t.Fatal("serve document does not name its cluster address")
+	}
+	if vars.Serve.ShedPoint == 0 {
+		t.Fatal("serve document has no shed point")
+	}
+	if _, ok := vars.Serve.Metrics.Gauges["serve.queue_depth_interactive"]; !ok {
+		t.Fatal("serve document lacks per-class queue gauges")
+	}
+}

@@ -51,6 +51,7 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /statusz", s.handleStatus)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	// expvar and pprof register themselves on the default mux (the obs
@@ -127,6 +128,9 @@ type runRequest struct {
 	Instructions uint64          `json:"instructions,omitempty"`
 	TimeoutMS    int             `json:"timeout_ms,omitempty"`
 	Config       json.RawMessage `json:"config,omitempty"`
+	// Class is the admission priority: "interactive" (default) or
+	// "batch" (yields to interactive, starvation-free floor).
+	Class string `json:"class,omitempty"`
 }
 
 type runResponse struct {
@@ -215,14 +219,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	if ok, retry := s.quota.take(clientID(r), 1); !ok {
-		s.m.touch(s.m.shedQuota.Inc)
-		writeShed(w, http.StatusTooManyRequests, "quota", "client over its request quota", retry)
+	cls, err := parseClass(req.Class, classInteractive)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
+	// Quota is charged at the edge node only: a forwarded request was
+	// already charged where the client connected.
+	if !isForwarded(r) {
+		if ok, retry := s.quota.take(clientID(r), 1); !ok {
+			s.m.touch(s.m.shedQuota.Inc)
+			writeShed(w, http.StatusTooManyRequests, "quota", "client over its request quota", retry)
+			return
+		}
+		if s.maybeForward(w, r, req.Trace, cfg, req) {
+			return
+		}
+	}
+	s.markServedBy(w)
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
 	defer cancel()
-	j := &job{ctx: ctx, trace: req.Trace, cfg: cfg, done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, trace: req.Trace, cfg: cfg, class: cls, done: make(chan jobResult, 1)}
 	if !s.admit(j) {
 		w.Header().Set("X-Queue-Depth", fmt.Sprintf("%d", s.q.depth()))
 		writeShed(w, http.StatusTooManyRequests, "overloaded",
@@ -238,15 +255,25 @@ func (s *Server) admit(js ...*job) bool {
 		s.m.touch(s.m.shedQueue.Inc)
 		return false
 	}
-	depth := int64(s.q.depth())
+	s.m.touch(func() { s.m.admitted.Add(uint64(len(js))) })
+	s.syncQueueGauges()
+	return true
+}
+
+// syncQueueGauges refreshes the queue-depth gauges (total, per class,
+// high-water mark) from the queue's current state.
+func (s *Server) syncQueueGauges() {
+	total := int64(s.q.depth())
+	inter := int64(s.q.depthOf(classInteractive))
+	batch := int64(s.q.depthOf(classBatch))
 	s.m.touch(func() {
-		s.m.admitted.Add(uint64(len(js)))
-		s.m.queueDepth.Set(depth)
-		if depth > s.m.queueDepthMax.Value() {
-			s.m.queueDepthMax.Set(depth)
+		s.m.queueDepth.Set(total)
+		s.m.queueInteractive.Set(inter)
+		s.m.queueBatch.Set(batch)
+		if total > s.m.queueDepthMax.Value() {
+			s.m.queueDepthMax.Set(total)
 		}
 	})
-	return true
 }
 
 // await delivers one job's outcome to the client.
@@ -308,6 +335,8 @@ type sweepRequest struct {
 	Instructions uint64          `json:"instructions,omitempty"`
 	TimeoutMS    int             `json:"timeout_ms,omitempty"`
 	Config       json.RawMessage `json:"config,omitempty"`
+	// Class is the admission priority; sweeps default to "batch".
+	Class string `json:"class,omitempty"`
 }
 
 // sweepRow is one trace's outcome. Exactly one of Result/Error is set:
@@ -378,17 +407,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	if ok, retry := s.quota.take(clientID(r), len(traces)); !ok {
-		s.m.touch(s.m.shedQuota.Inc)
-		writeShed(w, http.StatusTooManyRequests, "quota",
-			fmt.Sprintf("client over its request quota (sweep of %d)", len(traces)), retry)
+	cls, err := parseClass(req.Class, classBatch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
+	if !isForwarded(r) {
+		if ok, retry := s.quota.take(clientID(r), len(traces)); !ok {
+			s.m.touch(s.m.shedQuota.Inc)
+			writeShed(w, http.StatusTooManyRequests, "quota",
+				fmt.Sprintf("client over its request quota (sweep of %d)", len(traces)), retry)
+			return
+		}
+	}
+	s.markServedBy(w)
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
 	defer cancel()
+	if s.cluster != nil && !isForwarded(r) {
+		s.clusterSweep(ctx, w, r, req, traces, cfg, cls)
+		return
+	}
 	jobs := make([]*job, len(traces))
 	for i, tr := range traces {
-		jobs[i] = &job{ctx: ctx, trace: tr, cfg: cfg, done: make(chan jobResult, 1)}
+		jobs[i] = &job{ctx: ctx, trace: tr, cfg: cfg, class: cls, done: make(chan jobResult, 1)}
 	}
 	if !s.admit(jobs...) {
 		writeShed(w, http.StatusTooManyRequests, "overloaded",
@@ -398,34 +439,42 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := sweepResponse{Rows: make([]sweepRow, len(jobs))}
 	for i, j := range jobs {
-		row := sweepRow{Trace: j.trace}
 		select {
 		case out := <-j.done:
-			if out.err == nil {
-				res := out.res
-				row.Result = &res
-			} else {
-				row.Error = out.err.Error()
-				row.Kind = kindError
-				if errIsCancel(out.err) {
-					row.Kind = "cancelled"
-				}
-				var re *RunError
-				if errors.As(out.err, &re) {
-					row.Kind = re.Kind
-					row.Attempts = re.Attempts
-				}
+			resp.Rows[i] = runOutcomeRow(j.trace, out)
+			if resp.Rows[i].Result == nil {
 				resp.Failed++
 			}
 		case <-ctx.Done():
 			s.writeCtxEnd(w, ctx.Err())
 			return
 		}
-		resp.Rows[i] = row
 	}
 	status := http.StatusOK
 	if resp.Failed > 0 {
 		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, resp)
+}
+
+// runOutcomeRow maps one finished job onto its sweep row: exactly one
+// of Result/Error set, RunError kinds preserved.
+func runOutcomeRow(trace string, out jobResult) sweepRow {
+	row := sweepRow{Trace: trace}
+	if out.err == nil {
+		res := out.res
+		row.Result = &res
+		return row
+	}
+	row.Error = out.err.Error()
+	row.Kind = kindError
+	if errIsCancel(out.err) {
+		row.Kind = "cancelled"
+	}
+	var re *RunError
+	if errors.As(out.err, &re) {
+		row.Kind = re.Kind
+		row.Attempts = re.Attempts
+	}
+	return row
 }

@@ -1,8 +1,9 @@
 package serve
 
-// Service metrics, kept in an obs.Registry so they render with the
+// Service metrics, kept in an obs.SyncRegistry so they render with the
 // same deterministic snapshot/format machinery as the simulator's own
-// counters. The process-global expvar endpoint ("serve" under
+// counters while tolerating every handler and dispatcher touching them
+// at once. The process-global expvar endpoint ("serve" under
 // /debug/vars) is registered once and indirects through the active
 // server, mirroring the obs package's pattern — tests start many
 // servers in one process and expvar.Publish panics on duplicates.
@@ -15,8 +16,7 @@ import (
 )
 
 type metrics struct {
-	mu  sync.Mutex
-	reg *obs.Registry
+	reg *obs.SyncRegistry
 
 	admitted     *obs.Counter // requests accepted into the queue
 	completed    *obs.Counter // runs delivered to a client (ok or error)
@@ -31,55 +31,55 @@ type metrics struct {
 	chaosKills   *obs.Counter // workers killed by injected chaos
 	quarantined  *obs.Counter // keys poisoned after MaxAttempts failures
 
-	queueDepth    *obs.Gauge // current queued jobs
-	queueDepthMax *obs.Gauge // high-water mark of the queue
-	inflight      *obs.Gauge // jobs currently simulating
-	draining      *obs.Gauge // 1 once drain has begun
+	queueDepth       *obs.Gauge // current queued jobs (all classes)
+	queueInteractive *obs.Gauge // queued interactive jobs
+	queueBatch       *obs.Gauge // queued batch jobs
+	queueDepthMax    *obs.Gauge // high-water mark of the queue
+	inflight         *obs.Gauge // jobs currently simulating
+	draining         *obs.Gauge // 1 once drain has begun
+	quotaClients     *obs.Gauge // live per-client quota buckets
 
 	attempts *obs.Histogram // launches needed per successful pool run
 }
 
 func newMetrics() *metrics {
-	reg := obs.NewRegistry()
+	reg := obs.NewSyncRegistry()
 	return &metrics{
-		reg:           reg,
-		admitted:      reg.Counter("serve.admitted"),
-		completed:     reg.Counter("serve.completed"),
-		shedQueue:     reg.Counter("serve.shed_queue_full"),
-		shedQuota:     reg.Counter("serve.shed_quota"),
-		shedDrain:     reg.Counter("serve.shed_draining"),
-		clientGone:    reg.Counter("serve.client_disconnects"),
-		runsExecuted:  reg.Counter("serve.runs_executed"),
-		retries:       reg.Counter("serve.worker_retries"),
-		restarts:      reg.Counter("serve.worker_restarts"),
-		hungKills:     reg.Counter("serve.worker_hung_kills"),
-		chaosKills:    reg.Counter("serve.worker_chaos_kills"),
-		quarantined:   reg.Counter("serve.quarantined"),
-		queueDepth:    reg.Gauge("serve.queue_depth"),
-		queueDepthMax: reg.Gauge("serve.queue_depth_max"),
-		inflight:      reg.Gauge("serve.inflight"),
-		draining:      reg.Gauge("serve.draining"),
-		attempts:      reg.Histogram("serve.run_attempts", []uint64{1, 2, 3, 4, 8}),
+		reg:              reg,
+		admitted:         reg.Counter("serve.admitted"),
+		completed:        reg.Counter("serve.completed"),
+		shedQueue:        reg.Counter("serve.shed_queue_full"),
+		shedQuota:        reg.Counter("serve.shed_quota"),
+		shedDrain:        reg.Counter("serve.shed_draining"),
+		clientGone:       reg.Counter("serve.client_disconnects"),
+		runsExecuted:     reg.Counter("serve.runs_executed"),
+		retries:          reg.Counter("serve.worker_retries"),
+		restarts:         reg.Counter("serve.worker_restarts"),
+		hungKills:        reg.Counter("serve.worker_hung_kills"),
+		chaosKills:       reg.Counter("serve.worker_chaos_kills"),
+		quarantined:      reg.Counter("serve.quarantined"),
+		queueDepth:       reg.Gauge("serve.queue_depth"),
+		queueInteractive: reg.Gauge("serve.queue_depth_interactive"),
+		queueBatch:       reg.Gauge("serve.queue_depth_batch"),
+		queueDepthMax:    reg.Gauge("serve.queue_depth_max"),
+		inflight:         reg.Gauge("serve.inflight"),
+		draining:         reg.Gauge("serve.draining"),
+		quotaClients:     reg.Gauge("serve.quota_clients"),
+		attempts:         reg.Histogram("serve.run_attempts", []uint64{1, 2, 3, 4, 8}),
 	}
 }
 
-// snapshot returns a deterministic copy of the registry state. The
-// registry itself is single-goroutine by contract, so every touch —
-// counter increments included — happens under mu; see touch().
+// snapshot returns a consistent copy of the registry state.
 func (m *metrics) snapshot() obs.Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.reg.Snapshot()
 }
 
-// touch runs f with the metrics lock held. All counter/gauge updates
-// go through here: obs.Registry instruments a single simulation
-// goroutine and is deliberately unsynchronized, while a server updates
-// metrics from every handler and dispatcher at once.
+// touch runs f under the registry lock. All counter/gauge updates go
+// through here: the handles are obs types, unsynchronized by design,
+// and the SyncRegistry owns the one lock that makes them shareable
+// between every handler and dispatcher.
 func (m *metrics) touch(f func()) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f()
+	m.reg.Touch(f)
 }
 
 var (

@@ -5,19 +5,64 @@ package serve
 // either all fit or none do, so a shed sweep holds no partial claim on
 // capacity — and refusal is immediate (tryPush never blocks): the
 // backpressure signal is a 429 now, not a client parked on a socket.
+//
+// Two request classes share the one capacity bound: interactive (a
+// human waiting on one run) and batch (sweeps, load generators).
+// Interactive pops first, but strict priority would let a sustained
+// interactive stream starve batch forever, so the queue is
+// starvation-free by counter: after batchEvery consecutive
+// interactive pops the next pop must take batch work if any is
+// queued. Worst-case batch service rate is therefore 1/(batchEvery+1)
+// of dispatch capacity — a floor, not a share.
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"basevictim/internal/sim"
 )
+
+// class is a request's admission priority.
+type class int
+
+const (
+	classInteractive class = iota
+	classBatch
+	numClasses
+)
+
+func (c class) String() string {
+	if c == classBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// parseClass maps the request-body "class" field; "" keeps the
+// endpoint's default (run=interactive, sweep=batch).
+func parseClass(s string, def class) (class, error) {
+	switch s {
+	case "":
+		return def, nil
+	case "interactive":
+		return classInteractive, nil
+	case "batch":
+		return classBatch, nil
+	}
+	return 0, fmt.Errorf(`unknown class %q (want "interactive" or "batch")`, s)
+}
+
+// batchEvery is the anti-starvation period: after this many
+// consecutive interactive pops, one batch job (if queued) goes next.
+const batchEvery = 4
 
 // job is one queued simulation request.
 type job struct {
 	ctx   context.Context
 	trace string
 	cfg   sim.Config
+	class class
 	// done receives exactly one result; buffered so a dispatcher never
 	// blocks on a client that stopped listening.
 	done chan jobResult
@@ -31,9 +76,13 @@ type jobResult struct {
 type queue struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond
-	items    []*job
+	items    [numClasses][]*job
+	size     int // total queued across classes
 	capacity int
 	closed   bool
+	// interactiveRun counts consecutive interactive pops since the
+	// last batch pop (or since batch was last empty).
+	interactiveRun int
 }
 
 func newQueue(capacity int) *queue {
@@ -47,28 +96,49 @@ func newQueue(capacity int) *queue {
 func (q *queue) tryPush(js ...*job) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed || len(q.items)+len(js) > q.capacity {
+	if q.closed || q.size+len(js) > q.capacity {
 		return false
 	}
-	q.items = append(q.items, js...)
+	for _, j := range js {
+		q.items[j.class] = append(q.items[j.class], j)
+	}
+	q.size += len(js)
 	q.notEmpty.Broadcast()
 	return true
 }
 
-// pop blocks for the next job. After close it keeps returning queued
-// jobs until the queue is empty — that is what lets a drain finish the
-// accepted work — then reports false forever.
+// pop blocks for the next job, interactive first except when the
+// anti-starvation counter forces a batch pop. After close it keeps
+// returning queued jobs until the queue is empty — that is what lets
+// a drain finish the accepted work — then reports false forever.
 func (q *queue) pop() (*job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.size == 0 && !q.closed {
 		q.notEmpty.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.size == 0 {
 		return nil, false
 	}
-	j := q.items[0]
-	q.items = q.items[1:]
+	c := classInteractive
+	switch {
+	case len(q.items[classInteractive]) == 0:
+		c = classBatch
+	case len(q.items[classBatch]) > 0 && q.interactiveRun >= batchEvery:
+		c = classBatch
+	}
+	switch {
+	case c == classBatch, len(q.items[classBatch]) == 0:
+		// A batch pop resets the run; an interactive pop with no batch
+		// work waiting must not accrue starvation debt either — the
+		// counter only means something while batch has someone to starve.
+		q.interactiveRun = 0
+	default:
+		q.interactiveRun++
+	}
+	j := q.items[c][0]
+	q.items[c] = q.items[c][1:]
+	q.size--
 	return j, true
 }
 
@@ -83,5 +153,12 @@ func (q *queue) close() {
 func (q *queue) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.size
+}
+
+// depthOf reports one class's queued count (for per-class gauges).
+func (q *queue) depthOf(c class) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items[c])
 }

@@ -1,0 +1,127 @@
+package serve
+
+// Unit tests for the two-class admission queue: priority order, the
+// anti-starvation floor, and the no-debt rule for the run counter.
+
+import (
+	"context"
+	"testing"
+)
+
+func mkJob(c class, trace string) *job {
+	return &job{ctx: context.Background(), trace: trace, class: c,
+		done: make(chan jobResult, 1)}
+}
+
+func TestQueueInteractiveFirst(t *testing.T) {
+	q := newQueue(8)
+	if !q.tryPush(mkJob(classBatch, "b1"), mkJob(classInteractive, "i1"), mkJob(classBatch, "b2")) {
+		t.Fatal("push refused")
+	}
+	order := []string{}
+	for q.depth() > 0 {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("pop failed with items queued")
+		}
+		order = append(order, j.trace)
+	}
+	if order[0] != "i1" {
+		t.Fatalf("pop order %v, want interactive first", order)
+	}
+}
+
+// TestQueueBatchNotStarved is the starvation-freedom property: with
+// interactive work always queued, batch work still drains — one batch
+// pop at least every batchEvery+1 pops.
+func TestQueueBatchNotStarved(t *testing.T) {
+	q := newQueue(1024)
+	const batches = 5
+	for i := 0; i < batches; i++ {
+		if !q.tryPush(mkJob(classBatch, "b")) {
+			t.Fatal("push refused")
+		}
+	}
+	// Sustained interactive load: keep the interactive queue non-empty
+	// for the whole drain by topping it up before every pop.
+	popsUntilBatchDrains := 0
+	batchSeen := 0
+	sinceBatch := 0
+	for batchSeen < batches {
+		for q.depthOf(classInteractive) < 2 {
+			if !q.tryPush(mkJob(classInteractive, "i")) {
+				t.Fatal("push refused")
+			}
+		}
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		popsUntilBatchDrains++
+		if j.class == classBatch {
+			batchSeen++
+			sinceBatch = 0
+		} else {
+			sinceBatch++
+			if sinceBatch > batchEvery {
+				t.Fatalf("%d consecutive interactive pops with batch queued (floor is %d)",
+					sinceBatch, batchEvery)
+			}
+		}
+	}
+	// The floor also bounds total latency: all batch work out within
+	// batches * (batchEvery+1) pops.
+	if max := batches * (batchEvery + 1); popsUntilBatchDrains > max {
+		t.Fatalf("batch drained after %d pops, floor guarantees <= %d", popsUntilBatchDrains, max)
+	}
+}
+
+// TestQueueNoStarvationDebt: interactive pops while the batch queue is
+// empty must not bank "debt" that later forces a batch burst — a batch
+// job arriving after a long interactive-only stretch still waits its
+// batchEvery turn.
+func TestQueueNoStarvationDebt(t *testing.T) {
+	q := newQueue(64)
+	// A long interactive-only stretch.
+	for i := 0; i < 3*batchEvery; i++ {
+		q.tryPush(mkJob(classInteractive, "i"))
+		if j, _ := q.pop(); j.class != classInteractive {
+			t.Fatal("batch popped from an empty batch queue?")
+		}
+	}
+	// Now one batch and a fresh interactive burst: the next pops must be
+	// interactive until the (un-banked) counter reaches batchEvery.
+	q.tryPush(mkJob(classBatch, "b"))
+	for i := 0; i < batchEvery; i++ {
+		q.tryPush(mkJob(classInteractive, "i"))
+		j, _ := q.pop()
+		if j.class != classInteractive {
+			t.Fatalf("pop %d went to batch; debt was banked across the empty stretch", i)
+		}
+	}
+	q.tryPush(mkJob(classInteractive, "i"))
+	if j, _ := q.pop(); j.class != classBatch {
+		t.Fatal("batch job starved past its floor")
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	cases := []struct {
+		in   string
+		def  class
+		want class
+		ok   bool
+	}{
+		{"", classInteractive, classInteractive, true},
+		{"", classBatch, classBatch, true},
+		{"interactive", classBatch, classInteractive, true},
+		{"batch", classInteractive, classBatch, true},
+		{"bulk", classInteractive, 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseClass(c.in, c.def)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("parseClass(%q, %v) = (%v, %v), want (%v, ok=%v)", c.in, c.def, got, err, c.want, c.ok)
+		}
+	}
+}

@@ -88,6 +88,17 @@ func (q *quotaTable) take(client string, n int) (ok bool, retryAfter time.Durati
 	return false, wait
 }
 
+// clients reports the number of live buckets (0 when quotas are off):
+// the admission-state gauge behind serve.quota_clients.
+func (q *quotaTable) clients() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}
+
 // evictIdle bounds the table against client-ID churn (every spoofed ID
 // would otherwise leak a bucket forever). Called with q.mu held, only
 // on the new-client path. Full buckets belong to idle clients — losing

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"basevictim/internal/cluster"
 	"basevictim/internal/figures"
 	"basevictim/internal/obs"
 	"basevictim/internal/sim"
@@ -71,6 +72,16 @@ type Config struct {
 	// Chaos is a deterministic fault-injection spec (see chaos.go);
 	// "" disables injection.
 	Chaos string
+	// Cluster configures the multi-host peer layer (internal/cluster).
+	// The zero value (no peers) serves single-host. Cluster.Self
+	// defaults to the bound address at Listen; Cluster.Seed defaults
+	// to Seed.
+	Cluster cluster.Config
+	// ShedPoint is the queue depth at which this node stops absorbing
+	// dead shards' keys during cluster failover (its own shard still
+	// sheds only through the normal queue-full path). Default 3/4 of
+	// QueueDepth.
+	ShedPoint int
 	// WorkerArgv overrides the worker command line. Default: this
 	// executable (re-exec'd with BVSIMD_WORKER=1).
 	WorkerArgv []string
@@ -104,6 +115,12 @@ func (c Config) withDefaults() Config {
 	if c.ReadHeaderTimeout <= 0 {
 		c.ReadHeaderTimeout = 10 * time.Second
 	}
+	if c.ShedPoint <= 0 {
+		c.ShedPoint = c.QueueDepth * 3 / 4
+		if c.ShedPoint < 1 {
+			c.ShedPoint = 1
+		}
+	}
 	return c
 }
 
@@ -115,7 +132,8 @@ type Server struct {
 	quota   *quotaTable
 	session *figures.Session
 	store   *figures.Store
-	pool    *pool // nil when InProcess or Runner is set
+	pool    *pool            // nil when InProcess or Runner is set
+	cluster *cluster.Cluster // nil when Config.Cluster names no peers
 
 	http *http.Server
 	ln   net.Listener
@@ -200,6 +218,23 @@ func (s *Server) Listen(ctx context.Context, addr string) error {
 	}
 	s.ln = ln
 	s.baseCtx, s.cancelBase = context.WithCancel(ctx)
+	if s.cfg.Cluster.Enabled() {
+		cc := s.cfg.Cluster
+		if cc.Self == "" {
+			cc.Self = ln.Addr().String()
+		}
+		if cc.Seed == 0 {
+			cc.Seed = s.cfg.Seed
+		}
+		cl, err := cluster.New(cc)
+		if err != nil {
+			ln.Close() //nolint:errcheck // abandoning the bind on a bad peer set
+			s.cancelBase()
+			return fmt.Errorf("bvsimd: %w", err)
+		}
+		s.cluster = cl
+		s.cluster.Start(s.baseCtx)
+	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.dispatch()
@@ -236,6 +271,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
 		s.m.touch(func() { s.m.draining.Set(1) })
+		if s.cluster != nil {
+			// Stop probing first: a draining node keeps answering peers'
+			// probes with 503, which is how they learn it is leaving.
+			s.cluster.Stop()
+		}
 		s.q.close()
 		done := make(chan struct{})
 		go func() {
@@ -279,7 +319,7 @@ func (s *Server) dispatch() {
 		if !ok {
 			return
 		}
-		s.m.touch(func() { s.m.queueDepth.Set(int64(s.q.depth())) })
+		s.syncQueueGauges()
 		if j.ctx.Err() != nil {
 			// The client gave up (or timed out) while queued; skip the
 			// work entirely rather than simulating for nobody.
@@ -305,6 +345,9 @@ type statusInfo struct {
 	Metrics     obs.Snapshot `json:"metrics"`
 	Workers     int          `json:"workers"`
 	QueueCap    int          `json:"queue_capacity"`
+	ShedPoint   int          `json:"shed_point"`
+	// Cluster is this node's advertised address when clustering is on.
+	Cluster string `json:"cluster,omitempty"`
 }
 
 type ckptInfo struct {
@@ -312,22 +355,36 @@ type ckptInfo struct {
 	Loaded    int    `json:"loaded"`
 	Discarded int    `json:"discarded"`
 	Written   int    `json:"written"`
+	// Verified counts re-executions whose record matched the existing
+	// one byte-for-byte; Divergent counts conflicts (must stay 0 — a
+	// divergence is a determinism bug, and the chaos CI asserts it).
+	Verified  int `json:"verified"`
+	Divergent int `json:"divergent"`
 }
 
 func (s *Server) status() statusInfo {
+	// Admission state is pulled fresh at snapshot time so /statusz and
+	// /debug/vars reflect this instant, not the last mutation.
+	s.m.touch(func() { s.m.quotaClients.Set(int64(s.quota.clients())) })
 	st := statusInfo{
 		Draining:   s.draining.Load(),
 		QueueDepth: s.q.depth(),
 		Metrics:    s.m.snapshot(),
 		Workers:    s.cfg.Workers,
 		QueueCap:   s.cfg.QueueDepth,
+		ShedPoint:  s.cfg.ShedPoint,
+	}
+	if s.cluster != nil {
+		st.Cluster = s.cluster.Self()
 	}
 	if s.pool != nil {
 		st.Quarantined = s.pool.quarantineCount()
 	}
 	if s.store != nil {
 		loaded, discarded, written := s.store.Stats()
-		st.Checkpoints = &ckptInfo{Dir: s.store.Dir(), Loaded: loaded, Discarded: discarded, Written: written}
+		verified, divergent := s.store.Conflicts()
+		st.Checkpoints = &ckptInfo{Dir: s.store.Dir(), Loaded: loaded, Discarded: discarded,
+			Written: written, Verified: verified, Divergent: divergent}
 	}
 	return st
 }

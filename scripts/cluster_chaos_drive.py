@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Drive a bvsimd cluster through a fixed key set for the CI chaos suite.
+
+Submits POST /v1/run for every (trace, instructions) key in a slice of
+the cross product traces x budgets, round-robining over the peers it is
+given and retrying until each key is served or the deadline passes.
+Results merge into --out (JSON object keyed "trace|instructions"), so
+successive invocations — between which the CI schedule kills, pauses,
+and restarts peers — accumulate one table. A later run of the same key
+must return byte-identical results, so a key already present in --out
+is re-submitted and compared rather than skipped.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def post_run(addr, trace, ins, timeout):
+    body = json.dumps({"trace": trace, "instructions": ins}).encode()
+    req = urllib.request.Request(
+        "http://%s/v1/run" % addr,
+        data=body,
+        headers={"Content-Type": "application/json", "X-Client-ID": "chaos-drive"},
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        served_by = resp.headers.get("X-BV-Served-By", "")
+        return json.load(resp), served_by
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--peers", required=True, help="comma-separated host:port list to submit to")
+    ap.add_argument("--traces", required=True, help="comma-separated trace names")
+    ap.add_argument("--budgets", default="200000,220000,240000,260000",
+                    help="comma-separated instruction budgets")
+    ap.add_argument("--slice", default=":", help="begin:end over the trace x budget key list")
+    ap.add_argument("--out", required=True, help="merged results JSON (read-modify-write)")
+    ap.add_argument("--deadline", type=float, default=120.0,
+                    help="seconds before an unserved key is fatal")
+    ap.add_argument("--timeout", type=float, default=30.0, help="per-request timeout seconds")
+    args = ap.parse_args()
+
+    peers = [p.strip() for p in args.peers.split(",") if p.strip()]
+    traces = [t.strip() for t in args.traces.split(",") if t.strip()]
+    budgets = [int(b) for b in args.budgets.split(",")]
+    keys = [(t, b) for t in traces for b in budgets]
+    lo, _, hi = args.slice.partition(":")
+    keys = keys[int(lo) if lo else 0 : int(hi) if hi else len(keys)]
+
+    try:
+        with open(args.out) as f:
+            results = json.load(f)
+    except FileNotFoundError:
+        results = {}
+
+    start = time.time()
+    attempt = 0
+    forwarded = 0
+    for trace, ins in keys:
+        while True:
+            addr = peers[attempt % len(peers)]
+            attempt += 1
+            try:
+                doc, served_by = post_run(addr, trace, ins, args.timeout)
+            except Exception as err:  # connection refused, 5xx, timeout: retry elsewhere
+                if time.time() - start > args.deadline:
+                    print("FATAL: key %s/%d never served: %s" % (trace, ins, err),
+                          file=sys.stderr)
+                    sys.exit(1)
+                time.sleep(0.2)
+                continue
+            if served_by and served_by != addr:
+                forwarded += 1
+            key = "%s|%d" % (trace, ins)
+            if key in results and results[key] != doc["result"]:
+                print("FATAL: key %s re-served with a DIFFERENT result" % key,
+                      file=sys.stderr)
+                sys.exit(1)
+            results[key] = doc["result"]
+            break
+
+    with open(args.out, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+    print("%d keys served (%d via a forwarding hop), %d total in %s"
+          % (len(keys), forwarded, len(results), args.out))
+
+
+if __name__ == "__main__":
+    main()
