@@ -1,0 +1,126 @@
+// Call-graph construction. Edges resolve three ways, in decreasing
+// order of certainty:
+//
+//  1. static: the callee identifier names a function or method
+//     declared in this package;
+//  2. literal: the callee is a function literal — invoked in place, or
+//     held by a variable with exactly one definition (SoleDef);
+//  3. via-arg: a function literal passed as an argument is assumed
+//     invoked by the receiving call (sync.Once.Do, obs Touch, worker
+//     runners) — conservative but right for every such idiom in this
+//     repo, and the lock/blocking analyzers want the conservative
+//     direction.
+//
+// External callees keep their *types.Func so analyzers can match
+// blocking stdlib calls (http.Client.Do, exec.Cmd.Wait, ...).
+
+package ir
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func (p *Package) collectCalls(f *Func) {
+	visit := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c := Call{Site: call, Caller: f}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.FuncLit:
+			c.Callee = p.FuncOf[fun]
+		default:
+			if callee := p.staticCallee(call); callee != nil {
+				c.Ext = callee
+				if target, ok := p.DeclOf[callee]; ok {
+					c.Callee = target
+				}
+			} else if id, ok := fun.(*ast.Ident); ok {
+				// A call of a local function variable: resolve through
+				// its sole definition.
+				if obj := p.Info.Uses[id]; obj != nil {
+					if lit, ok := ast.Unparen(p.SoleDef(obj)).(*ast.FuncLit); ok {
+						c.Callee = p.FuncOf[lit]
+					}
+				}
+			}
+		}
+		if c.Callee != nil || c.Ext != nil {
+			p.calls[f] = append(p.calls[f], c)
+		}
+		// Function-literal arguments: assume the callee invokes them.
+		for _, arg := range call.Args {
+			lit := p.litOf(arg)
+			if lit == nil {
+				continue
+			}
+			if target := p.FuncOf[lit]; target != nil && target != c.Callee {
+				p.calls[f] = append(p.calls[f], Call{
+					Site: call, Caller: f, Callee: target, ViaArg: true,
+				})
+			}
+		}
+		return true
+	}
+	for _, blk := range f.Blocks {
+		for _, n := range blk.Nodes {
+			Walk(n, visit)
+		}
+	}
+}
+
+// litOf resolves an expression to a function literal: the literal
+// itself, or the sole definition of the variable it names.
+func (p *Package) litOf(e ast.Expr) *ast.FuncLit {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return e
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			if lit, ok := ast.Unparen(p.SoleDef(obj)).(*ast.FuncLit); ok {
+				return lit
+			}
+		}
+	}
+	return nil
+}
+
+// staticCallee resolves the called function or method, or nil for
+// dynamic calls and conversions.
+func (p *Package) staticCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// GoTarget resolves the function a go statement spawns: an in-package
+// Func (literal or declaration) or, failing that, the external callee.
+func (p *Package) GoTarget(g *ast.GoStmt) (*Func, *types.Func) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return p.FuncOf[lit], nil
+	}
+	if callee := p.staticCallee(g.Call); callee != nil {
+		if target, ok := p.DeclOf[callee]; ok {
+			return target, callee
+		}
+		return nil, callee
+	}
+	if id, ok := ast.Unparen(g.Call.Fun).(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			if lit, ok := ast.Unparen(p.SoleDef(obj)).(*ast.FuncLit); ok {
+				return p.FuncOf[lit], nil
+			}
+		}
+	}
+	return nil, nil
+}

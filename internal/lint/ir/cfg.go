@@ -1,0 +1,359 @@
+// The control-flow graph builder: one CFG per Func, blocks holding
+// only block-free atoms (see Block). Modeled on x/tools/go/cfg, cut
+// down to what bvlint's dataflow analyzers consume — no binding of
+// short-circuit operators, no panic edges, defers treated as ordinary
+// atoms at their syntactic position (a deferred unlock releasing only
+// at exit is the analyzers' job to model, and exactly what lockorder
+// wants to see).
+
+package ir
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+type builder struct {
+	f       *Func
+	current *Block
+	// targets is the innermost break/continue scope (loops, switches,
+	// selects), a linked stack.
+	targets *targets
+	// labels maps label names to their jump targets, created lazily so
+	// forward gotos resolve.
+	labels map[string]*labelTargets
+	// pendingLabel carries a label name to the next loop/switch/select
+	// the builder opens, so labeled break/continue resolve.
+	pendingLabel string
+}
+
+type targets struct {
+	tail    *targets
+	label   string // "" for unlabeled scopes
+	breakTo *Block
+	contTo  *Block // nil where continue is invalid (switch, select)
+}
+
+type labelTargets struct {
+	gotoTo  *Block // the labeled statement's block
+	breakTo *Block // set while the labeled loop/switch is being built
+	contTo  *Block
+}
+
+func buildCFG(f *Func) {
+	b := &builder{f: f, labels: make(map[string]*labelTargets)}
+	f.Entry = b.newBlock("entry")
+	f.Exit = b.newBlock("exit")
+	b.current = f.Entry
+	if body := f.Body(); body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(f.Exit)
+	fillPreds(f)
+}
+
+func fillPreds(f *Func) {
+	for _, blk := range f.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.f.Blocks), Kind: kind}
+	b.f.Blocks = append(b.f.Blocks, blk)
+	return blk
+}
+
+// add appends an atom to the current block.
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.current.Nodes = append(b.current.Nodes, n)
+	}
+}
+
+// edge adds current→to without changing current.
+func (b *builder) edge(to *Block) {
+	b.current.Succs = append(b.current.Succs, to)
+}
+
+// jump ends the current block with an edge to to and parks current on
+// a fresh unreachable block (no predecessors), so statements after a
+// return/branch still land somewhere without corrupting the graph.
+func (b *builder) jump(to *Block) {
+	b.edge(to)
+	b.current = b.newBlock("unreachable")
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		b.edge(then)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(els)
+			b.current = els
+			b.stmt(s.Else)
+			b.jump(done)
+		} else {
+			b.edge(done)
+		}
+		b.current = then
+		b.stmt(s.Body)
+		b.jump(done)
+		b.current = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.jump(head)
+		b.current = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(done)
+		}
+		b.edge(body)
+		b.push(done, post)
+		b.current = body
+		b.stmt(s.Body)
+		b.jump(post)
+		b.pop()
+		if s.Post != nil {
+			b.current = post
+			b.add(s.Post)
+			b.jump(head)
+		}
+		b.current = done
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.jump(head)
+		b.current = head
+		b.add(s) // the range atom: Walk exposes Key/Value/X only
+		b.edge(body)
+		b.edge(done)
+		b.push(done, head)
+		b.current = body
+		b.stmt(s.Body)
+		b.jump(head)
+		b.pop()
+		b.current = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body, func(cc ast.Stmt) []ast.Stmt {
+			c := cc.(*ast.CaseClause)
+			for _, e := range c.List {
+				b.add(e)
+			}
+			return c.Body
+		}, func(cc ast.Stmt) bool { return cc.(*ast.CaseClause).List == nil })
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body, func(cc ast.Stmt) []ast.Stmt {
+			return cc.(*ast.CaseClause).Body
+		}, func(cc ast.Stmt) bool { return cc.(*ast.CaseClause).List == nil })
+
+	case *ast.SelectStmt:
+		b.add(s) // the select atom itself: Walk exposes nothing under it
+		done := b.newBlock("select.done")
+		entry := b.current
+		b.push(done, nil)
+		for _, cc := range s.Body.List {
+			c := cc.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			entry.Succs = append(entry.Succs, blk)
+			b.current = blk
+			if c.Comm != nil {
+				b.add(c.Comm)
+			}
+			b.stmtList(c.Body)
+			b.jump(done)
+		}
+		b.pop()
+		b.current = b.newBlock("unreachable")
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: no edge to done.
+			done.Kind = "select.never"
+		}
+		b.current = done
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.f.Exit)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findBreak(labelName(s.Label)); t != nil {
+				b.jump(t)
+			} else {
+				b.jump(b.f.Exit) // malformed; keep the graph sane
+			}
+		case token.CONTINUE:
+			if t := b.findCont(labelName(s.Label)); t != nil {
+				b.jump(t)
+			} else {
+				b.jump(b.f.Exit)
+			}
+		case token.GOTO:
+			b.jump(b.labelBlock(labelName(s.Label)))
+		case token.FALLTHROUGH:
+			// Handled structurally by caseClauses (the previous case's
+			// body falls into the next); as a lone atom it is a no-op.
+		}
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.jump(lb)
+		b.current = lb
+		// Loops and switches directly under the label pick up their
+		// break/continue targets through b.pendingLabel.
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Simple statements: assignments, declarations, sends,
+		// expression statements, inc/dec, go, defer.
+		b.add(s)
+	}
+}
+
+// caseClauses builds switch/type-switch clause blocks with fallthrough
+// chaining and a shared done block.
+func (b *builder) caseClauses(body *ast.BlockStmt, bodyOf func(ast.Stmt) []ast.Stmt, isDefault func(ast.Stmt) bool) {
+	done := b.newBlock("switch.done")
+	entry := b.current
+	hasDefault := false
+	blocks := make([]*Block, len(body.List))
+	for i := range body.List {
+		blocks[i] = b.newBlock("switch.case")
+		entry.Succs = append(entry.Succs, blocks[i])
+		if isDefault(body.List[i]) {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		entry.Succs = append(entry.Succs, done)
+	}
+	b.push(done, nil)
+	for i, cc := range body.List {
+		b.current = blocks[i]
+		stmts := bodyOf(cc)
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = i+1 < len(blocks)
+			}
+		}
+		b.stmtList(stmts)
+		if fallsThrough {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(done)
+		}
+	}
+	b.pop()
+	b.current = done
+}
+
+func labelName(l *ast.Ident) string {
+	if l == nil {
+		return ""
+	}
+	return l.Name
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	lt, ok := b.labels[name]
+	if !ok {
+		lt = &labelTargets{gotoTo: b.newBlock("label." + name)}
+		b.labels[name] = lt
+	}
+	return lt.gotoTo
+}
+
+func (b *builder) push(brk, cont *Block) {
+	b.targets = &targets{tail: b.targets, label: b.pendingLabel, breakTo: brk, contTo: cont}
+	if b.pendingLabel != "" {
+		lt := b.labels[b.pendingLabel]
+		if lt == nil {
+			lt = &labelTargets{gotoTo: b.current}
+			b.labels[b.pendingLabel] = lt
+		}
+		lt.breakTo, lt.contTo = brk, cont
+		b.pendingLabel = ""
+	}
+}
+
+func (b *builder) pop() { b.targets = b.targets.tail }
+
+func (b *builder) findBreak(label string) *Block {
+	if label != "" {
+		if lt := b.labels[label]; lt != nil {
+			return lt.breakTo
+		}
+		return nil
+	}
+	for t := b.targets; t != nil; t = t.tail {
+		if t.breakTo != nil {
+			return t.breakTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) findCont(label string) *Block {
+	if label != "" {
+		if lt := b.labels[label]; lt != nil {
+			return lt.contTo
+		}
+		return nil
+	}
+	for t := b.targets; t != nil; t = t.tail {
+		if t.contTo != nil {
+			return t.contTo
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// A minimal forward dataflow solver over a Func's CFG. Analyzers
+// supply the lattice (top, meet, equality) and a per-block transfer
+// function; the solver iterates a worklist to the fixed point and
+// returns each block's entry state. lockorder instantiates it with
+// must-held lock sets (meet = intersection); the engine itself is
+// lattice-agnostic.
+
+package ir
+
+// Forward computes the fixed point of a forward dataflow problem.
+//
+//   - entry is the state on function entry;
+//   - top is the identity of meet (the "unvisited" state) — it must
+//     return a fresh value each call;
+//   - meet combines predecessor exit states (it may mutate and return
+//     its first argument);
+//   - transfer maps a block's entry state to its exit state (it may
+//     mutate and return its argument);
+//   - clone and equal give the solver value semantics over S.
+//
+// The returned map holds every reachable block's entry state.
+func Forward[S any](
+	f *Func,
+	entry S,
+	top func() S,
+	meet func(S, S) S,
+	transfer func(*Block, S) S,
+	clone func(S) S,
+	equal func(S, S) bool,
+) map[*Block]S {
+	in := make(map[*Block]S, len(f.Blocks))
+	in[f.Entry] = entry
+
+	work := []*Block{f.Entry}
+	queued := map[*Block]bool{f.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		out := transfer(blk, clone(in[blk]))
+		for _, succ := range blk.Succs {
+			var next S
+			if cur, ok := in[succ]; ok {
+				next = meet(clone(cur), out)
+			} else {
+				next = meet(top(), out)
+			}
+			if cur, ok := in[succ]; ok && equal(cur, next) {
+				continue
+			}
+			in[succ] = next
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,107 @@
+// Def-use collection: every definition and use of every object in the
+// package, keyed by types.Object so chains cross function-literal
+// boundaries (a closure assigning an outer variable is a definition of
+// that variable — exactly the case the gorolifecycle analyzer needs
+// when a goroutine body sends on a channel its parent made).
+
+package ir
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+func (p *Package) collectDefUse(files []*ast.File) {
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				p.defsFromAssign(n)
+			case *ast.ValueSpec:
+				p.defsFromValueSpec(n)
+			case *ast.RangeStmt:
+				p.defFromExpr(n.Key, nil, n)
+				p.defFromExpr(n.Value, nil, n)
+			case *ast.FuncDecl:
+				p.defsFromFieldLists(n, n.Recv, n.Type.Params, n.Type.Results)
+			case *ast.FuncLit:
+				p.defsFromFieldLists(n, n.Type.Params, n.Type.Results)
+			case *ast.Ident:
+				if obj := p.Info.Uses[n]; obj != nil {
+					p.uses[obj] = append(p.uses[obj], n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (p *Package) defsFromAssign(a *ast.AssignStmt) {
+	switch a.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(a.Lhs) == len(a.Rhs) {
+			for i, lhs := range a.Lhs {
+				p.defFromExpr(lhs, a.Rhs[i], a)
+			}
+			return
+		}
+		// Tuple assignment: definitions with no single RHS.
+		for _, lhs := range a.Lhs {
+			p.defFromExpr(lhs, nil, a)
+		}
+	default:
+		// op= mutates; record as a value-free definition.
+		for _, lhs := range a.Lhs {
+			p.defFromExpr(lhs, nil, a)
+		}
+	}
+}
+
+func (p *Package) defsFromValueSpec(vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		var rhs ast.Expr
+		if len(vs.Values) == len(vs.Names) {
+			rhs = vs.Values[i]
+		}
+		p.defFromIdent(name, rhs, vs)
+	}
+}
+
+func (p *Package) defsFromFieldLists(site ast.Node, lists ...*ast.FieldList) {
+	for _, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				p.defFromIdent(name, nil, site)
+			}
+		}
+	}
+}
+
+// defFromExpr records a definition when lhs is a plain identifier (or
+// blank, which is skipped). Field and index stores (x.f = e, x[i] = e)
+// are not definitions of x.
+func (p *Package) defFromExpr(lhs ast.Expr, rhs ast.Expr, site ast.Node) {
+	if lhs == nil {
+		return
+	}
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		p.defFromIdent(id, rhs, site)
+	}
+}
+
+func (p *Package) defFromIdent(id *ast.Ident, rhs ast.Expr, site ast.Node) {
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		obj = p.Info.Uses[id] // plain assignment to an existing var
+	}
+	if obj == nil {
+		return
+	}
+	p.defs[obj] = append(p.defs[obj], Def{Ident: id, RHS: rhs, Site: site})
+}

@@ -1,0 +1,374 @@
+// Package ir is bvlint's SSA-lite intermediate representation: a
+// function-scoped control-flow graph over go/ast + go/types, def-use
+// chains for every package-level and local object, and a call graph
+// stitched from static callees, immediately-invoked literals and
+// single-definition function variables.
+//
+// "SSA-lite" is a deliberate altitude. The dataflow analyzers this
+// package serves (lockorder, gorolifecycle, errchain) need three
+// things a plain AST walk cannot give — execution order with branch
+// structure, "where did this value come from", and "who calls whom
+// inside this package" — and none of the things full SSA is for
+// (renaming, phi nodes, optimization). Values stay ast.Expr, variables
+// stay types.Object, and a variable with exactly one definition site
+// resolves to its defining expression (SoleDef), which is the 90% case
+// the analyzers live on: the channel is the make it was assigned, the
+// spawned function is the literal the variable holds.
+//
+// The representation is built once per package and memoized, so every
+// analyzer in a bvlint run shares one build (see Of).
+package ir
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// A Func is the CFG of one function: a declared function or method, or
+// a function literal (which is its own Func, never inlined into its
+// parent — a literal's body runs at call time, not declaration time).
+type Func struct {
+	// Name identifies the function in diagnostics: "f", "(T).m", or
+	// "f$1" for the first literal inside f.
+	Name string
+	// Obj is the declared *types.Func; nil for function literals.
+	Obj *types.Func
+	// Node is the *ast.FuncDecl or *ast.FuncLit.
+	Node ast.Node
+	// Parent is the enclosing Func for literals, nil for declarations.
+	Parent *Func
+	// Entry is the first block executed; Exit collects every return
+	// path (and the fall-off-the-end path).
+	Entry *Block
+	Exit  *Block
+	// Blocks lists every block in creation order (Entry first).
+	Blocks []*Block
+}
+
+// Sig returns the function's type, or nil when it cannot be resolved.
+func (f *Func) Sig(info *types.Info) *types.Signature {
+	switch n := f.Node.(type) {
+	case *ast.FuncDecl:
+		if f.Obj != nil {
+			return f.Obj.Type().(*types.Signature)
+		}
+	case *ast.FuncLit:
+		if tv, ok := info.Types[n]; ok {
+			if sig, ok := tv.Type.(*types.Signature); ok {
+				return sig
+			}
+		}
+	}
+	return nil
+}
+
+// Body returns the function's body block statement.
+func (f *Func) Body() *ast.BlockStmt {
+	switch n := f.Node.(type) {
+	case *ast.FuncDecl:
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return nil
+}
+
+// Pos returns the function's position.
+func (f *Func) Pos() token.Pos { return f.Node.Pos() }
+
+// A Block is one straight-line run of atoms with its control edges.
+// Nodes holds only block-free fragments — simple statements and the
+// init/cond/post parts of control statements — so walking a block's
+// nodes never re-visits a statement that lives in another block. The
+// two exceptions, *ast.RangeStmt and *ast.SelectStmt, appear as their
+// own header atoms (their bodies live in successor blocks); Walk
+// prunes them correctly.
+type Block struct {
+	Index int
+	Kind  string // "entry", "if.then", "for.body", ... for debugging
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+func (b *Block) String() string {
+	return fmt.Sprintf("b%d(%s)", b.Index, b.Kind)
+}
+
+// Walk visits n and its children in atom scope: function literal
+// bodies are pruned (they are separate Funcs), a RangeStmt header
+// exposes only Key, Value and X, and a SelectStmt header exposes
+// nothing (its comm clauses live in successor blocks). visit returning
+// false prunes the subtree.
+func Walk(n ast.Node, visit func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		if !visit(n) {
+			return
+		}
+		Walk(n.Key, visit)
+		Walk(n.Value, visit)
+		Walk(n.X, visit)
+		return
+	case *ast.SelectStmt:
+		visit(n)
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if c != n {
+			switch c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.RangeStmt, *ast.SelectStmt:
+				// Nested only via FuncLit (pruned) in practice, but be
+				// safe: hand them back through Walk's special cases.
+				Walk(c, visit)
+				return false
+			}
+		}
+		return visit(c)
+	})
+}
+
+// A Def is one definition site of an object.
+type Def struct {
+	// Ident is the defining (or assigned) occurrence.
+	Ident *ast.Ident
+	// RHS is the defining expression when the definition binds exactly
+	// one value to exactly this object (x := e, x = e, var x = e).
+	// It is nil for parameters, range variables, tuple assignments and
+	// zero-value declarations.
+	RHS ast.Expr
+	// Site is the statement or declaration holding the definition.
+	Site ast.Node
+}
+
+// A Call is one resolved call site.
+type Call struct {
+	Site   *ast.CallExpr
+	Caller *Func
+	// Callee is the in-package target: the declared function, the
+	// immediately-invoked literal, or the literal a single-definition
+	// function variable holds. Nil when the target is external or
+	// dynamic (then Ext may identify it).
+	Callee *Func
+	// Ext is the external (or interface) callee when statically known.
+	Ext *types.Func
+	// ViaArg marks a conservative edge: Callee is a function literal
+	// passed as an argument of Site, assumed invoked by the callee
+	// (sync.Once.Do, SyncRegistry.Touch, errgroup-style runners).
+	ViaArg bool
+}
+
+// A Package is the IR of one analyzed package.
+type Package struct {
+	Fset  *token.FileSet
+	Info  *types.Info
+	Types *types.Package
+
+	// Funcs lists every function in source order, literals after their
+	// parents.
+	Funcs []*Func
+	// FuncOf maps the *ast.FuncDecl / *ast.FuncLit to its Func.
+	FuncOf map[ast.Node]*Func
+	// DeclOf maps a declared *types.Func to its Func.
+	DeclOf map[*types.Func]*Func
+
+	calls map[*Func][]Call
+	defs  map[types.Object][]Def
+	uses  map[types.Object][]*ast.Ident
+}
+
+// CallsFrom returns the resolved call sites inside f.
+func (p *Package) CallsFrom(f *Func) []Call { return p.calls[f] }
+
+// DefsOf returns every definition site of obj across the package
+// (closures included — a literal assigning an outer variable is a
+// definition of that variable).
+func (p *Package) DefsOf(obj types.Object) []Def { return p.defs[obj] }
+
+// UsesOf returns every non-defining occurrence of obj.
+func (p *Package) UsesOf(obj types.Object) []*ast.Ident { return p.uses[obj] }
+
+// SoleDef returns the single defining expression of obj, or nil when
+// obj has zero, several, or value-free definitions. This is the
+// SSA-lite resolution primitive: a sole-definition variable IS its
+// defining expression.
+func (p *Package) SoleDef(obj types.Object) ast.Expr {
+	ds := p.defs[obj]
+	if len(ds) != 1 {
+		return nil
+	}
+	return ds[0].RHS
+}
+
+// ObjectOf resolves an expression to the object it names, looking
+// through parens, one selector step (x.f → field f) and &x. Returns
+// nil for anything more dynamic. This is the identity analyzers key
+// locks and channels on: the field or variable, not the value.
+func (p *Package) ObjectOf(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := p.Info.Uses[e]; o != nil {
+			return o
+		}
+		return p.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified name (pkg.Var).
+		if o := p.Info.Uses[e.Sel]; o != nil {
+			return o
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return p.ObjectOf(e.X)
+		}
+	}
+	return nil
+}
+
+// buildCache memoizes one IR build per typechecked package: every
+// analyzer in a run shares it, so four dataflow analyzers cost one
+// CFG+def-use construction per package.
+var buildCache struct {
+	sync.Mutex
+	m map[*types.Package]*Package
+}
+
+// Of returns the (memoized) IR of the package.
+func Of(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Package {
+	buildCache.Lock()
+	defer buildCache.Unlock()
+	if p, ok := buildCache.m[pkg]; ok {
+		return p
+	}
+	p := build(fset, files, pkg, info)
+	if buildCache.m == nil {
+		buildCache.m = make(map[*types.Package]*Package)
+	}
+	buildCache.m[pkg] = p
+	return p
+}
+
+// build constructs the package IR: one Func (with CFG) per declared
+// function and literal, package-wide def-use chains, and the call
+// graph.
+func build(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Package {
+	p := &Package{
+		Fset:   fset,
+		Info:   info,
+		Types:  pkg,
+		FuncOf: make(map[ast.Node]*Func),
+		DeclOf: make(map[*types.Func]*Func),
+		calls:  make(map[*Func][]Call),
+		defs:   make(map[types.Object][]Def),
+		uses:   make(map[types.Object][]*ast.Ident),
+	}
+	for _, file := range files {
+		p.collectFuncs(file)
+	}
+	for _, f := range p.Funcs {
+		buildCFG(f)
+	}
+	p.collectDefUse(files)
+	for _, f := range p.Funcs {
+		p.collectCalls(f)
+	}
+	return p
+}
+
+// collectFuncs registers every FuncDecl and FuncLit in the file, in
+// source order, wiring literal parents.
+func (p *Package) collectFuncs(file *ast.File) {
+	var enclosing *Func
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil || n == root {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				f := &Func{Name: declName(n), Node: n}
+				if o, ok := p.Info.Defs[n.Name].(*types.Func); ok {
+					f.Obj = o
+					p.DeclOf[o] = f
+				}
+				p.register(f)
+				prev := enclosing
+				enclosing = f
+				walk(n.Body)
+				enclosing = prev
+				return false
+			case *ast.FuncLit:
+				f := &Func{Node: n, Parent: enclosing}
+				if enclosing != nil {
+					f.Name = fmt.Sprintf("%s$%d", enclosing.Name, litIndex(p, enclosing)+1)
+				} else {
+					f.Name = fmt.Sprintf("lit@%d", p.Fset.Position(n.Pos()).Line)
+				}
+				p.register(f)
+				prev := enclosing
+				enclosing = f
+				walk(n.Body)
+				enclosing = prev
+				return false
+			}
+			return true
+		})
+	}
+	walk(file)
+}
+
+func (p *Package) register(f *Func) {
+	p.Funcs = append(p.Funcs, f)
+	p.FuncOf[f.Node] = f
+}
+
+func litIndex(p *Package, parent *Func) int {
+	n := 0
+	for _, f := range p.Funcs {
+		if f.Parent == parent {
+			n++
+		}
+	}
+	return n
+}
+
+func declName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	name := "?"
+	switch t := t.(type) {
+	case *ast.Ident:
+		name = t.Name
+	case *ast.IndexExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	}
+	return "(" + name + ")." + d.Name.Name
+}

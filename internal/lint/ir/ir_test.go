@@ -1,0 +1,572 @@
+package ir
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// loadIR typechecks one import-free source file and builds its IR.
+func loadIR(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return build(fset, []*ast.File{file}, pkg, info)
+}
+
+func funcNamed(t *testing.T, p *Package, name string) *Func {
+	t.Helper()
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no func %q (have %v)", name, names(p))
+	return nil
+}
+
+func names(p *Package) []string {
+	var out []string
+	for _, f := range p.Funcs {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// reachable walks the CFG from entry and returns the set of blocks.
+func reachable(f *Func) map[*Block]bool {
+	seen := map[*Block]bool{f.Entry: true}
+	work := []*Block{f.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	p := loadIR(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`)
+	f := funcNamed(t, p, "f")
+	r := reachable(f)
+	if !r[f.Exit] {
+		t.Fatalf("exit unreachable")
+	}
+	var then, els *Block
+	for b := range r {
+		switch b.Kind {
+		case "if.then":
+			then = b
+		case "if.else":
+			els = b
+		}
+	}
+	if then == nil || els == nil {
+		t.Fatalf("missing then/else blocks")
+	}
+	if len(then.Succs) != 1 || len(els.Succs) != 1 || then.Succs[0] != els.Succs[0] {
+		t.Fatalf("then and else should join at one block")
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	p := loadIR(t, `package p
+func f() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}`)
+	f := funcNamed(t, p, "f")
+	var head, body, post *Block
+	for _, b := range f.Blocks {
+		switch b.Kind {
+		case "for.head":
+			head = b
+		case "for.body":
+			body = b
+		case "for.post":
+			post = b
+		}
+	}
+	if head == nil || body == nil || post == nil {
+		t.Fatalf("missing loop blocks")
+	}
+	if !hasSucc(body, post) || !hasSucc(post, head) {
+		t.Fatalf("want body->post->head back edge")
+	}
+	if !hasSucc(head, body) {
+		t.Fatalf("want head->body edge")
+	}
+}
+
+func TestCFGUnconditionalForHasNoExit(t *testing.T) {
+	p := loadIR(t, `package p
+func f() {
+	for {
+	}
+}`)
+	f := funcNamed(t, p, "f")
+	if reachable(f)[f.Exit] {
+		t.Fatalf("for{} must not reach exit")
+	}
+}
+
+func TestCFGForBreakReachesExit(t *testing.T) {
+	p := loadIR(t, `package p
+func f(c bool) {
+	for {
+		if c {
+			break
+		}
+	}
+}`)
+	f := funcNamed(t, p, "f")
+	if !reachable(f)[f.Exit] {
+		t.Fatalf("break must make exit reachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	p := loadIR(t, `package p
+func f(c bool) {
+	outer:
+	for {
+		for {
+			if c {
+				break outer
+			}
+		}
+	}
+}`)
+	f := funcNamed(t, p, "f")
+	if !reachable(f)[f.Exit] {
+		t.Fatalf("labeled break must escape both loops")
+	}
+}
+
+func TestCFGRangeHeaderAtom(t *testing.T) {
+	p := loadIR(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`)
+	f := funcNamed(t, p, "f")
+	var head *Block
+	for _, b := range f.Blocks {
+		if b.Kind == "range.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no range.head block")
+	}
+	found := false
+	for _, n := range head.Nodes {
+		if _, ok := n.(*ast.RangeStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("range.head must carry the RangeStmt atom")
+	}
+	// Walk on the header atom must not descend into the body.
+	for _, n := range head.Nodes {
+		Walk(n, func(c ast.Node) bool {
+			if as, ok := c.(*ast.AssignStmt); ok {
+				t.Fatalf("Walk leaked into range body: %v", as)
+			}
+			return true
+		})
+	}
+}
+
+func TestCFGSelectCases(t *testing.T) {
+	p := loadIR(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+		return 0
+	}
+}`)
+	f := funcNamed(t, p, "f")
+	cases := 0
+	for _, b := range f.Blocks {
+		if b.Kind == "select.case" {
+			cases++
+		}
+	}
+	if cases != 2 {
+		t.Fatalf("want 2 select.case blocks, got %d", cases)
+	}
+}
+
+func TestCFGEmptySelectBlocksForever(t *testing.T) {
+	p := loadIR(t, `package p
+func f() {
+	select {}
+}`)
+	f := funcNamed(t, p, "f")
+	if reachable(f)[f.Exit] {
+		t.Fatalf("select{} must not reach exit")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	p := loadIR(t, `package p
+func f(x int) int {
+	r := 0
+	switch x {
+	case 1:
+		r = 1
+		fallthrough
+	case 2:
+		r += 2
+	default:
+		r = 9
+	}
+	return r
+}`)
+	f := funcNamed(t, p, "f")
+	var cases []*Block
+	for _, b := range f.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 3 {
+		t.Fatalf("want 3 case blocks, got %d", len(cases))
+	}
+	if !hasSucc(cases[0], cases[1]) {
+		t.Fatalf("fallthrough must chain case 1 into case 2")
+	}
+}
+
+func TestPredsMirrorSuccs(t *testing.T) {
+	p := loadIR(t, `package p
+func f(c bool) {
+	if c {
+		return
+	}
+	for i := 0; i < 3; i++ {
+	}
+}`)
+	f := funcNamed(t, p, "f")
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, pr := range s.Preds {
+				if pr == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%v->%v edge missing from Preds", b, s)
+			}
+		}
+	}
+}
+
+func TestFuncLitsAreSeparateFuncs(t *testing.T) {
+	p := loadIR(t, `package p
+func f() {
+	g := func() {
+		for {
+		}
+	}
+	g()
+}`)
+	f := funcNamed(t, p, "f")
+	lit := funcNamed(t, p, "f$1")
+	if lit.Parent != f {
+		t.Fatalf("literal parent not wired")
+	}
+	// The infinite loop lives in the literal, not in f.
+	if !reachable(f)[f.Exit] {
+		t.Fatalf("f must reach exit; the for{} belongs to f$1")
+	}
+	if reachable(lit)[lit.Exit] {
+		t.Fatalf("f$1 must not reach exit")
+	}
+}
+
+func TestSoleDefResolvesMake(t *testing.T) {
+	p := loadIR(t, `package p
+func f() {
+	ch := make(chan int, 2)
+	_ = ch
+	twice := 0
+	twice = 1
+	twice = 2
+	_ = twice
+}`)
+	f := funcNamed(t, p, "f")
+	_ = f
+	var chObj, twiceObj types.Object
+	for obj := range p.defs {
+		switch obj.Name() {
+		case "ch":
+			chObj = obj
+		case "twice":
+			twiceObj = obj
+		}
+	}
+	if chObj == nil || twiceObj == nil {
+		t.Fatalf("objects not collected")
+	}
+	def := p.SoleDef(chObj)
+	call, ok := def.(*ast.CallExpr)
+	if !ok {
+		t.Fatalf("SoleDef(ch) = %T, want make call", def)
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+		t.Fatalf("SoleDef(ch) is not the make call")
+	}
+	if p.SoleDef(twiceObj) != nil {
+		t.Fatalf("SoleDef must refuse multiply-defined objects")
+	}
+}
+
+func TestClosureDefCrossesBoundary(t *testing.T) {
+	p := loadIR(t, `package p
+func f() func() {
+	x := 0
+	_ = x
+	return func() {
+		x = 1
+	}
+}`)
+	var xObj types.Object
+	for obj := range p.defs {
+		if obj.Name() == "x" {
+			xObj = obj
+		}
+	}
+	if xObj == nil {
+		t.Fatalf("x not collected")
+	}
+	if got := len(p.DefsOf(xObj)); got != 2 {
+		t.Fatalf("want 2 defs of x (decl + closure write), got %d", got)
+	}
+}
+
+func TestCallGraphStaticAndLit(t *testing.T) {
+	p := loadIR(t, `package p
+func helper() {}
+func f() {
+	helper()
+	func() {}()
+	g := func() {}
+	g()
+}`)
+	f := funcNamed(t, p, "f")
+	helper := funcNamed(t, p, "helper")
+	var gotStatic, gotIIFE, gotVar bool
+	for _, c := range p.CallsFrom(f) {
+		switch {
+		case c.Callee == helper:
+			gotStatic = true
+		case c.Callee != nil && c.Callee.Name == "f$1":
+			gotIIFE = true
+		case c.Callee != nil && c.Callee.Name == "f$2":
+			gotVar = true
+		}
+	}
+	if !gotStatic || !gotIIFE || !gotVar {
+		t.Fatalf("missing call edges: static=%v iife=%v var=%v", gotStatic, gotIIFE, gotVar)
+	}
+}
+
+func TestCallGraphViaArg(t *testing.T) {
+	p := loadIR(t, `package p
+func runner(fn func()) { fn() }
+func f() {
+	runner(func() {})
+}`)
+	f := funcNamed(t, p, "f")
+	viaArg := false
+	for _, c := range p.CallsFrom(f) {
+		if c.ViaArg && c.Callee != nil && strings.HasPrefix(c.Callee.Name, "f$") {
+			viaArg = true
+		}
+	}
+	if !viaArg {
+		t.Fatalf("literal argument must produce a ViaArg edge")
+	}
+}
+
+func TestGoTarget(t *testing.T) {
+	p := loadIR(t, `package p
+func worker() {}
+func f() {
+	go worker()
+	go func() {}()
+	h := func() {}
+	go h()
+}`)
+	worker := funcNamed(t, p, "worker")
+	var gos []*ast.GoStmt
+	ast.Inspect(funcNamed(t, p, "f").Node, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+		}
+		return true
+	})
+	if len(gos) != 3 {
+		t.Fatalf("want 3 go statements, got %d", len(gos))
+	}
+	if tgt, _ := p.GoTarget(gos[0]); tgt != worker {
+		t.Fatalf("go worker() should resolve to the decl")
+	}
+	if tgt, _ := p.GoTarget(gos[1]); tgt == nil || tgt.Name != "f$1" {
+		t.Fatalf("go func(){}() should resolve to the literal")
+	}
+	if tgt, _ := p.GoTarget(gos[2]); tgt == nil || tgt.Name != "f$2" {
+		t.Fatalf("go h() should resolve through SoleDef")
+	}
+}
+
+func TestObjectOfSelectorAndAddr(t *testing.T) {
+	p := loadIR(t, `package p
+type s struct{ mu int }
+func f(v *s) {
+	_ = v.mu
+	_ = &v.mu
+}`)
+	f := funcNamed(t, p, "f")
+	var objs []types.Object
+	for _, b := range f.Blocks {
+		for _, n := range b.Nodes {
+			Walk(n, func(c ast.Node) bool {
+				switch c := c.(type) {
+				case *ast.SelectorExpr:
+					if o := p.ObjectOf(c); o != nil {
+						objs = append(objs, o)
+					}
+				case *ast.UnaryExpr:
+					if o := p.ObjectOf(c); o != nil {
+						objs = append(objs, o)
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(objs) < 2 {
+		t.Fatalf("want at least 2 resolutions, got %d", len(objs))
+	}
+	for _, o := range objs {
+		if o.Name() != "mu" {
+			t.Fatalf("resolved %q, want field mu", o.Name())
+		}
+	}
+}
+
+// TestForwardMustAnalysis runs the solver as a must-reach analysis over
+// a diamond: a fact set on only one branch must not survive the join.
+func TestForwardMustAnalysis(t *testing.T) {
+	p := loadIR(t, `package p
+func f(c bool) {
+	if c {
+		println("branch")
+	}
+	println("join")
+}`)
+	f := funcNamed(t, p, "f")
+
+	// State: set of block kinds executed on EVERY path.
+	top := func() map[string]bool { return map[string]bool{"⊤": true} }
+	meet := func(a, b map[string]bool) map[string]bool {
+		if a["⊤"] {
+			out := make(map[string]bool, len(b))
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		}
+		for k := range a {
+			if !b[k] {
+				delete(a, k)
+			}
+		}
+		return a
+	}
+	transfer := func(b *Block, s map[string]bool) map[string]bool {
+		s[b.Kind] = true
+		return s
+	}
+	clone := func(s map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(s))
+		for k := range s {
+			out[k] = true
+		}
+		return out
+	}
+	equal := func(a, b map[string]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+
+	in := Forward(f, map[string]bool{}, top, meet, transfer, clone, equal)
+	exit := in[f.Exit]
+	if exit == nil {
+		t.Fatalf("exit state missing")
+	}
+	if exit["if.then"] {
+		t.Fatalf("if.then must not must-reach exit (one branch skips it)")
+	}
+	if !exit["entry"] {
+		t.Fatalf("entry must must-reach exit")
+	}
+}
+
+func hasSucc(b, s *Block) bool {
+	for _, x := range b.Succs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
