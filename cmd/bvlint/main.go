@@ -41,6 +41,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("bvlint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	list := fs.Bool("list", false, "describe registered analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings (suppressed ones included) as JSON on stdout")
 	fs.Var(versionFlag{}, "V", "print version for the go vet tool protocol")
 	printFlags := fs.Bool("flags", false, "print flag JSON for the go vet tool protocol")
 	fs.Usage = func() {
@@ -81,8 +82,15 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "bvlint:", err)
 		return cliexit.Failure
 	}
-	checker.Print(os.Stderr, findings)
-	if len(findings) > 0 {
+	if *jsonOut {
+		if err := checker.PrintJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "bvlint:", err)
+			return cliexit.Failure
+		}
+	} else {
+		checker.Print(os.Stderr, findings)
+	}
+	if len(checker.Live(findings)) > 0 {
 		return cliexit.Failure
 	}
 	return cliexit.OK

@@ -40,6 +40,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Dir is the package's source directory on disk, when known. The
+	// statereconcile analyzer reads the package's _test.go files from
+	// here (test files are not part of the analyzed compilation).
+	Dir string
+
 	// Report delivers one diagnostic. The checker installs a hook
 	// here that applies //lint:allow suppression before recording.
 	Report func(Diagnostic)

@@ -3,6 +3,7 @@
 package checker
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"io"
@@ -14,15 +15,33 @@ import (
 	"basevictim/internal/lint/load"
 )
 
-// A Finding is one unsuppressed diagnostic, located and attributed.
+// A Finding is one diagnostic, located and attributed. Suppressed
+// findings are retained (with the directive's reason) so -json output
+// shows the full picture; the text renderer and the exit code only
+// consider live ones.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
+	// Reason is the //lint:allow justification, set iff Suppressed.
+	Reason string
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// jsonFinding is the stable machine-readable schema of one finding.
+// Field names are part of bvlint's CLI contract — see the schema test.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
 }
 
 // allowKey locates a suppression: directives on line N suppress
@@ -33,11 +52,11 @@ type allowKey struct {
 	analyzer string
 }
 
-// Run applies every analyzer to every package and returns the
-// surviving findings sorted by position. Malformed lint:allow
-// directives are reported as findings of the pseudo-analyzer
-// "directive"; well-formed ones suppress matching findings on their
-// own line or the line below.
+// Run applies every analyzer to every package and returns all
+// findings — suppressed ones included — sorted by position. Malformed
+// lint:allow directives are reported as findings of the
+// pseudo-analyzer "directive"; well-formed ones suppress matching
+// findings on their own line or the line below.
 func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
@@ -46,7 +65,7 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 
 	var findings []Finding
 	for _, pkg := range pkgs {
-		allowed := make(map[allowKey]bool)
+		allowed := make(map[allowKey]string)
 		for _, f := range pkg.Syntax {
 			for _, d := range directive.FromFile(f) {
 				posn := pkg.Fset.Position(d.Pos)
@@ -56,7 +75,7 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 					})
 					continue
 				}
-				allowed[allowKey{posn.Filename, posn.Line, d.Analyzer}] = true
+				allowed[allowKey{posn.Filename, posn.Line, d.Analyzer}] = d.Reason
 			}
 		}
 
@@ -67,6 +86,7 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Dir:       pkg.Dir,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				posn := pkg.Fset.Position(d.Pos)
@@ -76,13 +96,13 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 				if strings.HasSuffix(posn.Filename, "_test.go") {
 					return
 				}
-				if allowed[allowKey{posn.Filename, posn.Line, a.Name}] ||
-					allowed[allowKey{posn.Filename, posn.Line - 1, a.Name}] {
-					return
+				f := Finding{Analyzer: a.Name, Pos: posn, Message: d.Message}
+				if reason, ok := allowed[allowKey{posn.Filename, posn.Line, a.Name}]; ok {
+					f.Suppressed, f.Reason = true, reason
+				} else if reason, ok := allowed[allowKey{posn.Filename, posn.Line - 1, a.Name}]; ok {
+					f.Suppressed, f.Reason = true, reason
 				}
-				findings = append(findings, Finding{
-					Analyzer: a.Name, Pos: posn, Message: d.Message,
-				})
+				findings = append(findings, f)
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
@@ -106,9 +126,45 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 	return findings, nil
 }
 
-// Print writes findings one per line in vet style.
+// Live filters findings down to the unsuppressed ones — the set that
+// fails the build.
+func Live(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Print writes live findings one per line in vet style.
 func Print(w io.Writer, findings []Finding) {
 	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
 		fmt.Fprintln(w, f.String())
 	}
+}
+
+// PrintJSON writes every finding — suppressed ones included — as one
+// indented JSON array. An empty run renders as [] rather than null so
+// consumers can always range over the result.
+func PrintJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Column:     f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+			Reason:     f.Reason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

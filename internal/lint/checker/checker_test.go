@@ -1,0 +1,141 @@
+package checker
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestJSONSchema pins the machine-readable finding schema: the field
+// names, their types, and the suppression semantics are CLI contract.
+func TestJSONSchema(t *testing.T) {
+	findings := []Finding{
+		{
+			Analyzer: "lockorder",
+			Pos:      token.Position{Filename: "a.go", Line: 10, Column: 2},
+			Message:  "mutex held across blocking call",
+		},
+		{
+			Analyzer:   "gorolifecycle",
+			Pos:        token.Position{Filename: "b.go", Line: 3, Column: 1},
+			Message:    "goroutine has no bounded exit",
+			Suppressed: true,
+			Reason:     "drained by the test harness",
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := PrintJSON(&buf, findings); err != nil {
+		t.Fatalf("PrintJSON: %v", err)
+	}
+
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("want 2 findings, got %d", len(decoded))
+	}
+
+	cases := []struct {
+		name string
+		obj  map[string]any
+		want map[string]any
+	}{
+		{
+			name: "live finding",
+			obj:  decoded[0],
+			want: map[string]any{
+				"file":       "a.go",
+				"line":       float64(10),
+				"column":     float64(2),
+				"analyzer":   "lockorder",
+				"message":    "mutex held across blocking call",
+				"suppressed": false,
+			},
+		},
+		{
+			name: "suppressed finding",
+			obj:  decoded[1],
+			want: map[string]any{
+				"file":       "b.go",
+				"line":       float64(3),
+				"column":     float64(1),
+				"analyzer":   "gorolifecycle",
+				"message":    "goroutine has no bounded exit",
+				"suppressed": true,
+				"reason":     "drained by the test harness",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for k, want := range tc.want {
+				got, ok := tc.obj[k]
+				if !ok {
+					t.Errorf("missing field %q", k)
+					continue
+				}
+				if got != want {
+					t.Errorf("field %q = %v, want %v", k, got, want)
+				}
+			}
+			for k := range tc.obj {
+				if _, ok := tc.want[k]; !ok {
+					t.Errorf("unexpected field %q — extend the schema test if this is intentional", k)
+				}
+			}
+		})
+	}
+
+	// A live finding must not carry a reason field at all.
+	if _, ok := decoded[0]["reason"]; ok {
+		t.Errorf("live finding must omit the reason field")
+	}
+}
+
+// TestJSONEmptyRunIsArray: consumers range over the output, so an
+// empty run must render [] rather than null.
+func TestJSONEmptyRunIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintJSON(&buf, nil); err != nil {
+		t.Fatalf("PrintJSON: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty run renders %q, want []", got)
+	}
+}
+
+// TestLiveFilters checks the suppression split the exit code rests on.
+func TestLiveFilters(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "a", Message: "live"},
+		{Analyzer: "b", Message: "dead", Suppressed: true, Reason: "r"},
+		{Analyzer: "c", Message: "live too"},
+	}
+	live := Live(findings)
+	if len(live) != 2 {
+		t.Fatalf("want 2 live findings, got %d", len(live))
+	}
+	for _, f := range live {
+		if f.Suppressed {
+			t.Fatalf("Live returned a suppressed finding: %+v", f)
+		}
+	}
+}
+
+// TestPrintSkipsSuppressed: the human renderer shows only live
+// findings.
+func TestPrintSkipsSuppressed(t *testing.T) {
+	var buf bytes.Buffer
+	Print(&buf, []Finding{
+		{Analyzer: "a", Pos: token.Position{Filename: "x.go", Line: 1, Column: 1}, Message: "shown"},
+		{Analyzer: "b", Pos: token.Position{Filename: "x.go", Line: 2, Column: 1}, Message: "hidden", Suppressed: true},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "shown") || strings.Contains(out, "hidden") {
+		t.Fatalf("Print output wrong:\n%s", out)
+	}
+}

@@ -35,10 +35,11 @@ func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
 	if err != nil {
 		t.Fatalf("loading golden packages %v: %v", patterns, err)
 	}
-	findings, err := checker.Run(pkgs, []*analysis.Analyzer{a})
+	all, err := checker.Run(pkgs, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
+	findings := checker.Live(all)
 
 	type expect struct {
 		re      *regexp.Regexp
