@@ -11,6 +11,7 @@ import (
 	"basevictim/internal/lint/determinism"
 	"basevictim/internal/lint/exitcode"
 	"basevictim/internal/lint/hotalloc"
+	"basevictim/internal/lint/lockorder"
 )
 
 // Analyzers returns the full suite, in reporting-name order.
@@ -22,6 +23,7 @@ func Analyzers() []*analysis.Analyzer {
 		determinism.Analyzer,
 		exitcode.Analyzer,
 		hotalloc.Analyzer,
+		lockorder.Analyzer,
 	}
 }
 

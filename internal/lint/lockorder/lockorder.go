@@ -1,0 +1,515 @@
+// Package lockorder checks the mutex discipline dataflow can see: no
+// lock-order cycles across the package's acquisition graph, no mutex
+// held across a blocking operation, and no re-acquisition of a mutex
+// the path already holds.
+//
+// Lock identity is the types.Object of the mutex — the struct field or
+// package variable — so every instance of a type shares one node in
+// the acquisition graph. Held sets are computed per function with a
+// must-analysis (meet = intersection over the CFG), then stitched
+// interprocedurally through call summaries: a call to a function that
+// may block is as bad as blocking inline, and a call that transitively
+// acquires a mutex draws the same order edge an inline Lock would.
+//
+// sync.Cond.Wait is exempt in the function that calls it — Wait
+// releases the mutex while parked, which is the whole point of the
+// queue.pop idiom — but a function that calls Wait is still "may
+// block" for its callers.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"basevictim/internal/lint/analysis"
+	"basevictim/internal/lint/ir"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "mutexes must be acquired in one global order, never re-acquired on a holding path, and never held across blocking operations",
+	Run:  run,
+}
+
+// held is the must-held lock set flowing through a CFG.
+type held map[types.Object]bool
+
+type runner struct {
+	pass *analysis.Pass
+	ir   *ir.Package
+
+	// mayBlock marks functions containing a blocking operation, directly
+	// or through an in-package callee. Cond.Wait counts here (it blocks
+	// the caller's caller) even though it is exempt intraprocedurally.
+	mayBlock map[*ir.Func]bool
+	// acquires is the transitive closure of locks a function may take.
+	acquires map[*ir.Func]held
+
+	// order records acquisition edges: while holding `from`, `to` was
+	// acquired. One witness site per edge.
+	order map[types.Object]map[types.Object]token.Pos
+
+	// siteCallee resolves call sites to their in-package targets
+	// (ViaArg edges excluded — passing a literal is not calling it).
+	siteCallee map[*ast.CallExpr]*ir.Func
+}
+
+func run(pass *analysis.Pass) error {
+	r := &runner{
+		pass:       pass,
+		ir:         ir.Of(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo),
+		mayBlock:   make(map[*ir.Func]bool),
+		acquires:   make(map[*ir.Func]held),
+		order:      make(map[types.Object]map[types.Object]token.Pos),
+		siteCallee: make(map[*ast.CallExpr]*ir.Func),
+	}
+	for _, f := range r.ir.Funcs {
+		for _, c := range r.ir.CallsFrom(f) {
+			if !c.ViaArg && c.Callee != nil {
+				r.siteCallee[c.Site] = c.Callee
+			}
+		}
+	}
+	r.buildSummaries()
+	for _, f := range r.ir.Funcs {
+		r.checkFunc(f)
+	}
+	r.reportCycles()
+	return nil
+}
+
+// buildSummaries computes mayBlock and transitive acquires to a fixed
+// point over the in-package call graph.
+func (r *runner) buildSummaries() {
+	for _, f := range r.ir.Funcs {
+		acq := make(held)
+		for _, blk := range f.Blocks {
+			for i, n := range blk.Nodes {
+				comm := isCommAtom(blk, i)
+				ir.Walk(n, func(c ast.Node) bool {
+					if skipAsync(c) {
+						return false
+					}
+					if obj, kind := r.lockOp(c); kind == opLock || kind == opRLock {
+						acq[obj] = true
+					}
+					if !comm && (r.directBlocker(c) != "" || isCondWait(r.callee(c))) {
+						r.mayBlock[f] = true
+					}
+					return true
+				})
+			}
+		}
+		r.acquires[f] = acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range r.ir.Funcs {
+			for _, call := range r.ir.CallsFrom(f) {
+				if call.Callee == nil {
+					continue
+				}
+				if r.mayBlock[call.Callee] && !r.mayBlock[f] {
+					r.mayBlock[f] = true
+					changed = true
+				}
+				for obj := range r.acquires[call.Callee] {
+					if !r.acquires[f][obj] {
+						r.acquires[f][obj] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkFunc runs the must-held dataflow over f and reports blocking
+// operations and re-locks against the flowing held set, recording
+// order edges as it goes.
+func (r *runner) checkFunc(f *ir.Func) {
+	top := func() held { return held{topMark: true} }
+	meet := func(a, b held) held {
+		if a[topMark] {
+			out := make(held, len(b))
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		}
+		for k := range a {
+			if !b[k] {
+				delete(a, k)
+			}
+		}
+		return a
+	}
+	clone := func(s held) held {
+		out := make(held, len(s))
+		for k := range s {
+			out[k] = true
+		}
+		return out
+	}
+	equal := func(a, b held) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	// transfer applies lock/unlock effects only; the reporting walk
+	// below re-traverses each block with the solved entry states.
+	transfer := func(blk *ir.Block, s held) held {
+		r.walkBlock(blk, s, nil)
+		return s
+	}
+	in := ir.Forward(f, held{}, top, meet, transfer, clone, equal)
+
+	for _, blk := range f.Blocks {
+		state, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		r.walkBlock(blk, clone(state), f)
+	}
+}
+
+// topMark distinguishes the unvisited lattice top from the empty held
+// set; meet erases it on first contact.
+var topMark types.Object = types.NewLabel(token.NoPos, nil, "⊤")
+
+// walkBlock applies each atom's lock effects to state in order. When
+// report is non-nil it also checks blocking operations, re-locks and
+// order edges against the in-flight state.
+func (r *runner) walkBlock(blk *ir.Block, state held, report *ir.Func) {
+	for i, n := range blk.Nodes {
+		// A select's comm statement does not block on its own: the
+		// select atom (in the predecessor block) already represents the
+		// wait, and a select with a default never parks.
+		comm := isCommAtom(blk, i)
+		ir.Walk(n, func(c ast.Node) bool {
+			if skipAsync(c) {
+				return false
+			}
+			if obj, kind := r.lockOp(c); obj != nil {
+				switch kind {
+				case opLock, opRLock:
+					if report != nil {
+						if state[obj] && kind == opLock {
+							r.pass.Reportf(c.Pos(), "mutex %s locked again on a path that already holds it (self-deadlock)", lockName(obj))
+						}
+						for from := range state {
+							if from != obj {
+								r.addEdge(from, obj, c.Pos())
+							}
+						}
+					}
+					state[obj] = true
+				case opUnlock:
+					delete(state, obj)
+				}
+				return true
+			}
+			if report == nil {
+				return true
+			}
+			if len(state) > 0 && !comm {
+				if what := r.directBlocker(c); what != "" {
+					r.pass.Reportf(c.Pos(), "%s while holding mutex %s: lock held across a blocking operation", what, heldNames(state))
+				}
+			}
+			if call, ok := c.(*ast.CallExpr); ok {
+				r.checkCallSite(call, state)
+			}
+			return true
+		})
+	}
+}
+
+// isCommAtom reports whether atom i of blk is a select case's comm
+// statement (always atom 0 of a select.case block when present).
+func isCommAtom(blk *ir.Block, i int) bool {
+	return blk.Kind == "select.case" && i == 0
+}
+
+// checkCallSite applies callee summaries at a call: held + callee may
+// block → finding; held + callee acquires → order edges (and self-
+// deadlock when it re-acquires a held one).
+func (r *runner) checkCallSite(call *ast.CallExpr, state held) {
+	if len(state) == 0 {
+		return
+	}
+	target := r.siteCallee[call]
+	if target == nil {
+		return
+	}
+	if r.mayBlock[target] {
+		r.pass.Reportf(call.Pos(), "call to %s while holding mutex %s: the callee may block", target.Name, heldNames(state))
+	}
+	for obj := range r.acquires[target] {
+		if state[obj] {
+			r.pass.Reportf(call.Pos(), "call to %s while holding mutex %s: the callee locks it again (self-deadlock)", target.Name, lockName(obj))
+			continue
+		}
+		for from := range state {
+			r.addEdge(from, obj, call.Pos())
+		}
+	}
+}
+
+func (r *runner) addEdge(from, to types.Object, pos token.Pos) {
+	m := r.order[from]
+	if m == nil {
+		m = make(map[types.Object]token.Pos)
+		r.order[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+// reportCycles finds cycles in the acquisition graph and reports each
+// once, at its lexically first witness edge.
+func (r *runner) reportCycles() {
+	nodes := make([]types.Object, 0, len(r.order))
+	for n := range r.order {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return lockName(nodes[i]) < lockName(nodes[j]) })
+
+	reported := make(map[string]bool)
+	for _, start := range nodes {
+		if cycle := r.findCycle(start); cycle != nil {
+			key := cycleKey(cycle)
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			pos := r.order[cycle[0]][cycle[1%len(cycle)]]
+			names := make([]string, 0, len(cycle)+1)
+			for _, n := range cycle {
+				names = append(names, lockName(n))
+			}
+			names = append(names, lockName(cycle[0]))
+			r.pass.Reportf(pos, "lock-order cycle: %s — these mutexes are acquired in conflicting orders", strings.Join(names, " -> "))
+		}
+	}
+}
+
+// findCycle DFSes from start and returns a cycle through start, or nil.
+func (r *runner) findCycle(start types.Object) []types.Object {
+	var path []types.Object
+	onPath := make(map[types.Object]bool)
+	var dfs func(n types.Object) []types.Object
+	dfs = func(n types.Object) []types.Object {
+		path = append(path, n)
+		onPath[n] = true
+		succs := make([]types.Object, 0, len(r.order[n]))
+		for s := range r.order[n] {
+			succs = append(succs, s)
+		}
+		sort.Slice(succs, func(i, j int) bool { return lockName(succs[i]) < lockName(succs[j]) })
+		for _, s := range succs {
+			if s == start {
+				out := make([]types.Object, len(path))
+				copy(out, path)
+				return out
+			}
+			if !onPath[s] {
+				if c := dfs(s); c != nil {
+					return c
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[n] = false
+		return nil
+	}
+	return dfs(start)
+}
+
+// cycleKey canonicalizes a cycle to its rotation starting at the
+// smallest name, so each cycle reports once regardless of entry node.
+func cycleKey(cycle []types.Object) string {
+	names := make([]string, len(cycle))
+	min := 0
+	for i, n := range cycle {
+		names[i] = lockName(n)
+		if names[i] < names[min] {
+			min = i
+		}
+	}
+	var b strings.Builder
+	for i := range names {
+		b.WriteString(names[(min+i)%len(names)])
+		b.WriteString(">")
+	}
+	return b.String()
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opRLock
+	opUnlock
+)
+
+// lockOp recognizes mu.Lock / mu.RLock / mu.Unlock / mu.RUnlock calls
+// on sync.Mutex and sync.RWMutex and resolves the mutex's identity.
+func (r *runner) lockOp(n ast.Node) (types.Object, lockOpKind) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil, opNone
+	}
+	fn := r.callee(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, opNone
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, opNone
+	}
+	recvType := sig.Recv().Type().String()
+	if !strings.HasSuffix(recvType, "sync.Mutex") && !strings.HasSuffix(recvType, "sync.RWMutex") {
+		return nil, opNone
+	}
+	var kind lockOpKind
+	switch fn.Name() {
+	case "Lock":
+		kind = opLock
+	case "RLock":
+		kind = opRLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return nil, opNone // TryLock acquires only conditionally
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, opNone
+	}
+	obj := r.ir.ObjectOf(sel.X)
+	if obj == nil {
+		return nil, opNone
+	}
+	return obj, kind
+}
+
+func (r *runner) callee(n ast.Node) *types.Func {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	return r.pass.CalleeFunc(call)
+}
+
+// directBlocker names the blocking operation n performs inline, or "".
+func (r *runner) directBlocker(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			return "channel receive"
+		}
+	case *ast.SelectStmt:
+		for _, cc := range n.Body.List {
+			if cc.(*ast.CommClause).Comm == nil {
+				return "" // has a default: non-blocking
+			}
+		}
+		return "select"
+	case *ast.RangeStmt:
+		if tv, ok := r.pass.TypesInfo.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return "range over channel"
+			}
+		}
+	case *ast.CallExpr:
+		fn := r.callee(n)
+		if fn == nil || fn.Pkg() == nil {
+			return ""
+		}
+		if name := blockingCallName(fn); name != "" {
+			return "call to " + name
+		}
+	}
+	return ""
+}
+
+// blockingCallName matches the stdlib operations that park the calling
+// goroutine: WaitGroup.Wait, time.Sleep, HTTP round trips, subprocess
+// waits and listener accepts.
+func blockingCallName(fn *types.Func) string {
+	pkg := fn.Pkg().Path()
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv = sig.Recv().Type().String()
+	}
+	name := fn.Name()
+	switch {
+	case pkg == "sync" && strings.HasSuffix(recv, "sync.WaitGroup") && name == "Wait":
+		return "sync.WaitGroup.Wait"
+	case pkg == "time" && recv == "" && name == "Sleep":
+		return "time.Sleep"
+	case pkg == "net/http" && strings.HasSuffix(recv, "http.Client") &&
+		(name == "Do" || name == "Get" || name == "Post" || name == "PostForm" || name == "Head"):
+		return "http.Client." + name
+	case pkg == "net/http" && name == "RoundTrip":
+		return "http.RoundTrip"
+	case pkg == "os/exec" && strings.HasSuffix(recv, "exec.Cmd") &&
+		(name == "Run" || name == "Wait" || name == "Output" || name == "CombinedOutput"):
+		return "exec.Cmd." + name
+	case pkg == "net" && name == "Accept":
+		return "net.Accept"
+	}
+	return ""
+}
+
+func isCondWait(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Wait" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && strings.HasSuffix(sig.Recv().Type().String(), "sync.Cond")
+}
+
+// skipAsync prunes the subtrees whose calls do not run at this point:
+// go statements spawn, defer statements run at return.
+func skipAsync(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		return true
+	}
+	return false
+}
+
+// lockName renders a mutex identity for diagnostics: field names carry
+// no type context in go/types, so the name plus kind must do.
+func lockName(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return fmt.Sprintf("%q (field)", obj.Name())
+	}
+	return fmt.Sprintf("%q", obj.Name())
+}
+
+// heldNames renders the held set deterministically for messages.
+func heldNames(state held) string {
+	names := make([]string, 0, len(state))
+	for obj := range state {
+		names = append(names, lockName(obj))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"basevictim/internal/lint/linttest"
+	"basevictim/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "a")
+}

@@ -1,0 +1,149 @@
+// Golden package for the lockorder analyzer. The reordered lock pair
+// below is the seeded regression from the cluster forwarder incident:
+// two paths taking the same two mutexes in opposite orders.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type pair struct {
+	a, b sync.Mutex
+}
+
+func lockAB(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // want `lock-order cycle: "a" \(field\) -> "b" \(field\) -> "a" \(field\)`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sendWhileHolding(g *guarded) {
+	g.mu.Lock()
+	g.ch <- 1 // want `channel send while holding mutex "mu" \(field\)`
+	g.mu.Unlock()
+}
+
+func sleepWhileHolding(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `call to time.Sleep while holding mutex`
+}
+
+func sendAfterUnlock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.ch <- 1 // ok: released before the send
+}
+
+func relock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Lock() // want `locked again on a path that already holds it`
+	g.mu.Unlock()
+}
+
+func branchMerge(g *guarded, c bool) {
+	if c {
+		g.mu.Lock()
+	}
+	g.ch <- 1 // ok: not held on every path (must-analysis)
+	if c {
+		g.mu.Unlock()
+	}
+}
+
+func blocksInside(g *guarded) {
+	g.ch <- 2
+}
+
+func callsBlockerWhileHolding(g *guarded) {
+	g.mu.Lock()
+	blocksInside(g) // want `the callee may block`
+	g.mu.Unlock()
+}
+
+func locksMu(g *guarded) {
+	g.mu.Lock()
+	g.mu.Unlock()
+}
+
+func callsLockerWhileHolding(g *guarded) {
+	g.mu.Lock()
+	locksMu(g) // want `the callee locks it again`
+	g.mu.Unlock()
+}
+
+func selectWhileHolding(g *guarded) {
+	g.mu.Lock()
+	select { // want `select while holding mutex`
+	case v := <-g.ch:
+		_ = v
+	case g.ch <- 9:
+	}
+	g.mu.Unlock()
+}
+
+func selectDefaultOK(g *guarded) {
+	g.mu.Lock()
+	select {
+	case v := <-g.ch:
+		_ = v
+	default:
+	}
+	g.mu.Unlock()
+}
+
+func rangeWhileHolding(g *guarded) {
+	g.mu.Lock()
+	for v := range g.ch { // want `range over channel while holding mutex`
+		_ = v
+	}
+	g.mu.Unlock()
+}
+
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (q *queue) pop() int {
+	q.mu.Lock()
+	for q.n == 0 {
+		q.cond.Wait() // ok: Wait releases the mutex while parked
+	}
+	q.n--
+	q.mu.Unlock()
+	return q.n
+}
+
+type wrap struct {
+	wmu sync.Mutex
+	q   queue
+}
+
+func (w *wrap) drain() int {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return w.q.pop() // want `the callee may block`
+}
+
+func suppressed(g *guarded) {
+	g.mu.Lock()
+	//lint:allow lockorder the channel is buffered a level above and sized for the worst burst
+	g.ch <- 3
+	g.mu.Unlock()
+}
