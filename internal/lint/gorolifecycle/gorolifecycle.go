@@ -1,0 +1,315 @@
+// Package gorolifecycle checks that every spawned goroutine has a
+// bounded exit. A goroutine leak is a quiet failure mode: the process
+// keeps its memory, its timers and often a lock, and nothing fails
+// until a soak test or production does.
+//
+// The analyzer resolves each go statement's target through the ir call
+// graph (literals, declared functions, sole-definition function
+// variables) and checks the target and everything it can reach
+// in-package for three hazards:
+//
+//   - a region of the CFG from which the function exit is unreachable
+//     (for {} without break, select {} with no escaping case) — the
+//     goroutine structurally runs forever;
+//   - a range over a channel that no one in the package ever closes
+//     and with no context-done escape — the loop can never end;
+//   - a send on an unbuffered channel that no one in the package
+//     receives from, with no context-done or WaitGroup discipline —
+//     the goroutine blocks forever on its first send.
+//
+// External targets are opaque, so they are findings too — except the
+// net/http server entry points, which terminate when their listener
+// closes. Intentional process-lifetime daemons are expected to carry a
+// //lint:allow gorolifecycle directive saying why they are immortal.
+package gorolifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"basevictim/internal/lint/analysis"
+	"basevictim/internal/lint/ir"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "gorolifecycle",
+	Doc:  "every go statement must have a bounded exit: a reachable return, a context-done escape, a closed-channel sentinel, or a drained channel",
+	Run:  run,
+}
+
+type runner struct {
+	pass *analysis.Pass
+	ir   *ir.Package
+
+	// closed holds every channel object passed to close() anywhere in
+	// the package; drained holds every channel object received from or
+	// ranged over anywhere in the package.
+	closed  map[types.Object]bool
+	drained map[types.Object]bool
+
+	facts map[*ir.Func]*funcFacts
+
+	// reported dedups findings when several go statements reach the
+	// same hazard site.
+	reported map[token.Pos]bool
+}
+
+// funcFacts are the per-function observations the goroutine check
+// aggregates over the spawned function's reachable set.
+type funcFacts struct {
+	// forever is a block from which the function exit is unreachable,
+	// nil if every reachable block can return.
+	forever *ir.Block
+	// ranges lists channel objects ranged over, with the range position.
+	ranges map[types.Object]token.Pos
+	// sends lists channel objects sent to, with the send position.
+	sends map[types.Object]token.Pos
+	// ctxDone: the function consults ctx.Done()/ctx.Err().
+	ctxDone bool
+	// wgDone: the function signals a sync.WaitGroup.
+	wgDone bool
+}
+
+func run(pass *analysis.Pass) error {
+	r := &runner{
+		pass:     pass,
+		ir:       ir.Of(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo),
+		closed:   make(map[types.Object]bool),
+		drained:  make(map[types.Object]bool),
+		facts:    make(map[*ir.Func]*funcFacts),
+		reported: make(map[token.Pos]bool),
+	}
+	for _, f := range r.ir.Funcs {
+		r.collectFacts(f)
+	}
+	for _, f := range r.ir.Funcs {
+		for _, blk := range f.Blocks {
+			for _, n := range blk.Nodes {
+				ir.Walk(n, func(c ast.Node) bool {
+					if g, ok := c.(*ast.GoStmt); ok {
+						r.checkGo(g)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// collectFacts records one function's channel operations, lifecycle
+// witnesses and CFG exit-reachability, and feeds the package-wide
+// closed/drained sets.
+func (r *runner) collectFacts(f *ir.Func) {
+	ff := &funcFacts{
+		ranges: make(map[types.Object]token.Pos),
+		sends:  make(map[types.Object]token.Pos),
+	}
+	r.facts[f] = ff
+
+	for _, blk := range f.Blocks {
+		for _, n := range blk.Nodes {
+			ir.Walk(n, func(c ast.Node) bool {
+				switch c := c.(type) {
+				case *ast.RangeStmt:
+					if obj := r.chanObj(c.X); obj != nil {
+						ff.ranges[obj] = c.Pos()
+						r.drained[obj] = true
+					}
+				case *ast.SendStmt:
+					if obj := r.chanObj(c.Chan); obj != nil {
+						ff.sends[obj] = c.Pos()
+					}
+				case *ast.UnaryExpr:
+					if c.Op == token.ARROW {
+						if obj := r.chanObj(c.X); obj != nil {
+							r.drained[obj] = true
+						}
+					}
+				case *ast.CallExpr:
+					r.callFacts(c, ff)
+				}
+				return true
+			})
+		}
+	}
+	ff.forever = foreverBlock(f)
+}
+
+func (r *runner) callFacts(call *ast.CallExpr, ff *funcFacts) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := r.ir.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "close" && len(call.Args) == 1 {
+			if obj := r.chanObj(call.Args[0]); obj != nil {
+				r.closed[obj] = true
+			}
+			return
+		}
+	}
+	fn := r.pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recv := sig.Recv().Type().String()
+	switch {
+	case fn.Pkg().Path() == "context" && strings.HasSuffix(recv, "context.Context") &&
+		(fn.Name() == "Done" || fn.Name() == "Err"):
+		ff.ctxDone = true
+	case fn.Pkg().Path() == "sync" && strings.HasSuffix(recv, "sync.WaitGroup") && fn.Name() == "Done":
+		ff.wgDone = true
+	}
+}
+
+func (r *runner) chanObj(e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	tv, ok := r.ir.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	return r.ir.ObjectOf(e)
+}
+
+// foreverBlock returns a reachable block from which Exit cannot be
+// reached, or nil when every reachable block can return.
+func foreverBlock(f *ir.Func) *ir.Block {
+	canExit := make(map[*ir.Block]bool)
+	canExit[f.Exit] = true
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if canExit[b] {
+				continue
+			}
+			for _, s := range b.Succs {
+				if canExit[s] {
+					canExit[b] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	seen := map[*ir.Block]bool{f.Entry: true}
+	work := []*ir.Block{f.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		if !canExit[b] {
+			return b
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return nil
+}
+
+// reachable returns the in-package functions the goroutine body can
+// execute: the target plus everything reachable over call edges
+// (ViaArg included — a literal handed to a runner is executed).
+func (r *runner) reachable(root *ir.Func) []*ir.Func {
+	seen := map[*ir.Func]bool{root: true}
+	order := []*ir.Func{root}
+	for i := 0; i < len(order); i++ {
+		for _, c := range r.ir.CallsFrom(order[i]) {
+			if c.Callee != nil && !seen[c.Callee] {
+				seen[c.Callee] = true
+				order = append(order, c.Callee)
+			}
+		}
+	}
+	return order
+}
+
+func (r *runner) checkGo(g *ast.GoStmt) {
+	target, ext := r.ir.GoTarget(g)
+	if target == nil {
+		if ext != nil {
+			if ext.Pkg() != nil && ext.Pkg().Path() == "net/http" {
+				return // server loops end when their listener closes
+			}
+			name := ext.Name()
+			if ext.Pkg() != nil {
+				name = ext.Pkg().Path() + "." + name
+			}
+			r.pass.Reportf(g.Pos(), "goroutine runs external function %s: bvlint cannot see its exit; wrap it or suppress with the lifecycle argument", name)
+			return
+		}
+		r.pass.Reportf(g.Pos(), "goroutine target cannot be resolved statically; give the spawn a bounded exit bvlint can see")
+		return
+	}
+
+	funcs := r.reachable(target)
+	var ctxDone, wgDone bool
+	for _, f := range funcs {
+		ctxDone = ctxDone || r.facts[f].ctxDone
+		wgDone = wgDone || r.facts[f].wgDone
+	}
+
+	for _, f := range funcs {
+		ff := r.facts[f]
+		if ff.forever != nil {
+			r.pass.Reportf(g.Pos(), "goroutine leak: %s loops with no path to return (no break, no context-done escape); bound its exit or suppress with the daemon's lifetime argument", f.Name)
+			break
+		}
+	}
+
+	for _, f := range funcs {
+		for obj, pos := range r.facts[f].ranges {
+			if r.closed[obj] || ctxDone || r.reported[pos] {
+				continue
+			}
+			r.reported[pos] = true
+			r.pass.Reportf(pos, "goroutine leak: %s ranges over channel %q but nothing in the package closes it and there is no context-done escape", f.Name, obj.Name())
+		}
+	}
+
+	for _, f := range funcs {
+		for obj, pos := range r.facts[f].sends {
+			if r.drained[obj] || ctxDone || wgDone || r.reported[pos] {
+				continue
+			}
+			if !r.unbuffered(obj) {
+				continue
+			}
+			r.reported[pos] = true
+			r.pass.Reportf(pos, "goroutine leak: send on unbuffered channel %q that nothing in the package receives from; the goroutine blocks forever at its first send", obj.Name())
+		}
+	}
+}
+
+// unbuffered reports whether obj's sole definition is a make(chan T)
+// with no capacity (or capacity 0). Unresolvable channels are assumed
+// buffered — the analyzer only flags what it can prove.
+func (r *runner) unbuffered(obj types.Object) bool {
+	def := r.ir.SoleDef(obj)
+	call, ok := ast.Unparen(def).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := r.ir.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) < 2 {
+		return true
+	}
+	tv, ok := r.ir.Info.Types[call.Args[1]]
+	return ok && tv.Value != nil && tv.Value.String() == "0"
+}

@@ -1,0 +1,12 @@
+package gorolifecycle_test
+
+import (
+	"testing"
+
+	"basevictim/internal/lint/gorolifecycle"
+	"basevictim/internal/lint/linttest"
+)
+
+func TestGoroLifecycle(t *testing.T) {
+	linttest.Run(t, gorolifecycle.Analyzer, "a")
+}

@@ -1,0 +1,131 @@
+// Golden package for the gorolifecycle analyzer. leakedWorker is the
+// seeded regression: the worker-pool goroutine that outlived its pool
+// because nothing ever told it to stop.
+package a
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+func leakedWorker(jobs chan int) {
+	go func() { // want `loops with no path to return`
+		for {
+			<-jobs
+		}
+	}()
+}
+
+func ctxWorker(ctx context.Context, jobs chan int) {
+	go func() { // ok: the context case returns
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func stopChanWorker(stop chan struct{}, jobs chan int) {
+	go func() { // ok: the stop case returns
+		for {
+			select {
+			case <-stop:
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+	close(stop)
+}
+
+func rangeUnclosed(jobs chan int) {
+	go func() {
+		for j := range jobs { // want `ranges over channel "jobs" but nothing in the package closes it`
+			_ = j
+		}
+	}()
+}
+
+func rangeClosed() {
+	jobs := make(chan int)
+	go func() {
+		for j := range jobs { // ok: closed below
+			_ = j
+		}
+	}()
+	jobs <- 1
+	close(jobs)
+}
+
+func sendNoDrain() {
+	results := make(chan int)
+	go func() {
+		results <- 42 // want `send on unbuffered channel "results" that nothing in the package receives from`
+	}()
+}
+
+func sendWithDrain() int {
+	lines := make(chan int)
+	go func() {
+		lines <- 1 // ok: the parent ranges over it
+		close(lines)
+	}()
+	total := 0
+	for v := range lines {
+		total += v
+	}
+	return total
+}
+
+func bufferedSend() {
+	done := make(chan int, 2)
+	go func() {
+		done <- 1 // ok: buffered, fire-and-forget
+	}()
+}
+
+func wgSend(wg *sync.WaitGroup) {
+	out := make(chan int)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out <- 7 // ok: WaitGroup-joined lifecycle
+	}()
+}
+
+func loopForever() {
+	for {
+	}
+}
+
+func spawnDecl() {
+	go loopForever() // want `loopForever loops with no path to return`
+}
+
+func external() {
+	go time.Sleep(time.Second) // want `external function time.Sleep`
+}
+
+func serveHTTP(srv *http.Server, ln net.Listener) {
+	go srv.Serve(ln) // ok: net/http servers end when their listener closes
+}
+
+func dynamic(fns []func()) {
+	go fns[0]() // want `cannot be resolved statically`
+}
+
+func immortalDaemon() {
+	//lint:allow gorolifecycle metrics pump is process-lifetime by design, dies with the process
+	go func() {
+		for {
+		}
+	}()
+}

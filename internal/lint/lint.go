@@ -10,6 +10,7 @@ import (
 	"basevictim/internal/lint/ctxflow"
 	"basevictim/internal/lint/determinism"
 	"basevictim/internal/lint/exitcode"
+	"basevictim/internal/lint/gorolifecycle"
 	"basevictim/internal/lint/hotalloc"
 	"basevictim/internal/lint/lockorder"
 )
@@ -22,6 +23,7 @@ func Analyzers() []*analysis.Analyzer {
 		ctxflow.Analyzer,
 		determinism.Analyzer,
 		exitcode.Analyzer,
+		gorolifecycle.Analyzer,
 		hotalloc.Analyzer,
 		lockorder.Analyzer,
 	}

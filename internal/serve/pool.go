@@ -237,6 +237,7 @@ func (pl *pool) attempt(ctx context.Context, trace string, cfg sim.Config) (res 
 	// reap drains the reader goroutine and collects the process; every
 	// exit path must go through it or the pipe goroutine leaks.
 	reap := func() error {
+		//lint:allow gorolifecycle one-shot pipe Close returns promptly; it exists to unblock the scanner goroutine
 		go stdout.Close() //nolint:errcheck // unblocks the scanner if the worker never closes its end
 		for range lines {
 		}
