@@ -1,0 +1,278 @@
+// Package errchain protects the error-identity contract behind the
+// cliexit exit-code mapping: a *check.Violation or *sim.RunPanicError
+// anywhere in a wrapped chain is what turns a run failure into exit 3
+// (violation) instead of exit 1. That only works while every wrap
+// preserves the chain — fmt.Errorf with %v, or re-creating the error
+// from its string, silently downgrades a violation to an ordinary
+// error and the process exits with the wrong code.
+//
+// The analyzer taints error values that originate — through the ir
+// def-use chains — from calls into basevictim/internal/check or
+// basevictim/internal/sim, or into any package that transitively
+// imports them (their errors may wrap a Violation). A tainted error
+// formatted by fmt.Errorf under any verb but %w, or stringified via
+// .Error() into a new error, is a finding.
+package errchain
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"basevictim/internal/lint/analysis"
+	"basevictim/internal/lint/ir"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errchain",
+	Doc:  "errors that may carry a check.Violation or sim.RunPanicError must propagate via %w or direct return, never %v or .Error() re-wrapping",
+	Run:  run,
+}
+
+// carrierPaths are the packages whose errors carry exit-code identity.
+var carrierPaths = map[string]bool{
+	"basevictim/internal/check": true,
+	"basevictim/internal/sim":   true,
+}
+
+type runner struct {
+	pass *analysis.Pass
+	ir   *ir.Package
+
+	// reaches memoizes "this package is, or transitively imports, a
+	// carrier package" — resolvable for every dependency because export
+	// data loads the full import closure.
+	reaches map[*types.Package]bool
+}
+
+func run(pass *analysis.Pass) error {
+	r := &runner{
+		pass:    pass,
+		ir:      ir.Of(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo),
+		reaches: make(map[*types.Package]bool),
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if r.pass.IsPkgCall(call, "fmt", "Errorf") {
+			r.checkErrorf(call)
+		}
+		if r.pass.IsPkgCall(call, "errors", "New") {
+			r.checkErrorsNew(call)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkErrorf maps format verbs to arguments and flags tainted error
+// values formatted under anything but %w, plus tainted .Error() calls
+// under any verb.
+func (r *runner) checkErrorf(call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := r.constString(call.Args[0])
+	verbs, mapped := verbsOf(format)
+	for i, arg := range call.Args[1:] {
+		if src := r.taintedErrorCall(arg); src != "" {
+			r.pass.Reportf(arg.Pos(), "%s-derived error stringified with .Error() inside fmt.Errorf: the Violation identity is destroyed; wrap the error itself with %%w", src)
+			continue
+		}
+		if !ok || !mapped || i >= len(verbs) {
+			continue
+		}
+		if verbs[i] == 'w' {
+			continue
+		}
+		if src := r.taintedError(arg, 4, nil); src != "" {
+			r.pass.Reportf(arg.Pos(), "error from %s formatted with %%%c: use %%w so errors.As can still find the check/sim identity in the chain", src, verbs[i])
+		}
+	}
+}
+
+// checkErrorsNew flags errors.New over a tainted error's .Error()
+// string (with or without further formatting).
+func (r *runner) checkErrorsNew(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	var found string
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if inner, ok := n.(*ast.CallExpr); ok {
+			if src := r.taintedErrorCall(inner); src != "" {
+				found = src
+				return false
+			}
+		}
+		return true
+	})
+	if found != "" {
+		r.pass.Reportf(call.Pos(), "errors.New over a %s-derived error's string: the Violation identity is destroyed; propagate the original error", found)
+	}
+}
+
+// taintedErrorCall reports whether e is (or contains at its root) a
+// .Error() call on a tainted error value, returning the taint source.
+func (r *runner) taintedErrorCall(e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return ""
+	}
+	if !isErrorType(r.typeOf(sel.X)) {
+		return ""
+	}
+	return r.taintedError(sel.X, 4, nil)
+}
+
+// taintedError resolves whether the error-typed expression e may have
+// originated from a carrier-reaching call, following def-use chains up
+// to depth hops. It returns the source package path, or "".
+func (r *runner) taintedError(e ast.Expr, depth int, seen map[types.Object]bool) string {
+	if depth == 0 || e == nil {
+		return ""
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := r.pass.CalleeFunc(e)
+		if fn == nil {
+			return ""
+		}
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return ""
+		}
+		if r.reachesCarrier(pkg) && returnsError(fn) {
+			return pkg.Path()
+		}
+	case *ast.Ident:
+		obj := r.ir.Info.Uses[e]
+		if obj == nil {
+			obj = r.ir.Info.Defs[e]
+		}
+		if obj == nil || !isErrorType(obj.Type()) {
+			return ""
+		}
+		if seen[obj] {
+			return ""
+		}
+		if seen == nil {
+			seen = make(map[types.Object]bool)
+		}
+		seen[obj] = true
+		for _, d := range r.ir.DefsOf(obj) {
+			rhs := d.RHS
+			if rhs == nil {
+				// `v, err := f()` records no per-object RHS; the single
+				// call on the right is still the error's origin.
+				if a, ok := d.Site.(*ast.AssignStmt); ok && len(a.Rhs) == 1 {
+					rhs = a.Rhs[0]
+				}
+			}
+			if rhs == nil {
+				continue
+			}
+			if src := r.taintedError(rhs, depth-1, seen); src != "" {
+				return src
+			}
+		}
+	}
+	return ""
+}
+
+// reachesCarrier walks the package's import closure once, memoized.
+func (r *runner) reachesCarrier(pkg *types.Package) bool {
+	if v, ok := r.reaches[pkg]; ok {
+		return v
+	}
+	r.reaches[pkg] = false // cut import cycles (impossible in Go, cheap anyway)
+	v := carrierPaths[pkg.Path()]
+	if !v {
+		for _, imp := range pkg.Imports() {
+			if r.reachesCarrier(imp) {
+				v = true
+				break
+			}
+		}
+	}
+	r.reaches[pkg] = v
+	return v
+}
+
+func (r *runner) typeOf(e ast.Expr) types.Type {
+	if tv, ok := r.ir.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (r *runner) constString(e ast.Expr) (string, bool) {
+	tv, ok := r.ir.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return t.String() == "error" || types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// verbsOf extracts the verb letter for each positional argument of a
+// Printf-style format. mapped is false when the format uses explicit
+// argument indexes ([n]) — the analyzer then stays quiet rather than
+// guess.
+func verbsOf(format string) (verbs []byte, mapped bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i < len(format) && (format[i] == '[' || format[i] == '*') {
+			// Indexed or star-width formats shift the verb/argument
+			// correspondence; stay quiet rather than guess.
+			return nil, false
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}

@@ -1,0 +1,12 @@
+package errchain_test
+
+import (
+	"testing"
+
+	"basevictim/internal/lint/errchain"
+	"basevictim/internal/lint/linttest"
+)
+
+func TestErrChain(t *testing.T) {
+	linttest.Run(t, errchain.Analyzer, "a")
+}

@@ -1,0 +1,72 @@
+// Golden package for the errchain analyzer. The seeded regression is
+// direct(): fmt.Errorf("%v", err) on a Violation-carrying path — the
+// wrap that silently turned exit 3 into exit 1.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"basevictim/internal/check"
+	"mid"
+)
+
+func direct() error {
+	if err := check.Verify(); err != nil {
+		return fmt.Errorf("verify: %v", err) // want `formatted with %v: use %w`
+	}
+	return nil
+}
+
+func wrapped() error {
+	if err := check.Verify(); err != nil {
+		return fmt.Errorf("verify: %w", err) // ok
+	}
+	return nil
+}
+
+func viaMid() error {
+	err := mid.Do()
+	if err != nil {
+		return fmt.Errorf("mid: %s", err) // want `error from mid formatted with %s`
+	}
+	return nil
+}
+
+func stringified() error {
+	err := check.Verify()
+	if err != nil {
+		return errors.New(err.Error()) // want `errors.New over a basevictim/internal/check-derived error`
+	}
+	return nil
+}
+
+func errorfStringified() error {
+	err := check.Verify()
+	if err != nil {
+		return fmt.Errorf("boom: %s", err.Error()) // want `stringified with \.Error\(\) inside fmt\.Errorf`
+	}
+	return nil
+}
+
+func untainted(err error) error {
+	return fmt.Errorf("outer: %v", err) // ok: a parameter's origin is unknown
+}
+
+func plainErrors() error {
+	err := errors.New("plain")
+	return fmt.Errorf("x: %v", err) // ok: errors does not reach check/sim
+}
+
+func directReturn() error {
+	return check.Verify() // ok: direct propagation keeps the chain
+}
+
+func suppressedCase() error {
+	err := check.Verify()
+	if err != nil {
+		//lint:allow errchain feeds a line-oriented operator log; the caller still gets the original via the return below
+		return fmt.Errorf("log: %v", err)
+	}
+	return nil
+}

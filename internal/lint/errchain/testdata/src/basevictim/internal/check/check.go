@@ -1,0 +1,10 @@
+// Fake of the real basevictim/internal/check package: the analyzer
+// keys taint on the import path, so the golden carrier lives at the
+// same path inside testdata.
+package check
+
+type Violation struct{ Msg string }
+
+func (v *Violation) Error() string { return v.Msg }
+
+func Verify() error { return &Violation{Msg: "bad"} }

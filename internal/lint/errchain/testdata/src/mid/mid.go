@@ -1,0 +1,7 @@
+// A package that transitively reaches the carrier: its errors may
+// wrap a Violation even though it never names one.
+package mid
+
+import "basevictim/internal/check"
+
+func Do() error { return check.Verify() }

@@ -9,6 +9,7 @@ import (
 	"basevictim/internal/lint/configkey"
 	"basevictim/internal/lint/ctxflow"
 	"basevictim/internal/lint/determinism"
+	"basevictim/internal/lint/errchain"
 	"basevictim/internal/lint/exitcode"
 	"basevictim/internal/lint/gorolifecycle"
 	"basevictim/internal/lint/hotalloc"
@@ -22,6 +23,7 @@ func Analyzers() []*analysis.Analyzer {
 		configkey.Analyzer,
 		ctxflow.Analyzer,
 		determinism.Analyzer,
+		errchain.Analyzer,
 		exitcode.Analyzer,
 		gorolifecycle.Analyzer,
 		hotalloc.Analyzer,
