@@ -14,6 +14,7 @@ import (
 	"basevictim/internal/lint/gorolifecycle"
 	"basevictim/internal/lint/hotalloc"
 	"basevictim/internal/lint/lockorder"
+	"basevictim/internal/lint/statereconcile"
 )
 
 // Analyzers returns the full suite, in reporting-name order.
@@ -28,6 +29,7 @@ func Analyzers() []*analysis.Analyzer {
 		gorolifecycle.Analyzer,
 		hotalloc.Analyzer,
 		lockorder.Analyzer,
+		statereconcile.Analyzer,
 	}
 }
 

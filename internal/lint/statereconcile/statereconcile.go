@@ -1,0 +1,163 @@
+// Package statereconcile keeps the observability surface honest: a
+// counter or gauge that no test ever asserts is a number nobody has
+// ever proven moves. The serve and cluster packages grew their metrics
+// incident by incident — admission sheds, worker kills, failovers —
+// and each one exists because some test once needed to see it. A
+// registration with no test reference is either dead telemetry or an
+// untested code path; both are findings.
+//
+// The analyzer finds every obs.Registry / obs.SyncRegistry
+// Counter/Gauge/Histogram registration in a serve- or cluster-segment
+// package, resolves the metric name (a string literal, a constant, or
+// the literal prefix of a dynamic concatenation like
+// "cluster.peer."+p+".probes"), and requires the name — or the prefix
+// — to appear inside a string literal in one of the package's own
+// _test.go files. Test files are not part of the analyzed compilation,
+// so they are read from the package directory on disk (Pass.Dir).
+package statereconcile
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"basevictim/internal/lint/analysis"
+	"basevictim/internal/lint/internal/astscope"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "statereconcile",
+	Doc:  "every obs metric registered in a serve/cluster package must be asserted (by name, or by literal prefix for dynamic names) in that package's tests",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !astscope.HasSegment(pass.Pkg.Path(), "serve", "cluster") {
+		return nil
+	}
+	if pass.Dir == "" {
+		return nil // no directory context (piped source); nothing to reconcile against
+	}
+	blob, err := testLiterals(pass.Dir)
+	if err != nil {
+		return err
+	}
+
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := registration(pass, call)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		name, prefix, ok := metricName(pass, call.Args[0])
+		if !ok {
+			return true // dynamic beyond recognition; nothing provable
+		}
+		if strings.Contains(blob, name) {
+			return true
+		}
+		if prefix {
+			pass.Reportf(call.Args[0].Pos(), "%s metrics with prefix %q are registered but never asserted in this package's tests; snapshot one by name or retire them", kind, name)
+		} else {
+			pass.Reportf(call.Args[0].Pos(), "%s %q is registered but never asserted in this package's tests; snapshot it by name or retire it", kind, name)
+		}
+		return true
+	})
+	return nil
+}
+
+// registration matches r.Counter/Gauge/Histogram where the receiver
+// type comes from an obs-segment package, and names the metric kind.
+func registration(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || !astscope.HasSegment(fn.Pkg().Path(), "obs") {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Counter":
+		return "counter", true
+	case "Gauge":
+		return "gauge", true
+	case "Histogram":
+		return "histogram", true
+	}
+	return "", false
+}
+
+// metricName statically resolves the registration's name argument: a
+// constant string yields the exact name, a concatenation with a
+// constant leftmost operand yields that prefix.
+func metricName(pass *analysis.Pass, arg ast.Expr) (name string, prefix, ok bool) {
+	if s, ok := constString(pass, arg); ok {
+		return s, false, true
+	}
+	e := ast.Unparen(arg)
+	for {
+		bin, isBin := e.(*ast.BinaryExpr)
+		if !isBin || bin.Op != token.ADD {
+			break
+		}
+		e = ast.Unparen(bin.X)
+	}
+	if s, ok := constString(pass, e); ok && s != "" {
+		return s, true, true
+	}
+	return "", false, false
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// testLiterals parses the package directory's _test.go files and
+// returns every string literal they contain, joined. Missing test
+// files are not an error — they just reconcile nothing.
+func testLiterals(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	fset := token.NewFileSet()
+	var b strings.Builder
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			continue // a broken test file fails go test, not bvlint
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				b.WriteString(s)
+				b.WriteByte('\n')
+			}
+			return true
+		})
+	}
+	return b.String(), nil
+}

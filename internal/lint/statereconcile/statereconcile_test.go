@@ -1,0 +1,12 @@
+package statereconcile_test
+
+import (
+	"testing"
+
+	"basevictim/internal/lint/linttest"
+	"basevictim/internal/lint/statereconcile"
+)
+
+func TestStateReconcile(t *testing.T) {
+	linttest.Run(t, statereconcile.Analyzer, "serve", "cluster", "other")
+}

@@ -1,0 +1,10 @@
+// A cluster-segment package with no _test.go at all: every statically
+// resolvable registration is a finding, because nothing can have
+// asserted it.
+package cluster
+
+import "obs"
+
+func register(reg *obs.Registry) *obs.Counter {
+	return reg.Counter("cluster.probes") // want `counter "cluster.probes" is registered but never asserted`
+}

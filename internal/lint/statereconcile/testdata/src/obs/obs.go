@@ -1,0 +1,25 @@
+// Fake obs registry for the statereconcile goldens: the analyzer
+// matches Counter/Gauge/Histogram methods by receiver package segment
+// ("obs"), so this stand-in at import path "obs" is indistinguishable
+// from the real basevictim/internal/obs.
+package obs
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Add(d uint64) { c.v += d }
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) { g.v = v }
+
+type Histogram struct{ bounds []uint64 }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	return &Histogram{bounds: bounds}
+}

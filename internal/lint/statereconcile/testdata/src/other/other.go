@@ -1,0 +1,9 @@
+// A package outside the serve/cluster scope: registrations here are
+// not findings even with no tests at all.
+package other
+
+import "obs"
+
+func register(reg *obs.Registry) *obs.Counter {
+	return reg.Counter("other.untested") // ok: out of scope
+}

@@ -1,0 +1,36 @@
+// Golden package for the statereconcile analyzer. The seeded
+// regression is the dynamic per-peer registration: "serve.peer."+p+
+// "...", mirroring the cluster detector metrics that shipped with no
+// test ever snapshotting them.
+package serve
+
+import "obs"
+
+const latName = "serve.latency"
+
+type metrics struct {
+	ok     *obs.Counter
+	missed *obs.Counter
+	depth  *obs.Gauge
+	lat    *obs.Histogram
+	peer   *obs.Counter
+	shed   *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry, p string) *metrics {
+	return &metrics{
+		ok:     reg.Counter("serve.ok"),                   // ok: named in serve_test.go
+		missed: reg.Counter("serve.missed"),               // want `counter "serve.missed" is registered but never asserted`
+		depth:  reg.Gauge("serve.depth"),                  // want `gauge "serve.depth" is registered but never asserted`
+		lat:    reg.Histogram(latName, []uint64{1, 2, 4}), // ok: constant resolves, named in test
+		peer:   reg.Counter("serve.peer." + p + ".hits"),  // want `metrics with prefix "serve.peer." are registered but never asserted`
+		shed:   reg.Counter(shedName(p)),                  // ok: not statically resolvable, analyzer stays quiet
+	}
+}
+
+func shedName(p string) string { return "serve.shed." + p }
+
+func suppressed(reg *obs.Registry) *obs.Gauge {
+	//lint:allow statereconcile debug-only gauge, intentionally unasserted until the scheduler lands
+	return reg.Gauge("serve.debug_depth")
+}
