@@ -76,6 +76,19 @@ func TestDrainPersistsThenServesFromDisk(t *testing.T) {
 	for !s1.draining.Load() {
 		time.Sleep(time.Millisecond)
 	}
+	// Mid-drain observability: the gauge flips to 1 and a new request is
+	// shed with a counted 503 before touching queue or cache.
+	if g := s1.m.snapshot().Gauges["serve.draining"]; g != 1 {
+		t.Fatalf("serve.draining gauge = %d mid-drain, want 1", g)
+	}
+	shedResp, shedBody := postJSON(t, base+"/v1/run",
+		map[string]any{"trace": "mcf.p2", "instructions": 1000})
+	if shedResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("run during drain: status %d (%s), want 503", shedResp.StatusCode, shedBody)
+	}
+	if n := counterValue(t, s1, "serve.shed_draining"); n != 1 {
+		t.Fatalf("serve.shed_draining = %d after a mid-drain request, want 1", n)
+	}
 	close(g.release) // let all four accepted runs finish
 	if err := <-drainDone; err != nil {
 		t.Fatalf("graceful drain reported %v", err)
