@@ -414,6 +414,15 @@ func TestClientDisconnectCancelsRun(t *testing.T) {
 	// uncaches the key), then prove the key is clean: the same request
 	// runs to completion.
 	waitInflightZero(t, s)
+	// The hang-up is counted. The handler increments after the run
+	// unwinds, concurrently with the inflight gauge, so poll briefly.
+	discDeadline := time.Now().Add(5 * time.Second)
+	for counterValue(t, s, "serve.client_disconnects") == 0 && time.Now().Before(discDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := counterValue(t, s, "serve.client_disconnects"); n != 1 {
+		t.Fatalf("serve.client_disconnects = %d after one hang-up, want 1", n)
+	}
 	close(g.release)
 	resp, body := postJSON(t, base+"/v1/run", map[string]any{"trace": "mcf.p1", "instructions": 4242})
 	if resp.StatusCode != http.StatusOK {
