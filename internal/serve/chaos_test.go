@@ -61,6 +61,12 @@ func TestChaosKillRetries(t *testing.T) {
 			t.Errorf("%s = %d, want %d", name, n, want)
 		}
 	}
+	// The kill burned attempt 1, so the success histogram records one
+	// run that needed exactly two launches.
+	h := s.m.snapshot().Histograms["serve.run_attempts"]
+	if h.Count != 1 || h.Sum != 2 {
+		t.Errorf("serve.run_attempts count=%d sum=%d, want one observation of 2", h.Count, h.Sum)
+	}
 }
 
 // TestChaosStallHungKill: the first worker wedges forever (heartbeats
@@ -103,6 +109,9 @@ func TestChaosKillAllQuarantine(t *testing.T) {
 	}
 	if n := s.pool.quarantineCount(); n != 1 {
 		t.Errorf("quarantineCount = %d, want 1", n)
+	}
+	if n := counterValue(t, s, "serve.quarantined"); n != 1 {
+		t.Errorf("serve.quarantined counter = %d, want 1", n)
 	}
 	launches := s.pool.launches.Load()
 	// The poison key fails fast now: same structured error, no new
