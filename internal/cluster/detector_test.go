@@ -68,7 +68,8 @@ func TestDetectorProbeLoop(t *testing.T) {
 		}
 		return errors.New("down")
 	}
-	d := newDetector(cfg, obs.NewSyncRegistry())
+	reg := obs.NewSyncRegistry()
+	d := newDetector(cfg, reg)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	d.start(ctx)
@@ -90,6 +91,18 @@ func TestDetectorProbeLoop(t *testing.T) {
 	healthy = false
 	mu.Unlock()
 	waitState(StateDead)
+	// The per-peer metrics moved with the state machine: probes ran,
+	// failures were counted, and the state gauge reads dead.
+	snap := reg.Snapshot()
+	if n := snap.Counters["cluster.peer.b:1.probes"]; n < uint64(cfg.DeadAfter) {
+		t.Errorf("cluster.peer.b:1.probes = %d, want >= %d", n, cfg.DeadAfter)
+	}
+	if n := snap.Counters["cluster.peer.b:1.probe_fails"]; n < uint64(cfg.DeadAfter) {
+		t.Errorf("cluster.peer.b:1.probe_fails = %d, want >= %d", n, cfg.DeadAfter)
+	}
+	if g := snap.Gauges["cluster.peer.b:1.state"]; g != int64(StateDead) {
+		t.Errorf("cluster.peer.b:1.state gauge = %d, want %d (dead)", g, StateDead)
+	}
 	mu.Lock()
 	healthy = true
 	mu.Unlock()
