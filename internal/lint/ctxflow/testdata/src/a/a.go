@@ -38,3 +38,10 @@ func stored() context.Context {
 	ctx := context.Background() // want `only allowed as the direct argument`
 	return ctx
 }
+
+// A reasoned suppression silences the finding.
+func storedAllowed() context.Context {
+	//lint:allow ctxflow process-lifetime root for the daemon accept loop
+	ctx := context.Background()
+	return ctx
+}

@@ -35,6 +35,39 @@ func TestEveryAnalyzerHasGoldenData(t *testing.T) {
 	}
 }
 
+// A golden tree with packages but no expectations (or no suppression
+// case) proves nothing: every analyzer must golden-test at least one
+// finding via a // want comment AND its own //lint:allow path, so a
+// regression in either reporting or suppression fails a test.
+func TestEveryGoldenExercisesWantAndAllow(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		dir := filepath.Join(a.Name, "testdata", "src")
+		var wants, allows int
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			wants += strings.Count(string(b), "// want ")
+			allows += strings.Count(string(b), "//lint:allow "+a.Name+" ")
+			return nil
+		})
+		if err != nil {
+			t.Errorf("analyzer %s: walking golden tree: %v", a.Name, err)
+			continue
+		}
+		if wants == 0 {
+			t.Errorf("analyzer %s: golden tree has no // want expectations", a.Name)
+		}
+		if allows == 0 {
+			t.Errorf("analyzer %s: golden tree never exercises //lint:allow %s", a.Name, a.Name)
+		}
+	}
+}
+
 // Analyzer names are the //lint:allow vocabulary; they must be
 // non-empty, unique, and distinct from the checker's reserved
 // "directive" pseudo-analyzer.
