@@ -85,6 +85,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		advertise  = fs.String("advertise", "", "address peers reach this node at (default: the bound address)")
 		probeEvery = fs.Duration("probe-interval", 500*time.Millisecond, "cluster heartbeat period per peer")
 		shedPoint  = fs.Int("shed-point", 0, "queue depth refusing dead-shard failover absorption (0 = 3/4 of queue-depth)")
+		traceCap   = fs.Int("trace-capacity", 0, "completed traces the flight recorder retains (0 = default 512, negative disables tracing)")
+		traceOut   = fs.String("trace-export", "", "write the flight recorder as JSONL here after drain")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliexit.Usage
@@ -120,6 +122,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Chaos:           *chaos,
 		InProcess:       *inProcess,
 		ShedPoint:       *shedPoint,
+		TraceCapacity:   *traceCap,
 		Cluster: cluster.Config{
 			Self:          *advertise,
 			Peers:         peerList,
@@ -148,10 +151,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "bvsimd: signal received; draining (grace %s)\n", *drainGrace)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
+	// The export runs after Drain on both outcomes: even a forced stop
+	// leaves completed traces in the recorder, and a post-mortem of a
+	// drain that blew its grace period is exactly when they matter.
+	exportTraces := func() {
+		if *traceOut == "" {
+			return
+		}
+		if err := srv.ExportTraces(*traceOut); err != nil {
+			fmt.Fprintf(stderr, "bvsimd: trace export: %s\n", cliexit.Describe(err))
+			return
+		}
+		fmt.Fprintf(stderr, "bvsimd: traces exported to %s\n", *traceOut)
+	}
 	if err := srv.Drain(drainCtx); err != nil {
+		exportTraces()
 		fmt.Fprintf(stderr, "bvsimd: drain forced a hard stop: %s\n", cliexit.Describe(err))
 		return cliexit.Code(err)
 	}
+	exportTraces()
 	fmt.Fprintln(stderr, "bvsimd: drained cleanly")
 	return cliexit.OK
 }

@@ -39,6 +39,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,7 @@ import (
 
 	"basevictim/internal/atomicio"
 	"basevictim/internal/cliexit"
+	otrace "basevictim/internal/obs/trace"
 )
 
 func main() {
@@ -85,6 +87,18 @@ type loadStat struct {
 	ForwardedPct float64 `json:"forwarded_pct"`
 }
 
+// slowRequest is one row of the slowest-requests table: the trace ID
+// loadgen originated for the request (greppable in every involved
+// node's /debug/requests and trace-export JSONL), who executed it, and
+// how many cluster hops it took.
+type slowRequest struct {
+	Trace     string  `json:"trace"`
+	ServedBy  string  `json:"served_by,omitempty"`
+	Hops      int     `json:"hops"`
+	Status    int     `json:"status"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
 type loadReport struct {
 	Date            string   `json:"date"`
 	Host            hostInfo `json:"host"`
@@ -95,6 +109,10 @@ type loadReport struct {
 	Class           string   `json:"class"`
 	Instructions    uint64   `json:"instructions"`
 	Requests        loadStat `json:"requests"`
+	// Slowest is the tail of the run: the N slowest answered requests,
+	// worst first, each carrying the trace ID to chase through the
+	// service's flight recorder.
+	Slowest []slowRequest `json:"slowest,omitempty"`
 }
 
 // sample is one request's outcome as a worker saw it.
@@ -102,6 +120,9 @@ type sample struct {
 	status    int // 0 = transport failure
 	latency   time.Duration
 	forwarded bool
+	trace     string // the X-BV-Trace ID this request originated
+	servedBy  string // X-BV-Served-By response header
+	hops      int    // X-BV-Hops response header ("0" local, "1" relayed)
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
@@ -118,6 +139,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeoutMS = fs.Int("timeout-ms", 30_000, "per-request client-side timeout")
 		out       = fs.String("out", "", "write the JSON report here (atomic)")
 		maxErrRet = fs.Float64("max-error-rate", -1, "exit with code 6 when the error rate exceeds this fraction (<0 = no gate)")
+		seed      = fs.Uint64("seed", 1, "trace-ID seed (requests carry deterministic X-BV-Trace IDs derived from it)")
+		slowestN  = fs.Int("slowest", 5, "how many slowest requests to list with their trace IDs (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliexit.Usage
@@ -147,6 +170,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Class:     *class,
 		Timeout:   time.Duration(*timeoutMS) * time.Millisecond,
 		ServedVia: servedVia(*url),
+		Seed:      *seed,
+		SlowestN:  *slowestN,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "loadgen: %s\n", cliexit.Describe(err))
@@ -185,6 +210,20 @@ type driveConfig struct {
 	Class     string
 	Timeout   time.Duration
 	ServedVia string // host:port the URL points at, for forwarded detection
+	Seed      uint64 // trace-ID derivation seed
+	SlowestN  int    // slowest-requests table size
+}
+
+// traceID derives the deterministic X-BV-Trace ID for the seq-th
+// request: a splitmix64 finalizer over seed and sequence, so two runs
+// with the same -seed originate identical IDs (greppable across the
+// cluster's flight recorders) while consecutive requests stay
+// well-distributed.
+func traceID(seed, seq uint64) string {
+	z := seed + seq*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return otrace.FormatID(z ^ (z >> 31))
 }
 
 // servedVia extracts host:port from the URL for comparison against the
@@ -258,8 +297,40 @@ func drive(ctx context.Context, cfg driveConfig) (*loadReport, error) {
 		Class:           cfg.Class,
 		Instructions:    cfg.Ins,
 		Requests:        aggregate(samples),
+		Slowest:         slowest(samples, cfg.SlowestN),
 	}
 	return rep, nil
+}
+
+// slowest picks the n slowest answered requests, worst first. Every
+// answered status qualifies — a slow 429 says as much about the tail
+// as a slow 200 — but transport failures and deadline cutoffs carry no
+// server-side trace tree, so they are excluded.
+func slowest(samples []sample, n int) []slowRequest {
+	if n <= 0 {
+		return nil
+	}
+	answered := make([]sample, 0, len(samples))
+	for _, s := range samples {
+		if s.status >= 100 {
+			answered = append(answered, s)
+		}
+	}
+	sort.Slice(answered, func(i, j int) bool { return answered[i].latency > answered[j].latency })
+	if len(answered) > n {
+		answered = answered[:n]
+	}
+	rows := make([]slowRequest, len(answered))
+	for i, s := range answered {
+		rows[i] = slowRequest{
+			Trace:     s.trace,
+			ServedBy:  s.servedBy,
+			Hops:      s.hops,
+			Status:    s.status,
+			LatencyMS: float64(s.latency) / float64(time.Millisecond),
+		}
+	}
+	return rows
 }
 
 // oneRequest submits a single /v1/run and classifies the outcome. A
@@ -291,6 +362,12 @@ func oneRequest(ctx context.Context, client *http.Client, cfg driveConfig, clien
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Client-ID", fmt.Sprintf("loadgen-%d", clientID))
+	// Originate the distributed trace: the service adopts this ID for
+	// its request tree (and propagates it across forward hops), so the
+	// slowest-requests table below indexes straight into every involved
+	// node's /debug/requests.
+	id := traceID(cfg.Seed, seq)
+	req.Header.Set(otrace.TraceHeader, id)
 
 	begin := time.Now()
 	res, err := client.Do(req)
@@ -299,15 +376,22 @@ func oneRequest(ctx context.Context, client *http.Client, cfg driveConfig, clien
 		if ctx.Err() != nil {
 			return sample{status: -1, latency: lat} // run ended, not an error
 		}
-		return sample{status: 0, latency: lat}
+		return sample{status: 0, latency: lat, trace: id}
 	}
 	io.Copy(io.Discard, res.Body) //nolint:errcheck // draining for connection reuse
 	res.Body.Close()
 	served := res.Header.Get("X-BV-Served-By")
+	hops := 0
+	if n, err := strconv.Atoi(res.Header.Get("X-BV-Hops")); err == nil {
+		hops = n
+	}
 	return sample{
 		status:    res.StatusCode,
 		latency:   lat,
 		forwarded: served != "" && served != cfg.ServedVia,
+		trace:     id,
+		servedBy:  served,
+		hops:      hops,
 	}
 }
 
@@ -379,4 +463,14 @@ func printReport(w io.Writer, rep *loadReport) {
 		fmt.Fprintf(w, " (%.0f%% served by another node)", r.ForwardedPct)
 	}
 	fmt.Fprintln(w)
+	if len(rep.Slowest) > 0 {
+		fmt.Fprintf(w, "  slowest   %-16s  %-21s  %4s  %6s  %s\n", "trace", "served-by", "hops", "status", "latency")
+		for _, s := range rep.Slowest {
+			served := s.ServedBy
+			if served == "" {
+				served = "-"
+			}
+			fmt.Fprintf(w, "            %-16s  %-21s  %4d  %6d  %.1fms\n", s.Trace, served, s.Hops, s.Status, s.LatencyMS)
+		}
+	}
 }

@@ -178,6 +178,12 @@ type Cluster struct {
 	failovers    *obs.Counter // keys rerouted off a dead owner
 	shardsShed   *obs.Counter // dead-shard requests shed past the shed point
 
+	// spanCounters counts the forwarder's otrace spans by kind
+	// ("trace.spans.attempt" etc.) — zero when the caller traces
+	// nothing, since spans only exist when the request context carries
+	// one.
+	spanCounters map[string]*obs.Counter
+
 	startOnce sync.Once
 	stop      context.CancelFunc
 }
@@ -210,10 +216,29 @@ func New(cfg Config) (*Cluster, error) {
 		hedgeWins:    reg.Counter("cluster.hedge_wins"),
 		failovers:    reg.Counter("cluster.failovers"),
 		shardsShed:   reg.Counter("cluster.shard_shed"),
+		spanCounters: make(map[string]*obs.Counter),
+	}
+	for _, k := range []string{spanKindAttempt, spanKindBackoff, spanKindHedge} {
+		c.spanCounters[k] = reg.Counter("trace.spans." + k)
 	}
 	c.det = newDetector(cfg, reg)
 	c.fwd = newForwarder(cfg, c)
 	return c, nil
+}
+
+// Forwarder span kinds, doubling as the dynamic suffixes of the
+// trace.spans.* counters.
+const (
+	spanKindAttempt = "attempt"
+	spanKindBackoff = "backoff"
+	spanKindHedge   = "hedge"
+)
+
+// spanStarted counts one forwarder span of the given kind.
+func (c *Cluster) spanStarted(kind string) {
+	if ctr, ok := c.spanCounters[kind]; ok {
+		c.reg.Touch(ctr.Inc)
+	}
 }
 
 // Self returns the node's advertised address.

@@ -28,8 +28,11 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	otrace "basevictim/internal/obs/trace"
 )
 
 const (
@@ -98,12 +101,19 @@ func (f *forwarder) forward(ctx context.Context, targets []string, method, path 
 		return nil, context.Canceled
 	}
 	f.c.reg.Touch(f.c.forwards.Inc)
+	parent := otrace.FromContext(ctx)
 	var lastRes *ForwardResult
 	var lastErr error
 	for attempt := 0; attempt < f.cfg.MaxForwardAttempts; attempt++ {
 		if attempt > 0 {
 			f.c.reg.Touch(f.c.retries.Inc)
-			if err := f.sleep(ctx, f.backoff(attempt)); err != nil {
+			bsp := parent.Child("cluster.backoff", otrace.KindInternal)
+			if bsp != nil {
+				f.c.spanStarted(spanKindBackoff)
+			}
+			err := f.sleep(ctx, f.backoff(attempt))
+			bsp.End()
+			if err != nil {
 				break
 			}
 		}
@@ -153,7 +163,10 @@ func hedgeTarget(targets []string) string {
 
 // hedged runs the first attempt with one optional hedge. The first
 // acceptable response wins and cancels the other; if both finish
-// unacceptably, the first failure is returned.
+// unacceptably, the first failure is returned. The hedge launch gets
+// its own span — open from the launch decision until a winner is known
+// — whose "winner" attribute is the Tail-at-Scale verdict for this
+// request: did paying for the duplicate help?
 func (f *forwarder) hedged(ctx context.Context, primary, hedge, method, path string, header http.Header, body []byte) (*ForwardResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -171,6 +184,8 @@ func (f *forwarder) hedged(ctx context.Context, primary, hedge, method, path str
 	}
 	launch(primary, false)
 
+	var hsp *otrace.Span
+	defer func() { hsp.End() }()
 	timer := time.NewTimer(f.hedgeDelay())
 	defer timer.Stop()
 	pending := 1
@@ -182,6 +197,9 @@ func (f *forwarder) hedged(ctx context.Context, primary, hedge, method, path str
 			if o.err == nil && !retryableStatus(o.res.Status) {
 				if o.res.Hedged {
 					f.c.reg.Touch(f.c.hedgeWins.Inc)
+					hsp.SetAttr("winner", "hedge")
+				} else {
+					hsp.SetAttr("winner", "primary")
 				}
 				return o.res, nil
 			}
@@ -193,6 +211,11 @@ func (f *forwarder) hedged(ctx context.Context, primary, hedge, method, path str
 			}
 		case <-timer.C:
 			f.c.reg.Touch(f.c.hedges.Inc)
+			hsp = otrace.FromContext(ctx).Child("cluster.hedge", otrace.KindInternal)
+			if hsp != nil {
+				f.c.spanStarted(spanKindHedge)
+			}
+			hsp.SetAttr("target", hedge)
 			pending++
 			launch(hedge, true)
 		case <-ctx.Done():
@@ -201,8 +224,24 @@ func (f *forwarder) hedged(ctx context.Context, primary, hedge, method, path str
 	}
 }
 
-// attempt performs one forwarded HTTP exchange.
-func (f *forwarder) attempt(ctx context.Context, target string, hedged bool, method, path string, header http.Header, body []byte) (*ForwardResult, error) {
+// attempt performs one forwarded HTTP exchange. Its span is the
+// cross-peer stitch point: Inject writes the span's own ID into
+// ParentHeader, so the receiving node's server span parents under this
+// exact attempt — not under some ancestor — and a retried or hedged
+// forward yields distinguishable remote subtrees.
+func (f *forwarder) attempt(ctx context.Context, target string, hedged bool, method, path string, header http.Header, body []byte) (res *ForwardResult, err error) {
+	sp := otrace.FromContext(ctx).Child("cluster.attempt", otrace.KindClient)
+	if sp != nil {
+		f.c.spanStarted(spanKindAttempt)
+	}
+	sp.SetAttr("target", target)
+	if hedged {
+		sp.SetAttr("hedged", "true")
+	}
+	defer func() {
+		sp.Fail(err)
+		sp.End()
+	}()
 	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, method, "http://"+target+path, bytes.NewReader(body))
 	if err != nil {
@@ -212,6 +251,7 @@ func (f *forwarder) attempt(ctx context.Context, target string, hedged bool, met
 		req.Header = header.Clone()
 	}
 	req.Header.Set(ForwardedHeader, f.cfg.Self)
+	sp.Inject(req.Header)
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -224,6 +264,7 @@ func (f *forwarder) attempt(ctx context.Context, target string, hedged bool, met
 	if !retryableStatus(resp.StatusCode) {
 		f.observe(time.Since(start))
 	}
+	sp.SetAttr("status", strconv.Itoa(resp.StatusCode))
 	return &ForwardResult{
 		Status:      resp.StatusCode,
 		ContentType: resp.Header.Get("Content-Type"),

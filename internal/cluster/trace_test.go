@@ -1,0 +1,166 @@
+package cluster
+
+// Tracing reconciliation for the forwarding client: every span kind
+// the forwarder mints under a traced request (attempt, backoff, hedge)
+// moves its trace.spans.* counter, the propagation headers it injects
+// name a real recorded attempt span, and an untraced forward mints
+// nothing at all.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	otrace "basevictim/internal/obs/trace"
+)
+
+func TestForwardSpanCountersAndStitchHeaders(t *testing.T) {
+	var gotTrace, gotParent atomic.Value
+	alive := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		gotTrace.Store(r.Header.Get(otrace.TraceHeader))
+		gotParent.Store(r.Header.Get(otrace.ParentHeader))
+		io.WriteString(w, "ok")
+	})
+	// Port 1 never listens: the primary attempt fails at dial, forcing
+	// one backoff sleep and one retry attempt to the live backup.
+	dead := "127.0.0.1:1"
+	c := forwardCluster(t, "self:1", dead, alive)
+
+	rec := otrace.NewRecorder(4)
+	tr := otrace.New(otrace.Config{Seed: 1, Peer: "self:1", Recorder: rec})
+	root := tr.Start("test.forward", otrace.KindInternal, "", "")
+	res, err := c.Forward(otrace.ContextWith(context.Background(), root),
+		Route{Targets: []string{dead, alive}},
+		http.MethodPost, "/v1/run", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != alive || res.Attempts < 2 {
+		t.Fatalf("result %+v, want the backup after ≥2 attempts", res)
+	}
+	root.End()
+
+	snap := c.Metrics()
+	if got := snap.Counters["trace.spans.attempt"]; got < 2 {
+		t.Fatalf("trace.spans.attempt = %d, want ≥2 (dead primary + live backup)", got)
+	}
+	if snap.Counters["trace.spans.backoff"] == 0 {
+		t.Fatal("trace.spans.backoff never moved despite a retry sleep")
+	}
+	// The hedge kind is registered up front (the name must exist before
+	// the first hedge launch) and stays zero without one.
+	if v, ok := snap.Counters["trace.spans.hedge"]; !ok {
+		t.Fatal("trace.spans.hedge is not registered")
+	} else if v != 0 {
+		t.Fatalf("trace.spans.hedge = %d without a hedge launch", v)
+	}
+
+	// The successful attempt carried the stitch headers: the receiving
+	// peer saw this trace's ID, and the parent it was handed is a
+	// recorded cluster.attempt span of this very trace.
+	recs := rec.Traces(otrace.Filter{})
+	if len(recs) != 1 {
+		t.Fatalf("recorder holds %d traces, want 1", len(recs))
+	}
+	if gotTrace.Load() != root.TraceID() {
+		t.Fatalf("peer saw trace %q, want %q", gotTrace.Load(), root.TraceID())
+	}
+	parent, _ := gotParent.Load().(string)
+	found := false
+	for _, sp := range recs[0].Spans {
+		if sp.ID == parent && sp.Name == "cluster.attempt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ParentHeader %q names no recorded cluster.attempt span in %+v", parent, recs[0].Spans)
+	}
+
+	// An untraced forward must cost nothing: no context span, no span
+	// counters moving.
+	before := c.Metrics().Counters["trace.spans.attempt"]
+	if _, err := c.Forward(context.Background(), Route{Targets: []string{alive}},
+		http.MethodPost, "/v1/run", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Metrics().Counters["trace.spans.attempt"]; got != before {
+		t.Fatalf("untraced forward minted attempt spans: %d -> %d", before, got)
+	}
+}
+
+// TestHedgeSpanCounter: with the hedge delay forced low and a stalling
+// primary, the hedge launch mints its span (trace.spans.hedge) and the
+// recorded span carries the Tail-at-Scale verdict attribute.
+func TestHedgeSpanCounter(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	slow := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Warm") != "" {
+			io.WriteString(w, "warm")
+			return
+		}
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		io.WriteString(w, "slow")
+	})
+	fast := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "fast")
+	})
+	c, err := New(Config{
+		Self:     "self:1",
+		Peers:    []string{slow, fast},
+		HedgeMin: 5 * time.Millisecond,
+		HedgeMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := http.Header{}
+	warm.Set("X-Warm", "1")
+	for i := 0; i < hedgeMinSamples; i++ {
+		if _, err := c.Forward(context.Background(), Route{Targets: []string{slow}},
+			http.MethodPost, "/v1/run", warm, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := otrace.NewRecorder(4)
+	tr := otrace.New(otrace.Config{Seed: 2, Peer: "self:1", Recorder: rec})
+	root := tr.Start("test.hedge", otrace.KindInternal, "", "")
+	res, err := c.Forward(otrace.ContextWith(context.Background(), root),
+		Route{Targets: []string{slow, fast}}, http.MethodPost, "/v1/run", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged {
+		t.Fatalf("result %+v, want the hedged answer", res)
+	}
+	root.End()
+
+	if got := c.Metrics().Counters["trace.spans.hedge"]; got != 1 {
+		t.Fatalf("trace.spans.hedge = %d, want 1", got)
+	}
+	recs := rec.Traces(otrace.Filter{Trace: root.TraceID()})
+	if len(recs) != 1 {
+		t.Fatalf("recorder holds %d traces, want 1", len(recs))
+	}
+	winner := ""
+	for _, sp := range recs[0].Spans {
+		if sp.Name != "cluster.hedge" {
+			continue
+		}
+		for _, a := range sp.Attrs {
+			if a.K == "winner" {
+				winner = a.V
+			}
+		}
+	}
+	if winner != "hedge" {
+		t.Fatalf("hedge span winner = %q, want \"hedge\"", winner)
+	}
+}

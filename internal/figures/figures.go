@@ -19,6 +19,7 @@ import (
 	"basevictim/internal/compress"
 
 	"basevictim/internal/obs"
+	otrace "basevictim/internal/obs/trace"
 	"basevictim/internal/sim"
 	"basevictim/internal/stats"
 	"basevictim/internal/workload"
@@ -276,23 +277,42 @@ func (s *Session) run(ctx context.Context, p workload.Profile, cfg sim.Config) (
 		s.mu.Unlock()
 	}
 	if s.Store != nil {
-		if r, ok := s.Store.loadRun(key); ok {
+		// The store spans live here rather than in store.go so one
+		// claim/read/write triple per request-path operation shows up in
+		// a trace, not one per internal helper call.
+		rsp := otrace.FromContext(ctx).Child("store.read", otrace.KindInternal)
+		r, ok := s.Store.loadRun(key)
+		rsp.SetAttr("hit", fmt.Sprintf("%t", ok))
+		rsp.End()
+		if ok {
 			return fromStore(r)
 		}
 		// Cross-process claim (resume mode): if another process sharing
 		// this cache directory is already simulating the key, wait for
 		// its record instead of duplicating the run.
+		csp := otrace.FromContext(ctx).Child("store.claim", otrace.KindInternal)
 		release, r, ok, cerr := s.Store.claimRun(ctx, key)
 		switch {
 		case cerr != nil:
+			csp.Fail(cerr)
+			csp.End()
 			uncache()
 			e.err = cerr
 			close(e.done)
 			return sim.Result{}, cerr
 		case ok:
+			// Another process simulated the key while we waited; its
+			// record is the answer — the cross-process handoff.
+			csp.SetAttr("outcome", "resumed")
+			csp.End()
 			return fromStore(r)
 		case release != nil:
+			csp.SetAttr("outcome", "claimed")
+			csp.End()
 			defer release()
+		default:
+			csp.SetAttr("outcome", "unclaimed")
+			csp.End()
 		}
 	}
 	e.res, e.err = s.simulate(ctx, p, cfg)
@@ -305,7 +325,11 @@ func (s *Session) run(ctx context.Context, p workload.Profile, cfg sim.Config) (
 		uncache()
 	}
 	if e.err == nil && s.Store != nil {
-		if perr := s.Store.saveRun(key, e.res); perr != nil {
+		wsp := otrace.FromContext(ctx).Child("store.write", otrace.KindInternal)
+		perr := s.Store.saveRun(key, e.res)
+		wsp.Fail(perr)
+		wsp.End()
+		if perr != nil {
 			s.emit(obs.Progress{
 				Level: obs.LevelWarn,
 				Msg:   fmt.Sprintf("checkpoint write failed for %s on %s: %v", p.Name, cfg.Org, perr),

@@ -7,8 +7,9 @@ import "testing"
 
 func TestMetricsSnapshot(t *testing.T) {
 	want := map[string]uint64{
-		"serve.ok":      1,
-		"serve.latency": 0,
+		"serve.ok":         1,
+		"serve.latency":    0,
+		"serve.kind.retry": 2,
 	}
 	_ = want
 }

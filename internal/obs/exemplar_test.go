@@ -1,0 +1,147 @@
+package obs
+
+// Exemplar behavior: histograms attach one trace reference per bucket
+// (latest wins), allocate that state lazily so plain histograms — and
+// every simulator snapshot — stay byte-identical to their
+// pre-exemplar form, and merges keep the accumulator's references
+// while filling gaps from later runs.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestObserveExemplarBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{10, 100})
+	h.ObserveExemplar(5, "t-low")
+	h.ObserveExemplar(50, "t-mid")
+	h.ObserveExemplar(500, "t-over")
+	if h.Count() != 3 || h.Sum() != 555 {
+		t.Fatalf("count=%d sum=%d, want 3, 555", h.Count(), h.Sum())
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	if want := []uint64{1, 1, 1}; !equalU64(hs.Counts, want) {
+		t.Fatalf("counts = %v, want %v", hs.Counts, want)
+	}
+	want := []string{"t-low", "t-mid", "t-over"}
+	if len(hs.Exemplars) != len(want) {
+		t.Fatalf("exemplars = %v, want %v", hs.Exemplars, want)
+	}
+	for i := range want {
+		if hs.Exemplars[i] != want[i] {
+			t.Fatalf("exemplars = %v, want %v", hs.Exemplars, want)
+		}
+	}
+
+	// Latest observation wins within a bucket.
+	h.ObserveExemplar(7, "t-newer")
+	if got := r.Snapshot().Histograms["lat"].Exemplars[0]; got != "t-newer" {
+		t.Fatalf("bucket 0 exemplar = %q, want the newer trace", got)
+	}
+
+	// An empty exemplar still counts the sample but neither allocates
+	// nor overwrites a reference.
+	h.ObserveExemplar(8, "")
+	hs = r.Snapshot().Histograms["lat"]
+	if hs.Counts[0] != 3 || hs.Exemplars[0] != "t-newer" {
+		t.Fatalf("after empty exemplar: counts[0]=%d exemplars[0]=%q", hs.Counts[0], hs.Exemplars[0])
+	}
+
+	// Nil histograms discard exemplar observations like any other.
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "x")
+}
+
+func TestExemplarFreeSnapshotUnchanged(t *testing.T) {
+	// A histogram that never saw an exemplar — every simulator one —
+	// must marshal without the exemplars key at all, and mixing
+	// ObserveExemplar("") in must not change that.
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{10})
+	h.Observe(3)
+	plain, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ObserveExemplar(4, "")
+	h.Observe(4) // mirror the sample so shapes stay comparable
+	withEmpty, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain, []byte("exemplars")) || bytes.Contains(withEmpty, []byte("exemplars")) {
+		t.Fatalf("exemplar-free snapshot leaked the exemplars key: %s", withEmpty)
+	}
+}
+
+func TestSnapshotCopiesExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{10})
+	h.ObserveExemplar(3, "first")
+	snap := r.Snapshot().Histograms["lat"]
+	h.ObserveExemplar(4, "second")
+	if snap.Exemplars[0] != "first" {
+		t.Fatalf("snapshot aliased live exemplar state: %q", snap.Exemplars[0])
+	}
+}
+
+func TestMergeKeepsAccumulatorExemplars(t *testing.T) {
+	mk := func(exemplars []string) HistogramSnapshot {
+		return HistogramSnapshot{
+			Bounds:    []uint64{10, 100},
+			Counts:    []uint64{1, 0, 1},
+			Sum:       105,
+			Count:     2,
+			Exemplars: exemplars,
+		}
+	}
+	acc := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"lat": mk([]string{"mine", "", ""}),
+	}}
+	acc.Merge(Snapshot{Histograms: map[string]HistogramSnapshot{
+		"lat": mk([]string{"theirs", "gap-fill", ""}),
+	}})
+	got := acc.Histograms["lat"]
+	if got.Count != 4 || got.Sum != 210 {
+		t.Fatalf("merged count=%d sum=%d, want 4, 210", got.Count, got.Sum)
+	}
+	if got.Exemplars[0] != "mine" {
+		t.Fatalf("merge replaced the accumulator's exemplar: %q", got.Exemplars[0])
+	}
+	if got.Exemplars[1] != "gap-fill" {
+		t.Fatalf("merge did not fill the empty bucket: %q", got.Exemplars[1])
+	}
+	if got.Exemplars[2] != "" {
+		t.Fatalf("merge invented an exemplar: %q", got.Exemplars[2])
+	}
+
+	// Merging an exemplar-bearing run into an exemplar-free accumulator
+	// adopts the incoming references; exemplar-free into exemplar-free
+	// stays free.
+	bare := Snapshot{Histograms: map[string]HistogramSnapshot{"lat": mk(nil)}}
+	bare.Merge(Snapshot{Histograms: map[string]HistogramSnapshot{
+		"lat": mk([]string{"late", "", ""}),
+	}})
+	if got := bare.Histograms["lat"].Exemplars; len(got) != 3 || got[0] != "late" {
+		t.Fatalf("exemplar-free accumulator did not adopt incoming exemplars: %v", got)
+	}
+	empty := Snapshot{Histograms: map[string]HistogramSnapshot{"lat": mk(nil)}}
+	empty.Merge(Snapshot{Histograms: map[string]HistogramSnapshot{"lat": mk(nil)}})
+	if got := empty.Histograms["lat"].Exemplars; got != nil {
+		t.Fatalf("two exemplar-free runs merged into exemplars %v", got)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

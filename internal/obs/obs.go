@@ -92,6 +92,11 @@ type Histogram struct {
 	counts []uint64 // len(bounds)+1, last = overflow
 	sum    uint64
 	n      uint64
+	// exemplars holds one opaque reference (a flight-recorder trace ID)
+	// per bucket, latest-observation-wins. Allocated lazily on the first
+	// ObserveExemplar so plain histograms — every simulator one — carry
+	// no exemplar state and snapshot exactly as before.
+	exemplars []string
 }
 
 // Observe records one sample.
@@ -101,13 +106,39 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.n++
 	h.sum += v
+	h.counts[h.bucket(v)]++
+}
+
+// ObserveExemplar records one sample and attaches ex — typically the
+// trace ID of the request the sample came from — to the sample's
+// bucket, replacing any earlier exemplar there. An empty ex degrades
+// to a plain Observe, so callers can pass a possibly-disabled tracer's
+// ID unconditionally.
+func (h *Histogram) ObserveExemplar(v uint64, ex string) {
+	if h == nil {
+		return
+	}
+	h.n++
+	h.sum += v
+	i := h.bucket(v)
+	h.counts[i]++
+	if ex == "" {
+		return
+	}
+	if h.exemplars == nil {
+		h.exemplars = make([]string, len(h.counts))
+	}
+	h.exemplars[i] = ex
+}
+
+// bucket maps a sample to its bucket index (len(bounds) = overflow).
+func (h *Histogram) bucket(v uint64) int {
 	for i, b := range h.bounds {
 		if v <= b {
-			h.counts[i]++
-			return
+			return i
 		}
 	}
-	h.counts[len(h.bounds)]++
+	return len(h.bounds)
 }
 
 // Count returns the number of samples observed.
@@ -194,6 +225,11 @@ type HistogramSnapshot struct {
 	Counts []uint64 `json:"counts"` // len(Bounds)+1, last = overflow
 	Sum    uint64   `json:"sum"`
 	Count  uint64   `json:"count"`
+	// Exemplars, when present, is len(Counts) long: Exemplars[i] is the
+	// trace ID of one recent sample in bucket i ("" = none). Absent
+	// entirely for histograms that never saw an exemplar, so simulator
+	// snapshots are byte-identical to their pre-exemplar form.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a registry's state at one instant. encoding/json sorts
@@ -227,15 +263,26 @@ func (r *Registry) Snapshot() Snapshot {
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
 		for name, h := range r.hists {
-			s.Histograms[name] = HistogramSnapshot{
-				Bounds: append([]uint64(nil), h.bounds...),
-				Counts: append([]uint64(nil), h.counts...),
-				Sum:    h.sum,
-				Count:  h.n,
-			}
+			s.Histograms[name] = snapshotHist(h)
 		}
 	}
 	return s
+}
+
+// snapshotHist copies one histogram's state. Exemplars stay nil (not
+// empty) when the histogram never saw one, keeping pre-exemplar
+// snapshots byte-identical.
+func snapshotHist(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+	if h.exemplars != nil {
+		hs.Exemplars = append([]string(nil), h.exemplars...)
+	}
+	return hs
 }
 
 // Merge folds other into s (counters and gauges add; histograms with
@@ -268,24 +315,46 @@ func (s *Snapshot) Merge(other Snapshot) {
 // input is aliased by the result.
 func mergeHist(prev, h HistogramSnapshot) HistogramSnapshot {
 	if prev.Counts == nil {
-		return HistogramSnapshot{
+		out := HistogramSnapshot{
 			Bounds: append([]uint64(nil), h.Bounds...),
 			Counts: append([]uint64(nil), h.Counts...),
 			Sum:    h.Sum,
 			Count:  h.Count,
 		}
+		if h.Exemplars != nil {
+			out.Exemplars = append([]string(nil), h.Exemplars...)
+		}
+		return out
 	}
 	if len(prev.Bounds) != len(h.Bounds) || len(prev.Counts) != len(h.Counts) {
 		return prev // incompatible shapes; keep the first
 	}
 	merged := HistogramSnapshot{
-		Bounds: prev.Bounds,
-		Counts: append([]uint64(nil), prev.Counts...),
-		Sum:    prev.Sum + h.Sum,
-		Count:  prev.Count + h.Count,
+		Bounds:    prev.Bounds,
+		Counts:    append([]uint64(nil), prev.Counts...),
+		Sum:       prev.Sum + h.Sum,
+		Count:     prev.Count + h.Count,
+		Exemplars: prev.Exemplars,
 	}
 	for i, c := range h.Counts {
 		merged.Counts[i] += c
+	}
+	// Exemplars are references, not measurements: the merge keeps the
+	// accumulator's and fills gaps from the incoming snapshot. (Unlike
+	// the counts this is order-sensitive, which is fine — exemplars
+	// exist only on service metrics, never in the deterministic
+	// simulator aggregates.)
+	if len(h.Exemplars) == len(merged.Counts) {
+		if merged.Exemplars == nil {
+			merged.Exemplars = append([]string(nil), h.Exemplars...)
+		} else {
+			merged.Exemplars = append([]string(nil), merged.Exemplars...)
+			for i, ex := range h.Exemplars {
+				if merged.Exemplars[i] == "" {
+					merged.Exemplars[i] = ex
+				}
+			}
+		}
 	}
 	return merged
 }

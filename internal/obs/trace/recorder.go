@@ -1,0 +1,179 @@
+package otrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"basevictim/internal/atomicio"
+)
+
+// Rec is one completed node-local trace: every span this peer recorded
+// for one trace ID, in stable (StartUS, ID) order. The cross-peer tree
+// is the union of each peer's Rec for the same trace ID.
+type Rec struct {
+	Trace   string    `json:"trace"`
+	Peer    string    `json:"peer"`
+	Root    string    `json:"root"`
+	Status  string    `json:"status"`
+	StartUS int64     `json:"start_us"`
+	DurUS   int64     `json:"dur_us"`
+	Spans   []SpanRec `json:"spans"`
+}
+
+// Recorder is the flight recorder: a bounded ring of the most recent
+// completed traces, modeled on obs.Ring but mutex-guarded because
+// requests complete concurrently. A nil recorder discards everything.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []Rec
+	next uint64 // total traces ever recorded
+}
+
+// NewRecorder builds a recorder retaining the last capacity traces. A
+// non-positive capacity yields a discarding recorder.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		return &Recorder{}
+	}
+	return &Recorder{buf: make([]Rec, 0, capacity)}
+}
+
+// add records one completed trace, reporting whether a retained trace
+// was evicted to make room.
+func (r *Recorder) add(rec Rec) (evicted bool) {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cap(r.buf) == 0 {
+		return false
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next%uint64(cap(r.buf))] = rec
+		evicted = true
+	}
+	r.next++
+	return evicted
+}
+
+// Total returns the number of traces ever recorded.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Evicted returns how many retained traces were overwritten.
+func (r *Recorder) Evicted() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next - uint64(len(r.buf))
+}
+
+// Filter selects traces from the recorder. The zero filter matches
+// everything.
+type Filter struct {
+	// Status keeps only traces whose root status equals it ("" = any).
+	Status string
+	// MinDur keeps only traces at least this long.
+	MinDur time.Duration
+	// Trace keeps only the trace with this exact ID ("" = any).
+	Trace string
+	// Limit caps the result count (0 = unlimited).
+	Limit int
+}
+
+// Traces returns matching retained traces, newest-first — the order a
+// human debugging "what just happened" wants.
+func (r *Recorder) Traces(f Filter) []Rec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return nil
+	}
+	minUS := f.MinDur.Microseconds()
+	var out []Rec
+	// Walk backwards from the newest slot.
+	n := uint64(len(r.buf))
+	for i := uint64(1); i <= n; i++ {
+		rec := r.buf[(r.next-i)%uint64(cap(r.buf))]
+		if f.Status != "" && rec.Status != f.Status {
+			continue
+		}
+		if rec.DurUS < minUS {
+			continue
+		}
+		if f.Trace != "" && rec.Trace != f.Trace {
+			continue
+		}
+		out = append(out, rec)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// WriteJSONL exports the retained traces, oldest-first, to path as one
+// JSON object per line via atomic write-temp-fsync-rename. The first
+// line is a self-describing header (schema v1); each following line is
+// {"kind":"trace", ...Rec}. The schema is stable: CI parses it.
+func (r *Recorder) WriteJSONL(path, peer string) error {
+	if r == nil {
+		return fmt.Errorf("otrace: nil recorder has nothing to export")
+	}
+	r.mu.Lock()
+	var recs []Rec
+	if len(r.buf) < cap(r.buf) {
+		recs = append(recs, r.buf...)
+	} else {
+		start := r.next % uint64(cap(r.buf))
+		recs = append(recs, r.buf[start:]...)
+		recs = append(recs, r.buf[:start]...)
+	}
+	total, retained := r.next, len(r.buf)
+	r.mu.Unlock()
+
+	f, err := atomicio.Create(path, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	type header struct {
+		Kind     string `json:"kind"`
+		V        int    `json:"v"`
+		Peer     string `json:"peer"`
+		Total    uint64 `json:"total"`
+		Retained int    `json:"retained"`
+		Evicted  uint64 `json:"evicted"`
+	}
+	enc := json.NewEncoder(f)
+	h := header{Kind: "otrace-header", V: 1, Peer: peer, Total: total, Retained: retained, Evicted: total - uint64(retained)}
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("otrace: encode header: %w", err)
+	}
+	type line struct {
+		Kind string `json:"kind"`
+		Rec
+	}
+	for _, rec := range recs {
+		if err := enc.Encode(line{Kind: "trace", Rec: rec}); err != nil {
+			return fmt.Errorf("otrace: encode trace %s: %w", rec.Trace, err)
+		}
+	}
+	return f.Commit()
+}

@@ -18,14 +18,22 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
 	"basevictim/internal/cluster"
+	otrace "basevictim/internal/obs/trace"
 	"basevictim/internal/sim"
 )
+
+// hopsHeader reports how many cluster hops a response took: "0" when
+// the answering node served it directly, "1" when it was relayed (the
+// one-hop forwarding rule bounds it there). loadgen reads it for its
+// slowest-requests table.
+const hopsHeader = "X-BV-Hops"
 
 // isForwarded reports whether the request already took its cluster
 // hop. Such requests are served locally unconditionally.
@@ -38,6 +46,7 @@ func isForwarded(r *http.Request) bool {
 func (s *Server) markServedBy(w http.ResponseWriter) {
 	if s.cluster != nil {
 		w.Header().Set(cluster.ServedByHeader, s.cluster.Self())
+		w.Header().Set(hopsHeader, "0")
 	}
 }
 
@@ -59,7 +68,7 @@ func routeKey(trace string, cfg sim.Config) string {
 // shed); false means the caller should execute it locally. body is
 // re-marshalled for the forward hop, so mutating the decoded request
 // before calling is visible downstream.
-func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, trace string, cfg sim.Config, body any) bool {
+func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, trace string, cfg sim.Config, body any, sp *otrace.Span) bool {
 	if s.cluster == nil {
 		return false
 	}
@@ -67,23 +76,39 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, trace stri
 	if isForwarded(r) {
 		return false
 	}
+	rsp := sp.Child("cluster.route", otrace.KindInternal)
 	rt := s.cluster.Route(routeKey(trace, cfg), s.overloaded())
+	rsp.SetAttr("owner", rt.Owner)
+	if rt.Failover {
+		rsp.SetAttr("failover", "true")
+	}
 	switch rt.Kind {
 	case cluster.RouteLocal:
+		rsp.SetAttr("decision", "local")
+		rsp.End()
 		return false
 	case cluster.RouteUnavailable:
+		rsp.SetAttr("decision", "unavailable")
+		rsp.Fail(fmt.Errorf("shard owner %s down", rt.Owner))
+		rsp.End()
+		sp.Fail(fmt.Errorf("shed: shard %s down", rt.Owner))
 		writeShed(w, http.StatusServiceUnavailable, "shard_down",
 			fmt.Sprintf("shard owner %s is down and this node is past its shed point", rt.Owner),
 			rt.RetryAfter)
 		return true
 	}
-	s.relayForward(w, r, rt, body)
+	rsp.SetAttr("decision", "forward")
+	s.relayForward(w, r, rt, body, rsp)
+	rsp.End()
 	return true
 }
 
 // relayForward replays the request to rt's targets and writes the
-// owner's response back verbatim.
-func (s *Server) relayForward(w http.ResponseWriter, r *http.Request, rt cluster.Route, body any) {
+// owner's response back verbatim. sp is the route span: the forwarder
+// hangs its per-attempt and hedge spans under it (via context), and
+// the hop's propagation headers name its attempt spans as the remote
+// root's parent.
+func (s *Server) relayForward(w http.ResponseWriter, r *http.Request, rt cluster.Route, body any, sp *otrace.Span) {
 	b, err := json.Marshal(body)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, kindError, err.Error())
@@ -94,13 +119,20 @@ func (s *Server) relayForward(w http.ResponseWriter, r *http.Request, rt cluster
 	if id := r.Header.Get("X-Client-ID"); id != "" {
 		hdr.Set("X-Client-ID", id)
 	}
-	res, err := s.cluster.Forward(r.Context(), rt, http.MethodPost, r.URL.Path, hdr, b)
+	res, err := s.cluster.Forward(otrace.ContextWith(r.Context(), sp), rt, http.MethodPost, r.URL.Path, hdr, b)
 	if err != nil {
+		sp.Fail(err)
 		writeShed(w, http.StatusBadGateway, "forward_failed",
 			fmt.Sprintf("owner %s unreachable: %v", rt.Targets[0], err), time.Second)
 		return
 	}
+	sp.SetAttr("served_by", res.Target)
+	sp.SetAttrInt("attempts", int64(res.Attempts))
+	if res.Hedged {
+		sp.SetAttr("hedged_answer", "true")
+	}
 	w.Header().Set(cluster.ServedByHeader, res.Target)
+	w.Header().Set(hopsHeader, "1")
 	if res.ContentType != "" {
 		w.Header().Set("Content-Type", res.ContentType)
 	}
@@ -114,8 +146,15 @@ func (s *Server) relayForward(w http.ResponseWriter, r *http.Request, rt cluster
 }
 
 // forwardSweepRow executes one remote trace of a sweep as a forwarded
-// /v1/run and folds the answer into a sweep row.
-func (s *Server) forwardSweepRow(r *http.Request, req sweepRequest, trace string, rt cluster.Route) sweepRow {
+// /v1/run and folds the answer into a sweep row. sp is the sweep's
+// root span; each remote row gets its own route-like child so the
+// forwarder's attempt spans attach to the right row.
+func (s *Server) forwardSweepRow(r *http.Request, req sweepRequest, trace string, rt cluster.Route, sp *otrace.Span) sweepRow {
+	rsp := sp.Child("cluster.route", otrace.KindInternal)
+	defer rsp.End()
+	rsp.SetAttr("workload", trace)
+	rsp.SetAttr("owner", rt.Owner)
+	rsp.SetAttr("decision", "forward")
 	body, err := json.Marshal(runRequest{
 		Trace:        trace,
 		Instructions: req.Instructions,
@@ -131,10 +170,12 @@ func (s *Server) forwardSweepRow(r *http.Request, req sweepRequest, trace string
 	if id := r.Header.Get("X-Client-ID"); id != "" {
 		hdr.Set("X-Client-ID", id)
 	}
-	res, err := s.cluster.Forward(r.Context(), rt, http.MethodPost, "/v1/run", hdr, body)
+	res, err := s.cluster.Forward(otrace.ContextWith(r.Context(), rsp), rt, http.MethodPost, "/v1/run", hdr, body)
 	if err != nil {
+		rsp.Fail(err)
 		return sweepRow{Trace: trace, Error: fmt.Sprintf("owner unreachable: %v", err), Kind: "forward_failed"}
 	}
+	rsp.SetAttr("served_by", res.Target)
 	if res.Status == http.StatusOK {
 		var rr runResponse
 		if err := json.Unmarshal(res.Body, &rr); err != nil {
@@ -155,7 +196,7 @@ func (s *Server) forwardSweepRow(r *http.Request, req sweepRequest, trace string
 // concurrently, and dead-shard rows fail with "shard_down" — one down
 // shard costs its rows, never the whole sweep. Rows come back in
 // input order regardless of placement.
-func (s *Server) clusterSweep(ctx context.Context, w http.ResponseWriter, r *http.Request, req sweepRequest, traces []string, cfg sim.Config, cls class) {
+func (s *Server) clusterSweep(ctx context.Context, w http.ResponseWriter, r *http.Request, req sweepRequest, traces []string, cfg sim.Config, cls class, sp *otrace.Span) {
 	rows := make([]sweepRow, len(traces))
 	var localJobs []*job
 	var localIdx []int
@@ -169,7 +210,10 @@ func (s *Server) clusterSweep(ctx context.Context, w http.ResponseWriter, r *htt
 		rt := s.cluster.Route(routeKey(tr, cfg), overloaded)
 		switch rt.Kind {
 		case cluster.RouteLocal:
-			localJobs = append(localJobs, &job{ctx: ctx, trace: tr, cfg: cfg, class: cls, done: make(chan jobResult, 1)})
+			j := &job{ctx: ctx, trace: tr, cfg: cfg, class: cls, done: make(chan jobResult, 1),
+				span: sp, qspan: sp.Child("queue.wait", otrace.KindInternal)}
+			j.qspan.SetAttr("workload", tr)
+			localJobs = append(localJobs, j)
 			localIdx = append(localIdx, i)
 		case cluster.RouteUnavailable:
 			rows[i] = sweepRow{Trace: tr,
@@ -180,6 +224,10 @@ func (s *Server) clusterSweep(ctx context.Context, w http.ResponseWriter, r *htt
 		}
 	}
 	if len(localJobs) > 0 && !s.admit(localJobs...) {
+		for _, j := range localJobs {
+			j.qspan.End()
+		}
+		sp.Fail(errors.New("shed: queue full"))
 		writeShed(w, http.StatusTooManyRequests, "overloaded",
 			fmt.Sprintf("admission queue cannot fit this node's %d sweep rows (capacity %d, %d queued)",
 				len(localJobs), s.cfg.QueueDepth, s.q.depth()), time.Second)
@@ -190,7 +238,7 @@ func (s *Server) clusterSweep(ctx context.Context, w http.ResponseWriter, r *htt
 		wg.Add(1)
 		go func(rm remoteRow) {
 			defer wg.Done()
-			rows[rm.i] = s.forwardSweepRow(r, req, traces[rm.i], rm.rt)
+			rows[rm.i] = s.forwardSweepRow(r, req, traces[rm.i], rm.rt, sp)
 		}(rm)
 	}
 	for k, j := range localJobs {

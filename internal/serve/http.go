@@ -23,9 +23,11 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	otrace "basevictim/internal/obs/trace"
 	"basevictim/internal/sim"
 	"basevictim/internal/workload"
 )
@@ -54,6 +56,9 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	// The flight recorder. More specific than the /debug/ delegation
+	// below, so ServeMux pattern precedence routes it here.
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	// expvar and pprof register themselves on the default mux (the obs
 	// package imports net/http/pprof); delegating /debug/ picks up
 	// /debug/vars and /debug/pprof/* without re-plumbing either.
@@ -224,29 +229,111 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
+	root := s.startSpan(r, "serve.run")
+	defer root.End()
+	defer s.observeRequest(root)()
+	root.SetAttr("workload", req.Trace)
+	root.SetAttr("class", cls.String())
 	// Quota is charged at the edge node only: a forwarded request was
 	// already charged where the client connected.
 	if !isForwarded(r) {
-		if ok, retry := s.quota.take(clientID(r), 1); !ok {
+		qsp := root.Child("serve.quota", otrace.KindInternal)
+		ok, retry := s.quota.take(clientID(r), 1)
+		if !ok {
+			qsp.Fail(errors.New("over quota"))
+			qsp.End()
+			root.Fail(errors.New("shed: quota"))
 			s.m.touch(s.m.shedQuota.Inc)
 			writeShed(w, http.StatusTooManyRequests, "quota", "client over its request quota", retry)
 			return
 		}
-		if s.maybeForward(w, r, req.Trace, cfg, req) {
+		qsp.End()
+		if s.maybeForward(w, r, req.Trace, cfg, req, root) {
 			return
 		}
 	}
 	s.markServedBy(w)
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
 	defer cancel()
-	j := &job{ctx: ctx, trace: req.Trace, cfg: cfg, class: cls, done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, trace: req.Trace, cfg: cfg, class: cls, done: make(chan jobResult, 1),
+		span: root, qspan: root.Child("queue.wait", otrace.KindInternal)}
+	j.qspan.SetAttr("class", cls.String())
 	if !s.admit(j) {
+		j.qspan.Fail(errors.New("queue full"))
+		j.qspan.End()
+		root.Fail(errors.New("shed: queue full"))
 		w.Header().Set("X-Queue-Depth", fmt.Sprintf("%d", s.q.depth()))
 		writeShed(w, http.StatusTooManyRequests, "overloaded",
 			fmt.Sprintf("admission queue full (%d deep)", s.cfg.QueueDepth), time.Second)
 		return
 	}
 	s.await(w, ctx, j)
+}
+
+// startSpan begins a request's root span, continuing the propagated
+// trace when the X-BV-Trace/X-BV-Parent headers carry one — the parent
+// being the forwarding peer's attempt span, which is what stitches the
+// per-node trees into one cross-peer trace.
+func (s *Server) startSpan(r *http.Request, name string) *otrace.Span {
+	if s.tracer == nil {
+		return nil
+	}
+	traceID, parentID, err := otrace.Extract(r.Header)
+	if err != nil {
+		// A malformed header is the sender's bug, not a reason to lose
+		// this request's trace: count it and originate a fresh one.
+		s.m.touch(s.m.tracePropErr.Inc)
+		traceID, parentID = "", ""
+	}
+	return s.tracer.Start(name, otrace.KindServer, traceID, parentID)
+}
+
+// observeRequest returns the deferred latency observation for one
+// request, feeding the serve.request_ms histogram with the trace ID as
+// the bucket exemplar — the p99 bucket then names a flight-recorder
+// trace an operator can open.
+func (s *Server) observeRequest(root *otrace.Span) func() {
+	start := time.Now()
+	return func() {
+		ms := uint64(time.Since(start).Milliseconds())
+		s.m.touch(func() { s.m.requestMS.ObserveExemplar(ms, root.TraceID()) })
+	}
+}
+
+// handleDebugRequests serves the flight recorder: the most recent
+// completed traces, newest first. Query parameters: status (ok|error),
+// min_ms (minimum root duration), trace (exact ID), n (limit, default
+// 32).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	f := otrace.Filter{Status: r.URL.Query().Get("status"), Trace: r.URL.Query().Get("trace"), Limit: 32}
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad min_ms %q", v))
+			return
+		}
+		f.MinDur = time.Duration(ms) * time.Millisecond
+	}
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("bad n %q", v))
+			return
+		}
+		f.Limit = n
+	}
+	traces := s.recorder.Traces(f)
+	writeJSON(w, http.StatusOK, struct {
+		Enabled bool         `json:"enabled"`
+		Peer    string       `json:"peer"`
+		Total   uint64       `json:"total"`
+		Evicted uint64       `json:"evicted"`
+		Traces  []otrace.Rec `json:"traces"`
+	}{true, s.tracer.Peer(), s.recorder.Total(), s.recorder.Evicted(), traces})
 }
 
 // admit pushes jobs (atomically) and keeps the queue metrics honest.
@@ -412,26 +499,43 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
+	root := s.startSpan(r, "serve.sweep")
+	defer root.End()
+	defer s.observeRequest(root)()
+	root.SetAttrInt("rows", int64(len(traces)))
+	root.SetAttr("class", cls.String())
 	if !isForwarded(r) {
-		if ok, retry := s.quota.take(clientID(r), len(traces)); !ok {
+		qsp := root.Child("serve.quota", otrace.KindInternal)
+		ok, retry := s.quota.take(clientID(r), len(traces))
+		if !ok {
+			qsp.Fail(errors.New("over quota"))
+			qsp.End()
+			root.Fail(errors.New("shed: quota"))
 			s.m.touch(s.m.shedQuota.Inc)
 			writeShed(w, http.StatusTooManyRequests, "quota",
 				fmt.Sprintf("client over its request quota (sweep of %d)", len(traces)), retry)
 			return
 		}
+		qsp.End()
 	}
 	s.markServedBy(w)
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
 	defer cancel()
 	if s.cluster != nil && !isForwarded(r) {
-		s.clusterSweep(ctx, w, r, req, traces, cfg, cls)
+		s.clusterSweep(ctx, w, r, req, traces, cfg, cls, root)
 		return
 	}
 	jobs := make([]*job, len(traces))
 	for i, tr := range traces {
-		jobs[i] = &job{ctx: ctx, trace: tr, cfg: cfg, class: cls, done: make(chan jobResult, 1)}
+		jobs[i] = &job{ctx: ctx, trace: tr, cfg: cfg, class: cls, done: make(chan jobResult, 1),
+			span: root, qspan: root.Child("queue.wait", otrace.KindInternal)}
+		jobs[i].qspan.SetAttr("workload", tr)
 	}
 	if !s.admit(jobs...) {
+		for _, j := range jobs {
+			j.qspan.End()
+		}
+		root.Fail(errors.New("shed: queue full"))
 		writeShed(w, http.StatusTooManyRequests, "overloaded",
 			fmt.Sprintf("admission queue cannot fit a sweep of %d (capacity %d, %d queued)",
 				len(jobs), s.cfg.QueueDepth, s.q.depth()), time.Second)

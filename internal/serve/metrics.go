@@ -31,6 +31,11 @@ type metrics struct {
 	chaosKills   *obs.Counter // workers killed by injected chaos
 	quarantined  *obs.Counter // keys poisoned after MaxAttempts failures
 
+	traceSpans   *obs.Counter // otrace spans started on this node
+	traceDropped *obs.Counter // spans lost to the per-trace cap or late ends
+	traceEvicted *obs.Counter // flight-recorder traces overwritten when full
+	tracePropErr *obs.Counter // malformed X-BV-Trace/X-BV-Parent headers
+
 	queueDepth       *obs.Gauge // current queued jobs (all classes)
 	queueInteractive *obs.Gauge // queued interactive jobs
 	queueBatch       *obs.Gauge // queued batch jobs
@@ -39,7 +44,8 @@ type metrics struct {
 	draining         *obs.Gauge // 1 once drain has begun
 	quotaClients     *obs.Gauge // live per-client quota buckets
 
-	attempts *obs.Histogram // launches needed per successful pool run
+	attempts  *obs.Histogram // launches needed per successful pool run
+	requestMS *obs.Histogram // /v1/run wall latency, with trace-ID exemplars
 }
 
 func newMetrics() *metrics {
@@ -58,6 +64,10 @@ func newMetrics() *metrics {
 		hungKills:        reg.Counter("serve.worker_hung_kills"),
 		chaosKills:       reg.Counter("serve.worker_chaos_kills"),
 		quarantined:      reg.Counter("serve.quarantined"),
+		traceSpans:       reg.Counter("trace.spans_started"),
+		traceDropped:     reg.Counter("trace.spans_dropped"),
+		traceEvicted:     reg.Counter("trace.recorder_evictions"),
+		tracePropErr:     reg.Counter("trace.propagation_errors"),
 		queueDepth:       reg.Gauge("serve.queue_depth"),
 		queueInteractive: reg.Gauge("serve.queue_depth_interactive"),
 		queueBatch:       reg.Gauge("serve.queue_depth_batch"),
@@ -66,6 +76,7 @@ func newMetrics() *metrics {
 		draining:         reg.Gauge("serve.draining"),
 		quotaClients:     reg.Gauge("serve.quota_clients"),
 		attempts:         reg.Histogram("serve.run_attempts", []uint64{1, 2, 3, 4, 8}),
+		requestMS:        reg.Histogram("serve.request_ms", []uint64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}),
 	}
 }
 

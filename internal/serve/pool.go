@@ -32,6 +32,7 @@ import (
 
 	"context"
 
+	otrace "basevictim/internal/obs/trace"
 	"basevictim/internal/sim"
 	"basevictim/internal/workload"
 )
@@ -130,15 +131,21 @@ func (pl *pool) run(ctx context.Context, p workload.Profile, cfg sim.Config) (si
 	if re := pl.quarantineFor(key); re != nil {
 		return sim.Result{}, re
 	}
+	parent := otrace.FromContext(ctx)
 	var lastCrash error
 	for attempt := 1; attempt <= pl.cfg.maxAttempts; attempt++ {
 		if attempt > 1 {
 			pl.m.touch(pl.m.retries.Inc)
-			if err := sleepCtx(ctx, pl.backoff(attempt)); err != nil {
+			bsp := parent.Child("worker.backoff", otrace.KindInternal)
+			err := sleepCtx(ctx, pl.backoff(attempt))
+			bsp.End()
+			if err != nil {
 				return sim.Result{}, err
 			}
 		}
-		res, retryable, err := pl.attempt(ctx, p.Name, cfg)
+		asp := parent.Child("worker.attempt", otrace.KindClient)
+		asp.SetAttrInt("attempt", int64(attempt))
+		res, retryable, err := pl.attempt(ctx, asp, p.Name, cfg)
 		switch {
 		case err == nil:
 			pl.m.touch(func() { pl.m.attempts.Observe(uint64(attempt)) })
@@ -189,10 +196,23 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 
 // attempt launches one worker process and shepherds it to an outcome.
 // retryable marks faults worth another launch (crash, hang); structured
-// simulation failures and context cancellation are terminal.
-func (pl *pool) attempt(ctx context.Context, trace string, cfg sim.Config) (res sim.Result, retryable bool, err error) {
+// simulation failures and context cancellation are terminal. sp is the
+// attempt's span; the supervisor owns it because the worker is a child
+// process with no tracer — the heartbeat count observed here is the
+// span's record of the worker's liveness protocol.
+func (pl *pool) attempt(ctx context.Context, sp *otrace.Span, trace string, cfg sim.Config) (res sim.Result, retryable bool, err error) {
+	heartbeats := 0
+	defer func() {
+		sp.SetAttrInt("heartbeats", int64(heartbeats))
+		if retryable {
+			sp.SetAttr("retryable", "true")
+		}
+		sp.Fail(err)
+		sp.End()
+	}()
 	launch := int(pl.launches.Add(1))
 	act := pl.cfg.chaos.action(launch)
+	sp.SetAttrInt("launch", int64(launch))
 
 	cmd := exec.CommandContext(ctx, pl.cfg.argv[0], pl.cfg.argv[1:]...)
 	cmd.Env = append(os.Environ(), workerEnvVar+"=1")
@@ -297,6 +317,7 @@ func (pl *pool) attempt(ctx context.Context, trace string, cfg sim.Config) (res 
 				}
 				return sim.Result{}, false, &RunError{Kind: kind, Msg: ln.Error}
 			default: // heartbeat
+				heartbeats++
 				if act == chaosKill && !sawHeartbeat {
 					// Chaos: the worker dies right after proving it was
 					// alive — the harshest crash point, since the

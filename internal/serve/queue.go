@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	otrace "basevictim/internal/obs/trace"
 	"basevictim/internal/sim"
 )
 
@@ -63,6 +64,11 @@ type job struct {
 	trace string
 	cfg   sim.Config
 	class class
+	// span is the request's root (or per-row) span; qspan times the
+	// admission-queue wait and is ended by the dispatcher at pop. Both
+	// are nil with tracing off.
+	span  *otrace.Span
+	qspan *otrace.Span
 	// done receives exactly one result; buffered so a dispatcher never
 	// blocks on a client that stopped listening.
 	done chan jobResult

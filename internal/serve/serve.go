@@ -29,6 +29,7 @@ import (
 	"basevictim/internal/cluster"
 	"basevictim/internal/figures"
 	"basevictim/internal/obs"
+	otrace "basevictim/internal/obs/trace"
 	"basevictim/internal/sim"
 	"basevictim/internal/workload"
 )
@@ -82,6 +83,11 @@ type Config struct {
 	// sheds only through the normal queue-full path). Default 3/4 of
 	// QueueDepth.
 	ShedPoint int
+	// TraceCapacity sizes the request flight recorder (how many
+	// completed traces GET /debug/requests retains). 0 means the
+	// default (512); negative disables tracing entirely — request
+	// handling then pays one nil check per span site.
+	TraceCapacity int
 	// WorkerArgv overrides the worker command line. Default: this
 	// executable (re-exec'd with BVSIMD_WORKER=1).
 	WorkerArgv []string
@@ -134,6 +140,9 @@ type Server struct {
 	store   *figures.Store
 	pool    *pool            // nil when InProcess or Runner is set
 	cluster *cluster.Cluster // nil when Config.Cluster names no peers
+
+	tracer   *otrace.Tracer   // nil when TraceCapacity < 0
+	recorder *otrace.Recorder // nil when TraceCapacity < 0
 
 	http *http.Server
 	ln   net.Listener
@@ -235,6 +244,29 @@ func (s *Server) Listen(ctx context.Context, addr string) error {
 		s.cluster = cl
 		s.cluster.Start(s.baseCtx)
 	}
+	if s.cfg.TraceCapacity >= 0 {
+		// The tracer is built here, not in New: its Peer must be the
+		// advertised cluster address, which defaults to the bound one.
+		capacity := s.cfg.TraceCapacity
+		if capacity == 0 {
+			capacity = 512
+		}
+		peer := ln.Addr().String()
+		if s.cluster != nil {
+			peer = s.cluster.Self()
+		}
+		s.recorder = otrace.NewRecorder(capacity)
+		s.tracer = otrace.New(otrace.Config{
+			Seed:     s.cfg.Seed,
+			Peer:     peer,
+			Recorder: s.recorder,
+			Hooks: otrace.Hooks{
+				SpanStarted: func() { s.m.touch(s.m.traceSpans.Inc) },
+				SpanDropped: func() { s.m.touch(s.m.traceDropped.Inc) },
+				Evicted:     func() { s.m.touch(s.m.traceEvicted.Inc) },
+			},
+		})
+	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.dispatch()
@@ -261,6 +293,16 @@ func (s *Server) Addr() string {
 // Session exposes the underlying figures session (tests reach through
 // it to pre-warm or inspect the cache layers).
 func (s *Server) Session() *figures.Session { return s.session }
+
+// ExportTraces writes the flight recorder's retained traces to path as
+// JSONL (atomically: temp file + rename). Call it after Drain so every
+// accepted request's trace has landed in the recorder.
+func (s *Server) ExportTraces(path string) error {
+	if s.recorder == nil {
+		return errors.New("bvsimd: tracing disabled; no traces to export")
+	}
+	return s.recorder.WriteJSONL(path, s.tracer.Peer())
+}
 
 // Drain is the graceful shutdown: stop admitting (new requests shed
 // with 503), let the dispatchers finish and persist every already
@@ -320,6 +362,8 @@ func (s *Server) dispatch() {
 			return
 		}
 		s.syncQueueGauges()
+		j.qspan.SetAttrInt("depth_at_pop", int64(s.q.depth()))
+		j.qspan.End()
 		if j.ctx.Err() != nil {
 			// The client gave up (or timed out) while queued; skip the
 			// work entirely rather than simulating for nobody.
@@ -327,7 +371,10 @@ func (s *Server) dispatch() {
 			continue
 		}
 		s.m.touch(func() { s.m.inflight.Add(1) })
-		res, err := s.session.Run(j.ctx, j.trace, j.cfg)
+		exec := j.span.Child("serve.exec", otrace.KindInternal)
+		res, err := s.session.Run(otrace.ContextWith(j.ctx, exec), j.trace, j.cfg)
+		exec.Fail(err)
+		exec.End()
 		s.m.touch(func() {
 			s.m.inflight.Add(-1)
 			s.m.completed.Inc()
@@ -348,6 +395,22 @@ type statusInfo struct {
 	ShedPoint   int          `json:"shed_point"`
 	// Cluster is this node's advertised address when clustering is on.
 	Cluster string `json:"cluster,omitempty"`
+	// ClusterStats summarizes the forwarding layer when clustering is
+	// on — in particular the hedge outcome (launches vs wins), which
+	// the raw counter registry records but this document previously
+	// never surfaced.
+	ClusterStats *clusterStats `json:"cluster_stats,omitempty"`
+}
+
+// clusterStats is the /statusz digest of the cluster registry.
+type clusterStats struct {
+	Forwards     uint64 `json:"forwards"`
+	ForwardFails uint64 `json:"forward_fails"`
+	Retries      uint64 `json:"forward_retries"`
+	Hedges       uint64 `json:"hedges"`
+	HedgeWins    uint64 `json:"hedge_wins"`
+	Failovers    uint64 `json:"failovers"`
+	ShardShed    uint64 `json:"shard_shed"`
 }
 
 type ckptInfo struct {
@@ -376,6 +439,16 @@ func (s *Server) status() statusInfo {
 	}
 	if s.cluster != nil {
 		st.Cluster = s.cluster.Self()
+		cm := s.cluster.Metrics().Counters
+		st.ClusterStats = &clusterStats{
+			Forwards:     cm["cluster.forwards"],
+			ForwardFails: cm["cluster.forward_fails"],
+			Retries:      cm["cluster.forward_retries"],
+			Hedges:       cm["cluster.hedges"],
+			HedgeWins:    cm["cluster.hedge_wins"],
+			Failovers:    cm["cluster.failovers"],
+			ShardShed:    cm["cluster.shard_shed"],
+		}
 	}
 	if s.pool != nil {
 		st.Quarantined = s.pool.quarantineCount()
